@@ -1,0 +1,58 @@
+// Ablation: cluster processing order (paper §7 future work (2): "ordering
+// the clusters — a measure of cluster's quality can be used to decide
+// which clusters have better chances to produce good mappings. In this
+// way, the time-to-first good mapping can be improved").
+//
+// Compares natural (repository) order with quality-descending order on the
+// medium-clusters variant, measuring work-to-first-mapping. Expected
+// shape: identical result sets; quality ordering reaches its first mapping
+// after fewer clusters / partial mappings.
+#include <cstdio>
+
+#include "experiment_common.h"
+
+int main() {
+  using namespace xsm;
+  using namespace xsm::bench;
+
+  auto setup = MakeCanonicalSetup();
+  PrintBanner("Ablation: cluster ordering / time-to-first-mapping "
+              "(delta = 0.95)",
+              *setup);
+
+  struct Row {
+    const char* name;
+    core::ClusterOrder order;
+  };
+  const Row kRows[] = {
+      {"natural (paper)", core::ClusterOrder::kNatural},
+      {"quality-desc", core::ClusterOrder::kQualityDescending},
+  };
+
+  std::printf("%-18s %14s %22s %22s %12s\n", "order", "mappings",
+              "clusters to first", "partials to first", "best delta");
+  for (const Row& row : kRows) {
+    core::MatchOptions options = VariantOptions(Variant::kMedium);
+    // Use a very selective threshold so only a handful of clusters can
+    // produce mappings at all — the regime where ordering pays off.
+    options.delta = 0.95;
+    options.cluster_order = row.order;
+    auto result = setup->system->Match(setup->personal, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", row.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    double best =
+        result->mappings.empty() ? 0.0 : result->mappings.front().delta;
+    std::printf("%-18s %14zu %22zu %22llu %12.4f\n", row.name,
+                result->mappings.size(),
+                result->stats.clusters_until_first_mapping,
+                static_cast<unsigned long long>(
+                    result->stats.partials_until_first_mapping),
+                best);
+  }
+  std::printf("\nexpected shape: same result sets; the quality order finds "
+              "its first mapping after far fewer clusters.\n");
+  return 0;
+}

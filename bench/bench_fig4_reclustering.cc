@@ -1,0 +1,96 @@
+// Reproduces Fig. 4 of the paper: the cluster-size distribution produced by
+// three reclustering strategies — no reclustering, join, join & remove —
+// using the bucket scheme [1,1] [2,3] [4,7] ... [128,255].
+//
+// Expected shape (paper: 579 / 333 / 243 clusters): without reclustering
+// the majority of clusters is tiny ("starved" centroids competing for the
+// same elements); join absorbs most of them into neighbors; join & remove
+// eliminates the remaining tiny clusters.
+#include <cstdio>
+#include <vector>
+
+#include "experiment_common.h"
+#include "util/histogram.h"
+
+int main() {
+  using namespace xsm;
+  using namespace xsm::bench;
+
+  auto setup = MakeCanonicalSetup();
+  PrintBanner("Fig. 4: cluster size distribution per reclustering strategy",
+              *setup);
+  ClusteringInputs inputs = MakeClusteringInputs(*setup);
+  std::printf("clustering %zu mapping elements\n\n", inputs.points.size());
+
+  struct Strategy {
+    const char* name;
+    bool join;
+    bool remove;
+  };
+  const Strategy kStrategies[] = {
+      {"no reclustering", false, false},
+      {"join", true, false},
+      {"join & remove", true, true},
+  };
+
+  label::ForestIndex index = label::ForestIndex::Build(setup->repository);
+  cluster::KMeansClusterer clusterer(&setup->repository, &index);
+
+  const int kBuckets = 8;  // [1,1] .. [128,255], as in the paper.
+  std::vector<PowerHistogram> histograms;
+  std::vector<size_t> totals;
+
+  for (const Strategy& strategy : kStrategies) {
+    cluster::KMeansOptions options;
+    options.join_reclustering = strategy.join;
+    options.join_distance = 3;  // the "medium clusters" variant
+    options.remove_reclustering = strategy.remove;
+    options.min_cluster_size = 4;
+    auto result =
+        clusterer.Cluster(inputs.points, inputs.me_set_sizes, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "clustering failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PowerHistogram histogram(kBuckets);
+    size_t pair_total = 0;
+    for (const cluster::Cluster& c : result->clusters) {
+      size_t pairs = 0;
+      for (int32_t m : c.members) {
+        pairs += static_cast<size_t>(__builtin_popcount(
+            inputs.points[static_cast<size_t>(m)].personal_mask));
+      }
+      histogram.Add(pairs);
+      pair_total += pairs;
+    }
+    histograms.push_back(histogram);
+    totals.push_back(result->clusters.size());
+    std::printf("%-16s -> %4zu clusters (%d iterations, %zu joins, "
+                "%zu removed, %zu elements unassigned)\n",
+                strategy.name, result->clusters.size(),
+                result->stats.iterations, result->stats.clusters_joined,
+                result->stats.clusters_removed,
+                result->stats.unassigned_points);
+  }
+
+  std::printf("\nnumber of clusters per size bucket "
+              "(mapping elements per cluster)\n");
+  std::printf("%-12s", "bucket");
+  for (const Strategy& s : kStrategies) std::printf(" %18s", s.name);
+  std::printf("\n");
+  for (int b = 0; b < kBuckets; ++b) {
+    std::printf("%-12s", PowerHistogram::BucketLabel(b).c_str());
+    for (size_t s = 0; s < histograms.size(); ++s) {
+      std::printf(" %18llu", static_cast<unsigned long long>(
+                                 histograms[s].BucketCount(b)));
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "total");
+  for (size_t s = 0; s < histograms.size(); ++s) {
+    std::printf(" %18zu", totals[s]);
+  }
+  std::printf("\n");
+  return 0;
+}

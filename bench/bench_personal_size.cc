@@ -1,0 +1,73 @@
+// Extension experiment: personal-schema size (paper §7 lists "matching
+// with larger personal schemas" as a challenge; §2.2 gives the search
+// space as O(|ME_n|^|Ns|)).
+//
+// Sweeps personal schemas from 2 to 6 nodes over the same repository and
+// reports search-space size and generator work for the non-clustered
+// baseline vs medium clusters. Expected shape: the baseline explodes
+// roughly exponentially in |Ns| while the clustered load stays orders of
+// magnitude lower, and the gap widens.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment_common.h"
+
+int main() {
+  using namespace xsm;
+  using namespace xsm::bench;
+
+  auto setup = MakeCanonicalSetup();
+  PrintBanner("Extension: scaling the personal schema size", *setup);
+
+  // Nested growth of the experiment's schema: every next schema adds one
+  // node that still has matches in the repository vocabulary.
+  const std::vector<std::string> kSpecs = {
+      "name(address)",
+      "name(address,email)",
+      "name(address,email,phone)",
+      "name(address(city),email,phone)",
+      "name(address(city,zip),email,phone)",
+  };
+
+  std::printf("%-34s | %13s %13s | %13s %13s | %9s\n", "personal schema",
+              "space(tree)", "partials", "space(med)", "partials",
+              "reduction");
+  for (const std::string& spec : kSpecs) {
+    auto personal = schema::ParseTreeSpec(spec);
+    if (!personal.ok()) {
+      std::fprintf(stderr, "bad spec %s\n", spec.c_str());
+      return 1;
+    }
+    core::MatchOptions tree_options = VariantOptions(Variant::kTree);
+    core::MatchOptions medium_options = VariantOptions(Variant::kMedium);
+    // Cap runaway exhaustive work on the largest schemas.
+    tree_options.generator.max_partial_mappings = 50'000'000;
+    medium_options.generator.max_partial_mappings = 50'000'000;
+
+    auto tree = setup->system->Match(*personal, tree_options);
+    auto medium = setup->system->Match(*personal, medium_options);
+    if (!tree.ok() || !medium.ok()) {
+      std::fprintf(stderr, "match failed for %s\n", spec.c_str());
+      return 1;
+    }
+    double reduction =
+        medium->stats.search_space > 0
+            ? tree->stats.search_space / medium->stats.search_space
+            : 0;
+    std::printf("%-34s | %13.3g %13llu | %13.3g %13llu | %8.1fx%s\n",
+                spec.c_str(), tree->stats.search_space,
+                static_cast<unsigned long long>(
+                    tree->stats.generator.partial_mappings),
+                medium->stats.search_space,
+                static_cast<unsigned long long>(
+                    medium->stats.generator.partial_mappings),
+                reduction,
+                tree->stats.generator.truncated ? "  (baseline capped)"
+                                                : "");
+  }
+  std::printf("\nexpected shape: the baseline grows ~exponentially with "
+              "|Ns| (O(|ME|^|Ns|), paper §2.2); clustering keeps the "
+              "per-cluster spaces small, so the reduction factor widens.\n");
+  return 0;
+}

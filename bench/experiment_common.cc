@@ -1,0 +1,101 @@
+#include "experiment_common.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace xsm::bench {
+
+std::unique_ptr<ExperimentSetup> MakeCanonicalSetup(size_t target_elements,
+                                                    uint64_t seed) {
+  auto setup = std::make_unique<ExperimentSetup>();
+  repo::SyntheticRepoOptions options;
+  options.target_elements = target_elements;
+  options.seed = seed;
+  auto forest = repo::GenerateSyntheticRepository(options);
+  // The generator only fails on invalid options; the defaults are valid.
+  setup->repository = std::move(*forest);
+  setup->personal = *schema::ParseTreeSpec("name(address,email)");
+  setup->system = std::make_unique<core::Bellflower>(&setup->repository);
+  return setup;
+}
+
+const char* VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kSmall:
+      return "small";
+    case Variant::kMedium:
+      return "medium";
+    case Variant::kLarge:
+      return "large";
+    case Variant::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+core::MatchOptions VariantOptions(Variant variant) {
+  core::MatchOptions options;
+  options.element.threshold = 0.5;
+  options.objective.alpha = 0.5;
+  // K follows the paper's derivation ("determined using other constraints
+  // in the system, e.g., the maximum length of a path"): k_norm <= 0 lets
+  // Bellflower resolve K = max(1, repository diameter - 1).
+  options.objective.k_norm = 0.0;
+  options.delta = kPaperDelta;
+  options.kmeans.min_cluster_size = 4;
+  options.kmeans.max_iterations = 25;
+  switch (variant) {
+    case Variant::kSmall:
+      options.clustering = core::ClusteringMode::kKMeans;
+      options.kmeans.join_distance = 2;
+      break;
+    case Variant::kMedium:
+      options.clustering = core::ClusteringMode::kKMeans;
+      options.kmeans.join_distance = 3;
+      break;
+    case Variant::kLarge:
+      options.clustering = core::ClusteringMode::kKMeans;
+      options.kmeans.join_distance = 4;
+      break;
+    case Variant::kTree:
+      options.clustering = core::ClusteringMode::kTreeClusters;
+      break;
+  }
+  return options;
+}
+
+ClusteringInputs MakeClusteringInputs(const ExperimentSetup& setup,
+                                      double element_threshold) {
+  ClusteringInputs inputs;
+  auto matching = match::MatchElements(setup.personal, setup.repository,
+                                       {.threshold = element_threshold});
+  if (!matching.ok()) return inputs;  // empty: harnesses print zero rows
+  inputs.points.reserve(matching->distinct_nodes.size());
+  for (size_t i = 0; i < matching->distinct_nodes.size(); ++i) {
+    inputs.points.push_back(
+        {matching->distinct_nodes[i], matching->masks[i]});
+  }
+  inputs.me_set_sizes.resize(setup.personal.size());
+  for (size_t i = 0; i < setup.personal.size(); ++i) {
+    inputs.me_set_sizes[i] = matching->sets[i].size();
+  }
+  return inputs;
+}
+
+void PrintBanner(const char* experiment, const ExperimentSetup& setup) {
+  repo::RepositoryStats stats = repo::ComputeStats(setup.repository);
+  std::printf("== %s ==\n", experiment);
+  std::printf(
+      "repository: %zu elements over %zu trees (avg %.1f, max %zu, "
+      "depth %d, %zu distinct names)\n",
+      stats.nodes, stats.trees, stats.avg_tree_size, stats.max_tree_size,
+      stats.max_depth, stats.distinct_names);
+  std::printf("personal schema: %s\n",
+              schema::ToTreeSpec(setup.personal).c_str());
+  std::printf("objective: delta >= %.2f, alpha = 0.5, K = %.0f\n\n",
+              kPaperDelta,
+              setup.system->ResolveK(objective::ObjectiveParams{}));
+}
+
+}  // namespace xsm::bench

@@ -1,0 +1,67 @@
+// Shared setup for the paper-reproduction harnesses (§5 experiment):
+// personal schema name(address,email) matched against a repository of
+// ~9759 elements with δ = 0.75, plus the four clustering variants
+// (small / medium / large join thresholds and the non-clustered tree
+// baseline).
+#ifndef XSM_BENCH_EXPERIMENT_COMMON_H_
+#define XSM_BENCH_EXPERIMENT_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/bellflower.h"
+#include "repo/synthetic.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::bench {
+
+/// The paper's §5 experiment constants.
+inline constexpr size_t kPaperRepositoryElements = 9759;
+inline constexpr double kPaperDelta = 0.75;
+inline constexpr uint64_t kExperimentSeed = 2006;
+
+/// Owns the repository and the matcher built over it.
+struct ExperimentSetup {
+  schema::SchemaForest repository;
+  schema::SchemaTree personal;
+  std::unique_ptr<core::Bellflower> system;
+};
+
+/// Builds the canonical experiment: synthetic repository of about
+/// `target_elements` nodes (seeded, deterministic) and the personal schema
+/// name(address,email) with "a structure similar to schema s in Fig. 1".
+std::unique_ptr<ExperimentSetup> MakeCanonicalSetup(
+    size_t target_elements = kPaperRepositoryElements,
+    uint64_t seed = kExperimentSeed);
+
+/// The four §5 variants.
+enum class Variant { kSmall = 0, kMedium = 1, kLarge = 2, kTree = 3 };
+
+inline constexpr Variant kAllVariants[] = {Variant::kSmall, Variant::kMedium,
+                                           Variant::kLarge, Variant::kTree};
+
+/// "small" / "medium" / "large" / "tree".
+const char* VariantName(Variant variant);
+
+/// MatchOptions for a variant: join distance 2/3/4 for the clustered ones,
+/// ClusteringMode::kTreeClusters for the baseline. δ, α and the element
+/// threshold are the experiment defaults (0.75, 0.5, 0.5).
+core::MatchOptions VariantOptions(Variant variant);
+
+/// Prints the standard harness banner (repository stats, matcher config).
+void PrintBanner(const char* experiment, const ExperimentSetup& setup);
+
+/// Element-matching outputs in the form the clusterer consumes, for
+/// harnesses that drive the k-means step directly (Fig. 4, ablations).
+struct ClusteringInputs {
+  std::vector<cluster::ClusterPoint> points;
+  std::vector<size_t> me_set_sizes;
+};
+
+ClusteringInputs MakeClusteringInputs(const ExperimentSetup& setup,
+                                      double element_threshold = 0.5);
+
+}  // namespace xsm::bench
+
+#endif  // XSM_BENCH_EXPERIMENT_COMMON_H_

@@ -1,0 +1,91 @@
+// Clustered vs non-clustered matching on a realistic synthetic repository:
+// the efficiency/effectiveness trade-off of the paper, in one program.
+//
+//   $ ./examples/clustered_vs_flat [elements]     (default 8000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "xsm/xsm.h"
+
+int main(int argc, char** argv) {
+  using namespace xsm;
+
+  size_t elements = 8000;
+  if (argc > 1) elements = static_cast<size_t>(std::atoll(argv[1]));
+
+  repo::SyntheticRepoOptions repo_options;
+  repo_options.target_elements = elements;
+  repo_options.seed = 7;
+  auto repository = repo::GenerateSyntheticRepository(repo_options);
+  if (!repository.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 repository.status().ToString().c_str());
+    return 1;
+  }
+  repo::RepositoryStats stats = repo::ComputeStats(*repository);
+  std::printf("repository: %zu elements / %zu trees (avg %.1f)\n",
+              stats.nodes, stats.trees, stats.avg_tree_size);
+
+  schema::SchemaTree personal = *schema::ParseTreeSpec("name(address,email)");
+  core::Bellflower system(&*repository);
+
+  core::MatchOptions flat;
+  flat.element.threshold = 0.5;
+  flat.delta = 0.75;
+  flat.clustering = core::ClusteringMode::kTreeClusters;
+
+  core::MatchOptions clustered = flat;
+  clustered.clustering = core::ClusteringMode::kKMeans;
+  clustered.kmeans.join_distance = 3;
+  clustered.kmeans.min_cluster_size = 4;
+
+  Timer timer;
+  auto flat_result = system.Match(personal, flat);
+  double flat_time = timer.ElapsedSeconds();
+  timer.Restart();
+  auto clustered_result = system.Match(personal, clustered);
+  double clustered_time = timer.ElapsedSeconds();
+  if (!flat_result.ok() || !clustered_result.ok()) {
+    std::fprintf(stderr, "match failed\n");
+    return 1;
+  }
+
+  auto print_row = [](const char* name, const core::MatchResult& r,
+                      double time) {
+    std::printf("%-14s %14.0f %14llu %10zu %10.4fs\n", name,
+                r.stats.search_space,
+                static_cast<unsigned long long>(
+                    r.stats.generator.partial_mappings),
+                r.mappings.size(), time);
+  };
+  std::printf("\n%-14s %14s %14s %10s %10s\n", "mode", "search space",
+              "partials", "mappings", "time");
+  print_row("non-clustered", *flat_result, flat_time);
+  print_row("clustered", *clustered_result, clustered_time);
+
+  double preserved =
+      flat_result->mappings.empty()
+          ? 1.0
+          : static_cast<double>(clustered_result->mappings.size()) /
+                static_cast<double>(flat_result->mappings.size());
+  double space_reduction =
+      clustered_result->stats.search_space > 0
+          ? flat_result->stats.search_space /
+                clustered_result->stats.search_space
+          : 0.0;
+  std::printf("\nclustering shrinks the search space %.1fx and keeps %.0f%% "
+              "of the mappings\n",
+              space_reduction, 100.0 * preserved);
+
+  // The paper's key qualitative claim: the loss concentrates in low-ranked
+  // mappings. Show preservation at increasing thresholds.
+  auto curve = core::PreservationCurve(flat_result->mappings,
+                                       clustered_result->mappings, 0.75,
+                                       1.0, 6);
+  std::printf("\npreserved fraction by threshold:");
+  for (const auto& point : curve) {
+    std::printf("  %.2f:%.0f%%", point.delta, 100.0 * point.preserved);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small repository in code, match a personal schema
+// against it, and print the ranked schema mappings.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "xsm/xsm.h"
+
+int main() {
+  using namespace xsm;
+
+  // 1. A repository is a forest of schema trees. The compact tree-spec
+  //    notation is the quickest way to build one in code; real corpora are
+  //    loaded with repo::LoadRepositoryFromDirectory or generated with
+  //    repo::GenerateSyntheticRepository.
+  schema::SchemaForest repository;
+  repository.AddTree(
+      *schema::ParseTreeSpec(
+          "person(name,contact(address,email),phone)"),
+      "person-schema");
+  repository.AddTree(
+      *schema::ParseTreeSpec(
+          "customer(fullName,addr,mail,account(id,email))"),
+      "crm-schema");
+  repository.AddTree(
+      *schema::ParseTreeSpec("lib(book(title,authorName),address)"),
+      "library-schema");
+
+  // 2. The personal schema: the user's own virtual view of the data.
+  schema::SchemaTree personal = *schema::ParseTreeSpec("name(address,email)");
+
+  // 3. Match. Options carry the objective threshold δ, the α weight of
+  //    Eq. 3, the element-matcher threshold, and the clustering mode.
+  core::Bellflower system(&repository);
+  core::MatchOptions options;
+  options.element.threshold = 0.5;  // fuzzy name similarity cut
+  options.objective.alpha = 0.5;    // name vs path hint weight
+  options.delta = 0.5;              // keep mappings with Δ >= 0.5
+  options.clustering = core::ClusteringMode::kKMeans;
+  options.kmeans.join_distance = 3;
+  options.kmeans.min_cluster_size = 2;
+
+  auto result = system.Match(personal, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "match failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Consume the ranked mapping list.
+  std::printf("personal schema:\n%s\n", personal.ToString().c_str());
+  std::printf("%zu mappings with delta >= %.2f "
+              "(%zu mapping elements, %zu useful clusters):\n\n",
+              result->mappings.size(), options.delta,
+              result->stats.total_mapping_elements,
+              result->stats.num_useful_clusters);
+  int rank = 1;
+  for (const auto& mapping : result->mappings) {
+    std::printf("%2d. %s\n     source: %s\n", rank++,
+                generate::MappingToString(mapping, personal, repository)
+                    .c_str(),
+                repository.source(mapping.tree).c_str());
+  }
+  return 0;
+}

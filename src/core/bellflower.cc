@@ -1,0 +1,305 @@
+#include "core/bellflower.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "util/timer.h"
+
+namespace xsm::core {
+
+using generate::SchemaMapping;
+using schema::NodeRef;
+
+Bellflower::Bellflower(const schema::SchemaForest* repository)
+    : repository_(repository) {
+  index_ = label::ForestIndex::Build(*repository);
+}
+
+double Bellflower::ResolveK(const objective::ObjectiveParams& params) const {
+  if (params.k_norm > 0) return params.k_norm;
+  return std::max(1, index_.max_diameter() - 1);
+}
+
+Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
+                                      const MatchOptions& options) const {
+  XSM_RETURN_NOT_OK(options.objective.Validate());
+  if (options.delta < 0.0 || options.delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0,1]");
+  }
+  if (personal.empty()) {
+    return Status::InvalidArgument("personal schema is empty");
+  }
+  XSM_RETURN_NOT_OK(personal.Validate());
+
+  MatchResult result;
+  MatchStats& stats = result.stats;
+  stats.repository_nodes = repository_->total_nodes();
+  stats.repository_trees = repository_->num_trees();
+
+  // --- Stage ②③: element matching. ---------------------------------------
+  Timer timer;
+  XSM_ASSIGN_OR_RETURN(
+      match::ElementMatchingResult matching,
+      match::MatchElements(personal, *repository_, options.element));
+  stats.time_matching_seconds = timer.ElapsedSeconds();
+  stats.total_mapping_elements = matching.total_mapping_elements();
+  stats.distinct_mapping_nodes = matching.distinct_nodes.size();
+
+  if (matching.distinct_nodes.empty()) {
+    return result;  // No mapping elements anywhere: empty solution list.
+  }
+
+  // Two-phase baseline: structural matchers applied to *every* mapping
+  // element before clustering (structural_within_clusters_only == false).
+  if (options.structural_matcher != nullptr &&
+      !options.structural_within_clusters_only) {
+    Timer structural_timer;
+    const double w = options.structural_weight;
+    for (auto& set : matching.sets) {
+      for (auto& element : set.elements) {
+        double structural = options.structural_matcher->Score(
+            personal, set.personal_node, repository_->tree(element.node.tree),
+            element.node.node);
+        element.score = (1.0 - w) * element.score + w * structural;
+        ++stats.structural_evaluations;
+      }
+    }
+    stats.time_structural_seconds = structural_timer.ElapsedSeconds();
+  }
+
+  // Cluster points = distinct matched repository nodes.
+  std::vector<cluster::ClusterPoint> points;
+  points.reserve(matching.distinct_nodes.size());
+  for (size_t i = 0; i < matching.distinct_nodes.size(); ++i) {
+    points.push_back({matching.distinct_nodes[i], matching.masks[i]});
+  }
+
+  // --- Stage ⓒ: clustering. ----------------------------------------------
+  timer.Restart();
+  cluster::ClusteringResult clustering;
+  if (options.clustering == ClusteringMode::kTreeClusters) {
+    clustering = cluster::TreeClusters(points);
+  } else {
+    std::vector<size_t> set_sizes(personal.size());
+    for (size_t i = 0; i < personal.size(); ++i) {
+      set_sizes[i] = matching.sets[i].size();
+    }
+    cluster::KMeansClusterer clusterer(repository_, &index_);
+    XSM_ASSIGN_OR_RETURN(clustering,
+                         clusterer.Cluster(points, set_sizes,
+                                           options.kmeans));
+  }
+  stats.time_clustering_seconds = timer.ElapsedSeconds();
+  stats.kmeans = clustering.stats;
+  stats.num_clusters = clustering.clusters.size();
+
+  // --- Stage ④: per-cluster mapping generation. --------------------------
+  timer.Restart();
+  const uint32_t full_mask = matching.FullMask();
+  double k_resolved = ResolveK(options.objective);
+  objective::BellflowerObjective objective(
+      options.objective.alpha, k_resolved,
+      static_cast<int>(personal.size()),
+      static_cast<int>(personal.num_edges()));
+  generate::GeneratorOptions gen_options = options.generator;
+  gen_options.delta = options.delta;
+
+  // First pass: per-cluster candidate sets and summaries.
+  std::vector<generate::ClusterCandidates> all_candidates(
+      clustering.clusters.size());
+  stats.cluster_summaries.reserve(clustering.clusters.size());
+  size_t useful_pairs = 0;
+  std::vector<size_t> useful_order;
+  std::vector<size_t> non_useful;
+
+  for (size_t ci = 0; ci < clustering.clusters.size(); ++ci) {
+    const cluster::Cluster& c = clustering.clusters[ci];
+    ClusterSummary summary;
+    summary.tree = c.tree;
+    summary.num_points = c.members.size();
+    summary.useful = c.useful(full_mask);
+    for (int32_t m : c.members) {
+      summary.num_mapping_elements += static_cast<size_t>(
+          std::popcount(points[static_cast<size_t>(m)].personal_mask));
+    }
+
+    // Candidate lists: ME_n ∩ cluster. Both sides are sorted by NodeRef,
+    // so intersect with a linear merge.
+    std::vector<NodeRef> member_nodes;
+    member_nodes.reserve(c.members.size());
+    for (int32_t m : c.members) {
+      member_nodes.push_back(points[static_cast<size_t>(m)].node);
+    }
+    std::sort(member_nodes.begin(), member_nodes.end());
+
+    generate::ClusterCandidates& cands = all_candidates[ci];
+    cands.tree = c.tree;
+    cands.candidates.resize(personal.size());
+    for (size_t n = 0; n < personal.size(); ++n) {
+      const auto& me = matching.sets[n].elements;
+      auto& dst = cands.candidates[n];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < me.size() && j < member_nodes.size()) {
+        if (me[i].node < member_nodes[j]) {
+          ++i;
+        } else if (member_nodes[j] < me[i].node) {
+          ++j;
+        } else {
+          dst.push_back(me[i]);
+          ++i;
+          ++j;
+        }
+      }
+    }
+
+    if (options.structural_matcher != nullptr &&
+        options.structural_within_clusters_only && summary.useful &&
+        cands.useful()) {
+      // The paper's two-phase technique: the structural matcher group only
+      // sees elements inside (useful) clusters.
+      Timer structural_timer;
+      const double w = options.structural_weight;
+      const schema::SchemaTree& repo_tree = repository_->tree(cands.tree);
+      for (size_t n = 0; n < cands.candidates.size(); ++n) {
+        for (auto& element : cands.candidates[n]) {
+          double structural = options.structural_matcher->Score(
+              personal, static_cast<schema::NodeId>(n), repo_tree,
+              element.node.node);
+          element.score = (1.0 - w) * element.score + w * structural;
+          ++stats.structural_evaluations;
+        }
+      }
+      stats.time_structural_seconds += structural_timer.ElapsedSeconds();
+    }
+
+    if (summary.useful && cands.useful()) {
+      summary.search_space = cands.SearchSpaceSize();
+      ++stats.num_useful_clusters;
+      useful_pairs += summary.num_mapping_elements;
+      stats.search_space += summary.search_space;
+      useful_order.push_back(ci);
+    } else {
+      summary.useful = false;  // mask-useful but candidate-starved is rare
+      non_useful.push_back(ci);
+    }
+    stats.cluster_summaries.push_back(std::move(summary));
+  }
+
+  // Cluster ordering (§7 future work): optimistic-Δ estimate per cluster.
+  if (options.cluster_order == ClusterOrder::kQualityDescending) {
+    std::vector<schema::NodeId> order = personal.PreOrder();
+    std::vector<double> quality(clustering.clusters.size(), 0.0);
+    for (size_t ci : useful_order) {
+      const generate::ClusterCandidates& cands = all_candidates[ci];
+      double sim = 0;
+      for (const auto& list : cands.candidates) {
+        double mx = 0;
+        for (const auto& e : list) mx = std::max(mx, e.score);
+        sim += mx;
+      }
+      // Lower bound of the total path excess: per personal edge, the
+      // minimum distance between the two candidate sets (≥ 1).
+      const label::TreeIndex& tidx = index_.tree(cands.tree);
+      int64_t excess = 0;
+      for (schema::NodeId n : order) {
+        if (personal.parent(n) == schema::kInvalidNode) continue;
+        const auto& child_cands =
+            cands.candidates[static_cast<size_t>(n)];
+        const auto& parent_cands =
+            cands.candidates[static_cast<size_t>(personal.parent(n))];
+        int64_t best = label::ForestIndex::kInfiniteDistance;
+        for (const auto& a : parent_cands) {
+          for (const auto& b : child_cands) {
+            if (a.node == b.node) continue;
+            best = std::min<int64_t>(
+                best, tidx.Distance(a.node.node, b.node.node));
+            if (best <= 1) break;
+          }
+          if (best <= 1) break;
+        }
+        if (best < 1) best = 1;
+        excess += best - 1;
+      }
+      quality[ci] = objective.UpperBound(
+          0.0, sim, static_cast<int64_t>(personal.num_edges()) + excess,
+          static_cast<int>(personal.num_edges()));
+    }
+    std::stable_sort(useful_order.begin(), useful_order.end(),
+                     [&](size_t a, size_t b) {
+                       return quality[a] > quality[b];
+                     });
+  }
+
+  // Second pass: generate, tracking time-to-first-result. With adaptive
+  // top-N pruning the effective δ ratchets up to the N-th best Δ seen.
+  const bool adaptive =
+      options.adaptive_top_n && options.top_n > 0 &&
+      gen_options.algorithm == generate::Algorithm::kBranchAndBound;
+  bool first_seen = false;
+  for (size_t ci : useful_order) {
+    generate::GeneratorOptions cluster_options = gen_options;
+    if (adaptive && result.mappings.size() >= options.top_n) {
+      std::vector<double> deltas;
+      deltas.reserve(result.mappings.size());
+      for (const auto& m : result.mappings) deltas.push_back(m.delta);
+      std::nth_element(deltas.begin(),
+                       deltas.begin() + static_cast<long>(options.top_n) - 1,
+                       deltas.end(), std::greater<double>());
+      cluster_options.delta = std::max(
+          cluster_options.delta,
+          deltas[options.top_n - 1]);
+    }
+    generate::MappingGenerator generator(personal, objective,
+                                         cluster_options);
+    XSM_RETURN_NOT_OK(generator.Generate(
+        all_candidates[ci], index_.tree(all_candidates[ci].tree),
+        &result.mappings, &stats.generator));
+    if (!first_seen) {
+      ++stats.clusters_until_first_mapping;
+      if (!result.mappings.empty()) {
+        first_seen = true;
+        stats.partials_until_first_mapping =
+            stats.generator.partial_mappings;
+      }
+    }
+  }
+  if (!first_seen) {
+    stats.partials_until_first_mapping = stats.generator.partial_mappings;
+  }
+
+  // Partial mappings from non-useful clusters (§2.3 extension).
+  if (options.include_partial_mappings) {
+    generate::PartialMappingGenerator partial_generator(personal, objective,
+                                                        options.partial);
+    for (size_t ci : non_useful) {
+      XSM_RETURN_NOT_OK(partial_generator.Generate(
+          all_candidates[ci], index_.tree(all_candidates[ci].tree),
+          &result.partial_mappings, &stats.partial_generator));
+    }
+    std::sort(result.partial_mappings.begin(),
+              result.partial_mappings.end(),
+              generate::PartialMappingOrder());
+    stats.num_partial_mappings = result.partial_mappings.size();
+  }
+
+  stats.time_generation_seconds = timer.ElapsedSeconds();
+
+  stats.avg_elements_per_useful_cluster =
+      stats.num_useful_clusters == 0
+          ? 0.0
+          : static_cast<double>(useful_pairs) /
+                static_cast<double>(stats.num_useful_clusters);
+
+  // --- Stage ⑤: one ranked list. ------------------------------------------
+  std::sort(result.mappings.begin(), result.mappings.end(),
+            generate::MappingOrder());
+  stats.num_mappings = result.mappings.size();
+  if (options.top_n > 0 && result.mappings.size() > options.top_n) {
+    result.mappings.resize(options.top_n);
+  }
+  return result;
+}
+
+}  // namespace xsm::core

@@ -1,0 +1,184 @@
+// Bellflower: the experimental clustered schema matching system (paper §3,
+// Fig. 3). Pipeline: element matching ② → clustering ⓒ → per-cluster
+// mapping generation ④ → one merged, ranked mapping list ⑤.
+//
+// The non-clustered baseline ("tree clusters": every repository tree is one
+// cluster) runs through the same pipeline with ClusteringMode::kTreeClusters.
+#ifndef XSM_CORE_BELLFLOWER_H_
+#define XSM_CORE_BELLFLOWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "generate/mapping_generator.h"
+#include "generate/partial_generator.h"
+#include "label/tree_index.h"
+#include "match/element_matching.h"
+#include "match/structural_matcher.h"
+#include "objective/objective.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::core {
+
+enum class ClusteringMode {
+  /// Non-clustered baseline: one cluster per repository tree.
+  kTreeClusters = 0,
+  /// Clustered schema matching with the k-means clusterer.
+  kKMeans = 1,
+};
+
+/// Order in which useful clusters are handed to the mapping generator.
+/// Quality ordering implements the paper's §7 future-work item: "a measure
+/// of cluster's quality can be used to decide which clusters have better
+/// chances to produce good mappings. In this way, the time-to-first good
+/// mapping can be improved."
+enum class ClusterOrder {
+  kNatural = 0,            ///< repository order (paper behaviour)
+  kQualityDescending = 1,  ///< optimistic-Δ estimate, best first
+};
+
+/// All knobs of one matching run (Def. 3's P = (s, R, Δ, δ) plus system
+/// parameters).
+struct MatchOptions {
+  /// Element-matching stage (matcher + threshold).
+  match::ElementMatchingOptions element;
+
+  /// Objective function Δ parameters (α, K).
+  objective::ObjectiveParams objective;
+
+  /// Objective threshold δ: solutions are all mappings with Δ ≥ δ.
+  double delta = 0.75;
+
+  ClusteringMode clustering = ClusteringMode::kKMeans;
+  cluster::KMeansOptions kmeans;
+
+  /// Mapping generator algorithm & limits (GeneratorOptions::delta is
+  /// overridden by `delta` above).
+  generate::GeneratorOptions generator;
+
+  /// Keep only the best N mappings in the result (0 = keep all).
+  size_t top_n = 0;
+
+  /// With top_n > 0 and the B&B generator: once N mappings are known, the
+  /// effective δ rises to the N-th best Δ found so far, so later clusters
+  /// prune everything that cannot enter the top N (Def. 3's "top-N
+  /// mappings" delivery mode). The returned top N is identical to the
+  /// non-adaptive run; only the work shrinks.
+  bool adaptive_top_n = true;
+
+  /// Cluster processing order (affects time-to-first-mapping, not the
+  /// final result set).
+  ClusterOrder cluster_order = ClusterOrder::kNatural;
+
+  /// Also enumerate partial mappings in non-useful clusters (§2.3
+  /// extension). Complete mappings are unaffected.
+  bool include_partial_mappings = false;
+  generate::PartialGeneratorOptions partial;
+
+  /// §2.3 non-generic ("two-phase") technique: a second matcher group of
+  /// structural matchers re-scores mapping elements after clustering.
+  /// Element scores become
+  ///   (1 − structural_weight)·localized + structural_weight·structural.
+  /// nullptr disables the second phase (the paper's generic technique).
+  const match::StructuralMatcher* structural_matcher = nullptr;
+  double structural_weight = 0.5;
+  /// true  — the paper's proposal: structural matchers run per cluster,
+  ///         only on elements that survived clustering;
+  /// false — comparison baseline: structural matchers run on every
+  ///         mapping element before clustering.
+  bool structural_within_clusters_only = true;
+};
+
+/// Per-cluster summary used by the Tab. 1a reproduction.
+struct ClusterSummary {
+  schema::TreeId tree = -1;
+  size_t num_points = 0;            ///< distinct repository nodes
+  size_t num_mapping_elements = 0;  ///< (n, n′) pairs inside the cluster
+  bool useful = false;
+  double search_space = 0;          ///< Π_n |ME_n ∩ cluster|
+};
+
+/// Aggregate statistics of one Match() run — everything Tab. 1 and Fig. 4–6
+/// report.
+struct MatchStats {
+  size_t repository_nodes = 0;
+  size_t repository_trees = 0;
+
+  // Element matching stage.
+  size_t total_mapping_elements = 0;  ///< Σ_n |ME_n| (paper: 4520)
+  size_t distinct_mapping_nodes = 0;
+  double time_matching_seconds = 0;
+
+  // Clustering stage.
+  size_t num_clusters = 0;
+  size_t num_useful_clusters = 0;
+  /// Mean (n, n′) pairs per useful cluster (Tab. 1a "avg. # of mapping
+  /// elements").
+  double avg_elements_per_useful_cluster = 0;
+  /// Σ over useful clusters of Π_n |ME_n ∩ cluster| (Tab. 1a "total # of
+  /// schema mappings" — the mapping generator's search space).
+  double search_space = 0;
+  cluster::KMeansStats kmeans;
+  double time_clustering_seconds = 0;
+
+  // Generation stage.
+  generate::GeneratorCounters generator;  ///< Tab. 1b counters
+  size_t num_mappings = 0;                ///< mappings with Δ ≥ δ
+  double time_generation_seconds = 0;
+
+  // Time-to-first-result accounting (for ClusterOrder comparisons): work
+  // done up to and including the cluster that produced the first mapping.
+  uint64_t partials_until_first_mapping = 0;
+  size_t clusters_until_first_mapping = 0;
+
+  // Partial-mapping extension.
+  size_t num_partial_mappings = 0;
+  generate::GeneratorCounters partial_generator;
+
+  // Two-phase (structural) matching extension: how many (n, n′) pairs the
+  // second matcher group scored, and the time it took. The §2.3 efficiency
+  // claim is that the within-cluster count is much smaller than the
+  // всего-elements count.
+  uint64_t structural_evaluations = 0;
+  double time_structural_seconds = 0;
+
+  std::vector<ClusterSummary> cluster_summaries;
+};
+
+struct MatchResult {
+  /// Ranked solution list (Δ descending; deterministic tie-break).
+  std::vector<generate::SchemaMapping> mappings;
+  /// Partial mappings from non-useful clusters, ranked; empty unless
+  /// MatchOptions::include_partial_mappings is set.
+  std::vector<generate::PartialMapping> partial_mappings;
+  MatchStats stats;
+};
+
+/// The matching system. Owns the structural index over the repository; the
+/// repository itself must outlive the Bellflower instance.
+class Bellflower {
+ public:
+  explicit Bellflower(const schema::SchemaForest* repository);
+
+  const schema::SchemaForest& repository() const { return *repository_; }
+  const label::ForestIndex& index() const { return index_; }
+
+  /// Resolves the Δpath normalization constant K for these options:
+  /// user-supplied positive value, else max(1, repository diameter − 1).
+  double ResolveK(const objective::ObjectiveParams& params) const;
+
+  /// Solves the schema matching problem P = (personal, R, Δ, δ).
+  Result<MatchResult> Match(const schema::SchemaTree& personal,
+                            const MatchOptions& options) const;
+
+ private:
+  const schema::SchemaForest* repository_;
+  label::ForestIndex index_;
+};
+
+}  // namespace xsm::core
+
+#endif  // XSM_CORE_BELLFLOWER_H_

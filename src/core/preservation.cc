@@ -1,0 +1,74 @@
+#include "core/preservation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xsm::core {
+
+using generate::SchemaMapping;
+
+std::vector<PreservationPoint> PreservationCurve(
+    const std::vector<SchemaMapping>& baseline,
+    const std::vector<SchemaMapping>& clustered, double delta_min,
+    double delta_max, int num_points) {
+  assert(num_points >= 2);
+  assert(delta_min <= delta_max);
+
+  // Sort deltas ascending; count above threshold via binary search.
+  std::vector<double> base_deltas;
+  base_deltas.reserve(baseline.size());
+  for (const auto& m : baseline) base_deltas.push_back(m.delta);
+  std::sort(base_deltas.begin(), base_deltas.end());
+  std::vector<double> clus_deltas;
+  clus_deltas.reserve(clustered.size());
+  for (const auto& m : clustered) clus_deltas.push_back(m.delta);
+  std::sort(clus_deltas.begin(), clus_deltas.end());
+
+  auto count_at_least = [](const std::vector<double>& v, double threshold) {
+    return static_cast<size_t>(
+        v.end() - std::lower_bound(v.begin(), v.end(), threshold));
+  };
+
+  std::vector<PreservationPoint> curve;
+  curve.reserve(static_cast<size_t>(num_points));
+  double step = (delta_max - delta_min) / static_cast<double>(num_points - 1);
+  for (int i = 0; i < num_points; ++i) {
+    PreservationPoint p;
+    p.delta = delta_min + step * i;
+    p.baseline_count = count_at_least(base_deltas, p.delta);
+    p.clustered_count = count_at_least(clus_deltas, p.delta);
+    p.preserved = p.baseline_count == 0
+                      ? 1.0
+                      : static_cast<double>(p.clustered_count) /
+                            static_cast<double>(p.baseline_count);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+bool IsSubsetOf(const std::vector<SchemaMapping>& clustered,
+                const std::vector<SchemaMapping>& baseline) {
+  // Compare by assignment identity (tree, images).
+  auto key_less = [](const SchemaMapping& a, const SchemaMapping& b) {
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.images < b.images;
+  };
+  std::vector<const SchemaMapping*> base_sorted;
+  base_sorted.reserve(baseline.size());
+  for (const auto& m : baseline) base_sorted.push_back(&m);
+  std::sort(base_sorted.begin(), base_sorted.end(),
+            [&](const SchemaMapping* a, const SchemaMapping* b) {
+              return key_less(*a, *b);
+            });
+  for (const auto& m : clustered) {
+    auto it = std::lower_bound(
+        base_sorted.begin(), base_sorted.end(), &m,
+        [&](const SchemaMapping* a, const SchemaMapping* b) {
+          return key_less(*a, *b);
+        });
+    if (it == base_sorted.end() || !(*it)->SameAssignment(m)) return false;
+  }
+  return true;
+}
+
+}  // namespace xsm::core

@@ -1,0 +1,37 @@
+// Preservation analysis for Fig. 5 / Fig. 6: what fraction of the
+// non-clustered baseline's mappings does a clustered run retain, as a
+// function of the objective threshold δ?
+#ifndef XSM_CORE_PRESERVATION_H_
+#define XSM_CORE_PRESERVATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "generate/schema_mapping.h"
+
+namespace xsm::core {
+
+/// One point of the preservation curve.
+struct PreservationPoint {
+  double delta = 0;
+  size_t baseline_count = 0;   ///< baseline mappings with Δ ≥ delta
+  size_t clustered_count = 0;  ///< clustered mappings with Δ ≥ delta
+  /// clustered / baseline; defined as 1.0 where the baseline is empty.
+  double preserved = 1.0;
+};
+
+/// Computes the curve on `num_points` thresholds evenly spaced over
+/// [delta_min, delta_max] (inclusive). Inputs need not be sorted.
+std::vector<PreservationPoint> PreservationCurve(
+    const std::vector<generate::SchemaMapping>& baseline,
+    const std::vector<generate::SchemaMapping>& clustered, double delta_min,
+    double delta_max, int num_points);
+
+/// True if every clustered mapping assignment also appears in the baseline
+/// (clustering may only lose mappings, never invent them). O(n log n).
+bool IsSubsetOf(const std::vector<generate::SchemaMapping>& clustered,
+                const std::vector<generate::SchemaMapping>& baseline);
+
+}  // namespace xsm::core
+
+#endif  // XSM_CORE_PRESERVATION_H_

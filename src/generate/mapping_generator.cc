@@ -1,0 +1,396 @@
+#include "generate/mapping_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace xsm::generate {
+
+using schema::NodeId;
+
+GeneratorCounters& GeneratorCounters::operator+=(
+    const GeneratorCounters& other) {
+  partial_mappings += other.partial_mappings;
+  complete_mappings += other.complete_mappings;
+  pruned_by_bound += other.pruned_by_bound;
+  emitted += other.emitted;
+  truncated |= other.truncated;
+  return *this;
+}
+
+bool ClusterCandidates::useful() const {
+  if (candidates.empty()) return false;
+  for (const auto& c : candidates) {
+    if (c.empty()) return false;
+  }
+  return true;
+}
+
+double ClusterCandidates::SearchSpaceSize() const {
+  double space = 1;
+  for (const auto& c : candidates) {
+    space *= static_cast<double>(c.size());
+  }
+  return candidates.empty() ? 0 : space;
+}
+
+MappingGenerator::MappingGenerator(
+    const schema::SchemaTree& personal,
+    const objective::BellflowerObjective& objective,
+    const GeneratorOptions& options)
+    : personal_(personal), objective_(objective), options_(options) {
+  order_ = personal.PreOrder();
+  parent_position_.resize(order_.size());
+  std::vector<size_t> position_of(personal.size());
+  for (size_t p = 0; p < order_.size(); ++p) {
+    position_of[static_cast<size_t>(order_[p])] = p;
+  }
+  for (size_t p = 1; p < order_.size(); ++p) {
+    parent_position_[p] =
+        position_of[static_cast<size_t>(personal.parent(order_[p]))];
+  }
+  children_positions_.resize(order_.size());
+  for (size_t p = 1; p < order_.size(); ++p) {
+    children_positions_[parent_position_[p]].push_back(p);
+  }
+}
+
+// Shared mutable state of one Generate() call.
+struct MappingGenerator::SearchContext {
+  const ClusterCandidates* cands = nullptr;
+  const label::TreeIndex* tree_index = nullptr;
+  std::vector<SchemaMapping>* out = nullptr;
+  GeneratorCounters* counters = nullptr;
+
+  // candidates reordered by personal pre-order position.
+  std::vector<const std::vector<match::MappingElement>*> cands_at;
+  // optimistic_tail[p] = Σ_{q ≥ p} max candidate score at position q.
+  std::vector<double> optimistic_tail;
+
+  // DFS state (used by B&B / exhaustive).
+  std::vector<NodeId> chosen;     // image per position
+  std::vector<double> sim_sums;   // prefix sums, sim_sums[p] after p+1 picks
+  std::vector<int64_t> path_sums;
+  // Forward-checking lower bound of the edge closing at each position,
+  // written at the trial of the parent position (valid while the parent's
+  // assignment is on the DFS stack).
+  std::vector<int64_t> lb;
+  bool stop = false;
+
+  bool BudgetExceeded() const {
+    const MappingGenerator* g = gen;
+    return g->options_.max_partial_mappings != 0 &&
+           counters->partial_mappings >= g->options_.max_partial_mappings;
+  }
+
+  const MappingGenerator* gen = nullptr;
+};
+
+Status MappingGenerator::Generate(const ClusterCandidates& cands,
+                                  const label::TreeIndex& tree_index,
+                                  std::vector<SchemaMapping>* out,
+                                  GeneratorCounters* counters) const {
+  if (cands.candidates.size() != personal_.size()) {
+    return Status::InvalidArgument(
+        "candidate sets do not match personal schema size");
+  }
+  if (out == nullptr || counters == nullptr) {
+    return Status::InvalidArgument("out/counters must not be null");
+  }
+  if (!cands.useful()) return Status::OK();  // Cannot produce mappings.
+
+  SearchContext ctx;
+  ctx.gen = this;
+  ctx.cands = &cands;
+  ctx.tree_index = &tree_index;
+  ctx.out = out;
+  ctx.counters = counters;
+
+  const size_t m = order_.size();
+  ctx.cands_at.resize(m);
+  for (size_t p = 0; p < m; ++p) {
+    ctx.cands_at[p] = &cands.candidates[static_cast<size_t>(order_[p])];
+  }
+  ctx.optimistic_tail.assign(m + 1, 0.0);
+  for (size_t p = m; p-- > 0;) {
+    double mx = 0;
+    for (const auto& e : *ctx.cands_at[p]) mx = std::max(mx, e.score);
+    ctx.optimistic_tail[p] = ctx.optimistic_tail[p + 1] + mx;
+  }
+
+  switch (options_.algorithm) {
+    case Algorithm::kBranchAndBound:
+    case Algorithm::kExhaustive:
+      ctx.chosen.assign(m, schema::kInvalidNode);
+      ctx.sim_sums.assign(m, 0.0);
+      ctx.path_sums.assign(m, 0);
+      ctx.lb.assign(m, 1);
+      // Initially every edge is pending with the trivial lower bound 1.
+      Dfs(&ctx, 0, static_cast<int64_t>(m) - 1);
+      break;
+    case Algorithm::kBeam:
+      RunBeam(&ctx);
+      break;
+    case Algorithm::kAStar:
+      RunAStar(&ctx);
+      break;
+  }
+  return Status::OK();
+}
+
+void MappingGenerator::Dfs(SearchContext* ctx, size_t position,
+                           int64_t pending_sum) const {
+  // `pending_sum` = sum of current lower bounds of the edges closing at
+  // positions > `position` (1 until the parent is assigned; the
+  // forward-checking minimum afterwards).
+  const size_t m = order_.size();
+  const bool bounded = options_.algorithm == Algorithm::kBranchAndBound;
+  const bool forward =
+      bounded && options_.bound_mode == BoundMode::kForwardChecking;
+
+  for (const match::MappingElement& cand : *ctx->cands_at[position]) {
+    if (ctx->stop) return;
+    if (ctx->BudgetExceeded()) {
+      ctx->counters->truncated = true;
+      ctx->stop = true;
+      return;
+    }
+
+    // Injectivity ("1 to 1", Def. 2): the image must be fresh.
+    bool used = false;
+    for (size_t q = 0; q < position; ++q) {
+      if (ctx->chosen[q] == cand.node.node) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+
+    double sim_sum =
+        (position == 0 ? 0.0 : ctx->sim_sums[position - 1]) + cand.score;
+    int64_t path_sum = position == 0 ? 0 : ctx->path_sums[position - 1];
+    if (position > 0) {
+      NodeId parent_image = ctx->chosen[parent_position_[position]];
+      path_sum += ctx->tree_index->Distance(parent_image, cand.node.node);
+    }
+    ctx->counters->partial_mappings++;
+
+    if (position + 1 == m) {
+      ctx->counters->complete_mappings++;
+      double delta = objective_.Delta(sim_sum, path_sum);
+      if (delta >= options_.delta) {
+        SchemaMapping mapping;
+        mapping.tree = ctx->cands->tree;
+        mapping.images.resize(m);
+        for (size_t p = 0; p < position; ++p) {
+          mapping.images[static_cast<size_t>(order_[p])] = ctx->chosen[p];
+        }
+        mapping.images[static_cast<size_t>(order_[position])] =
+            cand.node.node;
+        mapping.delta = delta;
+        mapping.delta_sim = objective_.DeltaSim(sim_sum);
+        mapping.delta_path = objective_.DeltaPath(path_sum);
+        mapping.total_path_length = path_sum;
+        ctx->out->push_back(std::move(mapping));
+        ctx->counters->emitted++;
+      }
+      continue;
+    }
+
+    int64_t new_pending = pending_sum;
+    if (forward) {
+      // Tighten the pending edges whose parent is this candidate: replace
+      // their provisional lower bound of 1 by the minimum distance from
+      // the candidate image to any candidate of the child.
+      for (size_t q : children_positions_[position]) {
+        int64_t best = std::numeric_limits<int64_t>::max();
+        for (const match::MappingElement& child_cand : *ctx->cands_at[q]) {
+          int64_t d = ctx->tree_index->Distance(cand.node.node,
+                                                child_cand.node.node);
+          if (d < best) best = d;
+          if (best <= 1) break;  // cannot get lower for a distinct image
+        }
+        // Injectivity forces every image path to length >= 1, so a
+        // distance-0 candidate (the parent's own image) cannot be chosen.
+        if (best < 1) best = 1;
+        ctx->lb[q] = best;
+        new_pending += best - 1;
+      }
+    }
+
+    if (bounded) {
+      // All edges accounted for: closed ones exactly (path_sum), pending
+      // ones by their lower bounds.
+      double ub = objective_.UpperBound(
+          sim_sum, ctx->optimistic_tail[position + 1],
+          path_sum + new_pending, static_cast<int>(m) - 1);
+      if (ub < options_.delta) {
+        ctx->counters->pruned_by_bound++;
+        if (forward) {
+          for (size_t q : children_positions_[position]) ctx->lb[q] = 1;
+        }
+        continue;
+      }
+    }
+
+    ctx->chosen[position] = cand.node.node;
+    ctx->sim_sums[position] = sim_sum;
+    ctx->path_sums[position] = path_sum;
+    int64_t next_lb = forward ? ctx->lb[position + 1] : 1;
+    Dfs(ctx, position + 1, new_pending - next_lb);
+    ctx->chosen[position] = schema::kInvalidNode;
+    if (forward) {
+      for (size_t q : children_positions_[position]) ctx->lb[q] = 1;
+    }
+  }
+}
+
+namespace {
+
+// Partial assignment state for the frontier-based searches.
+struct BeamState {
+  std::vector<NodeId> chosen;  // one entry per filled position
+  double sim_sum = 0;
+  int64_t path_sum = 0;
+  double bound = 0;  // optimistic Δ of any completion
+};
+
+}  // namespace
+
+void MappingGenerator::RunBeam(SearchContext* ctx) const {
+  const size_t m = order_.size();
+  std::vector<BeamState> frontier;
+  frontier.push_back({});  // Empty prefix.
+  frontier.back().bound =
+      objective_.UpperBound(0.0, ctx->optimistic_tail[0], 0, 0);
+
+  for (size_t position = 0; position < m && !frontier.empty(); ++position) {
+    std::vector<BeamState> next;
+    for (const BeamState& state : frontier) {
+      for (const match::MappingElement& cand : *ctx->cands_at[position]) {
+        if (ctx->BudgetExceeded()) {
+          ctx->counters->truncated = true;
+          break;
+        }
+        if (std::find(state.chosen.begin(), state.chosen.end(),
+                      cand.node.node) != state.chosen.end()) {
+          continue;
+        }
+        BeamState ext = state;
+        ext.chosen.push_back(cand.node.node);
+        ext.sim_sum += cand.score;
+        if (position > 0) {
+          ext.path_sum += ctx->tree_index->Distance(
+              state.chosen[parent_position_[position]], cand.node.node);
+        }
+        ctx->counters->partial_mappings++;
+        ext.bound = objective_.UpperBound(
+            ext.sim_sum, ctx->optimistic_tail[position + 1], ext.path_sum,
+            static_cast<int>(position));
+        if (ext.bound < options_.delta) {
+          ctx->counters->pruned_by_bound++;
+          continue;
+        }
+        next.push_back(std::move(ext));
+      }
+    }
+    // Keep only the beam_width most promising partial mappings.
+    if (next.size() > options_.beam_width) {
+      std::nth_element(next.begin(),
+                       next.begin() + static_cast<long>(options_.beam_width),
+                       next.end(), [](const BeamState& a, const BeamState& b) {
+                         return a.bound > b.bound;
+                       });
+      next.resize(options_.beam_width);
+    }
+    frontier = std::move(next);
+  }
+
+  for (const BeamState& state : frontier) {
+    ctx->counters->complete_mappings++;
+    double delta = objective_.Delta(state.sim_sum, state.path_sum);
+    if (delta < options_.delta) continue;
+    SchemaMapping mapping;
+    mapping.tree = ctx->cands->tree;
+    mapping.images.resize(m);
+    for (size_t p = 0; p < m; ++p) {
+      mapping.images[static_cast<size_t>(order_[p])] = state.chosen[p];
+    }
+    mapping.delta = delta;
+    mapping.delta_sim = objective_.DeltaSim(state.sim_sum);
+    mapping.delta_path = objective_.DeltaPath(state.path_sum);
+    mapping.total_path_length = state.path_sum;
+    ctx->out->push_back(std::move(mapping));
+    ctx->counters->emitted++;
+  }
+}
+
+void MappingGenerator::RunAStar(SearchContext* ctx) const {
+  const size_t m = order_.size();
+  auto cmp = [](const BeamState& a, const BeamState& b) {
+    return a.bound < b.bound;  // max-heap on optimistic bound
+  };
+  std::priority_queue<BeamState, std::vector<BeamState>, decltype(cmp)> open(
+      cmp);
+  BeamState root;
+  root.bound = objective_.UpperBound(0.0, ctx->optimistic_tail[0], 0, 0);
+  if (root.bound < options_.delta) return;
+  open.push(std::move(root));
+
+  while (!open.empty()) {
+    if (ctx->BudgetExceeded()) {
+      ctx->counters->truncated = true;
+      return;
+    }
+    BeamState state = open.top();
+    open.pop();
+    // Admissible bound: once the best bound falls below δ nothing that
+    // remains can qualify.
+    if (state.bound < options_.delta) return;
+    size_t position = state.chosen.size();
+    if (position == m) {
+      ctx->counters->complete_mappings++;
+      double delta = objective_.Delta(state.sim_sum, state.path_sum);
+      if (delta >= options_.delta) {
+        SchemaMapping mapping;
+        mapping.tree = ctx->cands->tree;
+        mapping.images.resize(m);
+        for (size_t p = 0; p < m; ++p) {
+          mapping.images[static_cast<size_t>(order_[p])] = state.chosen[p];
+        }
+        mapping.delta = delta;
+        mapping.delta_sim = objective_.DeltaSim(state.sim_sum);
+        mapping.delta_path = objective_.DeltaPath(state.path_sum);
+        mapping.total_path_length = state.path_sum;
+        ctx->out->push_back(std::move(mapping));
+        ctx->counters->emitted++;
+      }
+      continue;
+    }
+    for (const match::MappingElement& cand : *ctx->cands_at[position]) {
+      if (std::find(state.chosen.begin(), state.chosen.end(),
+                    cand.node.node) != state.chosen.end()) {
+        continue;
+      }
+      BeamState ext = state;
+      ext.chosen.push_back(cand.node.node);
+      ext.sim_sum += cand.score;
+      if (position > 0) {
+        ext.path_sum += ctx->tree_index->Distance(
+            state.chosen[parent_position_[position]], cand.node.node);
+      }
+      ctx->counters->partial_mappings++;
+      ext.bound = objective_.UpperBound(
+          ext.sim_sum, ctx->optimistic_tail[position + 1], ext.path_sum,
+          static_cast<int>(position));
+      if (ext.bound < options_.delta) {
+        ctx->counters->pruned_by_bound++;
+        continue;
+      }
+      open.push(std::move(ext));
+    }
+  }
+}
+
+}  // namespace xsm::generate

@@ -1,0 +1,165 @@
+#include "generate/partial_generator.h"
+
+#include <algorithm>
+
+namespace xsm::generate {
+
+using schema::NodeId;
+
+PartialMappingGenerator::PartialMappingGenerator(
+    const schema::SchemaTree& personal,
+    const objective::BellflowerObjective& objective,
+    const PartialGeneratorOptions& options)
+    : personal_(personal), objective_(objective), options_(options) {
+  order_ = personal.PreOrder();
+}
+
+// Mutable state of one Generate() walk.
+struct PartialMappingGenerator::Walk {
+  const ClusterCandidates* cands = nullptr;
+  const label::TreeIndex* tree_index = nullptr;
+  std::vector<PartialMapping>* out = nullptr;
+  GeneratorCounters* counters = nullptr;
+  const PartialMappingGenerator* gen = nullptr;
+
+  std::vector<const std::vector<match::MappingElement>*> cands_at;
+  // Current assignment by personal NodeId (not position): needed to find
+  // the nearest assigned ancestor.
+  std::vector<NodeId> images;
+  std::vector<double> scores;  // per personal node, 0 when unassigned
+  double sim_sum = 0;
+  int64_t path_sum = 0;
+  int closed_edges = 0;
+  int assigned = 0;
+  bool stop = false;
+};
+
+Status PartialMappingGenerator::Generate(const ClusterCandidates& cands,
+                                         const label::TreeIndex& tree_index,
+                                         std::vector<PartialMapping>* out,
+                                         GeneratorCounters* counters) const {
+  if (cands.candidates.size() != personal_.size()) {
+    return Status::InvalidArgument(
+        "candidate sets do not match personal schema size");
+  }
+  if (out == nullptr || counters == nullptr) {
+    return Status::InvalidArgument("out/counters must not be null");
+  }
+  size_t assignable = 0;
+  for (const auto& c : cands.candidates) {
+    if (!c.empty()) ++assignable;
+  }
+  if (assignable < options_.min_assigned) return Status::OK();
+
+  Walk walk;
+  walk.gen = this;
+  walk.cands = &cands;
+  walk.tree_index = &tree_index;
+  walk.out = out;
+  walk.counters = counters;
+  walk.cands_at.resize(order_.size());
+  for (size_t p = 0; p < order_.size(); ++p) {
+    walk.cands_at[p] = &cands.candidates[static_cast<size_t>(order_[p])];
+  }
+  walk.images.assign(personal_.size(), schema::kInvalidNode);
+  walk.scores.assign(personal_.size(), 0.0);
+  Dfs(&walk, 0);
+  return Status::OK();
+}
+
+void PartialMappingGenerator::Dfs(Walk* walk, size_t position) const {
+  if (walk->stop) return;
+  if (position == order_.size()) {
+    if (walk->assigned < static_cast<int>(options_.min_assigned)) return;
+    // Δpath over the closed edges only; 1.0 when none closed.
+    double delta_path = 1.0;
+    if (walk->closed_edges > 0) {
+      double excess =
+          static_cast<double>(walk->path_sum - walk->closed_edges);
+      delta_path = std::clamp(
+          1.0 - excess / (static_cast<double>(walk->closed_edges) *
+                          objective_.k()),
+          0.0, 1.0);
+    }
+    double delta_sim = objective_.DeltaSim(walk->sim_sum);
+    double delta = objective_.alpha() * delta_sim +
+                   (1.0 - objective_.alpha()) * delta_path;
+    walk->counters->complete_mappings++;
+    if (delta < options_.delta) return;
+    PartialMapping mapping;
+    mapping.tree = walk->cands->tree;
+    mapping.images = walk->images;
+    mapping.delta = delta;
+    mapping.delta_sim = delta_sim;
+    mapping.delta_path = delta_path;
+    mapping.assigned_count = walk->assigned;
+    walk->out->push_back(std::move(mapping));
+    walk->counters->emitted++;
+    return;
+  }
+
+  NodeId node = order_[position];
+  const auto& candidates = *walk->cands_at[position];
+  if (candidates.empty()) {
+    // Unassignable personal node: skip it (maximal-subset semantics).
+    Dfs(walk, position + 1);
+    return;
+  }
+
+  // Nearest assigned personal ancestor (may be none if the root subtree
+  // was unassignable).
+  NodeId anchor = schema::kInvalidNode;
+  for (NodeId a = personal_.parent(node); a != schema::kInvalidNode;
+       a = personal_.parent(a)) {
+    if (walk->images[static_cast<size_t>(a)] != schema::kInvalidNode) {
+      anchor = a;
+      break;
+    }
+  }
+
+  for (const match::MappingElement& cand : candidates) {
+    if (walk->stop) return;
+    if (options_.max_partial_mappings != 0 &&
+        walk->counters->partial_mappings >=
+            options_.max_partial_mappings) {
+      walk->counters->truncated = true;
+      walk->stop = true;
+      return;
+    }
+    // Injectivity across the assigned subset.
+    bool used = false;
+    for (NodeId i : walk->images) {
+      if (i == cand.node.node) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+
+    walk->counters->partial_mappings++;
+    walk->images[static_cast<size_t>(node)] = cand.node.node;
+    walk->scores[static_cast<size_t>(node)] = cand.score;
+    walk->sim_sum += cand.score;
+    walk->assigned++;
+    int64_t edge_len = 0;
+    if (anchor != schema::kInvalidNode) {
+      edge_len = walk->tree_index->Distance(
+          walk->images[static_cast<size_t>(anchor)], cand.node.node);
+      walk->path_sum += edge_len;
+      walk->closed_edges++;
+    }
+
+    Dfs(walk, position + 1);
+
+    walk->images[static_cast<size_t>(node)] = schema::kInvalidNode;
+    walk->scores[static_cast<size_t>(node)] = 0;
+    walk->sim_sum -= cand.score;
+    walk->assigned--;
+    if (anchor != schema::kInvalidNode) {
+      walk->path_sum -= edge_len;
+      walk->closed_edges--;
+    }
+  }
+}
+
+}  // namespace xsm::generate

@@ -1,0 +1,92 @@
+// Partial schema mappings (extension of the paper's §2.3 / §7 future
+// work): a non-useful cluster lacks candidates for some personal nodes and
+// can never produce a complete mapping, but its partial mappings "might,
+// nevertheless, be valuable to the user".
+//
+// Definition used here: a partial mapping assigns every personal node that
+// has candidates in the cluster (the maximal assignable subset) to distinct
+// repository nodes. Scoring degrades gracefully:
+//   Δsim  — Eq. 1 averaged over *all* personal nodes (missing nodes
+//           contribute 0, penalizing low coverage);
+//   Δpath — Eq. 2 over the "closed" edges only: each assigned non-root
+//           node connects to its nearest assigned ancestor in the personal
+//           schema (edges to unassigned subtrees are skipped).
+#ifndef XSM_GENERATE_PARTIAL_GENERATOR_H_
+#define XSM_GENERATE_PARTIAL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "generate/mapping_generator.h"
+#include "generate/schema_mapping.h"
+#include "label/tree_index.h"
+#include "objective/objective.h"
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::generate {
+
+/// A partial schema mapping: images[i] == schema::kInvalidNode for
+/// unassigned personal nodes.
+struct PartialMapping {
+  schema::TreeId tree = -1;
+  std::vector<schema::NodeId> images;
+  double delta = 0;
+  double delta_sim = 0;
+  double delta_path = 0;
+  int assigned_count = 0;
+
+  /// Fraction of personal nodes that are mapped, in (0, 1].
+  double Coverage() const {
+    return images.empty() ? 0.0
+                          : static_cast<double>(assigned_count) /
+                                static_cast<double>(images.size());
+  }
+};
+
+/// Descending Δ, then tree, then images (strict weak ordering).
+struct PartialMappingOrder {
+  bool operator()(const PartialMapping& a, const PartialMapping& b) const {
+    if (a.delta != b.delta) return a.delta > b.delta;
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.images < b.images;
+  }
+};
+
+struct PartialGeneratorOptions {
+  /// Threshold on the coverage-penalized Δ.
+  double delta = 0.5;
+  /// Partial mappings assigning fewer personal nodes are discarded.
+  size_t min_assigned = 2;
+  /// Work cap (0 = unlimited).
+  uint64_t max_partial_mappings = 0;
+};
+
+/// Enumerates maximal partial mappings within one cluster. Reuses the
+/// GeneratorCounters conventions of MappingGenerator.
+class PartialMappingGenerator {
+ public:
+  PartialMappingGenerator(const schema::SchemaTree& personal,
+                          const objective::BellflowerObjective& objective,
+                          const PartialGeneratorOptions& options);
+
+  /// Appends qualifying partial mappings of `cands` to `out`. Useful
+  /// clusters are legal input (they simply yield complete assignments).
+  Status Generate(const ClusterCandidates& cands,
+                  const label::TreeIndex& tree_index,
+                  std::vector<PartialMapping>* out,
+                  GeneratorCounters* counters) const;
+
+ private:
+  struct Walk;
+  void Dfs(Walk* walk, size_t position) const;
+
+  const schema::SchemaTree& personal_;
+  objective::BellflowerObjective objective_;
+  PartialGeneratorOptions options_;
+  std::vector<schema::NodeId> order_;  // personal pre-order
+};
+
+}  // namespace xsm::generate
+
+#endif  // XSM_GENERATE_PARTIAL_GENERATOR_H_

@@ -1,0 +1,34 @@
+#include "generate/schema_mapping.h"
+
+#include "util/string_util.h"
+
+namespace xsm::generate {
+
+std::string MappingToString(const SchemaMapping& mapping,
+                            const schema::SchemaTree& personal,
+                            const schema::SchemaForest& repo) {
+  std::string out = StringPrintf("tree=%d \xCE\x94=%.4f (sim=%.4f path=%.4f) ",
+                                 mapping.tree, mapping.delta,
+                                 mapping.delta_sim, mapping.delta_path);
+  out += '[';
+  const schema::SchemaTree& t = repo.tree(mapping.tree);
+  for (size_t i = 0; i < mapping.images.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += personal.name(static_cast<schema::NodeId>(i));
+    out += "\xE2\x86\x92";  // →
+    // Render the image as a root path for readability.
+    std::vector<schema::NodeId> path;
+    for (schema::NodeId n = mapping.images[i]; n != schema::kInvalidNode;
+         n = t.parent(n)) {
+      path.push_back(n);
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (it != path.rbegin()) out += '/';
+      out += t.name(*it);
+    }
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace xsm::generate

@@ -1,0 +1,155 @@
+#include "label/tree_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xsm::label {
+
+using schema::NodeId;
+using schema::SchemaTree;
+
+TreeIndex TreeIndex::Build(const SchemaTree& tree) {
+  TreeIndex idx;
+  const size_t n = tree.size();
+  if (n == 0) return idx;
+
+  idx.depth_.resize(n);
+  idx.pre_.resize(n);
+  idx.post_.resize(n);
+  idx.first_pos_.assign(n, -1);
+  idx.euler_.reserve(2 * n);
+  idx.euler_depth_.reserve(2 * n);
+
+  // Iterative DFS producing the Euler tour and pre/post ranks. The stack
+  // holds (node, next-child-index) frames.
+  struct Frame {
+    NodeId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), 0});
+  int32_t pre_counter = 0;
+  int32_t post_counter = 0;
+  idx.height_ = 0;
+
+  auto visit = [&](NodeId v) {
+    idx.euler_.push_back(v);
+    idx.euler_depth_.push_back(idx.depth_[static_cast<size_t>(v)]);
+  };
+
+  idx.depth_[static_cast<size_t>(tree.root())] = 0;
+  idx.pre_[static_cast<size_t>(tree.root())] = pre_counter++;
+  idx.first_pos_[static_cast<size_t>(tree.root())] = 0;
+  visit(tree.root());
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& children = tree.children(f.node);
+    if (f.next_child < children.size()) {
+      NodeId c = children[f.next_child++];
+      idx.depth_[static_cast<size_t>(c)] =
+          idx.depth_[static_cast<size_t>(f.node)] + 1;
+      idx.height_ =
+          std::max(idx.height_, idx.depth_[static_cast<size_t>(c)]);
+      idx.pre_[static_cast<size_t>(c)] = pre_counter++;
+      idx.first_pos_[static_cast<size_t>(c)] =
+          static_cast<int32_t>(idx.euler_.size());
+      visit(c);
+      stack.push_back({c, 0});
+    } else {
+      idx.post_[static_cast<size_t>(f.node)] = post_counter++;
+      stack.pop_back();
+      if (!stack.empty()) visit(stack.back().node);
+    }
+  }
+
+  // Sparse table of minimum-depth positions over the Euler tour.
+  const size_t m = idx.euler_.size();
+  idx.log2_.resize(m + 1);
+  idx.log2_[1] = 0;
+  for (size_t i = 2; i <= m; ++i) {
+    idx.log2_[i] = idx.log2_[i / 2] + 1;
+  }
+  int levels = idx.log2_[m] + 1;
+  idx.sparse_.assign(static_cast<size_t>(levels), {});
+  idx.sparse_[0].resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    idx.sparse_[0][i] = static_cast<int32_t>(i);
+  }
+  for (int k = 1; k < levels; ++k) {
+    size_t len = size_t{1} << k;
+    idx.sparse_[static_cast<size_t>(k)].resize(m - len + 1);
+    for (size_t i = 0; i + len <= m; ++i) {
+      int32_t a = idx.sparse_[static_cast<size_t>(k - 1)][i];
+      int32_t b = idx.sparse_[static_cast<size_t>(k - 1)][i + len / 2];
+      idx.sparse_[static_cast<size_t>(k)][i] =
+          idx.euler_depth_[static_cast<size_t>(a)] <=
+                  idx.euler_depth_[static_cast<size_t>(b)]
+              ? a
+              : b;
+    }
+  }
+
+  // Diameter via two passes of "farthest node": pick the deepest node from
+  // the root, then the farthest node from it. Distances use the index we
+  // just built (correct because LCA is ready at this point).
+  if (n > 1) {
+    NodeId a = 0;
+    int best = -1;
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+      if (idx.depth_[static_cast<size_t>(v)] > best) {
+        best = idx.depth_[static_cast<size_t>(v)];
+        a = v;
+      }
+    }
+    int diam = 0;
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+      diam = std::max(diam, idx.Distance(a, v));
+    }
+    idx.diameter_ = diam;
+  }
+  return idx;
+}
+
+NodeId TreeIndex::Lca(NodeId u, NodeId v) const {
+  assert(u >= 0 && static_cast<size_t>(u) < depth_.size());
+  assert(v >= 0 && static_cast<size_t>(v) < depth_.size());
+  int32_t l = first_pos_[static_cast<size_t>(u)];
+  int32_t r = first_pos_[static_cast<size_t>(v)];
+  if (l > r) std::swap(l, r);
+  size_t len = static_cast<size_t>(r - l + 1);
+  int k = log2_[len];
+  int32_t a = sparse_[static_cast<size_t>(k)][static_cast<size_t>(l)];
+  int32_t b = sparse_[static_cast<size_t>(k)]
+                     [static_cast<size_t>(r) - (size_t{1} << k) + 1];
+  int32_t pos = euler_depth_[static_cast<size_t>(a)] <=
+                        euler_depth_[static_cast<size_t>(b)]
+                    ? a
+                    : b;
+  return euler_[static_cast<size_t>(pos)];
+}
+
+int TreeIndex::Distance(NodeId u, NodeId v) const {
+  NodeId l = Lca(u, v);
+  return depth_[static_cast<size_t>(u)] + depth_[static_cast<size_t>(v)] -
+         2 * depth_[static_cast<size_t>(l)];
+}
+
+bool TreeIndex::IsAncestorOrSelf(NodeId anc, NodeId desc) const {
+  return pre_[static_cast<size_t>(anc)] <= pre_[static_cast<size_t>(desc)] &&
+         post_[static_cast<size_t>(anc)] >= post_[static_cast<size_t>(desc)];
+}
+
+ForestIndex ForestIndex::Build(const schema::SchemaForest& forest) {
+  ForestIndex fi;
+  fi.indexes_.reserve(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    fi.indexes_.push_back(TreeIndex::Build(forest.tree(t)));
+    fi.max_diameter_ =
+        std::max(fi.max_diameter_, fi.indexes_.back().diameter());
+  }
+  return fi;
+}
+
+}  // namespace xsm::label

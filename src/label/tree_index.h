@@ -1,0 +1,104 @@
+// Node-labeling substrate for constant-time structural queries.
+//
+// The paper (§4 "Distance measure") relies on node-labeling techniques
+// [Kaplan & Milo] for "low-cost computation of path lengths" — clustering
+// computes tree distances in its innermost loop, and the objective function
+// needs path lengths per candidate mapping. We label each tree with an Euler
+// tour + sparse-table LCA structure (O(n log n) build, O(1) query) and with
+// pre/post intervals for O(1) ancestor tests.
+#ifndef XSM_LABEL_TREE_INDEX_H_
+#define XSM_LABEL_TREE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::label {
+
+/// Distance/ancestor oracle over one SchemaTree.
+class TreeIndex {
+ public:
+  TreeIndex() = default;
+
+  /// Builds the index; `tree` must outlive only this call (the index copies
+  /// what it needs).
+  static TreeIndex Build(const schema::SchemaTree& tree);
+
+  size_t num_nodes() const { return depth_.size(); }
+
+  /// Lowest common ancestor of u and v.
+  schema::NodeId Lca(schema::NodeId u, schema::NodeId v) const;
+
+  /// Path length (number of edges) between u and v — the paper's tree
+  /// distance used both in Δpath and as the clustering distance measure.
+  int Distance(schema::NodeId u, schema::NodeId v) const;
+
+  /// True if `anc` is `desc` or an ancestor of `desc` (interval labeling).
+  bool IsAncestorOrSelf(schema::NodeId anc, schema::NodeId desc) const;
+
+  int depth(schema::NodeId n) const {
+    return depth_[static_cast<size_t>(n)];
+  }
+
+  /// Length of the longest simple path in the tree. Used to derive the
+  /// paper's K normalization constant ("determined using other constraints
+  /// in the system, e.g., the maximum length of a path").
+  int diameter() const { return diameter_; }
+
+  /// Maximum node depth (tree height in edges).
+  int height() const { return height_; }
+
+ private:
+  // Euler tour arrays.
+  std::vector<int32_t> euler_;        // node at each tour position
+  std::vector<int32_t> first_pos_;    // first tour position of node
+  std::vector<int32_t> euler_depth_;  // depth at each tour position
+  // Sparse table over euler_depth_: sparse_[k][i] = position of the minimum
+  // depth in tour window [i, i + 2^k).
+  std::vector<std::vector<int32_t>> sparse_;
+  std::vector<int32_t> log2_;  // floor(log2(i)) lookup
+
+  std::vector<int32_t> depth_;
+  std::vector<int32_t> pre_;   // pre-order rank
+  std::vector<int32_t> post_;  // post-order rank
+  int diameter_ = 0;
+  int height_ = 0;
+};
+
+/// Per-tree indexes for a whole forest, plus forest-level aggregates.
+/// Distances across trees are "infinite": the clustering and the generator
+/// never combine nodes of different trees.
+class ForestIndex {
+ public:
+  ForestIndex() = default;
+
+  static ForestIndex Build(const schema::SchemaForest& forest);
+
+  const TreeIndex& tree(schema::TreeId id) const {
+    return indexes_[static_cast<size_t>(id)];
+  }
+  size_t num_trees() const { return indexes_.size(); }
+
+  /// Sentinel distance for nodes in different trees.
+  static constexpr int kInfiniteDistance = 1 << 28;
+
+  /// Tree distance if `a` and `b` are in the same tree, kInfiniteDistance
+  /// otherwise.
+  int Distance(schema::NodeRef a, schema::NodeRef b) const {
+    if (a.tree != b.tree) return kInfiniteDistance;
+    return tree(a.tree).Distance(a.node, b.node);
+  }
+
+  /// Largest diameter over all member trees.
+  int max_diameter() const { return max_diameter_; }
+
+ private:
+  std::vector<TreeIndex> indexes_;
+  int max_diameter_ = 0;
+};
+
+}  // namespace xsm::label
+
+#endif  // XSM_LABEL_TREE_INDEX_H_

@@ -1,0 +1,142 @@
+#include "match/element_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "sim/string_similarity.h"
+#include "util/string_util.h"
+
+namespace xsm::match {
+
+double FuzzyNameMatcher::Score(const schema::NodeProperties& personal,
+                               const schema::NodeProperties& repo) const {
+  return ignore_case_
+             ? sim::FuzzyStringSimilarityIgnoreCase(personal.name, repo.name)
+             : sim::FuzzyStringSimilarity(personal.name, repo.name);
+}
+
+const FuzzyNameMatcher& FuzzyNameMatcher::Default() {
+  static const FuzzyNameMatcher kInstance(/*ignore_case=*/true);
+  return kInstance;
+}
+
+double JaroWinklerNameMatcher::Score(
+    const schema::NodeProperties& personal,
+    const schema::NodeProperties& repo) const {
+  return sim::JaroWinklerSimilarity(ToLower(personal.name),
+                                    ToLower(repo.name));
+}
+
+double NgramNameMatcher::Score(const schema::NodeProperties& personal,
+                               const schema::NodeProperties& repo) const {
+  return sim::NgramDiceSimilarity(personal.name, repo.name, n_);
+}
+
+double TokenNameMatcher::Score(const schema::NodeProperties& personal,
+                               const schema::NodeProperties& repo) const {
+  std::vector<std::string> a = TokenizeIdentifier(personal.name);
+  std::vector<std::string> b = TokenizeIdentifier(repo.name);
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double SynonymNameMatcher::Score(const schema::NodeProperties& personal,
+                                 const schema::NodeProperties& repo) const {
+  return dictionary_->Score(personal.name, repo.name, synonym_score_);
+}
+
+namespace {
+
+// Coarse datatype families for compatibility scoring.
+enum class TypeFamily { kUnknown, kString, kNumeric, kTemporal, kBoolean };
+
+TypeFamily FamilyOf(std::string_view datatype) {
+  if (datatype.empty()) return TypeFamily::kUnknown;
+  std::string t = ToLower(datatype);
+  // Strip common prefixes: "xs:", "xsd:".
+  if (StartsWith(t, "xs:")) t = t.substr(3);
+  if (StartsWith(t, "xsd:")) t = t.substr(4);
+  if (t == "string" || t == "cdata" || t == "token" || t == "id" ||
+      t == "idref" || t == "nmtoken" || t == "anyuri" ||
+      t == "normalizedstring" || t == "pcdata") {
+    return TypeFamily::kString;
+  }
+  if (t == "int" || t == "integer" || t == "long" || t == "short" ||
+      t == "decimal" || t == "float" || t == "double" ||
+      t == "nonnegativeinteger" || t == "positiveinteger" || t == "byte" ||
+      t == "unsignedint" || t == "unsignedlong") {
+    return TypeFamily::kNumeric;
+  }
+  if (t == "date" || t == "datetime" || t == "time" || t == "duration" ||
+      t == "gyear" || t == "gmonth" || t == "gday") {
+    return TypeFamily::kTemporal;
+  }
+  if (t == "boolean" || t == "bool") return TypeFamily::kBoolean;
+  return TypeFamily::kUnknown;
+}
+
+}  // namespace
+
+double DatatypeMatcher::Score(const schema::NodeProperties& personal,
+                              const schema::NodeProperties& repo) const {
+  TypeFamily a = FamilyOf(personal.datatype);
+  TypeFamily b = FamilyOf(repo.datatype);
+  if (a == TypeFamily::kUnknown || b == TypeFamily::kUnknown) return 0.5;
+  if (ToLower(personal.datatype) == ToLower(repo.datatype)) return 1.0;
+  if (a == b) return 0.8;
+  // Numbers serialize as strings in XML, so string<->numeric keeps partial
+  // credit; other cross-family pairs do not.
+  if ((a == TypeFamily::kString && b == TypeFamily::kNumeric) ||
+      (a == TypeFamily::kNumeric && b == TypeFamily::kString)) {
+    return 0.4;
+  }
+  return 0.0;
+}
+
+void CompositeMatcher::Add(std::shared_ptr<const ElementMatcher> matcher,
+                           double weight) {
+  assert(matcher != nullptr);
+  assert(weight >= 0);
+  total_weight_ += weight;
+  components_.push_back({std::move(matcher), weight});
+}
+
+double CompositeMatcher::Score(const schema::NodeProperties& personal,
+                               const schema::NodeProperties& repo) const {
+  if (components_.empty() || total_weight_ <= 0) return 0.0;
+  double acc = 0;
+  for (const Component& c : components_) {
+    acc += c.weight * c.matcher->Score(personal, repo);
+  }
+  return acc / total_weight_;
+}
+
+bool CompositeMatcher::name_only() const {
+  for (const Component& c : components_) {
+    if (!c.matcher->name_only()) return false;
+  }
+  return true;
+}
+
+}  // namespace xsm::match

@@ -1,0 +1,94 @@
+#include "match/element_matching.h"
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+namespace xsm::match {
+
+size_t ElementMatchingResult::total_mapping_elements() const {
+  size_t total = 0;
+  for (const MappingElementSet& s : sets) total += s.size();
+  return total;
+}
+
+schema::NodeId ElementMatchingResult::SmallestSetNode() const {
+  schema::NodeId best = schema::kInvalidNode;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  for (const MappingElementSet& s : sets) {
+    if (s.size() == 0) continue;
+    if (s.size() < best_size) {
+      best_size = s.size();
+      best = s.personal_node;
+    }
+  }
+  return best;
+}
+
+Result<ElementMatchingResult> MatchElements(
+    const schema::SchemaTree& personal, const schema::SchemaForest& repo,
+    const ElementMatchingOptions& options) {
+  if (personal.empty()) {
+    return Status::InvalidArgument("personal schema is empty");
+  }
+  if (personal.size() > kMaxPersonalNodes) {
+    return Status::InvalidArgument(
+        "personal schema exceeds " + std::to_string(kMaxPersonalNodes) +
+        " nodes (" + std::to_string(personal.size()) + ")");
+  }
+  if (options.threshold < 0.0 || options.threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in [0,1]");
+  }
+  const ElementMatcher& matcher =
+      options.matcher ? *options.matcher : FuzzyNameMatcher::Default();
+
+  const size_t m = personal.size();
+  ElementMatchingResult result;
+  result.sets.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    result.sets[i].personal_node = static_cast<schema::NodeId>(i);
+  }
+
+  // Memoization: repository corpora repeat names heavily (a few thousand
+  // distinct names across ~10^5 nodes), so name-only matchers score each
+  // distinct (personal node, repo name) pair once.
+  const bool memoize = matcher.name_only();
+  std::vector<std::unordered_map<std::string, double>> cache(memoize ? m : 0);
+
+  repo.ForEachNode([&](schema::NodeRef ref) {
+    const schema::NodeProperties& props = repo.props(ref);
+    if (!options.match_attributes &&
+        props.kind == schema::NodeKind::kAttribute) {
+      return;
+    }
+    uint32_t mask = 0;
+    for (size_t i = 0; i < m; ++i) {
+      double score;
+      if (memoize) {
+        auto [it, inserted] = cache[i].try_emplace(props.name, 0.0);
+        if (inserted) {
+          it->second =
+              matcher.Score(personal.props(static_cast<schema::NodeId>(i)),
+                            props);
+        }
+        score = it->second;
+      } else {
+        score = matcher.Score(personal.props(static_cast<schema::NodeId>(i)),
+                              props);
+      }
+      if (score >= options.threshold && score > 0.0) {
+        result.sets[i].elements.push_back({ref, score});
+        mask |= uint32_t{1} << i;
+      }
+    }
+    if (mask != 0) {
+      // ForEachNode iterates in NodeRef order, so these stay sorted.
+      result.distinct_nodes.push_back(ref);
+      result.masks.push_back(mask);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace xsm::match

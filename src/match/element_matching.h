@@ -1,0 +1,86 @@
+// The element matching stage (Fig. 2 ①→③): compares every personal-schema
+// node with every repository node and produces the mapping-element sets
+// ME_n. Pairs scoring at or above the matcher threshold become mapping
+// elements.
+#ifndef XSM_MATCH_ELEMENT_MATCHING_H_
+#define XSM_MATCH_ELEMENT_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "match/element_matcher.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::match {
+
+/// One mapping element n ↦ n′: a repository node with its similarity to the
+/// personal node owning the set.
+struct MappingElement {
+  schema::NodeRef node;
+  double score = 0;
+};
+
+/// ME_n for one personal node: all repository nodes it may map to, sorted
+/// by NodeRef (tree-major) so per-cluster intersection is a linear merge.
+struct MappingElementSet {
+  schema::NodeId personal_node = schema::kInvalidNode;
+  std::vector<MappingElement> elements;
+
+  size_t size() const { return elements.size(); }
+};
+
+/// The personal schema may have at most this many nodes: matched personal
+/// nodes are tracked in 32-bit masks. The paper's personal schemas are
+/// "small" by design (personal-schema querying), so this is not limiting.
+inline constexpr size_t kMaxPersonalNodes = 32;
+
+struct ElementMatchingOptions {
+  /// Minimum combined similarity for a pair to become a mapping element.
+  /// The paper keeps "non-zero" pairs; with a fuzzy matcher almost every
+  /// pair is non-zero, so real systems cut at a threshold.
+  double threshold = 0.5;
+  /// Matcher to use; defaults to Bellflower's FuzzyNameMatcher.
+  const ElementMatcher* matcher = nullptr;
+  /// Whether attribute nodes are candidates (the paper's repository counts
+  /// "element (attribute) nodes").
+  bool match_attributes = true;
+};
+
+/// Output of the stage.
+struct ElementMatchingResult {
+  /// Indexed by personal NodeId.
+  std::vector<MappingElementSet> sets;
+
+  /// Distinct repository nodes that matched at least one personal node,
+  /// sorted by NodeRef; aligned with `masks`.
+  std::vector<schema::NodeRef> distinct_nodes;
+  /// masks[i] bit b set ⇔ distinct_nodes[i] ∈ ME_b.
+  std::vector<uint32_t> masks;
+
+  /// Σ_n |ME_n| — the paper's "mapping elements" count (4520 in §5).
+  size_t total_mapping_elements() const;
+
+  /// Personal node with the smallest non-empty ME set (the paper's MEmin,
+  /// used to seed k-means centroids). kInvalidNode if every set is empty.
+  schema::NodeId SmallestSetNode() const;
+
+  /// Bit mask with one bit per personal node (bits [0, |Ns|)).
+  uint32_t FullMask() const {
+    return sets.size() >= 32
+               ? 0xFFFFFFFFu
+               : ((uint32_t{1} << sets.size()) - 1);
+  }
+};
+
+/// Runs the stage. Errors: empty personal schema, more than
+/// kMaxPersonalNodes nodes, threshold outside [0,1], or null repository
+/// forest are rejected with InvalidArgument.
+Result<ElementMatchingResult> MatchElements(
+    const schema::SchemaTree& personal, const schema::SchemaForest& repo,
+    const ElementMatchingOptions& options);
+
+}  // namespace xsm::match
+
+#endif  // XSM_MATCH_ELEMENT_MATCHING_H_

@@ -1,0 +1,138 @@
+#include "match/structural_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/string_similarity.h"
+#include "util/string_util.h"
+
+namespace xsm::match {
+
+using schema::NodeId;
+using schema::SchemaTree;
+
+double SoftTokenSetSimilarity(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // Symmetric soft overlap: for each token, its best fuzzy counterpart on
+  // the other side; normalize by the larger set so extra context costs.
+  auto directional = [](const std::vector<std::string>& from,
+                        const std::vector<std::string>& to) {
+    double total = 0;
+    for (const std::string& t : from) {
+      double best = 0;
+      for (const std::string& u : to) {
+        best = std::max(best, sim::FuzzyStringSimilarity(t, u));
+        if (best >= 1.0) break;
+      }
+      total += best;
+    }
+    return total;
+  };
+  double overlap = directional(a, b) + directional(b, a);
+  return overlap / static_cast<double>(a.size() + b.size());
+}
+
+namespace {
+
+std::vector<std::string> AncestorTokens(const SchemaTree& tree, NodeId node) {
+  std::vector<std::string> tokens;
+  for (NodeId a = tree.parent(node); a != schema::kInvalidNode;
+       a = tree.parent(a)) {
+    for (std::string& t : TokenizeIdentifier(tree.name(a))) {
+      tokens.push_back(std::move(t));
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+std::vector<std::string> ChildNames(const SchemaTree& tree, NodeId node) {
+  std::vector<std::string> names;
+  for (NodeId c : tree.children(node)) {
+    names.push_back(ToLower(tree.name(c)));
+  }
+  return names;
+}
+
+std::vector<std::string> LeafNames(const SchemaTree& tree, NodeId node,
+                                   size_t cap) {
+  std::vector<std::string> names;
+  std::vector<NodeId> stack{node};
+  while (!stack.empty() && names.size() < cap) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (tree.IsLeaf(n)) {
+      if (n != node) names.push_back(ToLower(tree.name(n)));
+      continue;
+    }
+    for (NodeId c : tree.children(n)) stack.push_back(c);
+  }
+  return names;
+}
+
+}  // namespace
+
+double PathContextMatcher::Score(const SchemaTree& personal,
+                                 NodeId personal_node,
+                                 const SchemaTree& repo,
+                                 NodeId repo_node) const {
+  std::vector<std::string> a = AncestorTokens(personal, personal_node);
+  std::vector<std::string> b = AncestorTokens(repo, repo_node);
+  // Two roots have equal (empty) context; a root against a deep node has
+  // no shared context evidence — SoftTokenSetSimilarity handles both.
+  return SoftTokenSetSimilarity(a, b);
+}
+
+double ChildrenContextMatcher::Score(const SchemaTree& personal,
+                                     NodeId personal_node,
+                                     const SchemaTree& repo,
+                                     NodeId repo_node) const {
+  return SoftTokenSetSimilarity(ChildNames(personal, personal_node),
+                                ChildNames(repo, repo_node));
+}
+
+double LeafContextMatcher::Score(const SchemaTree& personal,
+                                 NodeId personal_node,
+                                 const SchemaTree& repo,
+                                 NodeId repo_node) const {
+  return SoftTokenSetSimilarity(
+      LeafNames(personal, personal_node, max_leaves_),
+      LeafNames(repo, repo_node, max_leaves_));
+}
+
+void CompositeStructuralMatcher::Add(
+    std::shared_ptr<const StructuralMatcher> matcher, double weight) {
+  assert(matcher != nullptr);
+  assert(weight >= 0);
+  total_weight_ += weight;
+  components_.push_back({std::move(matcher), weight});
+}
+
+double CompositeStructuralMatcher::Score(const SchemaTree& personal,
+                                         NodeId personal_node,
+                                         const SchemaTree& repo,
+                                         NodeId repo_node) const {
+  if (components_.empty() || total_weight_ <= 0) return 0.0;
+  double acc = 0;
+  for (const Component& c : components_) {
+    acc += c.weight *
+           c.matcher->Score(personal, personal_node, repo, repo_node);
+  }
+  return acc / total_weight_;
+}
+
+const CompositeStructuralMatcher& CompositeStructuralMatcher::Default() {
+  static const CompositeStructuralMatcher* kDefault = [] {
+    auto* m = new CompositeStructuralMatcher();
+    m->Add(std::make_shared<PathContextMatcher>(), 1.0);
+    m->Add(std::make_shared<ChildrenContextMatcher>(), 1.0);
+    m->Add(std::make_shared<LeafContextMatcher>(), 1.0);
+    return m;
+  }();
+  return *kDefault;
+}
+
+}  // namespace xsm::match

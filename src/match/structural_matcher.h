@@ -1,0 +1,106 @@
+// Structure element matchers (Fig. 2 ②, the second matcher family):
+// similarity indexes computed from the structural context of a node —
+// its ancestors, children, and descendant leaves — in the spirit of
+// Cupid's TreeMatch "similarity of structural contexts".
+//
+// These power the paper's §2.3 *non-generic* clustered matching technique:
+// localized matchers run before clustering to produce preliminary mapping
+// elements; structural matchers then run only within clusters, "and
+// consequently [have] an improved efficiency".
+#ifndef XSM_MATCH_STRUCTURAL_MATCHER_H_
+#define XSM_MATCH_STRUCTURAL_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema_tree.h"
+
+namespace xsm::match {
+
+/// Interface: similarity of two nodes judged by their tree context.
+class StructuralMatcher {
+ public:
+  virtual ~StructuralMatcher() = default;
+
+  /// Similarity in [0,1] of `personal_node` (in `personal`) and
+  /// `repo_node` (in `repo`).
+  virtual double Score(const schema::SchemaTree& personal,
+                       schema::NodeId personal_node,
+                       const schema::SchemaTree& repo,
+                       schema::NodeId repo_node) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Soft token-set similarity of the *ancestor paths*: the names on the
+/// path from the root to (excluding) the node, tokenized. "data/title"
+/// under "lib/book" scores high against "title" under "bookstore/book".
+class PathContextMatcher final : public StructuralMatcher {
+ public:
+  double Score(const schema::SchemaTree& personal,
+               schema::NodeId personal_node, const schema::SchemaTree& repo,
+               schema::NodeId repo_node) const override;
+  std::string_view name() const override { return "path-context"; }
+};
+
+/// Soft similarity of the immediate child-name sets (leaf nodes score 1.0
+/// against other leaves, 0 against inner nodes).
+class ChildrenContextMatcher final : public StructuralMatcher {
+ public:
+  double Score(const schema::SchemaTree& personal,
+               schema::NodeId personal_node, const schema::SchemaTree& repo,
+               schema::NodeId repo_node) const override;
+  std::string_view name() const override { return "children-context"; }
+};
+
+/// Soft similarity of the descendant-leaf name sets (Cupid's leaf-level
+/// context). Leaf collection is capped to bound cost on huge subtrees.
+class LeafContextMatcher final : public StructuralMatcher {
+ public:
+  explicit LeafContextMatcher(size_t max_leaves = 32)
+      : max_leaves_(max_leaves) {}
+  double Score(const schema::SchemaTree& personal,
+               schema::NodeId personal_node, const schema::SchemaTree& repo,
+               schema::NodeId repo_node) const override;
+  std::string_view name() const override { return "leaf-context"; }
+
+ private:
+  size_t max_leaves_;
+};
+
+/// Weighted average of structural matchers.
+class CompositeStructuralMatcher final : public StructuralMatcher {
+ public:
+  CompositeStructuralMatcher() = default;
+  void Add(std::shared_ptr<const StructuralMatcher> matcher, double weight);
+
+  double Score(const schema::SchemaTree& personal,
+               schema::NodeId personal_node, const schema::SchemaTree& repo,
+               schema::NodeId repo_node) const override;
+  std::string_view name() const override { return "composite-structural"; }
+  size_t num_components() const { return components_.size(); }
+
+  /// Path + children + leaf contexts at equal weight — a reasonable
+  /// default second-phase matcher.
+  static const CompositeStructuralMatcher& Default();
+
+ private:
+  struct Component {
+    std::shared_ptr<const StructuralMatcher> matcher;
+    double weight;
+  };
+  std::vector<Component> components_;
+  double total_weight_ = 0;
+};
+
+/// Soft token-set similarity used by the context matchers (exposed for
+/// tests): mean over the larger set of the best fuzzy match in the other
+/// set; 1.0 for two empty sets, 0.0 if exactly one side is empty.
+double SoftTokenSetSimilarity(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+}  // namespace xsm::match
+
+#endif  // XSM_MATCH_STRUCTURAL_MATCHER_H_

@@ -1,0 +1,59 @@
+#include "objective/objective.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xsm::objective {
+
+Status ObjectiveParams::Validate() const {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+BellflowerObjective::BellflowerObjective(double alpha, double k_resolved,
+                                         int num_nodes, int num_edges)
+    : alpha_(alpha),
+      k_(k_resolved),
+      num_nodes_(num_nodes),
+      num_edges_(num_edges) {
+  assert(alpha >= 0.0 && alpha <= 1.0);
+  assert(k_resolved >= 1.0);
+  assert(num_nodes >= 1);
+  assert(num_edges == num_nodes - 1);
+  inv_nodes_ = 1.0 / static_cast<double>(num_nodes_);
+  inv_edges_k_ =
+      num_edges_ > 0 ? 1.0 / (static_cast<double>(num_edges_) * k_) : 0.0;
+}
+
+double BellflowerObjective::DeltaPath(int64_t total_path_length) const {
+  if (num_edges_ == 0) return 1.0;  // Single-node schema: no structure hint.
+  double excess =
+      static_cast<double>(total_path_length - num_edges_);
+  double v = 1.0 - excess * inv_edges_k_;
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double BellflowerObjective::Delta(double sim_sum,
+                                  int64_t total_path_length) const {
+  return alpha_ * DeltaSim(sim_sum) +
+         (1.0 - alpha_) * DeltaPath(total_path_length);
+}
+
+double BellflowerObjective::UpperBound(double sim_sum,
+                                       double optimistic_remaining_sim,
+                                       int64_t path_length_so_far,
+                                       int closed_edges) const {
+  // Remaining edges assumed to close with length-1 paths: the path excess is
+  // exactly what the closed edges already accumulated.
+  double sim_part = DeltaSim(sim_sum + optimistic_remaining_sim);
+  double excess = static_cast<double>(path_length_so_far - closed_edges);
+  double path_part =
+      num_edges_ == 0
+          ? 1.0
+          : std::clamp(1.0 - excess * inv_edges_k_, 0.0, 1.0);
+  return alpha_ * sim_part + (1.0 - alpha_) * path_part;
+}
+
+}  // namespace xsm::objective

@@ -1,0 +1,83 @@
+// Bellflower's objective function (paper §3, Eq. 1–3):
+//
+//   Δsim(s,t)  = (1/|Ns|) Σ_n sim(n, n′)                      (Eq. 1)
+//   Δpath(s,t) = 1 − (|Et| − |Es|) / (|Es| · K)               (Eq. 2)
+//   Δ(s,t)     = α·Δsim + (1−α)·Δpath                         (Eq. 3)
+//
+// |Et| is the total path length of the mapping image: the sum over personal
+// edges e=(u,v) of the tree-path length between the images u′,v′. With the
+// injective node mapping of Def. 2 every image path has length ≥ 1, so
+// |Et| ≥ |Es| and Δpath ≤ 1. K ("determined using other constraints in the
+// system, e.g., the maximum length of a path") defaults to
+// max(1, repository diameter − 1), which also guarantees Δpath ≥ 0.
+#ifndef XSM_OBJECTIVE_OBJECTIVE_H_
+#define XSM_OBJECTIVE_OBJECTIVE_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace xsm::objective {
+
+/// User-facing knobs of the objective.
+struct ObjectiveParams {
+  /// Eq. 3 weight: large α favors the name-similarity hint, small α the
+  /// path-length (structural) hint. The Fig. 6 experiment sweeps this.
+  double alpha = 0.5;
+
+  /// Eq. 2 normalization constant K. Values ≤ 0 mean "derive from the
+  /// repository": K = max(1, max tree diameter − 1).
+  double k_norm = 0.0;
+
+  /// Rejects α outside [0,1].
+  Status Validate() const;
+};
+
+/// Resolved, immutable evaluator handed to the mapping generator. Holds the
+/// personal-schema constants (|Ns|, |Es|) and the resolved K.
+class BellflowerObjective {
+ public:
+  /// `k_resolved` must be ≥ 1 (callers resolve k_norm ≤ 0 beforehand).
+  BellflowerObjective(double alpha, double k_resolved, int num_nodes,
+                      int num_edges);
+
+  /// Eq. 1 from the accumulated per-node similarity sum.
+  double DeltaSim(double sim_sum) const { return sim_sum * inv_nodes_; }
+
+  /// Eq. 2 from the total image path length |Et| (sum over personal
+  /// edges). Clamped to [0,1] to be robust to user-supplied small K.
+  double DeltaPath(int64_t total_path_length) const;
+
+  /// Eq. 3.
+  double Delta(double sim_sum, int64_t total_path_length) const;
+
+  /// Admissible upper bound for a partial mapping, used by the Branch and
+  /// Bound / A* generators ("bounding function for an early detection of
+  /// mappings for which Δ < δ").
+  ///
+  /// `sim_sum` — similarity accumulated over assigned nodes;
+  /// `optimistic_remaining_sim` — Σ of the max candidate similarity of each
+  /// still-unassigned node; `path_length_so_far` — Σ image-path lengths of
+  /// the edges already closed; `closed_edges` — how many edges those are
+  /// (each still-open edge is optimistically assumed to map to a length-1
+  /// path, contributing zero excess).
+  double UpperBound(double sim_sum, double optimistic_remaining_sim,
+                    int64_t path_length_so_far, int closed_edges) const;
+
+  double alpha() const { return alpha_; }
+  double k() const { return k_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return num_edges_; }
+
+ private:
+  double alpha_;
+  double k_;
+  int num_nodes_;
+  int num_edges_;
+  double inv_nodes_;
+  double inv_edges_k_;  // 1 / (|Es|·K), 0 when |Es| == 0.
+};
+
+}  // namespace xsm::objective
+
+#endif  // XSM_OBJECTIVE_OBJECTIVE_H_

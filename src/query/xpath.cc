@@ -1,0 +1,253 @@
+#include "query/xpath.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xsm::query {
+
+using schema::NodeId;
+using schema::SchemaTree;
+
+std::string XPathQuery::ToString() const {
+  std::string out;
+  for (const XPathStep& step : steps) {
+    out += '/';
+    out += step.name;
+    for (const XPathPredicate& pred : step.predicates) {
+      out += '[';
+      for (size_t i = 0; i < pred.child_path.size(); ++i) {
+        if (i > 0) out += '/';
+        out += pred.child_path[i];
+      }
+      out += "=\"";
+      out += pred.literal;
+      out += "\"]";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsStepChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '_' || c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+Result<XPathQuery> ParseXPath(std::string_view text) {
+  XPathQuery query;
+  size_t pos = 0;
+  if (text.empty() || text[0] != '/') {
+    return Status::ParseError("XPath query must be absolute (start with /)");
+  }
+  while (pos < text.size()) {
+    if (text[pos] != '/') {
+      return Status::ParseError("expected '/' at offset " +
+                                std::to_string(pos));
+    }
+    ++pos;
+    size_t start = pos;
+    while (pos < text.size() && IsStepChar(text[pos])) ++pos;
+    if (pos == start) {
+      return Status::ParseError("empty step name at offset " +
+                                std::to_string(pos));
+    }
+    XPathStep step;
+    step.name = std::string(text.substr(start, pos - start));
+    // Predicates.
+    while (pos < text.size() && text[pos] == '[') {
+      ++pos;
+      XPathPredicate pred;
+      // child path: name(/name)*
+      while (true) {
+        size_t cstart = pos;
+        while (pos < text.size() && IsStepChar(text[pos])) ++pos;
+        if (pos == cstart) {
+          return Status::ParseError("empty predicate child at offset " +
+                                    std::to_string(pos));
+        }
+        pred.child_path.push_back(
+            std::string(text.substr(cstart, pos - cstart)));
+        if (pos < text.size() && text[pos] == '/') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+      if (pos >= text.size() || text[pos] != '=') {
+        return Status::ParseError("expected '=' in predicate");
+      }
+      ++pos;
+      if (pos >= text.size() || (text[pos] != '"' && text[pos] != '\'')) {
+        return Status::ParseError("expected quoted literal in predicate");
+      }
+      char quote = text[pos++];
+      size_t lstart = pos;
+      while (pos < text.size() && text[pos] != quote) ++pos;
+      if (pos >= text.size()) {
+        return Status::ParseError("unterminated literal in predicate");
+      }
+      pred.literal = std::string(text.substr(lstart, pos - lstart));
+      ++pos;
+      if (pos >= text.size() || text[pos] != ']') {
+        return Status::ParseError("expected ']' after predicate");
+      }
+      ++pos;
+      step.predicates.push_back(std::move(pred));
+    }
+    query.steps.push_back(std::move(step));
+  }
+  if (query.steps.empty()) {
+    return Status::ParseError("empty XPath query");
+  }
+  return query;
+}
+
+namespace {
+
+// Relative navigation between two nodes of one tree: ".." per up-step from
+// `from` to the LCA, then the element names descending to `to`.
+std::vector<std::string> RelativePath(const SchemaTree& tree, NodeId from,
+                                      NodeId to) {
+  // Ancestor chains to the root.
+  std::vector<NodeId> from_chain;
+  for (NodeId n = from; n != schema::kInvalidNode; n = tree.parent(n)) {
+    from_chain.push_back(n);
+  }
+  std::vector<NodeId> to_chain;
+  for (NodeId n = to; n != schema::kInvalidNode; n = tree.parent(n)) {
+    to_chain.push_back(n);
+  }
+  // Find LCA: deepest common node of the chains.
+  NodeId lca = schema::kInvalidNode;
+  size_t i = from_chain.size();
+  size_t j = to_chain.size();
+  while (i > 0 && j > 0 && from_chain[i - 1] == to_chain[j - 1]) {
+    lca = from_chain[i - 1];
+    --i;
+    --j;
+  }
+  std::vector<std::string> path;
+  for (NodeId n = from; n != lca; n = tree.parent(n)) {
+    path.push_back("..");
+  }
+  std::vector<std::string> down;
+  for (NodeId n = to; n != lca; n = tree.parent(n)) {
+    down.push_back(tree.name(n));
+  }
+  std::reverse(down.begin(), down.end());
+  path.insert(path.end(), down.begin(), down.end());
+  return path;
+}
+
+}  // namespace
+
+Result<XPathQuery> RewriteQuery(const XPathQuery& query,
+                                const SchemaTree& personal,
+                                const generate::SchemaMapping& mapping,
+                                const schema::SchemaForest& repo) {
+  if (personal.empty()) {
+    return Status::InvalidArgument("personal schema is empty");
+  }
+  if (mapping.images.size() != personal.size()) {
+    return Status::InvalidArgument(
+        "mapping does not match the personal schema");
+  }
+  if (query.steps.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (query.steps[0].name != personal.name(personal.root())) {
+    return Status::NotFound("step '" + query.steps[0].name +
+                            "' is not the personal schema root");
+  }
+  const SchemaTree& target = repo.tree(mapping.tree);
+
+  // Resolve each query step to a personal node.
+  std::vector<NodeId> step_nodes;
+  step_nodes.push_back(personal.root());
+  for (size_t s = 1; s < query.steps.size(); ++s) {
+    NodeId parent = step_nodes.back();
+    NodeId found = schema::kInvalidNode;
+    for (NodeId child : personal.children(parent)) {
+      if (personal.name(child) == query.steps[s].name) {
+        found = child;
+        break;
+      }
+    }
+    if (found == schema::kInvalidNode) {
+      return Status::NotFound("step '" + query.steps[s].name +
+                              "' is not a child of '" +
+                              personal.name(parent) + "'");
+    }
+    step_nodes.push_back(found);
+  }
+
+  XPathQuery rewritten;
+  // Descend from the repository root to the image of step 0.
+  {
+    std::vector<NodeId> chain;
+    for (NodeId n = mapping.images[static_cast<size_t>(step_nodes[0])];
+         n != schema::kInvalidNode; n = target.parent(n)) {
+      chain.push_back(n);
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (NodeId n : chain) {
+      XPathStep step;
+      step.name = target.name(n);
+      rewritten.steps.push_back(std::move(step));
+    }
+  }
+
+  // Navigate between consecutive images; predicates attach to the step of
+  // their subject node.
+  for (size_t s = 0; s < query.steps.size(); ++s) {
+    NodeId image = mapping.images[static_cast<size_t>(step_nodes[s])];
+    if (s > 0) {
+      NodeId prev_image =
+          mapping.images[static_cast<size_t>(step_nodes[s - 1])];
+      for (const std::string& seg :
+           RelativePath(target, prev_image, image)) {
+        XPathStep step;
+        step.name = seg;
+        rewritten.steps.push_back(std::move(step));
+      }
+    }
+    // Rewrite predicates of this step.
+    for (const XPathPredicate& pred : query.steps[s].predicates) {
+      // Resolve the predicate child path inside the personal schema.
+      NodeId subject = step_nodes[s];
+      for (const std::string& child_name : pred.child_path) {
+        NodeId found = schema::kInvalidNode;
+        for (NodeId child : personal.children(subject)) {
+          if (personal.name(child) == child_name) {
+            found = child;
+            break;
+          }
+        }
+        if (found == schema::kInvalidNode) {
+          return Status::NotFound("predicate child '" + child_name +
+                                  "' not found under '" +
+                                  personal.name(subject) + "'");
+        }
+        subject = found;
+      }
+      XPathPredicate rewritten_pred;
+      rewritten_pred.literal = pred.literal;
+      rewritten_pred.child_path = RelativePath(
+          target, image, mapping.images[static_cast<size_t>(subject)]);
+      if (rewritten_pred.child_path.empty()) {
+        rewritten_pred.child_path.push_back(".");
+      }
+      if (rewritten.steps.empty()) {
+        return Status::Internal("rewritten query has no steps");
+      }
+      rewritten.steps.back().predicates.push_back(
+          std::move(rewritten_pred));
+    }
+  }
+  return rewritten;
+}
+
+}  // namespace xsm::query

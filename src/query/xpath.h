@@ -1,0 +1,63 @@
+// Personal-schema querying support (paper §1): the user writes an XPath
+// query against their personal schema ("/book[title=\"Iliad\"]/author");
+// after picking a schema mapping, the query is rewritten into a query over
+// the mapped repository tree.
+//
+// Supported XPath subset: absolute child-axis location paths with optional
+// equality predicates on child elements —
+//   /step[child="literal"]/step/...
+#ifndef XSM_QUERY_XPATH_H_
+#define XSM_QUERY_XPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "generate/schema_mapping.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::query {
+
+/// One equality predicate: [child = "literal"].
+struct XPathPredicate {
+  /// Relative child path of the predicate's subject ("title" or
+  /// "data/title" after rewriting).
+  std::vector<std::string> child_path;
+  std::string literal;
+};
+
+/// One location step (child axis).
+struct XPathStep {
+  std::string name;  ///< ".." encodes a parent-axis step after rewriting.
+  std::vector<XPathPredicate> predicates;
+};
+
+struct XPathQuery {
+  std::vector<XPathStep> steps;
+
+  /// Serializes back to XPath text.
+  std::string ToString() const;
+};
+
+/// Parses an absolute location path. Errors on empty paths, unterminated
+/// predicates, or non-absolute queries.
+Result<XPathQuery> ParseXPath(std::string_view text);
+
+/// Rewrites `query` (posed against `personal`) into a query over the
+/// repository tree selected by `mapping`.
+///
+/// Every step name must resolve along `personal` from its root (step 0 is
+/// the root itself); predicate children must name children of the step's
+/// personal node. The rewritten query starts at the repository tree's root
+/// and navigates between consecutive image nodes; ascending path segments
+/// are emitted as ".." steps.
+Result<XPathQuery> RewriteQuery(const XPathQuery& query,
+                                const schema::SchemaTree& personal,
+                                const generate::SchemaMapping& mapping,
+                                const schema::SchemaForest& repo);
+
+}  // namespace xsm::query
+
+#endif  // XSM_QUERY_XPATH_H_

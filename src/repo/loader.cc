@@ -1,0 +1,135 @@
+#include "repo/loader.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "xml/dtd_parser.h"
+#include "xml/xsd_parser.h"
+
+namespace xsm::repo {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on " + path);
+  return buffer.str();
+}
+
+// "dtd" if the content looks like bare DTD declarations, "xsd" if it looks
+// like an XML document.
+std::string SniffFormat(std::string_view content) {
+  std::string_view trimmed = Trim(content);
+  if (StartsWith(trimmed, "<?xml") || StartsWith(trimmed, "<xs:") ||
+      trimmed.find("<schema") != std::string_view::npos ||
+      trimmed.find(":schema") != std::string_view::npos) {
+    return "xsd";
+  }
+  return "dtd";
+}
+
+}  // namespace
+
+Result<size_t> LoadSchemaText(const std::string& text,
+                              const std::string& format,
+                              const std::string& source_tag,
+                              schema::SchemaForest* forest,
+                              const LoadOptions& options,
+                              LoadReport* report) {
+  if (forest == nullptr) {
+    return Status::InvalidArgument("forest must not be null");
+  }
+  std::vector<schema::SchemaTree> trees;
+  if (format == "dtd") {
+    xml::DtdParseOptions parse_options;
+    parse_options.lenient = options.lenient;
+    XSM_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(text, parse_options));
+    if (report != nullptr) {
+      for (const std::string& w : dtd.warnings) {
+        report->warnings.push_back(source_tag + ": " + w);
+      }
+    }
+    xml::DtdToSchemaOptions expand_options;
+    expand_options.fail_on_recursion = options.fail_on_recursion;
+    XSM_ASSIGN_OR_RETURN(trees, xml::DtdToSchemaTrees(dtd, expand_options));
+  } else if (format == "xsd") {
+    xml::XsdParseOptions parse_options;
+    parse_options.lenient = options.lenient;
+    parse_options.fail_on_recursion = options.fail_on_recursion;
+    XSM_ASSIGN_OR_RETURN(xml::XsdParseResult parsed,
+                         xml::ParseXsd(text, parse_options));
+    if (report != nullptr) {
+      for (const std::string& w : parsed.warnings) {
+        report->warnings.push_back(source_tag + ": " + w);
+      }
+    }
+    trees = std::move(parsed.trees);
+  } else {
+    return Status::InvalidArgument("unknown schema format '" + format + "'");
+  }
+
+  size_t added = 0;
+  for (schema::SchemaTree& tree : trees) {
+    if (tree.empty()) continue;
+    forest->AddTree(std::move(tree), source_tag);
+    ++added;
+  }
+  return added;
+}
+
+Result<size_t> LoadSchemaFile(const std::string& path,
+                              schema::SchemaForest* forest,
+                              const LoadOptions& options,
+                              LoadReport* report) {
+  XSM_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  std::string format;
+  if (EndsWith(path, ".dtd")) {
+    format = "dtd";
+  } else if (EndsWith(path, ".xsd") || EndsWith(path, ".xml")) {
+    format = "xsd";
+  } else {
+    format = SniffFormat(content);
+  }
+  return LoadSchemaText(content, format, path, forest, options, report);
+}
+
+Result<LoadReport> LoadRepositoryFromDirectory(const std::string& directory,
+                                               schema::SchemaForest* forest,
+                                               const LoadOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::IOError("not a directory: " + directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string p = entry.path().string();
+    if (EndsWith(p, ".dtd") || EndsWith(p, ".xsd")) paths.push_back(p);
+  }
+  if (ec) return Status::IOError("listing failed: " + ec.message());
+  std::sort(paths.begin(), paths.end());
+
+  LoadReport report;
+  for (const std::string& path : paths) {
+    Result<size_t> added = LoadSchemaFile(path, forest, options, &report);
+    if (added.ok()) {
+      ++report.files_loaded;
+      report.trees_added += *added;
+    } else if (options.lenient) {
+      ++report.files_failed;
+      report.warnings.push_back(path + ": " + added.status().ToString());
+    } else {
+      return added.status();
+    }
+  }
+  return report;
+}
+
+}  // namespace xsm::repo

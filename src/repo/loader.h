@@ -1,0 +1,56 @@
+// File-system repository loading: build a SchemaForest from .dtd / .xsd
+// files — the import path for real crawled corpora.
+#ifndef XSM_REPO_LOADER_H_
+#define XSM_REPO_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema_forest.h"
+#include "util/status.h"
+
+namespace xsm::repo {
+
+struct LoadOptions {
+  /// Lenient parsing: skip malformed files/declarations with a warning.
+  bool lenient = true;
+  /// Cut recursive references instead of failing (the paper restricted its
+  /// crawl to non-recursive schemas).
+  bool fail_on_recursion = false;
+};
+
+struct LoadReport {
+  size_t files_loaded = 0;
+  size_t files_failed = 0;
+  size_t trees_added = 0;
+  std::vector<std::string> warnings;
+};
+
+/// Parses one schema file (dispatch on extension: .dtd vs .xsd/.xml; an
+/// unknown extension is sniffed from content) and appends its trees to
+/// `forest` with the file path as source. Returns the number of trees
+/// added.
+Result<size_t> LoadSchemaFile(const std::string& path,
+                              schema::SchemaForest* forest,
+                              const LoadOptions& options = {},
+                              LoadReport* report = nullptr);
+
+/// Parses schema text directly (format: "dtd" or "xsd").
+Result<size_t> LoadSchemaText(const std::string& text,
+                              const std::string& format,
+                              const std::string& source_tag,
+                              schema::SchemaForest* forest,
+                              const LoadOptions& options = {},
+                              LoadReport* report = nullptr);
+
+/// Loads every *.dtd / *.xsd file under `directory` (non-recursive listing,
+/// sorted for determinism). In lenient mode, unparseable files are counted
+/// in the report and skipped.
+Result<LoadReport> LoadRepositoryFromDirectory(const std::string& directory,
+                                               schema::SchemaForest* forest,
+                                               const LoadOptions& options =
+                                                   {});
+
+}  // namespace xsm::repo
+
+#endif  // XSM_REPO_LOADER_H_

@@ -1,0 +1,501 @@
+#include "repo/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace xsm::repo {
+
+namespace {
+
+// One nameable concept: a canonical term, spelling variants, short
+// abbreviations, and a datatype family for leaves.
+struct Concept {
+  const char* canonical;
+  std::vector<const char*> variants;
+  std::vector<const char*> abbreviations;
+  const char* datatype;  // nullptr = container concept (no datatype)
+  double weight;         // relative pick frequency
+};
+
+struct Domain {
+  const char* name;
+  std::vector<const char*> roots;  // candidate root-element names
+  std::vector<Concept> concepts;
+  double weight;
+};
+
+// Concepts shared by most web vocabularies — these carry the experiment's
+// personal-schema hits (name / address / email) plus the usual suspects.
+const std::vector<Concept>& SharedConcepts() {
+  static const std::vector<Concept> kShared = {
+      {"name",
+       {"name", "fullName", "firstName", "lastName", "userName",
+        "middleName", "nickname", "surname"},
+       {"nm", "fname", "lname"},
+       "xs:string",
+       3.0},
+      {"address",
+       {"address", "homeAddress", "workAddress", "streetAddress",
+        "postalAddress", "adress"},
+       {"addr", "adr"},
+       "xs:string",
+       2.2},
+      {"email",
+       {"email", "emailAddr", "e-mail", "mail", "emailId"},
+       {"eml"},
+       "xs:string",
+       2.0},
+      {"phone",
+       {"phone", "telephone", "phoneNumber", "mobile", "fax"},
+       {"tel", "ph"},
+       "xs:string",
+       1.4},
+      {"id", {"id", "identifier", "uid", "guid"}, {}, "xs:ID", 1.6},
+      {"date",
+       {"date", "createdDate", "modifiedDate", "birthDate", "startDate",
+        "endDate"},
+       {"dt"},
+       "xs:date",
+       1.5},
+      {"description",
+       {"description", "comment", "note", "remarks"},
+       {"desc"},
+       "xs:string",
+       1.2},
+      {"url", {"url", "link", "website", "homepage"}, {}, "xs:anyURI", 0.8},
+      {"status", {"status", "state", "flag"}, {}, "xs:string", 0.8},
+      {"type", {"type", "category", "kind", "class"}, {}, "xs:string", 1.0},
+  };
+  return kShared;
+}
+
+const std::vector<Domain>& Domains() {
+  static const std::vector<Domain> kDomains = {
+      {"person",
+       {"person", "contact", "customer", "employee", "user", "member",
+        "student"},
+       {
+           {"person", {"person", "individual", "contact"}, {}, nullptr, 1.0},
+           {"title", {"title", "salutation"}, {}, "xs:string", 0.8},
+           {"gender", {"gender", "sex"}, {}, "xs:string", 0.5},
+           {"age", {"age"}, {}, "xs:int", 0.5},
+           {"company",
+            {"company", "organization", "employer"},
+            {"org"},
+            "xs:string",
+            0.8},
+           {"department", {"department", "division"}, {"dept"}, nullptr,
+            0.6},
+           {"city", {"city", "town"}, {}, "xs:string", 1.0},
+           {"street", {"street", "streetName", "road"}, {"str"},
+            "xs:string", 1.0},
+           {"zip", {"zip", "zipCode", "postcode", "postalCode"}, {},
+            "xs:string", 0.9},
+           {"country", {"country", "nation"}, {}, "xs:string", 0.9},
+       },
+       1.5},
+      {"publication",
+       {"library", "catalog", "bibliography", "bookstore", "journal",
+        "publications"},
+       {
+           {"book", {"book", "publication", "volume"}, {}, nullptr, 1.3},
+           {"title", {"title", "bookTitle", "heading"}, {}, "xs:string",
+            1.5},
+           {"author",
+            {"author", "authorName", "writer", "creator"},
+            {"auth"},
+            "xs:string",
+            1.4},
+           {"isbn", {"isbn", "issn"}, {}, "xs:string", 0.7},
+           {"publisher", {"publisher", "publishingHouse"}, {"pub"},
+            "xs:string", 0.8},
+           {"year", {"year", "publicationYear", "pubYear"}, {}, "xs:int",
+            0.8},
+           {"chapter", {"chapter", "section"}, {"chap"}, nullptr, 0.9},
+           {"page", {"page", "pageCount", "pages"}, {"pg"}, "xs:int", 0.6},
+           {"edition", {"edition", "revision"}, {"ed"}, "xs:string", 0.5},
+           {"shelf", {"shelf", "location", "rack"}, {}, "xs:string", 0.5},
+           {"abstract", {"abstract", "summary"}, {}, "xs:string", 0.6},
+       },
+       1.2},
+      {"commerce",
+       {"order", "invoice", "purchaseOrder", "cart", "shipment",
+        "transaction"},
+       {
+           {"item", {"item", "product", "article", "lineItem"}, {},
+            nullptr, 1.4},
+           {"price", {"price", "unitPrice", "cost", "amount"}, {},
+            "xs:decimal", 1.2},
+           {"quantity", {"quantity", "count", "units"}, {"qty"}, "xs:int",
+            1.0},
+           {"total", {"total", "totalAmount", "subtotal", "grandTotal"},
+            {}, "xs:decimal", 0.9},
+           {"currency", {"currency", "currencyCode"}, {"cur"}, "xs:string",
+            0.5},
+           {"sku", {"sku", "partNumber", "productCode"}, {}, "xs:string",
+            0.6},
+           {"discount", {"discount", "rebate"}, {}, "xs:decimal", 0.5},
+           {"tax", {"tax", "vat", "salesTax"}, {}, "xs:decimal", 0.6},
+           {"customer", {"customer", "buyer", "client"}, {"cust"}, nullptr,
+            1.0},
+           {"shipping",
+            {"shipping", "shippingAddress", "deliveryAddress"},
+            {"ship"},
+            nullptr,
+            0.9},
+           {"billing", {"billing", "billingAddress", "billTo"}, {},
+            nullptr, 0.8},
+       },
+       1.2},
+      {"organization",
+       {"company", "organization", "institution", "agency", "directory"},
+       {
+           {"branch", {"branch", "office", "site"}, {}, nullptr, 0.9},
+           {"manager", {"manager", "director", "supervisor"}, {"mgr"},
+            "xs:string", 0.7},
+           {"team", {"team", "group", "unit"}, {}, nullptr, 0.8},
+           {"role", {"role", "position", "jobTitle"}, {}, "xs:string",
+            0.8},
+           {"budget", {"budget", "funding"}, {}, "xs:decimal", 0.4},
+           {"project", {"project", "initiative", "task"}, {"proj"},
+            nullptr, 0.9},
+           {"founded", {"founded", "established"}, {}, "xs:date", 0.3},
+       },
+       0.9},
+      {"media",
+       {"playlist", "gallery", "mediaLibrary", "feed", "channel"},
+       {
+           {"track", {"track", "song", "recording"}, {}, nullptr, 1.0},
+           {"artist", {"artist", "performer", "band"}, {}, "xs:string",
+            1.0},
+           {"album", {"album", "collection"}, {}, nullptr, 0.8},
+           {"genre", {"genre", "style"}, {}, "xs:string", 0.6},
+           {"duration", {"duration", "length", "runtime"}, {"dur"},
+            "xs:duration", 0.6},
+           {"rating", {"rating", "score", "stars"}, {}, "xs:int", 0.6},
+           {"image", {"image", "picture", "photo", "thumbnail"}, {"img"},
+            "xs:anyURI", 0.8},
+       },
+       0.8},
+  };
+  return kDomains;
+}
+
+const std::vector<const char*>& Qualifiers() {
+  static const std::vector<const char*> kQualifiers = {
+      "main",    "primary", "secondary", "old",  "new",   "home",
+      "work",    "billing", "shipping",  "alt",  "local", "default",
+      "current", "parent",  "child",     "next", "prev",  "extra",
+  };
+  return kQualifiers;
+}
+
+// Containers and fields of the "record block" pattern: contact-like field
+// groups that recur across regions of real-world schemas.
+const std::vector<const char*>& RecordContainers() {
+  static const std::vector<const char*> kContainers = {
+      "person", "contact", "customer", "entry", "member", "owner",
+      "recipient", "sender", "employee", "participant", "subscriber",
+  };
+  return kContainers;
+}
+
+struct RecordField {
+  int shared_concept;  // index into SharedConcepts()
+  double probability;  // chance the field appears in a given record
+};
+
+const std::vector<RecordField>& RecordFields() {
+  // Indexes: 0=name 1=address 2=email 3=phone 4=id 5=date. Address/email
+  // are deliberately not guaranteed: complete (name,address,email) regions
+  // are the minority, so many good mappings straddle two nearby records —
+  // the case where clustering trades effectiveness for efficiency.
+  static const std::vector<RecordField> kFields = {
+      {0, 0.90}, {1, 0.65}, {2, 0.55}, {3, 0.45}, {4, 0.35}, {5, 0.25},
+  };
+  return kFields;
+}
+
+enum class CaseStyle { kLower, kCamel, kSnake, kPascal };
+
+std::string ApplyStyle(const std::vector<std::string>& words,
+                       CaseStyle style) {
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    std::string w = ToLower(words[i]);
+    switch (style) {
+      case CaseStyle::kLower:
+        out += w;
+        break;
+      case CaseStyle::kSnake:
+        if (i > 0) out += '_';
+        out += w;
+        break;
+      case CaseStyle::kCamel:
+        if (i > 0 && !w.empty()) {
+          w[0] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(w[0])));
+        }
+        out += w;
+        break;
+      case CaseStyle::kPascal:
+        if (!w.empty()) {
+          w[0] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(w[0])));
+        }
+        out += w;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ApplyTypo(const std::string& name, Rng* rng) {
+  if (name.size() < 4) return name;
+  std::string out = name;
+  size_t i = 1 + rng->Uniform(out.size() - 2);
+  if (rng->WithProbability(0.5)) {
+    std::swap(out[i], out[i - 1]);  // adjacent transposition
+  } else {
+    out.erase(i, 1);  // drop a character
+  }
+  return out;
+}
+
+class Generator {
+ public:
+  Generator(const SyntheticRepoOptions& options)
+      : options_(options), rng_(options.seed) {
+    // Precompute domain weights.
+    for (const Domain& d : Domains()) domain_weights_.push_back(d.weight);
+  }
+
+  schema::SchemaForest Generate() {
+    schema::SchemaForest forest;
+    size_t total = 0;
+    int tree_index = 0;
+    while (total < options_.target_elements) {
+      schema::SchemaTree tree = GenerateTree();
+      total += tree.size();
+      forest.AddTree(std::move(tree),
+                     "synthetic:" + std::to_string(tree_index++));
+    }
+    return forest;
+  }
+
+ private:
+  size_t DrawTreeSize() {
+    double log_size = rng_.Gaussian(std::log(options_.mean_tree_size),
+                                    options_.tree_size_spread);
+    double size = std::exp(log_size);
+    size = std::clamp(size, static_cast<double>(options_.min_tree_size),
+                      static_cast<double>(options_.max_tree_size));
+    return static_cast<size_t>(std::llround(size));
+  }
+
+  // Picks a concept: shared pool and domain pool compete by weight.
+  const Concept& DrawConcept(const Domain& domain) {
+    const auto& shared = SharedConcepts();
+    double shared_total = 0;
+    for (const Concept& c : shared) shared_total += c.weight;
+    double domain_total = 0;
+    for (const Concept& c : domain.concepts) domain_total += c.weight;
+    double r = rng_.NextDouble() * (shared_total + domain_total);
+    const auto& pool = r < shared_total ? shared : domain.concepts;
+    if (r >= shared_total) r -= shared_total;
+    for (const Concept& c : pool) {
+      r -= c.weight;
+      if (r <= 0) return c;
+    }
+    return pool.back();
+  }
+
+  std::string RenderName(const Concept& term, CaseStyle style) {
+    std::string base;
+    if (!term.abbreviations.empty() &&
+        rng_.WithProbability(options_.abbreviation_probability)) {
+      base = term.abbreviations[rng_.Uniform(
+          term.abbreviations.size())];
+    } else {
+      base = term.variants[rng_.Uniform(term.variants.size())];
+    }
+    std::vector<std::string> words;
+    if (rng_.WithProbability(options_.compound_probability)) {
+      words.push_back(Qualifiers()[rng_.Uniform(Qualifiers().size())]);
+    }
+    // Variant names may already be compounds ("emailAddr"): split them so
+    // the case style is applied uniformly.
+    for (const std::string& token : TokenizeIdentifier(base)) {
+      words.push_back(token);
+    }
+    std::string name = ApplyStyle(words, style);
+    if (rng_.WithProbability(options_.typo_probability)) {
+      name = ApplyTypo(name, &rng_);
+    }
+    return name;
+  }
+
+  // Adds a record container under `parent` with a sampled subset of the
+  // contact-like fields. The container joins the eligible list so records
+  // can nest further structure.
+  void EmitRecordBlock(schema::SchemaTree* tree, schema::NodeId parent,
+                       CaseStyle style,
+                       std::vector<schema::NodeId>* eligible) {
+    schema::NodeProperties container;
+    container.name = ApplyStyle(
+        TokenizeIdentifier(
+            RecordContainers()[rng_.Uniform(RecordContainers().size())]),
+        style);
+    container.repeatable = rng_.WithProbability(0.4);
+    schema::NodeId node = tree->AddNode(parent, std::move(container));
+    for (const RecordField& field : RecordFields()) {
+      if (!rng_.WithProbability(field.probability)) continue;
+      const Concept& term =
+          SharedConcepts()[static_cast<size_t>(field.shared_concept)];
+      schema::NodeProperties props;
+      props.name = RenderName(term, style);
+      props.datatype = term.datatype;
+      if (rng_.WithProbability(options_.attribute_probability)) {
+        props.kind = schema::NodeKind::kAttribute;
+      }
+      props.optional = rng_.WithProbability(0.3);
+      tree->AddNode(node, std::move(props));
+    }
+    eligible->push_back(node);
+  }
+
+  schema::SchemaTree GenerateTree() {
+    const Domain& domain = Domains()[rng_.WeightedIndex(domain_weights_)];
+    const CaseStyle style = static_cast<CaseStyle>(rng_.Uniform(4));
+    const size_t size = DrawTreeSize();
+
+    schema::SchemaTree tree;
+    schema::NodeProperties root;
+    root.name = ApplyStyle(
+        TokenizeIdentifier(domain.roots[rng_.Uniform(domain.roots.size())]),
+        style);
+    tree.AddNode(schema::kInvalidNode, std::move(root));
+
+    // Growth: attach each new node under a random eligible parent. Element
+    // parents are drawn uniformly among nodes with remaining fanout, which
+    // yields the bushy, locally-clustered shapes of real schemas.
+    std::vector<schema::NodeId> eligible{tree.root()};
+    while (tree.size() < size && !eligible.empty()) {
+      size_t slot = rng_.Uniform(eligible.size());
+      schema::NodeId parent = eligible[slot];
+      if (tree.children(parent).size() >=
+          static_cast<size_t>(options_.max_fanout)) {
+        eligible[slot] = eligible.back();
+        eligible.pop_back();
+        continue;
+      }
+      if (rng_.WithProbability(options_.record_probability) &&
+          tree.size() + 4 <= size) {
+        EmitRecordBlock(&tree, parent, style, &eligible);
+        continue;
+      }
+      const Concept& term = DrawConcept(domain);
+      schema::NodeProperties props;
+      props.name = RenderName(term, style);
+      bool container = term.datatype == nullptr;
+      if (!container) props.datatype = term.datatype;
+      if (!container &&
+          rng_.WithProbability(options_.attribute_probability)) {
+        props.kind = schema::NodeKind::kAttribute;
+      }
+      props.optional = rng_.WithProbability(0.3);
+      props.repeatable =
+          container && rng_.WithProbability(0.25);
+      schema::NodeId node = tree.AddNode(parent, std::move(props));
+      // Attributes are leaves; containers (and, rarely, typed elements)
+      // may receive children.
+      if (tree.props(node).kind == schema::NodeKind::kElement &&
+          (container || rng_.WithProbability(0.1))) {
+        eligible.push_back(node);
+      }
+    }
+    return tree;
+  }
+
+  const SyntheticRepoOptions& options_;
+  Rng rng_;
+  std::vector<double> domain_weights_;
+};
+
+}  // namespace
+
+Status SyntheticRepoOptions::Validate() const {
+  if (target_elements == 0) {
+    return Status::InvalidArgument("target_elements must be > 0");
+  }
+  if (mean_tree_size < 1 || min_tree_size < 1 ||
+      max_tree_size < min_tree_size) {
+    return Status::InvalidArgument("inconsistent tree size bounds");
+  }
+  if (max_fanout < 1) {
+    return Status::InvalidArgument("max_fanout must be >= 1");
+  }
+  for (double p :
+       {compound_probability, abbreviation_probability, typo_probability,
+        attribute_probability}) {
+    if (p < 0 || p > 1) {
+      return Status::InvalidArgument("probabilities must be in [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<schema::SchemaForest> GenerateSyntheticRepository(
+    const SyntheticRepoOptions& options) {
+  XSM_RETURN_NOT_OK(options.Validate());
+  return Generator(options).Generate();
+}
+
+schema::SchemaForest SampleRepository(const schema::SchemaForest& full,
+                                      size_t target_elements,
+                                      uint64_t seed) {
+  std::vector<size_t> order(full.num_trees());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  schema::SchemaForest sample;
+  size_t total = 0;
+  for (size_t idx : order) {
+    if (total >= target_elements) break;
+    const schema::SchemaTree& t =
+        full.tree(static_cast<schema::TreeId>(idx));
+    total += t.size();
+    sample.AddTree(t, full.source(static_cast<schema::TreeId>(idx)));
+  }
+  return sample;
+}
+
+RepositoryStats ComputeStats(const schema::SchemaForest& forest) {
+  RepositoryStats stats;
+  stats.trees = forest.num_trees();
+  stats.nodes = forest.total_nodes();
+  std::unordered_set<std::string> names;
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    const schema::SchemaTree& tree = forest.tree(t);
+    stats.max_tree_size = std::max(stats.max_tree_size, tree.size());
+    for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(tree.size());
+         ++n) {
+      stats.max_depth = std::max(stats.max_depth, tree.depth(n));
+      names.insert(tree.name(n));
+    }
+  }
+  stats.distinct_names = names.size();
+  stats.avg_tree_size =
+      stats.trees == 0
+          ? 0
+          : static_cast<double>(stats.nodes) / static_cast<double>(stats.trees);
+  return stats;
+}
+
+}  // namespace xsm::repo

@@ -1,0 +1,29 @@
+#include "schema/schema_forest.h"
+
+namespace xsm::schema {
+
+TreeId SchemaForest::AddTree(SchemaTree tree, std::string source) {
+  total_nodes_ += tree.size();
+  trees_.push_back(std::move(tree));
+  sources_.push_back(std::move(source));
+  return static_cast<TreeId>(trees_.size() - 1);
+}
+
+void SchemaForest::ForEachNode(
+    const std::function<void(NodeRef)>& fn) const {
+  for (TreeId t = 0; t < static_cast<TreeId>(trees_.size()); ++t) {
+    const SchemaTree& tr = trees_[static_cast<size_t>(t)];
+    for (NodeId n = 0; n < static_cast<NodeId>(tr.size()); ++n) {
+      fn(NodeRef{t, n});
+    }
+  }
+}
+
+Status SchemaForest::Validate() const {
+  for (const SchemaTree& t : trees_) {
+    XSM_RETURN_NOT_OK(t.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace xsm::schema

@@ -1,0 +1,88 @@
+// The repository schema R: a forest of schema trees. The paper treats R as
+// "a collection of a large number of trees" (one real-world schema may
+// contribute several roots, each one tree).
+#ifndef XSM_SCHEMA_SCHEMA_FOREST_H_
+#define XSM_SCHEMA_SCHEMA_FOREST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "schema/schema_tree.h"
+
+namespace xsm::schema {
+
+/// Index of a tree within a SchemaForest.
+using TreeId = int32_t;
+
+/// Globally identifies a node in a forest: (tree, node-within-tree).
+struct NodeRef {
+  TreeId tree = -1;
+  NodeId node = kInvalidNode;
+
+  bool valid() const { return tree >= 0 && node >= 0; }
+
+  friend bool operator==(const NodeRef& a, const NodeRef& b) {
+    return a.tree == b.tree && a.node == b.node;
+  }
+  friend bool operator!=(const NodeRef& a, const NodeRef& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const NodeRef& a, const NodeRef& b) {
+    return a.tree != b.tree ? a.tree < b.tree : a.node < b.node;
+  }
+};
+
+/// Repository of schema trees with per-tree provenance (source name) and
+/// aggregate statistics.
+class SchemaForest {
+ public:
+  /// Adds a tree; `source` records where it came from (file path or
+  /// generator tag). Returns its TreeId.
+  TreeId AddTree(SchemaTree tree, std::string source = "");
+
+  size_t num_trees() const { return trees_.size(); }
+  const SchemaTree& tree(TreeId id) const {
+    return trees_[static_cast<size_t>(id)];
+  }
+  const std::string& source(TreeId id) const {
+    return sources_[static_cast<size_t>(id)];
+  }
+
+  /// Total number of element/attribute nodes over all trees (the paper's
+  /// repository size measure, e.g. "9759 elements, distributed over 262
+  /// trees").
+  size_t total_nodes() const { return total_nodes_; }
+
+  const NodeProperties& props(NodeRef ref) const {
+    return tree(ref.tree).props(ref.node);
+  }
+  const std::string& name(NodeRef ref) const {
+    return tree(ref.tree).name(ref.node);
+  }
+
+  /// Invokes `fn` for every node of every tree.
+  void ForEachNode(const std::function<void(NodeRef)>& fn) const;
+
+  /// Validates all member trees.
+  Status Validate() const;
+
+ private:
+  std::vector<SchemaTree> trees_;
+  std::vector<std::string> sources_;
+  size_t total_nodes_ = 0;
+};
+
+}  // namespace xsm::schema
+
+template <>
+struct std::hash<xsm::schema::NodeRef> {
+  size_t operator()(const xsm::schema::NodeRef& r) const noexcept {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(static_cast<uint32_t>(r.tree)) << 32) |
+        static_cast<uint32_t>(r.node));
+  }
+};
+
+#endif  // XSM_SCHEMA_SCHEMA_FOREST_H_

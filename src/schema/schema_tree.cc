@@ -1,0 +1,202 @@
+#include "schema/schema_tree.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace xsm::schema {
+
+NodeId SchemaTree::AddNode(NodeId parent, NodeProperties props) {
+  assert((nodes_.empty()) == (parent == kInvalidNode) &&
+         "root must be added first and exactly once");
+  Node node;
+  node.parent = parent;
+  node.props = std::move(props);
+  if (parent != kInvalidNode) {
+    node.depth = nodes_[CheckId(parent)].depth + 1;
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  if (parent != kInvalidNode) {
+    nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  }
+  return id;
+}
+
+std::vector<NodeId> SchemaTree::PreOrder() const {
+  std::vector<NodeId> order;
+  if (nodes_.empty()) return order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    const auto& ch = children(n);
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+Status SchemaTree::Validate() const {
+  if (nodes_.empty()) return Status::OK();
+  if (nodes_[0].parent != kInvalidNode) {
+    return Status::Internal("node 0 is not a root");
+  }
+  size_t reachable = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (i > 0) {
+      if (n.parent < 0 || static_cast<size_t>(n.parent) >= nodes_.size()) {
+        return Status::Internal("dangling parent link");
+      }
+      if (n.parent >= static_cast<NodeId>(i)) {
+        return Status::Internal("parent id not smaller than child id");
+      }
+      if (n.depth != nodes_[static_cast<size_t>(n.parent)].depth + 1) {
+        return Status::Internal("inconsistent depth");
+      }
+      bool found = false;
+      for (NodeId c : nodes_[static_cast<size_t>(n.parent)].children) {
+        if (c == static_cast<NodeId>(i)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Status::Internal("child missing from parent list");
+    }
+    reachable += n.children.size();
+  }
+  if (reachable != nodes_.size() - 1) {
+    return Status::Internal("child-list count does not match node count");
+  }
+  return Status::OK();
+}
+
+std::string SchemaTree::ToString() const {
+  std::string out;
+  if (nodes_.empty()) return out;
+  // Iterative pre-order with explicit depth to render indentation.
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(depth(n)) * 2, ' ');
+    if (props(n).kind == NodeKind::kAttribute) out += '@';
+    out += name(n);
+    if (!props(n).datatype.empty()) {
+      out += " : ";
+      out += props(n).datatype;
+    }
+    if (props(n).repeatable) out += " *";
+    out += '\n';
+    const auto& ch = children(n);
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+NodeId SchemaTree::CheckId(NodeId n) const {
+  assert(n >= 0 && static_cast<size_t>(n) < nodes_.size());
+  return n;
+}
+
+namespace {
+
+bool IsNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '_' || c == '.' || c == ':' || c == '-';
+}
+
+// Recursive-descent parser for the tree-spec notation.
+class SpecParser {
+ public:
+  explicit SpecParser(const std::string& spec) : spec_(spec) {}
+
+  Result<SchemaTree> Parse() {
+    SchemaTree tree;
+    XSM_RETURN_NOT_OK(ParseNode(&tree, kInvalidNode));
+    SkipSpace();
+    if (pos_ != spec_.size()) {
+      return Status::ParseError("trailing characters in tree spec at offset " +
+                                std::to_string(pos_));
+    }
+    return tree;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < spec_.size() &&
+           std::isspace(static_cast<unsigned char>(spec_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ParseNode(SchemaTree* tree, NodeId parent) {
+    SkipSpace();
+    NodeProperties props;
+    if (pos_ < spec_.size() && spec_[pos_] == '@') {
+      props.kind = NodeKind::kAttribute;
+      ++pos_;
+    }
+    size_t start = pos_;
+    while (pos_ < spec_.size() && IsNameChar(spec_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError("expected node name at offset " +
+                                std::to_string(pos_));
+    }
+    props.name = spec_.substr(start, pos_ - start);
+    NodeId id = tree->AddNode(parent, std::move(props));
+    SkipSpace();
+    if (pos_ < spec_.size() && spec_[pos_] == '(') {
+      ++pos_;  // '('
+      while (true) {
+        XSM_RETURN_NOT_OK(ParseNode(tree, id));
+        SkipSpace();
+        if (pos_ < spec_.size() && spec_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipSpace();
+      if (pos_ >= spec_.size() || spec_[pos_] != ')') {
+        return Status::ParseError("expected ')' at offset " +
+                                  std::to_string(pos_));
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  const std::string& spec_;
+  size_t pos_ = 0;
+};
+
+void SpecOf(const SchemaTree& tree, NodeId n, std::string* out) {
+  if (tree.props(n).kind == NodeKind::kAttribute) *out += '@';
+  *out += tree.name(n);
+  const auto& ch = tree.children(n);
+  if (ch.empty()) return;
+  *out += '(';
+  for (size_t i = 0; i < ch.size(); ++i) {
+    if (i > 0) *out += ',';
+    SpecOf(tree, ch[i], out);
+  }
+  *out += ')';
+}
+
+}  // namespace
+
+Result<SchemaTree> ParseTreeSpec(const std::string& spec) {
+  return SpecParser(spec).Parse();
+}
+
+std::string ToTreeSpec(const SchemaTree& tree) {
+  std::string out;
+  if (!tree.empty()) SpecOf(tree, tree.root(), &out);
+  return out;
+}
+
+}  // namespace xsm::schema

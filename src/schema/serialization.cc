@@ -1,0 +1,184 @@
+#include "schema/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace xsm::schema {
+
+namespace {
+
+constexpr std::string_view kHeader = "#xsm-forest v1";
+
+// %-escape spaces, percent signs and newlines so fields stay
+// whitespace-delimited.
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case ' ':
+        out += "%20";
+        break;
+      case '%':
+        out += "%25";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\t':
+        out += "%09";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(s[i + 1]);
+      int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeForest(const SchemaForest& forest) {
+  std::string out(kHeader);
+  out += '\n';
+  for (TreeId t = 0; t < static_cast<TreeId>(forest.num_trees()); ++t) {
+    const SchemaTree& tree = forest.tree(t);
+    out += "tree ";
+    out += Escape(forest.source(t));
+    out += '\n';
+    for (NodeId n = 0; n < static_cast<NodeId>(tree.size()); ++n) {
+      const NodeProperties& props = tree.props(n);
+      std::string flags;
+      if (props.repeatable) flags += 'r';
+      if (props.optional) flags += 'o';
+      if (flags.empty()) flags = "-";
+      out += StringPrintf(
+          "node %d %d %c %s %s", n, tree.parent(n),
+          props.kind == NodeKind::kAttribute ? 'A' : 'E', flags.c_str(),
+          Escape(props.name).c_str());
+      if (!props.datatype.empty()) {
+        out += ' ';
+        out += Escape(props.datatype);
+      }
+      out += '\n';
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+Result<SchemaForest> DeserializeForest(std::string_view text) {
+  std::vector<std::string> lines = Split(std::string(text), '\n');
+  if (lines.empty() || Trim(lines[0]) != kHeader) {
+    return Status::ParseError("missing #xsm-forest v1 header");
+  }
+  SchemaForest forest;
+  SchemaTree current;
+  std::string current_source;
+  bool in_tree = false;
+
+  for (size_t ln = 1; ln < lines.size(); ++ln) {
+    std::string_view line = Trim(lines[ln]);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(std::string(line), ' ');
+    const std::string& tag = fields[0];
+    auto err = [&](const std::string& what) {
+      return Status::ParseError("line " + std::to_string(ln + 1) + ": " +
+                                what);
+    };
+    if (tag == "tree") {
+      if (in_tree) return err("nested 'tree' (missing 'end')");
+      in_tree = true;
+      current = SchemaTree();
+      current_source = fields.size() > 1 ? Unescape(fields[1]) : "";
+    } else if (tag == "node") {
+      if (!in_tree) return err("'node' outside a tree");
+      if (fields.size() < 6) return err("short node line");
+      int id = std::atoi(fields[1].c_str());
+      int parent = std::atoi(fields[2].c_str());
+      if (id != static_cast<int>(current.size())) {
+        return err("node ids must be dense and in order");
+      }
+      if (parent != -1 &&
+          (parent < 0 || parent >= static_cast<int>(current.size()))) {
+        return err("parent id out of range");
+      }
+      if ((parent == -1) != current.empty()) {
+        return err("exactly the first node must be the root");
+      }
+      NodeProperties props;
+      if (fields[3] == "A") {
+        props.kind = NodeKind::kAttribute;
+      } else if (fields[3] == "E") {
+        props.kind = NodeKind::kElement;
+      } else {
+        return err("bad node kind '" + fields[3] + "'");
+      }
+      for (char c : fields[4]) {
+        if (c == 'r') props.repeatable = true;
+        if (c == 'o') props.optional = true;
+      }
+      props.name = Unescape(fields[5]);
+      if (fields.size() > 6) props.datatype = Unescape(fields[6]);
+      current.AddNode(static_cast<NodeId>(parent), std::move(props));
+    } else if (tag == "end") {
+      if (!in_tree) return err("'end' outside a tree");
+      XSM_RETURN_NOT_OK(current.Validate());
+      forest.AddTree(std::move(current), std::move(current_source));
+      current = SchemaTree();
+      current_source.clear();
+      in_tree = false;
+    } else {
+      return err("unknown tag '" + tag + "'");
+    }
+  }
+  if (in_tree) return Status::ParseError("unterminated tree at end of input");
+  return forest;
+}
+
+Status SaveForestToFile(const SchemaForest& forest,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeForest(forest);
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<SchemaForest> LoadForestFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on " + path);
+  return DeserializeForest(buffer.str());
+}
+
+}  // namespace xsm::schema

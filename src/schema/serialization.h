@@ -1,0 +1,38 @@
+// Forest serialization: a versioned, line-based text format so repositories
+// (crawled or synthetic) can be snapshotted and reloaded without re-parsing
+// or re-generating.
+//
+// Format:
+//   #xsm-forest v1
+//   tree <source>                  (source is %-escaped)
+//   node <id> <parent> <E|A> <flags> <name> [datatype]
+//   ...
+//   end
+//
+// `flags` is a compact letter set: 'r' repeatable, 'o' optional, '-' none.
+// Node ids are the tree's own dense ids; parent of the root is -1.
+#ifndef XSM_SCHEMA_SERIALIZATION_H_
+#define XSM_SCHEMA_SERIALIZATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "schema/schema_forest.h"
+#include "util/status.h"
+
+namespace xsm::schema {
+
+/// Serializes the whole forest into the text format above.
+std::string SerializeForest(const SchemaForest& forest);
+
+/// Parses text produced by SerializeForest. Fails with ParseError on
+/// malformed input (wrong header, dangling parents, bad ids).
+Result<SchemaForest> DeserializeForest(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveForestToFile(const SchemaForest& forest, const std::string& path);
+Result<SchemaForest> LoadForestFromFile(const std::string& path);
+
+}  // namespace xsm::schema
+
+#endif  // XSM_SCHEMA_SERIALIZATION_H_

@@ -1,0 +1,156 @@
+#include "sim/string_similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace xsm::sim {
+
+namespace {
+
+// Shared scratch row buffers would make the functions non-reentrant; sizes
+// here are short identifier names, so per-call vectors are fine.
+
+int EditDistanceImpl(std::string_view a, std::string_view b,
+                     bool transpositions) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0) return static_cast<int>(lb);
+  if (lb == 0) return static_cast<int>(la);
+
+  // Three rolling rows: i-2, i-1, i (the i-2 row is needed only for the
+  // transposition case).
+  std::vector<int> prev2(lb + 1);
+  std::vector<int> prev(lb + 1);
+  std::vector<int> cur(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) prev[j] = static_cast<int>(j);
+
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= lb; ++j) {
+      int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      int best = std::min({prev[j] + 1,        // deletion (exclusion)
+                           cur[j - 1] + 1,     // insertion
+                           prev[j - 1] + cost  // substitution / match
+      });
+      if (transpositions && i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
+          a[i - 2] == b[j - 1]) {
+        best = std::min(best, prev2[j - 2] + 1);  // transposition
+      }
+      cur[j] = best;
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[lb];
+}
+
+}  // namespace
+
+int DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  return EditDistanceImpl(a, b, /*transpositions=*/true);
+}
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  return EditDistanceImpl(a, b, /*transpositions=*/false);
+}
+
+double FuzzyStringSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  int d = DamerauLevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(longest);
+}
+
+double FuzzyStringSimilarityIgnoreCase(std::string_view a,
+                                       std::string_view b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  return FuzzyStringSimilarity(la, lb);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 && lb == 0) return 1.0;
+  if (la == 0 || lb == 0) return 0.0;
+
+  const size_t window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+  std::vector<bool> a_matched(la, false);
+  std::vector<bool> b_matched(lb, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t t = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++t;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(la) + m / static_cast<double>(lb) +
+          (m - static_cast<double>(t) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double NgramDiceSimilarity(std::string_view a, std::string_view b, int n) {
+  if (n < 1) n = 1;
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la == lb) return 1.0;
+  // Pad with one boundary marker on each side so short names still produce
+  // grams.
+  std::string pa = "^" + la + "$";
+  std::string pb = "^" + lb + "$";
+  if (pa.size() < static_cast<size_t>(n) ||
+      pb.size() < static_cast<size_t>(n)) {
+    return 0.0;
+  }
+
+  std::unordered_map<std::string, int> grams;
+  size_t count_a = pa.size() - static_cast<size_t>(n) + 1;
+  for (size_t i = 0; i < count_a; ++i) {
+    ++grams[pa.substr(i, static_cast<size_t>(n))];
+  }
+  size_t count_b = pb.size() - static_cast<size_t>(n) + 1;
+  size_t shared = 0;
+  for (size_t i = 0; i < count_b; ++i) {
+    auto it = grams.find(pb.substr(i, static_cast<size_t>(n)));
+    if (it != grams.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return 2.0 * static_cast<double>(shared) /
+         static_cast<double>(count_a + count_b);
+}
+
+}  // namespace xsm::sim

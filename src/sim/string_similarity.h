@@ -1,0 +1,47 @@
+// String similarity kernels for element matching.
+//
+// Bellflower's single element matcher is CompareStringFuzzy from the
+// proprietary FuzzySearch library: "a normalized string similarity based on
+// character substitution, insertion, exclusion, and transposition". Those
+// are exactly the Damerau–Levenshtein edit operations, so the reproduction
+// uses normalized Damerau–Levenshtein (optimal string alignment variant) as
+// the drop-in substitute. Additional kernels (Jaro–Winkler, n-gram Dice,
+// token Jaccard) support the multi-matcher architecture of Fig. 2.
+#ifndef XSM_SIM_STRING_SIMILARITY_H_
+#define XSM_SIM_STRING_SIMILARITY_H_
+
+#include <string_view>
+
+namespace xsm::sim {
+
+/// Damerau–Levenshtein distance (optimal string alignment: substitution,
+/// insertion, deletion/"exclusion", adjacent transposition; a substring is
+/// never edited twice). O(|a|·|b|) time, O(min) memory.
+int DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Plain Levenshtein distance (no transpositions), for comparison/ablation.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized similarity in [0,1]: 1 - dist / max(|a|,|b|); 1.0 for two
+/// empty strings. This is the CompareStringFuzzy stand-in.
+double FuzzyStringSimilarity(std::string_view a, std::string_view b);
+
+/// Case-insensitive variant of FuzzyStringSimilarity (names on the web mix
+/// conventions: "AuthorName" vs "authorname").
+double FuzzyStringSimilarityIgnoreCase(std::string_view a,
+                                       std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler similarity with standard prefix scaling (p=0.1, max prefix
+/// 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character n-grams (default trigrams) of the
+/// lowercased inputs, with one-character boundary padding.
+double NgramDiceSimilarity(std::string_view a, std::string_view b, int n = 3);
+
+}  // namespace xsm::sim
+
+#endif  // XSM_SIM_STRING_SIMILARITY_H_

@@ -1,0 +1,70 @@
+#include "sim/synonym_dictionary.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace xsm::sim {
+
+SynonymDictionary::SynonymDictionary(
+    const std::vector<std::vector<std::string>>& groups) {
+  for (const auto& g : groups) AddGroup(g);
+}
+
+void SynonymDictionary::AddGroup(const std::vector<std::string>& group) {
+  int id = static_cast<int>(num_groups_++);
+  for (const std::string& term : group) {
+    term_groups_[ToLower(term)].push_back(id);
+  }
+}
+
+bool SynonymDictionary::AreSynonyms(std::string_view a,
+                                    std::string_view b) const {
+  auto ia = term_groups_.find(ToLower(a));
+  if (ia == term_groups_.end()) return false;
+  auto ib = term_groups_.find(ToLower(b));
+  if (ib == term_groups_.end()) return false;
+  for (int ga : ia->second) {
+    if (std::find(ib->second.begin(), ib->second.end(), ga) !=
+        ib->second.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double SynonymDictionary::Score(std::string_view a, std::string_view b,
+                                double synonym_score) const {
+  if (ToLower(a) == ToLower(b)) return 1.0;
+  return AreSynonyms(a, b) ? synonym_score : 0.0;
+}
+
+const SynonymDictionary& SynonymDictionary::Default() {
+  static const SynonymDictionary* kDefault = [] {
+    auto* d = new SynonymDictionary();
+    d->AddGroup({"name", "title", "label", "caption"});
+    d->AddGroup({"name", "fullname", "personname"});
+    d->AddGroup({"address", "addr", "location", "residence"});
+    d->AddGroup({"email", "mail", "emailaddress", "e-mail"});
+    d->AddGroup({"phone", "telephone", "tel", "phonenumber"});
+    d->AddGroup({"author", "writer", "creator", "contributor"});
+    d->AddGroup({"book", "publication", "volume"});
+    d->AddGroup({"price", "cost", "amount", "charge"});
+    d->AddGroup({"company", "organization", "organisation", "firm"});
+    d->AddGroup({"person", "individual", "contact"});
+    d->AddGroup({"city", "town", "municipality"});
+    d->AddGroup({"country", "nation", "state"});
+    d->AddGroup({"zip", "zipcode", "postcode", "postalcode"});
+    d->AddGroup({"id", "identifier", "key", "code"});
+    d->AddGroup({"date", "day", "timestamp"});
+    d->AddGroup({"description", "desc", "summary", "abstract"});
+    d->AddGroup({"quantity", "qty", "count", "number"});
+    d->AddGroup({"order", "purchase", "transaction"});
+    d->AddGroup({"customer", "client", "buyer"});
+    d->AddGroup({"item", "product", "article", "goods"});
+    return d;
+  }();
+  return *kDefault;
+}
+
+}  // namespace xsm::sim

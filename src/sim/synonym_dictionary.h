@@ -1,0 +1,49 @@
+// Synonym dictionary: an "external data source" hint in the sense of the
+// paper's §1 (dictionaries of synonyms). Used by the optional synonym
+// element matcher and by the synthetic repository generator's vocabulary.
+#ifndef XSM_SIM_SYNONYM_DICTIONARY_H_
+#define XSM_SIM_SYNONYM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsm::sim {
+
+/// Groups of interchangeable lowercase terms. Lookup is by exact lowercase
+/// match; two terms are synonymous iff they share a group.
+class SynonymDictionary {
+ public:
+  SynonymDictionary() = default;
+
+  /// Builds from explicit groups; terms are lowercased. A term may appear in
+  /// multiple groups.
+  explicit SynonymDictionary(
+      const std::vector<std::vector<std::string>>& groups);
+
+  /// A dictionary preloaded with common XML-schema vocabulary (person,
+  /// address, publication, commerce domains).
+  static const SynonymDictionary& Default();
+
+  /// Adds one synonym group.
+  void AddGroup(const std::vector<std::string>& group);
+
+  /// True if `a` and `b` share at least one group (case-insensitive).
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// 1.0 for equal (case-insensitive) terms, `synonym_score` for synonyms,
+  /// 0.0 otherwise.
+  double Score(std::string_view a, std::string_view b,
+               double synonym_score = 0.9) const;
+
+  size_t num_groups() const { return num_groups_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<int>> term_groups_;
+  size_t num_groups_ = 0;
+};
+
+}  // namespace xsm::sim
+
+#endif  // XSM_SIM_SYNONYM_DICTIONARY_H_

@@ -1,0 +1,63 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace xsm {
+
+void PowerHistogram::Add(uint64_t value) {
+  if (value == 0) value = 1;  // Histogram is over positive sizes.
+  int bucket = 0;
+  uint64_t v = value;
+  while (v > 1) {
+    v >>= 1;
+    ++bucket;
+  }
+  if (bucket >= num_buckets()) bucket = num_buckets() - 1;
+  ++counts_[static_cast<size_t>(bucket)];
+  ++total_count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::string PowerHistogram::BucketLabel(int i) {
+  uint64_t lo = 1ull << i;
+  uint64_t hi = (1ull << (i + 1)) - 1;
+  return StringPrintf("[%llu,%llu]", static_cast<unsigned long long>(lo),
+                      static_cast<unsigned long long>(hi));
+}
+
+std::string PowerHistogram::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_buckets(); ++i) {
+    if (counts_[static_cast<size_t>(i)] == 0) continue;
+    out += StringPrintf("%-12s %llu\n", BucketLabel(i).c_str(),
+                        static_cast<unsigned long long>(
+                            counts_[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+void StatsAccumulator::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double StatsAccumulator::StdDev() const {
+  if (count_ == 0) return 0.0;
+  double m = mean();
+  double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace xsm

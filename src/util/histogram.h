@@ -1,0 +1,73 @@
+// Power-of-two bucketed histogram, used to reproduce the cluster-size
+// distribution of Fig. 4 and for summary statistics in the harnesses.
+#ifndef XSM_UTIL_HISTOGRAM_H_
+#define XSM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsm {
+
+/// Histogram over positive integer values with buckets
+/// [1,1], [2,3], [4,7], [8,15], ... exactly as used by the paper's Fig. 4.
+class PowerHistogram {
+ public:
+  /// `max_bucket_log2` buckets are created; values beyond the last bucket
+  /// are clamped into it.
+  explicit PowerHistogram(int num_buckets = 12)
+      : counts_(static_cast<size_t>(num_buckets), 0) {}
+
+  void Add(uint64_t value);
+
+  /// Number of values recorded in bucket `i` (bucket i covers
+  /// [2^i, 2^(i+1)-1]).
+  uint64_t BucketCount(int i) const { return counts_[static_cast<size_t>(i)]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+
+  uint64_t total_count() const { return total_count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return total_count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return total_count_ == 0 ? 0.0
+                             : static_cast<double>(sum_) /
+                                   static_cast<double>(total_count_);
+  }
+
+  /// Label of bucket `i`, e.g. "[4,7]".
+  static std::string BucketLabel(int i);
+
+  /// Multi-line table "bucket count" for the harness output.
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// Streaming mean/min/max/stddev accumulator for doubles.
+class StatsAccumulator {
+ public:
+  void Add(double v);
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Population standard deviation.
+  double StdDev() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace xsm
+
+#endif  // XSM_UTIL_HISTOGRAM_H_

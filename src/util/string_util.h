@@ -1,0 +1,41 @@
+// String helpers shared by the similarity matchers, parsers, and the
+// synthetic vocabulary machinery.
+#ifndef XSM_UTIL_STRING_UTIL_H_
+#define XSM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsm {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single-character delimiter. Empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Splits an XML-ish identifier into lowercase word tokens: camelCase,
+/// PascalCase, snake_case, kebab-case, dotted and digit boundaries all
+/// separate tokens. "authorName-2" -> {"author", "name", "2"}.
+std::vector<std::string> TokenizeIdentifier(std::string_view ident);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace xsm
+
+#endif  // XSM_UTIL_STRING_UTIL_H_

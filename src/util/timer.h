@@ -1,0 +1,36 @@
+// Wall-clock timing for the experiment harnesses.
+#ifndef XSM_UTIL_TIMER_H_
+#define XSM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xsm {
+
+/// Monotonic stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in integer microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xsm
+
+#endif  // XSM_UTIL_TIMER_H_

@@ -1,0 +1,480 @@
+#include "xml/dtd_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace xsm::xml {
+
+const DtdElementDecl* Dtd::FindElement(std::string_view name) const {
+  for (const DtdElementDecl& e : elements) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool IsDtdNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '_' || c == '-' || c == '.' || c == ':';
+}
+
+// Recursive-descent parser for one content model expression, e.g.
+// "(title, author+, (isbn | issn)?, chapter*)". Collects child element
+// references with cardinality flags.
+class ContentModelParser {
+ public:
+  ContentModelParser(std::string_view model, DtdElementDecl* decl)
+      : model_(model), decl_(decl) {}
+
+  Status Parse() {
+    SkipSpace();
+    XSM_RETURN_NOT_OK(ParseGroup(/*repeat=*/false, /*opt=*/false));
+    SkipSpace();
+    if (pos_ != model_.size()) {
+      return Status::ParseError("trailing characters in content model");
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < model_.size() &&
+           std::isspace(static_cast<unsigned char>(model_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Reads a trailing cardinality operator if present.
+  void ReadCardinality(bool* repeat, bool* opt) {
+    if (pos_ >= model_.size()) return;
+    char c = model_[pos_];
+    if (c == '*') {
+      *repeat = true;
+      *opt = true;
+      ++pos_;
+    } else if (c == '+') {
+      *repeat = true;
+      ++pos_;
+    } else if (c == '?') {
+      *opt = true;
+      ++pos_;
+    }
+  }
+
+  // group := '(' item (sep item)* ')' card?   where sep is ',' or '|'.
+  // item  := group | name card? | '#PCDATA'
+  Status ParseGroup(bool repeat, bool opt) {
+    SkipSpace();
+    if (pos_ >= model_.size() || model_[pos_] != '(') {
+      return Status::ParseError("expected '(' in content model");
+    }
+    ++pos_;
+    bool is_choice = false;
+    // First pass requires peeking at separators; parse items sequentially.
+    std::vector<size_t> item_starts;
+    while (true) {
+      SkipSpace();
+      if (pos_ < model_.size() && model_[pos_] == '(') {
+        // Nested group: inherit current flags; choice-ness of this level is
+        // applied after we know the separator, so conservatively pass
+        // `opt` and patch below via is_choice handling (children of a
+        // choice are optional; we approximate by treating any '|' level as
+        // optional for all its items — matches how matchers use the flag).
+        size_t before = decl_->children.size();
+        XSM_RETURN_NOT_OK(ParseGroup(repeat, opt));
+        item_starts.push_back(before);
+      } else if (pos_ < model_.size() && model_[pos_] == '#') {
+        // #PCDATA
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < model_.size() && IsDtdNameChar(model_[pos_])) ++pos_;
+        if (model_.substr(start, pos_ - start) != "#PCDATA") {
+          return Status::ParseError("unknown token in content model");
+        }
+        decl_->has_pcdata = true;
+        item_starts.push_back(decl_->children.size());
+      } else {
+        size_t start = pos_;
+        while (pos_ < model_.size() && IsDtdNameChar(model_[pos_])) ++pos_;
+        if (pos_ == start) {
+          return Status::ParseError("expected name in content model");
+        }
+        DtdChildRef ref;
+        ref.name = std::string(model_.substr(start, pos_ - start));
+        ref.repeatable = repeat;
+        ref.optional = opt;
+        ReadCardinality(&ref.repeatable, &ref.optional);
+        item_starts.push_back(decl_->children.size());
+        decl_->children.push_back(std::move(ref));
+      }
+      SkipSpace();
+      if (pos_ < model_.size() && (model_[pos_] == ',' ||
+                                   model_[pos_] == '|')) {
+        if (model_[pos_] == '|') is_choice = true;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= model_.size() || model_[pos_] != ')') {
+      return Status::ParseError("expected ')' in content model");
+    }
+    ++pos_;
+    bool group_repeat = false;
+    bool group_opt = false;
+    ReadCardinality(&group_repeat, &group_opt);
+    // Apply group-level flags to everything this group contributed.
+    if (is_choice || group_repeat || group_opt) {
+      size_t first =
+          item_starts.empty() ? decl_->children.size() : item_starts.front();
+      for (size_t i = first; i < decl_->children.size(); ++i) {
+        if (is_choice) decl_->children[i].optional = true;
+        if (group_opt) decl_->children[i].optional = true;
+        if (group_repeat) decl_->children[i].repeatable = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view model_;
+  size_t pos_ = 0;
+  DtdElementDecl* decl_;
+};
+
+// Splits "<!ATTLIST elem a1 CDATA #REQUIRED a2 (x|y) 'dflt'>" body into
+// attribute declarations. `body` excludes the "<!ATTLIST" prefix and ">".
+Status ParseAttlistBody(std::string_view body, Dtd* dtd) {
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[pos]))) {
+      ++pos;
+    }
+  };
+  auto read_token = [&]() -> std::string {
+    skip_space();
+    if (pos >= body.size()) return "";
+    if (body[pos] == '(') {
+      // Enumerated type: consume the whole parenthesized group.
+      size_t start = pos;
+      int depth = 0;
+      while (pos < body.size()) {
+        if (body[pos] == '(') ++depth;
+        if (body[pos] == ')') {
+          --depth;
+          if (depth == 0) {
+            ++pos;
+            break;
+          }
+        }
+        ++pos;
+      }
+      return std::string(body.substr(start, pos - start));
+    }
+    if (body[pos] == '"' || body[pos] == '\'') {
+      char quote = body[pos];
+      size_t start = ++pos;
+      while (pos < body.size() && body[pos] != quote) ++pos;
+      std::string value(body.substr(start, pos - start));
+      if (pos < body.size()) ++pos;
+      return "\"" + value + "\"";  // marker: quoted literal
+    }
+    size_t start = pos;
+    while (pos < body.size() &&
+           !std::isspace(static_cast<unsigned char>(body[pos]))) {
+      ++pos;
+    }
+    return std::string(body.substr(start, pos - start));
+  };
+
+  std::string element = read_token();
+  if (element.empty()) {
+    return Status::ParseError("ATTLIST without element name");
+  }
+  while (true) {
+    std::string attr = read_token();
+    if (attr.empty()) break;
+    std::string type = read_token();
+    if (type.empty()) {
+      return Status::ParseError("ATTLIST attribute without type");
+    }
+    DtdAttributeDecl decl;
+    decl.element = element;
+    decl.name = attr;
+    decl.type = type[0] == '(' ? "enum" : type;
+    // Default declaration: #REQUIRED | #IMPLIED | #FIXED "v" | "v".
+    std::string dflt = read_token();
+    if (dflt == "#REQUIRED") {
+      decl.required = true;
+    } else if (dflt == "#FIXED") {
+      (void)read_token();  // the fixed literal
+    } else if (dflt.empty()) {
+      return Status::ParseError("ATTLIST attribute without default decl");
+    }
+    // #IMPLIED and quoted defaults need no extra handling.
+    dtd->attributes.push_back(std::move(decl));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view content,
+                     const DtdParseOptions& options) {
+  Dtd dtd;
+  size_t pos = 0;
+  std::unordered_set<std::string> seen_elements;
+
+  auto fail_or_warn = [&](const std::string& what) -> Status {
+    if (options.lenient) {
+      dtd.warnings.push_back(what);
+      return Status::OK();
+    }
+    return Status::ParseError(what);
+  };
+
+  while (pos < content.size()) {
+    // Find the next declaration.
+    size_t lt = content.find('<', pos);
+    if (lt == std::string_view::npos) break;
+    if (content.substr(lt, 4) == "<!--") {
+      size_t end = content.find("-->", lt + 4);
+      if (end == std::string_view::npos) break;
+      pos = end + 3;
+      continue;
+    }
+    if (content.substr(lt, 2) == "<?") {
+      size_t end = content.find("?>", lt + 2);
+      if (end == std::string_view::npos) break;
+      pos = end + 2;
+      continue;
+    }
+    // Declaration runs to the matching '>' (no nested '<' inside DTDs
+    // except in comments handled above; quoted literals may contain '>').
+    size_t end = lt + 1;
+    char quote = 0;
+    while (end < content.size()) {
+      char c = content[end];
+      if (quote != 0) {
+        if (c == quote) quote = 0;
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        break;
+      }
+      ++end;
+    }
+    if (end >= content.size()) {
+      XSM_RETURN_NOT_OK(fail_or_warn("unterminated declaration"));
+      break;
+    }
+    std::string_view decl = content.substr(lt, end - lt + 1);
+    pos = end + 1;
+
+    if (decl.find('%') != std::string_view::npos) {
+      XSM_RETURN_NOT_OK(
+          fail_or_warn("parameter entity in declaration (unsupported): " +
+                       std::string(decl.substr(0, 60))));
+      continue;
+    }
+
+    if (StartsWith(decl, "<!ELEMENT")) {
+      std::string_view body = Trim(decl.substr(9, decl.size() - 10));
+      size_t name_end = 0;
+      while (name_end < body.size() && IsDtdNameChar(body[name_end])) {
+        ++name_end;
+      }
+      if (name_end == 0) {
+        XSM_RETURN_NOT_OK(fail_or_warn("ELEMENT without a name"));
+        continue;
+      }
+      DtdElementDecl element;
+      element.name = std::string(body.substr(0, name_end));
+      std::string_view model = Trim(body.substr(name_end));
+      Status model_status = Status::OK();
+      if (model == "EMPTY") {
+        element.is_empty = true;
+      } else if (model == "ANY") {
+        element.is_any = true;
+      } else {
+        ContentModelParser parser(model, &element);
+        model_status = parser.Parse();
+      }
+      if (!model_status.ok()) {
+        XSM_RETURN_NOT_OK(fail_or_warn("bad content model for '" +
+                                       element.name +
+                                       "': " + model_status.message()));
+        continue;
+      }
+      // Deduplicate children (a name may appear several times in a model).
+      std::vector<DtdChildRef> unique;
+      std::unordered_set<std::string> names;
+      for (DtdChildRef& ref : element.children) {
+        if (names.insert(ref.name).second) {
+          unique.push_back(std::move(ref));
+        }
+      }
+      element.children = std::move(unique);
+      if (seen_elements.insert(element.name).second) {
+        dtd.elements.push_back(std::move(element));
+      } else {
+        XSM_RETURN_NOT_OK(
+            fail_or_warn("duplicate element declaration '" + element.name +
+                         "' ignored"));
+      }
+    } else if (StartsWith(decl, "<!ATTLIST")) {
+      std::string_view body = decl.substr(9, decl.size() - 10);
+      Status st = ParseAttlistBody(body, &dtd);
+      if (!st.ok()) {
+        XSM_RETURN_NOT_OK(fail_or_warn(st.message()));
+      }
+    } else if (StartsWith(decl, "<!ENTITY") ||
+               StartsWith(decl, "<!NOTATION")) {
+      // Not needed for schema-tree extraction.
+      continue;
+    } else {
+      XSM_RETURN_NOT_OK(fail_or_warn("unknown declaration: " +
+                                     std::string(decl.substr(0, 40))));
+    }
+  }
+  return dtd;
+}
+
+namespace {
+
+struct Expander {
+  const Dtd* dtd;
+  const DtdToSchemaOptions* options;
+  std::unordered_map<std::string, std::vector<const DtdAttributeDecl*>>
+      attrs_of;
+
+  // Expands `decl` below `parent` (kInvalidNode for the root). `ancestors`
+  // carries the names on the path for recursion detection.
+  Status Expand(const DtdElementDecl& decl, schema::SchemaTree* tree,
+                schema::NodeId parent, std::vector<std::string>* ancestors,
+                const DtdChildRef* via_ref) {
+    if (static_cast<int>(ancestors->size()) >= options->max_depth) {
+      return Status::FailedPrecondition("DTD expansion exceeds max depth");
+    }
+    schema::NodeProperties props;
+    props.name = decl.name;
+    props.kind = schema::NodeKind::kElement;
+    if (decl.has_pcdata) props.datatype = "PCDATA";
+    if (via_ref != nullptr) {
+      props.repeatable = via_ref->repeatable;
+      props.optional = via_ref->optional;
+    }
+    schema::NodeId node = tree->AddNode(parent, std::move(props));
+
+    // Attributes first (document order in the ATTLIST).
+    if (options->include_attributes) {
+      auto it = attrs_of.find(decl.name);
+      if (it != attrs_of.end()) {
+        for (const DtdAttributeDecl* attr : it->second) {
+          schema::NodeProperties ap;
+          ap.name = attr->name;
+          ap.kind = schema::NodeKind::kAttribute;
+          ap.datatype = attr->type;
+          ap.optional = !attr->required;
+          tree->AddNode(node, std::move(ap));
+        }
+      }
+    }
+
+    ancestors->push_back(decl.name);
+    for (const DtdChildRef& ref : decl.children) {
+      const DtdElementDecl* child = dtd->FindElement(ref.name);
+      if (child == nullptr) {
+        // Referenced but undeclared: keep as a leaf (common in crawled
+        // DTDs).
+        schema::NodeProperties leaf;
+        leaf.name = ref.name;
+        leaf.repeatable = ref.repeatable;
+        leaf.optional = ref.optional;
+        tree->AddNode(node, std::move(leaf));
+        continue;
+      }
+      if (std::find(ancestors->begin(), ancestors->end(), ref.name) !=
+          ancestors->end()) {
+        if (options->fail_on_recursion) {
+          return Status::FailedPrecondition("recursive element '" +
+                                            ref.name + "'");
+        }
+        continue;  // Cut the recursive occurrence.
+      }
+      XSM_RETURN_NOT_OK(Expand(*child, tree, node, ancestors, &ref));
+    }
+    ancestors->pop_back();
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::vector<schema::SchemaTree>> DtdToSchemaTrees(
+    const Dtd& dtd, const DtdToSchemaOptions& options) {
+  std::vector<schema::SchemaTree> trees;
+  if (dtd.elements.empty()) return trees;
+
+  // Roots: declared elements not referenced by any other declared element.
+  // Cyclic DTDs can leave declarations uncovered (everything referenced);
+  // those are claimed greedily in declaration order — each uncovered
+  // element becomes an extra root and marks its reachable set as covered,
+  // so no vocabulary is lost and pure cycles yield a single tree.
+  std::unordered_set<std::string> referenced;
+  for (const DtdElementDecl& e : dtd.elements) {
+    for (const DtdChildRef& ref : e.children) {
+      if (ref.name != e.name) referenced.insert(ref.name);
+    }
+  }
+  std::unordered_set<std::string> covered;
+  auto mark_reachable = [&](const DtdElementDecl& root) {
+    std::vector<const DtdElementDecl*> stack{&root};
+    while (!stack.empty()) {
+      const DtdElementDecl* e = stack.back();
+      stack.pop_back();
+      if (!covered.insert(e->name).second) continue;
+      for (const DtdChildRef& ref : e->children) {
+        const DtdElementDecl* child = dtd.FindElement(ref.name);
+        if (child != nullptr) stack.push_back(child);
+      }
+    }
+  };
+  std::vector<const DtdElementDecl*> roots;
+  for (const DtdElementDecl& e : dtd.elements) {
+    if (!referenced.count(e.name)) {
+      roots.push_back(&e);
+      mark_reachable(e);
+    }
+  }
+  for (const DtdElementDecl& e : dtd.elements) {
+    if (!covered.count(e.name)) {
+      roots.push_back(&e);
+      mark_reachable(e);
+    }
+  }
+
+  Expander expander;
+  expander.dtd = &dtd;
+  expander.options = &options;
+  for (const DtdAttributeDecl& attr : dtd.attributes) {
+    expander.attrs_of[attr.element].push_back(&attr);
+  }
+
+  for (const DtdElementDecl* root : roots) {
+    schema::SchemaTree tree;
+    std::vector<std::string> ancestors;
+    XSM_RETURN_NOT_OK(expander.Expand(*root, &tree, schema::kInvalidNode,
+                                      &ancestors, nullptr));
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+}  // namespace xsm::xml

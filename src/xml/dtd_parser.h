@@ -1,0 +1,84 @@
+// DTD parsing and conversion to schema trees.
+//
+// The paper's repository was built from "1700 non-recursive DTDs and XML
+// schemas" crawled from the web. This module parses <!ELEMENT> content
+// models and <!ATTLIST> declarations and expands the declaration graph into
+// rooted schema trees — one tree per root element ("one schema can have
+// multiple roots, each represented with one tree").
+#ifndef XSM_XML_DTD_PARSER_H_
+#define XSM_XML_DTD_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::xml {
+
+/// A child reference extracted from a content model, with the cardinality
+/// implied by the surrounding operators.
+struct DtdChildRef {
+  std::string name;
+  bool repeatable = false;  ///< under a '*' or '+' anywhere in the model
+  bool optional = false;    ///< under a '?', '*', or a '|' choice
+};
+
+/// One <!ELEMENT name model> declaration.
+struct DtdElementDecl {
+  std::string name;
+  std::vector<DtdChildRef> children;  ///< document order, deduplicated
+  bool has_pcdata = false;
+  bool is_any = false;
+  bool is_empty = false;
+};
+
+/// One attribute from an <!ATTLIST>.
+struct DtdAttributeDecl {
+  std::string element;
+  std::string name;
+  std::string type;  ///< "CDATA", "ID", "enum", ...
+  bool required = false;
+};
+
+/// A parsed DTD (internal or external subset).
+struct Dtd {
+  std::vector<DtdElementDecl> elements;
+  std::vector<DtdAttributeDecl> attributes;
+  /// Declarations skipped in lenient mode with the reason (e.g. parameter
+  /// entities, malformed models).
+  std::vector<std::string> warnings;
+
+  const DtdElementDecl* FindElement(std::string_view name) const;
+};
+
+struct DtdParseOptions {
+  /// Lenient mode (default) skips unparseable declarations and records a
+  /// warning; strict mode fails the whole parse.
+  bool lenient = true;
+};
+
+/// Parses DTD text (the content of a .dtd file or an internal subset).
+Result<Dtd> ParseDtd(std::string_view content,
+                     const DtdParseOptions& options = {});
+
+struct DtdToSchemaOptions {
+  /// Expansion depth cap (defense against deep or pathological DTDs).
+  int max_depth = 64;
+  /// Recursive reference handling: fail, or cut the recursive occurrence
+  /// (the paper's corpus is explicitly non-recursive).
+  bool fail_on_recursion = false;
+  /// Include attributes as attribute-kind nodes.
+  bool include_attributes = true;
+};
+
+/// Expands a DTD into schema trees. Roots are the declared elements never
+/// referenced as a child of another declared element; if every element is
+/// referenced (pure cycle), every declared element becomes a root.
+Result<std::vector<schema::SchemaTree>> DtdToSchemaTrees(
+    const Dtd& dtd, const DtdToSchemaOptions& options = {});
+
+}  // namespace xsm::xml
+
+#endif  // XSM_XML_DTD_PARSER_H_

@@ -1,0 +1,300 @@
+#include "xml/xsd_parser.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "xml/xml_parser.h"
+
+namespace xsm::xml {
+
+namespace {
+
+// Expansion machinery over the parsed XML DOM of an xs:schema document.
+class XsdBuilder {
+ public:
+  XsdBuilder(const XmlDocument& doc, const XsdParseOptions& options,
+             XsdParseResult* out)
+      : doc_(doc), options_(options), out_(out) {}
+
+  Status Build() {
+    const XmlElement* schema = doc_.root.get();
+    if (schema == nullptr || schema->LocalName() != "schema") {
+      return Status::ParseError("document root is not an xs:schema");
+    }
+    // Index global declarations.
+    for (const auto& child : schema->children) {
+      std::string_view local = child->LocalName();
+      const std::string* name = child->FindAttribute("name");
+      if (local == "element" && name != nullptr) {
+        global_elements_[*name] = child.get();
+      } else if (local == "complexType" && name != nullptr) {
+        named_types_[*name] = child.get();
+      } else if (local == "simpleType" && name != nullptr) {
+        named_simple_types_[*name] = child.get();
+      }
+    }
+    if (global_elements_.empty()) {
+      Warn("schema has no global element declarations");
+      return Status::OK();
+    }
+    // Deterministic order: document order of the global elements.
+    for (const auto& child : schema->children) {
+      if (child->LocalName() != "element") continue;
+      const std::string* name = child->FindAttribute("name");
+      if (name == nullptr) continue;
+      schema::SchemaTree tree;
+      std::vector<std::string> type_stack;
+      XSM_RETURN_NOT_OK(ExpandElement(*child, &tree, schema::kInvalidNode,
+                                      &type_stack, 0));
+      if (!tree.empty()) out_->trees.push_back(std::move(tree));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void Warn(std::string msg) { out_->warnings.push_back(std::move(msg)); }
+
+  static std::string_view StripPrefix(std::string_view qname) {
+    size_t colon = qname.rfind(':');
+    return colon == std::string_view::npos ? qname
+                                           : qname.substr(colon + 1);
+  }
+
+  static bool IsOptional(const XmlElement& el) {
+    const std::string* v = el.FindAttribute("minOccurs");
+    return v != nullptr && *v == "0";
+  }
+  static bool IsRepeatable(const XmlElement& el) {
+    const std::string* v = el.FindAttribute("maxOccurs");
+    return v != nullptr && *v != "0" && *v != "1";
+  }
+
+  // Expands one xs:element occurrence (global or local).
+  Status ExpandElement(const XmlElement& element, schema::SchemaTree* tree,
+                       schema::NodeId parent,
+                       std::vector<std::string>* type_stack, int depth) {
+    if (depth >= options_.max_depth) {
+      return Status::FailedPrecondition("XSD expansion exceeds max depth");
+    }
+    // ref= resolves to a global element.
+    if (const std::string* ref = element.FindAttribute("ref")) {
+      std::string local(StripPrefix(*ref));
+      auto it = global_elements_.find(local);
+      if (it == global_elements_.end()) {
+        // Unknown ref: record as a leaf named after the reference.
+        schema::NodeProperties props;
+        props.name = local;
+        props.optional = IsOptional(element);
+        props.repeatable = IsRepeatable(element);
+        if (parent == schema::kInvalidNode) return Status::OK();
+        tree->AddNode(parent, std::move(props));
+        return Status::OK();
+      }
+      if (std::find(type_stack->begin(), type_stack->end(),
+                    "element:" + local) != type_stack->end()) {
+        if (options_.fail_on_recursion) {
+          return Status::FailedPrecondition("recursive element ref '" +
+                                            local + "'");
+        }
+        return Status::OK();  // Cut recursion.
+      }
+      type_stack->push_back("element:" + local);
+      Status st = ExpandNamedElement(*it->second, element, tree, parent,
+                                     type_stack, depth);
+      type_stack->pop_back();
+      return st;
+    }
+    return ExpandNamedElement(element, element, tree, parent, type_stack,
+                              depth);
+  }
+
+  // `decl` carries name/type/children; `occurrence` carries min/maxOccurs
+  // (they differ for ref= uses).
+  Status ExpandNamedElement(const XmlElement& decl,
+                            const XmlElement& occurrence,
+                            schema::SchemaTree* tree, schema::NodeId parent,
+                            std::vector<std::string>* type_stack,
+                            int depth) {
+    const std::string* name = decl.FindAttribute("name");
+    if (name == nullptr) {
+      Warn("xs:element without name or ref skipped");
+      return Status::OK();
+    }
+    schema::NodeProperties props;
+    props.name = *name;
+    props.optional = IsOptional(occurrence);
+    props.repeatable = IsRepeatable(occurrence);
+
+    const XmlElement* inline_complex = nullptr;
+    const XmlElement* referenced_complex = nullptr;
+    if (const std::string* type = decl.FindAttribute("type")) {
+      std::string local(StripPrefix(*type));
+      auto it = named_types_.find(local);
+      if (it != named_types_.end()) {
+        referenced_complex = it->second;
+      } else {
+        // Simple/builtin type: record as datatype.
+        props.datatype = *type;
+      }
+    }
+    for (const auto& child : decl.children) {
+      std::string_view local = child->LocalName();
+      if (local == "complexType") inline_complex = child.get();
+      if (local == "simpleType" && props.datatype.empty()) {
+        props.datatype = SimpleTypeName(*child);
+      }
+    }
+
+    schema::NodeId node = tree->AddNode(parent, std::move(props));
+
+    const XmlElement* complex =
+        inline_complex != nullptr ? inline_complex : referenced_complex;
+    if (complex == nullptr) return Status::OK();
+
+    if (referenced_complex != nullptr) {
+      const std::string* tname = referenced_complex->FindAttribute("name");
+      std::string key = "type:" + (tname ? *tname : "");
+      if (std::find(type_stack->begin(), type_stack->end(), key) !=
+          type_stack->end()) {
+        if (options_.fail_on_recursion) {
+          return Status::FailedPrecondition("recursive type '" + key + "'");
+        }
+        return Status::OK();
+      }
+      type_stack->push_back(key);
+      Status st = ExpandComplexType(*complex, tree, node, type_stack,
+                                    depth + 1);
+      type_stack->pop_back();
+      return st;
+    }
+    return ExpandComplexType(*complex, tree, node, type_stack, depth + 1);
+  }
+
+  // Extracts a representative datatype string from an xs:simpleType
+  // (restriction base if present).
+  static std::string SimpleTypeName(const XmlElement& simple_type) {
+    for (const auto& child : simple_type.children) {
+      if (child->LocalName() == "restriction") {
+        if (const std::string* base = child->FindAttribute("base")) {
+          return *base;
+        }
+      }
+    }
+    return "xs:anySimpleType";
+  }
+
+  Status ExpandComplexType(const XmlElement& complex,
+                           schema::SchemaTree* tree, schema::NodeId node,
+                           std::vector<std::string>* type_stack, int depth) {
+    if (depth >= options_.max_depth) {
+      return Status::FailedPrecondition("XSD expansion exceeds max depth");
+    }
+    for (const auto& child : complex.children) {
+      std::string_view local = child->LocalName();
+      if (local == "sequence" || local == "choice" || local == "all") {
+        XSM_RETURN_NOT_OK(
+            ExpandParticle(*child, tree, node, type_stack, depth));
+      } else if (local == "attribute") {
+        AddAttribute(*child, tree, node);
+      } else if (local == "complexContent" || local == "simpleContent") {
+        for (const auto& content : child->children) {
+          if (content->LocalName() == "extension" ||
+              content->LocalName() == "restriction") {
+            // Inherit base-type children first.
+            if (const std::string* base =
+                    content->FindAttribute("base")) {
+              std::string base_local(StripPrefix(*base));
+              auto it = named_types_.find(base_local);
+              if (it != named_types_.end()) {
+                std::string key = "type:" + base_local;
+                if (std::find(type_stack->begin(), type_stack->end(),
+                              key) == type_stack->end()) {
+                  type_stack->push_back(key);
+                  Status st = ExpandComplexType(*it->second, tree, node,
+                                                type_stack, depth + 1);
+                  type_stack->pop_back();
+                  XSM_RETURN_NOT_OK(st);
+                }
+              }
+            }
+            XSM_RETURN_NOT_OK(ExpandComplexType(*content, tree, node,
+                                                type_stack, depth + 1));
+          }
+        }
+      } else if (local == "annotation") {
+        continue;
+      } else if (local == "anyAttribute" || local == "any") {
+        continue;
+      } else if (!options_.lenient) {
+        return Status::ParseError("unsupported construct xs:" +
+                                  std::string(local));
+      } else {
+        Warn("skipped unsupported construct xs:" + std::string(local));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Expands a model group (sequence/choice/all) under `node`.
+  Status ExpandParticle(const XmlElement& group, schema::SchemaTree* tree,
+                        schema::NodeId node,
+                        std::vector<std::string>* type_stack, int depth) {
+    for (const auto& child : group.children) {
+      std::string_view local = child->LocalName();
+      if (local == "element") {
+        XSM_RETURN_NOT_OK(
+            ExpandElement(*child, tree, node, type_stack, depth + 1));
+      } else if (local == "sequence" || local == "choice" ||
+                 local == "all") {
+        XSM_RETURN_NOT_OK(
+            ExpandParticle(*child, tree, node, type_stack, depth + 1));
+      } else if (local == "annotation" || local == "any") {
+        continue;
+      } else if (!options_.lenient) {
+        return Status::ParseError("unsupported particle xs:" +
+                                  std::string(local));
+      } else {
+        Warn("skipped unsupported particle xs:" + std::string(local));
+      }
+    }
+    return Status::OK();
+  }
+
+  void AddAttribute(const XmlElement& attribute, schema::SchemaTree* tree,
+                    schema::NodeId node) {
+    const std::string* name = attribute.FindAttribute("name");
+    if (name == nullptr) {
+      Warn("xs:attribute without name skipped");
+      return;
+    }
+    schema::NodeProperties props;
+    props.name = *name;
+    props.kind = schema::NodeKind::kAttribute;
+    if (const std::string* type = attribute.FindAttribute("type")) {
+      props.datatype = *type;
+    }
+    const std::string* use = attribute.FindAttribute("use");
+    props.optional = use == nullptr || *use != "required";
+    tree->AddNode(node, std::move(props));
+  }
+
+  const XmlDocument& doc_;
+  const XsdParseOptions& options_;
+  XsdParseResult* out_;
+  std::unordered_map<std::string, const XmlElement*> global_elements_;
+  std::unordered_map<std::string, const XmlElement*> named_types_;
+  std::unordered_map<std::string, const XmlElement*> named_simple_types_;
+};
+
+}  // namespace
+
+Result<XsdParseResult> ParseXsd(std::string_view content,
+                                const XsdParseOptions& options) {
+  XSM_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(content));
+  XsdParseResult result;
+  XsdBuilder builder(doc, options, &result);
+  XSM_RETURN_NOT_OK(builder.Build());
+  return result;
+}
+
+}  // namespace xsm::xml

@@ -1,0 +1,44 @@
+// XML Schema (XSD) subset parser: turns xs:schema documents into schema
+// trees, one per global element declaration.
+//
+// Supported constructs (the profile that covers typical crawled schemas):
+// global/local xs:element (name=/ref=/type=/inline types, minOccurs,
+// maxOccurs), named and anonymous xs:complexType, xs:sequence / xs:choice /
+// xs:all (arbitrarily nested), xs:attribute (incl. inside complex types),
+// xs:simpleType (collapsed to a datatype string), xs:complexContent /
+// xs:extension (base-type children are inherited), xs:annotation (skipped).
+// Unsupported constructs are skipped with a warning in lenient mode.
+#ifndef XSM_XML_XSD_PARSER_H_
+#define XSM_XML_XSD_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::xml {
+
+struct XsdParseOptions {
+  /// Skip-and-warn on unsupported constructs instead of failing.
+  bool lenient = true;
+  /// Expansion depth cap.
+  int max_depth = 64;
+  /// Recursive type/element references: fail or cut.
+  bool fail_on_recursion = false;
+};
+
+struct XsdParseResult {
+  /// One tree per global element declaration.
+  std::vector<schema::SchemaTree> trees;
+  std::vector<std::string> warnings;
+};
+
+/// Parses an XSD document (full XML text).
+Result<XsdParseResult> ParseXsd(std::string_view content,
+                                const XsdParseOptions& options = {});
+
+}  // namespace xsm::xml
+
+#endif  // XSM_XML_XSD_PARSER_H_

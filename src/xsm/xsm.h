@@ -1,0 +1,39 @@
+// Umbrella header for the Bellflower clustered schema matching library.
+//
+// Quickstart:
+//   #include "xsm/xsm.h"
+//
+//   xsm::schema::SchemaForest repo = ...;           // load or generate
+//   xsm::core::Bellflower system(&repo);
+//   auto personal = xsm::schema::ParseTreeSpec("name(address,email)");
+//   xsm::core::MatchOptions options;                // δ, α, clustering, ...
+//   auto result = system.Match(*personal, options);
+//   for (const auto& m : result->mappings) { ... }
+#ifndef XSM_XSM_XSM_H_
+#define XSM_XSM_XSM_H_
+
+#include "cluster/kmeans.h"              // IWYU pragma: export
+#include "core/bellflower.h"             // IWYU pragma: export
+#include "core/preservation.h"           // IWYU pragma: export
+#include "generate/mapping_generator.h"  // IWYU pragma: export
+#include "generate/schema_mapping.h"     // IWYU pragma: export
+#include "label/tree_index.h"            // IWYU pragma: export
+#include "match/element_matcher.h"       // IWYU pragma: export
+#include "match/element_matching.h"      // IWYU pragma: export
+#include "objective/objective.h"         // IWYU pragma: export
+#include "query/xpath.h"                 // IWYU pragma: export
+#include "repo/loader.h"                 // IWYU pragma: export
+#include "repo/synthetic.h"              // IWYU pragma: export
+#include "schema/schema_forest.h"        // IWYU pragma: export
+#include "schema/schema_tree.h"          // IWYU pragma: export
+#include "sim/string_similarity.h"       // IWYU pragma: export
+#include "sim/synonym_dictionary.h"      // IWYU pragma: export
+#include "util/histogram.h"              // IWYU pragma: export
+#include "util/random.h"                 // IWYU pragma: export
+#include "util/status.h"                 // IWYU pragma: export
+#include "util/timer.h"                  // IWYU pragma: export
+#include "xml/dtd_parser.h"              // IWYU pragma: export
+#include "xml/xml_parser.h"              // IWYU pragma: export
+#include "xml/xsd_parser.h"              // IWYU pragma: export
+
+#endif  // XSM_XSM_XSM_H_

@@ -1,0 +1,281 @@
+#include "core/bellflower.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/preservation.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::core {
+namespace {
+
+using generate::SchemaMapping;
+using schema::SchemaForest;
+using schema::SchemaTree;
+
+// Repository with several trees holding name/address/email-like regions.
+SchemaForest MakeRepo() {
+  SchemaForest f;
+  f.AddTree(*schema::ParseTreeSpec(
+      "person(name,contact(address,email),phone)"));
+  f.AddTree(*schema::ParseTreeSpec(
+      "customer(fullName(name),addr,mail,account(email))"));
+  f.AddTree(*schema::ParseTreeSpec(
+      "lib(book(title,authorName),address(city,zip))"));
+  f.AddTree(*schema::ParseTreeSpec("engine(piston,valve(lift))"));
+  f.AddTree(*schema::ParseTreeSpec(
+      "contacts(entry(name,address,email),entry2(name,address,email))"));
+  return f;
+}
+
+SchemaTree Personal() { return *schema::ParseTreeSpec("name(address,email)"); }
+
+MatchOptions BaselineOptions() {
+  MatchOptions o;
+  o.element.threshold = 0.55;
+  o.delta = 0.5;
+  o.clustering = ClusteringMode::kTreeClusters;
+  return o;
+}
+
+MatchOptions ClusteredOptions(int join_distance = 3) {
+  MatchOptions o = BaselineOptions();
+  o.clustering = ClusteringMode::kKMeans;
+  o.kmeans.join_distance = join_distance;
+  o.kmeans.min_cluster_size = 2;
+  return o;
+}
+
+TEST(BellflowerTest, BaselineFindsRankedMappings) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  auto r = system.Match(Personal(), BaselineOptions());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->mappings.size(), 0u);
+
+  // Ranked list: non-increasing Δ.
+  for (size_t i = 1; i < r->mappings.size(); ++i) {
+    EXPECT_GE(r->mappings[i - 1].delta, r->mappings[i].delta);
+  }
+  // Every mapping obeys the threshold and injectivity.
+  for (const auto& m : r->mappings) {
+    EXPECT_GE(m.delta, 0.5);
+    std::set<schema::NodeId> uniq(m.images.begin(), m.images.end());
+    EXPECT_EQ(uniq.size(), m.images.size());
+  }
+  // The perfect region (tree 0: name + address/email under contact) ranks
+  // first with Δsim = 1.
+  EXPECT_EQ(r->mappings[0].delta_sim, 1.0);
+}
+
+TEST(BellflowerTest, StatsAreConsistent) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  auto r = system.Match(Personal(), BaselineOptions());
+  ASSERT_TRUE(r.ok());
+  const MatchStats& s = r->stats;
+  EXPECT_EQ(s.repository_trees, repo.num_trees());
+  EXPECT_EQ(s.repository_nodes, repo.total_nodes());
+  EXPECT_GT(s.total_mapping_elements, 0u);
+  EXPECT_GE(s.total_mapping_elements, s.distinct_mapping_nodes);
+  EXPECT_EQ(s.num_mappings, r->mappings.size());
+  EXPECT_EQ(s.generator.emitted, r->mappings.size());
+  EXPECT_GE(s.generator.partial_mappings, s.generator.complete_mappings);
+  // Search space bounds the number of complete mappings tested.
+  EXPECT_LE(static_cast<double>(s.generator.complete_mappings),
+            s.search_space + 1e-9);
+  // Cluster summaries add up.
+  size_t useful = 0;
+  double space = 0;
+  for (const auto& c : s.cluster_summaries) {
+    if (c.useful) {
+      ++useful;
+      space += c.search_space;
+    }
+  }
+  EXPECT_EQ(useful, s.num_useful_clusters);
+  EXPECT_DOUBLE_EQ(space, s.search_space);
+  EXPECT_EQ(s.cluster_summaries.size(), s.num_clusters);
+}
+
+TEST(BellflowerTest, ClusteredIsSubsetOfBaseline) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  auto baseline = system.Match(Personal(), BaselineOptions());
+  ASSERT_TRUE(baseline.ok());
+  for (int join = 2; join <= 4; ++join) {
+    auto clustered = system.Match(Personal(), ClusteredOptions(join));
+    ASSERT_TRUE(clustered.ok());
+    EXPECT_TRUE(IsSubsetOf(clustered->mappings, baseline->mappings))
+        << "join=" << join;
+    EXPECT_LE(clustered->stats.search_space, baseline->stats.search_space);
+    EXPECT_LE(clustered->stats.generator.partial_mappings,
+              baseline->stats.generator.partial_mappings);
+  }
+}
+
+TEST(BellflowerTest, TreeClustersMatchTreeCount) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  auto r = system.Match(Personal(), BaselineOptions());
+  ASSERT_TRUE(r.ok());
+  // Every cluster is a tree with ≥1 mapping element; useful clusters carry
+  // all three personal nodes.
+  EXPECT_LE(r->stats.num_clusters, repo.num_trees());
+  EXPECT_GT(r->stats.num_useful_clusters, 0u);
+  EXPECT_LE(r->stats.num_useful_clusters, r->stats.num_clusters);
+}
+
+TEST(BellflowerTest, SearchSpaceMatchesManualComputation) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  MatchOptions o = BaselineOptions();
+  auto r = system.Match(Personal(), o);
+  ASSERT_TRUE(r.ok());
+
+  // Manually recompute: per useful tree, Π_n |ME_n ∩ tree|.
+  auto matching = match::MatchElements(Personal(), repo, o.element);
+  ASSERT_TRUE(matching.ok());
+  double expected = 0;
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(repo.num_trees()); ++t) {
+    double prod = 1;
+    bool useful = true;
+    for (const auto& set : matching->sets) {
+      size_t count = 0;
+      for (const auto& e : set.elements) {
+        if (e.node.tree == t) ++count;
+      }
+      if (count == 0) useful = false;
+      prod *= static_cast<double>(count);
+    }
+    if (useful) expected += prod;
+  }
+  EXPECT_DOUBLE_EQ(r->stats.search_space, expected);
+}
+
+TEST(BellflowerTest, TopNTruncatesButKeepsStats) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  MatchOptions o = BaselineOptions();
+  o.top_n = 2;
+  auto r = system.Match(Personal(), o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->mappings.size(), 2u);
+  EXPECT_GE(r->stats.num_mappings, r->mappings.size());
+}
+
+TEST(BellflowerTest, HigherDeltaFindsFewerMappings) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  MatchOptions lo = BaselineOptions();
+  lo.delta = 0.4;
+  MatchOptions hi = BaselineOptions();
+  hi.delta = 0.8;
+  auto rl = system.Match(Personal(), lo);
+  auto rh = system.Match(Personal(), hi);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rh.ok());
+  EXPECT_GE(rl->mappings.size(), rh->mappings.size());
+  // High-threshold solutions are exactly the low-threshold ones above 0.8.
+  size_t expected = 0;
+  for (const auto& m : rl->mappings) {
+    if (m.delta >= 0.8) ++expected;
+  }
+  EXPECT_EQ(rh->mappings.size(), expected);
+}
+
+TEST(BellflowerTest, AlphaChangesRanking) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  MatchOptions path_heavy = BaselineOptions();
+  path_heavy.objective.alpha = 0.25;
+  MatchOptions name_heavy = BaselineOptions();
+  name_heavy.objective.alpha = 0.75;
+  auto rp = system.Match(Personal(), path_heavy);
+  auto rn = system.Match(Personal(), name_heavy);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rn.ok());
+  // Same assignments exist (threshold pushed low enough by construction)…
+  // but Δ values differ between objectives.
+  ASSERT_FALSE(rp->mappings.empty());
+  ASSERT_FALSE(rn->mappings.empty());
+  bool any_difference = false;
+  for (const auto& mp : rp->mappings) {
+    for (const auto& mn : rn->mappings) {
+      if (mp.SameAssignment(mn) && std::abs(mp.delta - mn.delta) > 1e-9) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BellflowerTest, ResolveK) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  objective::ObjectiveParams params;
+  params.k_norm = 7.5;
+  EXPECT_DOUBLE_EQ(system.ResolveK(params), 7.5);
+  params.k_norm = 0.0;
+  EXPECT_DOUBLE_EQ(system.ResolveK(params),
+                   std::max(1, system.index().max_diameter() - 1));
+}
+
+TEST(BellflowerTest, RejectsInvalidOptions) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  MatchOptions o = BaselineOptions();
+  o.delta = 1.5;
+  EXPECT_FALSE(system.Match(Personal(), o).ok());
+  o = BaselineOptions();
+  o.objective.alpha = -1;
+  EXPECT_FALSE(system.Match(Personal(), o).ok());
+  SchemaTree empty;
+  EXPECT_FALSE(system.Match(empty, BaselineOptions()).ok());
+}
+
+TEST(BellflowerTest, NoMatchesProducesEmptyResult) {
+  SchemaForest repo;
+  repo.AddTree(*schema::ParseTreeSpec("engine(piston,valve)"));
+  Bellflower system(&repo);
+  auto r = system.Match(*schema::ParseTreeSpec("zebra(quokka)"),
+                        BaselineOptions());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->mappings.empty());
+  EXPECT_EQ(r->stats.total_mapping_elements, 0u);
+}
+
+TEST(BellflowerTest, SingleNodePersonalSchema) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  auto r = system.Match(*schema::ParseTreeSpec("email"), BaselineOptions());
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r->mappings.size(), 0u);
+  for (const auto& m : r->mappings) {
+    EXPECT_EQ(m.images.size(), 1u);
+    EXPECT_DOUBLE_EQ(m.delta_path, 1.0);
+    EXPECT_EQ(m.total_path_length, 0);
+  }
+}
+
+TEST(BellflowerTest, DeterministicResults) {
+  SchemaForest repo = MakeRepo();
+  Bellflower system(&repo);
+  auto a = system.Match(Personal(), ClusteredOptions());
+  auto b = system.Match(Personal(), ClusteredOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->mappings.size(), b->mappings.size());
+  for (size_t i = 0; i < a->mappings.size(); ++i) {
+    EXPECT_TRUE(a->mappings[i].SameAssignment(b->mappings[i]));
+    EXPECT_DOUBLE_EQ(a->mappings[i].delta, b->mappings[i].delta);
+  }
+}
+
+}  // namespace
+}  // namespace xsm::core

@@ -1,0 +1,71 @@
+#include "core/preservation.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm::core {
+namespace {
+
+using generate::SchemaMapping;
+
+SchemaMapping M(schema::TreeId tree, std::vector<schema::NodeId> images,
+                double delta) {
+  SchemaMapping m;
+  m.tree = tree;
+  m.images = std::move(images);
+  m.delta = delta;
+  return m;
+}
+
+TEST(PreservationCurveTest, FullPreservation) {
+  std::vector<SchemaMapping> base{M(0, {1}, 0.8), M(0, {2}, 0.9)};
+  auto curve = PreservationCurve(base, base, 0.75, 1.0, 6);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_DOUBLE_EQ(curve.front().delta, 0.75);
+  EXPECT_DOUBLE_EQ(curve.back().delta, 1.0);
+  for (const auto& p : curve) {
+    EXPECT_DOUBLE_EQ(p.preserved, 1.0);
+    EXPECT_EQ(p.baseline_count, p.clustered_count);
+  }
+}
+
+TEST(PreservationCurveTest, PartialPreservationCounts) {
+  // Baseline: deltas {0.76, 0.8, 0.9, 0.95}; clustered keeps top two.
+  std::vector<SchemaMapping> base{M(0, {1}, 0.76), M(0, {2}, 0.8),
+                                  M(0, {3}, 0.9), M(0, {4}, 0.95)};
+  std::vector<SchemaMapping> clus{M(0, {3}, 0.9), M(0, {4}, 0.95)};
+  auto curve = PreservationCurve(base, clus, 0.75, 1.0, 6);
+  // δ=0.75: 2/4. δ=0.85: 2/2. δ=1.0: 0/0 → defined as 1.
+  EXPECT_DOUBLE_EQ(curve[0].preserved, 0.5);
+  EXPECT_EQ(curve[0].baseline_count, 4u);
+  EXPECT_EQ(curve[0].clustered_count, 2u);
+  EXPECT_DOUBLE_EQ(curve[2].preserved, 1.0);  // δ=0.85
+  EXPECT_DOUBLE_EQ(curve[5].preserved, 1.0);  // empty baseline
+  EXPECT_EQ(curve[5].baseline_count, 0u);
+}
+
+TEST(PreservationCurveTest, ThresholdBoundaryIsInclusive) {
+  std::vector<SchemaMapping> base{M(0, {1}, 0.8)};
+  auto curve = PreservationCurve(base, {}, 0.8, 0.8001, 2);
+  EXPECT_EQ(curve[0].baseline_count, 1u);  // Δ ≥ 0.8 includes 0.8
+  EXPECT_DOUBLE_EQ(curve[0].preserved, 0.0);
+}
+
+TEST(IsSubsetOfTest, Basics) {
+  std::vector<SchemaMapping> base{M(0, {1, 2}, 0.8), M(1, {3, 4}, 0.9)};
+  std::vector<SchemaMapping> sub{M(1, {3, 4}, 0.9)};
+  std::vector<SchemaMapping> other{M(2, {1, 2}, 0.8)};
+  EXPECT_TRUE(IsSubsetOf(sub, base));
+  EXPECT_TRUE(IsSubsetOf({}, base));
+  EXPECT_TRUE(IsSubsetOf(base, base));
+  EXPECT_FALSE(IsSubsetOf(other, base));
+  EXPECT_FALSE(IsSubsetOf(base, sub));
+}
+
+TEST(IsSubsetOfTest, ComparesAssignmentNotScore) {
+  std::vector<SchemaMapping> base{M(0, {1, 2}, 0.8)};
+  std::vector<SchemaMapping> rescored{M(0, {1, 2}, 0.5)};
+  EXPECT_TRUE(IsSubsetOf(rescored, base));
+}
+
+}  // namespace
+}  // namespace xsm::core

@@ -1,0 +1,176 @@
+#include "generate/partial_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "label/tree_index.h"
+#include "objective/objective.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::generate {
+namespace {
+
+using match::MappingElement;
+using schema::NodeRef;
+using schema::SchemaTree;
+
+struct Fixture {
+  SchemaTree personal = *schema::ParseTreeSpec("name(address,email)");
+  SchemaTree repo_tree =
+      *schema::ParseTreeSpec("person(name,contact(address,phone))");
+  label::TreeIndex index = label::TreeIndex::Build(repo_tree);
+  // Non-useful cluster: no email candidate at all.
+  ClusterCandidates cands;
+
+  Fixture() {
+    cands.tree = 0;
+    cands.candidates.resize(3);
+    cands.candidates[0] = {{NodeRef{0, 1}, 1.0}};  // name -> name
+    cands.candidates[1] = {{NodeRef{0, 3}, 1.0}};  // address -> address
+    // email: empty.
+  }
+};
+
+PartialGeneratorOptions Opts(double delta = 0.0, size_t min_assigned = 2) {
+  PartialGeneratorOptions o;
+  o.delta = delta;
+  o.min_assigned = min_assigned;
+  return o;
+}
+
+TEST(PartialGeneratorTest, RecoversMaximalPartialMapping) {
+  Fixture f;
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialMappingGenerator gen(f.personal, obj, Opts());
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  ASSERT_TRUE(gen.Generate(f.cands, f.index, &out, &counters).ok());
+  ASSERT_EQ(out.size(), 1u);
+  const PartialMapping& m = out[0];
+  EXPECT_EQ(m.assigned_count, 2);
+  EXPECT_NEAR(m.Coverage(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(m.images[0], 1);                    // name
+  EXPECT_EQ(m.images[1], 3);                    // address
+  EXPECT_EQ(m.images[2], schema::kInvalidNode);  // email unassigned
+  // Δsim averages over all 3 personal nodes: (1+1+0)/3.
+  EXPECT_NEAR(m.delta_sim, 2.0 / 3.0, 1e-12);
+  // One closed edge (name->address), dist(1,3)=3: excess 2, K=4 ->
+  // Δpath = 1 - 2/4 = 0.5.
+  EXPECT_NEAR(m.delta_path, 0.5, 1e-12);
+  EXPECT_NEAR(m.delta, 0.5 * 2.0 / 3.0 + 0.5 * 0.5, 1e-12);
+}
+
+TEST(PartialGeneratorTest, MinAssignedFilters) {
+  Fixture f;
+  f.cands.candidates[1].clear();  // only "name" assignable now
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialMappingGenerator gen(f.personal, obj, Opts(0.0, 2));
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  ASSERT_TRUE(gen.Generate(f.cands, f.index, &out, &counters).ok());
+  EXPECT_TRUE(out.empty());
+
+  PartialMappingGenerator gen1(f.personal, obj, Opts(0.0, 1));
+  ASSERT_TRUE(gen1.Generate(f.cands, f.index, &out, &counters).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].assigned_count, 1);
+  // No closed edges: Δpath defaults to 1.
+  EXPECT_DOUBLE_EQ(out[0].delta_path, 1.0);
+}
+
+TEST(PartialGeneratorTest, DeltaThresholdApplies) {
+  Fixture f;
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialMappingGenerator strict(f.personal, obj, Opts(0.9));
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  ASSERT_TRUE(strict.Generate(f.cands, f.index, &out, &counters).ok());
+  EXPECT_TRUE(out.empty());  // best partial scores ~0.583
+}
+
+TEST(PartialGeneratorTest, SkippedParentAnchorsToGrandparent) {
+  // personal a(b(c)); cluster lacks b entirely: c must anchor to a's image.
+  SchemaTree personal = *schema::ParseTreeSpec("a(b(c))");
+  SchemaTree repo = *schema::ParseTreeSpec("x(y(z))");
+  label::TreeIndex index = label::TreeIndex::Build(repo);
+  ClusterCandidates cands;
+  cands.tree = 0;
+  cands.candidates.resize(3);
+  cands.candidates[0] = {{NodeRef{0, 0}, 1.0}};  // a -> x
+  cands.candidates[2] = {{NodeRef{0, 2}, 1.0}};  // c -> z
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialMappingGenerator gen(personal, obj, Opts());
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  ASSERT_TRUE(gen.Generate(cands, index, &out, &counters).ok());
+  ASSERT_EQ(out.size(), 1u);
+  // Edge c->anchor(a): dist(x=0, z=2) = 2 -> excess 1, Δpath = 1-1/4.
+  EXPECT_NEAR(out[0].delta_path, 0.75, 1e-12);
+  EXPECT_EQ(out[0].assigned_count, 2);
+}
+
+TEST(PartialGeneratorTest, InjectivityAcrossAssignedSubset) {
+  SchemaTree personal = *schema::ParseTreeSpec("a(b,c)");
+  SchemaTree repo = *schema::ParseTreeSpec("x(y)");
+  label::TreeIndex index = label::TreeIndex::Build(repo);
+  ClusterCandidates cands;
+  cands.tree = 0;
+  cands.candidates.resize(3);
+  cands.candidates[0] = {{NodeRef{0, 0}, 1.0}};
+  cands.candidates[1] = {{NodeRef{0, 1}, 1.0}};
+  cands.candidates[2] = {{NodeRef{0, 1}, 1.0}};  // same node as b's
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialMappingGenerator gen(personal, obj, Opts(0.0, 3));
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  ASSERT_TRUE(gen.Generate(cands, index, &out, &counters).ok());
+  EXPECT_TRUE(out.empty());  // b and c would collide on node 1
+}
+
+TEST(PartialGeneratorTest, BudgetTruncates) {
+  Fixture f;
+  // Blow up the candidate lists a bit.
+  for (schema::NodeId n = 0; n < 5; ++n) {
+    f.cands.candidates[0].push_back({NodeRef{0, n}, 0.8});
+    f.cands.candidates[1].push_back({NodeRef{0, n}, 0.8});
+  }
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialGeneratorOptions o = Opts();
+  o.max_partial_mappings = 3;
+  PartialMappingGenerator gen(f.personal, obj, o);
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  ASSERT_TRUE(gen.Generate(f.cands, f.index, &out, &counters).ok());
+  EXPECT_TRUE(counters.truncated);
+  EXPECT_LE(counters.partial_mappings, 4u);
+}
+
+TEST(PartialGeneratorTest, RejectsMismatchedInput) {
+  Fixture f;
+  f.cands.candidates.pop_back();
+  objective::BellflowerObjective obj(0.5, 4, 3, 2);
+  PartialMappingGenerator gen(f.personal, obj, Opts());
+  std::vector<PartialMapping> out;
+  GeneratorCounters counters;
+  EXPECT_FALSE(gen.Generate(f.cands, f.index, &out, &counters).ok());
+  EXPECT_FALSE(gen.Generate(f.cands, f.index, nullptr, &counters).ok());
+}
+
+TEST(PartialMappingOrderTest, SortsByDeltaThenIdentity) {
+  PartialMapping a;
+  a.delta = 0.9;
+  a.tree = 1;
+  PartialMapping b;
+  b.delta = 0.8;
+  b.tree = 0;
+  PartialMapping c;
+  c.delta = 0.8;
+  c.tree = 2;
+  std::vector<PartialMapping> v{c, b, a};
+  std::sort(v.begin(), v.end(), PartialMappingOrder());
+  EXPECT_DOUBLE_EQ(v[0].delta, 0.9);
+  EXPECT_EQ(v[1].tree, 0);
+  EXPECT_EQ(v[2].tree, 2);
+}
+
+}  // namespace
+}  // namespace xsm::generate

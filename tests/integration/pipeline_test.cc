@@ -1,0 +1,207 @@
+// End-to-end integration tests: schema text → parsed forest → (serialized
+// round trip) → clustered matching → query rewriting, plus cross-stage
+// consistency checks the unit suites cannot see.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/bellflower.h"
+#include "core/preservation.h"
+#include "query/xpath.h"
+#include "repo/loader.h"
+#include "schema/serialization.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xsd_parser.h"
+
+namespace xsm {
+namespace {
+
+constexpr char kLibraryDtd[] = R"(
+<!ELEMENT lib (book*, address)>
+<!ELEMENT book (data, shelf?)>
+<!ELEMENT data (title, authorName)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authorName (#PCDATA)>
+<!ELEMENT shelf (#PCDATA)>
+<!ELEMENT address (#PCDATA)>
+)";
+
+constexpr char kBookstoreXsd[] = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="bookstore">
+    <xs:complexType><xs:sequence>
+      <xs:element name="book" maxOccurs="unbounded">
+        <xs:complexType><xs:sequence>
+          <xs:element name="title" type="xs:string"/>
+          <xs:element name="author" type="xs:string"/>
+          <xs:element name="price" type="xs:decimal"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+      <xs:element name="location" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>)";
+
+constexpr char kGarageXsd[] = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="garage">
+    <xs:complexType><xs:sequence>
+      <xs:element name="car" maxOccurs="unbounded">
+        <xs:complexType><xs:sequence>
+          <xs:element name="plate" type="xs:string"/>
+          <xs:element name="owner" type="xs:string"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>)";
+
+schema::SchemaForest BuildRepository() {
+  schema::SchemaForest forest;
+  auto loaded =
+      repo::LoadSchemaText(kLibraryDtd, "dtd", "library.dtd", &forest);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  loaded = repo::LoadSchemaText(kBookstoreXsd, "xsd", "bookstore.xsd",
+                                &forest);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  loaded = repo::LoadSchemaText(kGarageXsd, "xsd", "garage.xsd", &forest);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return forest;
+}
+
+TEST(PipelineIntegrationTest, ParseMatchRewrite) {
+  schema::SchemaForest repo = BuildRepository();
+  ASSERT_EQ(repo.num_trees(), 3u);
+  ASSERT_TRUE(repo.Validate().ok());
+
+  schema::SchemaTree personal =
+      *schema::ParseTreeSpec("book(title,author)");
+  core::Bellflower system(&repo);
+  core::MatchOptions options;
+  options.element.threshold = 0.5;
+  options.delta = 0.55;
+  options.clustering = core::ClusteringMode::kTreeClusters;
+  auto result = system.Match(personal, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->mappings.size(), 2u);
+
+  // The bookstore (exact names, tight structure) must beat the library
+  // (authorName under an extra 'data' hop); the garage must not appear.
+  EXPECT_EQ(repo.source(result->mappings[0].tree), "bookstore.xsd");
+  for (const auto& m : result->mappings) {
+    EXPECT_NE(repo.source(m.tree), "garage.xsd");
+  }
+
+  // Rewrite the paper's query over the best and second-best mapping.
+  auto query = query::ParseXPath("/book[title=\"Iliad\"]/author");
+  ASSERT_TRUE(query.ok());
+  auto best = query::RewriteQuery(*query, personal, result->mappings[0],
+                                  repo);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_EQ(best->ToString(),
+            "/bookstore/book[title=\"Iliad\"]/author");
+  // Find the library mapping with title+authorName images.
+  bool found_library_rewrite = false;
+  for (const auto& m : result->mappings) {
+    if (repo.source(m.tree) != "library.dtd") continue;
+    auto rewritten = query::RewriteQuery(*query, personal, m, repo);
+    ASSERT_TRUE(rewritten.ok());
+    if (rewritten->ToString() ==
+        "/lib/book[data/title=\"Iliad\"]/data/authorName") {
+      found_library_rewrite = true;
+    }
+  }
+  EXPECT_TRUE(found_library_rewrite);
+}
+
+TEST(PipelineIntegrationTest, SerializationPreservesMatchResults) {
+  schema::SchemaForest repo = BuildRepository();
+  auto round_tripped =
+      schema::DeserializeForest(schema::SerializeForest(repo));
+  ASSERT_TRUE(round_tripped.ok());
+
+  schema::SchemaTree personal =
+      *schema::ParseTreeSpec("book(title,author)");
+  core::MatchOptions options;
+  options.element.threshold = 0.5;
+  options.delta = 0.5;
+  options.clustering = core::ClusteringMode::kTreeClusters;
+
+  core::Bellflower original(&repo);
+  core::Bellflower restored(&*round_tripped);
+  auto a = original.Match(personal, options);
+  auto b = restored.Match(personal, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->mappings.size(), b->mappings.size());
+  for (size_t i = 0; i < a->mappings.size(); ++i) {
+    EXPECT_TRUE(a->mappings[i].SameAssignment(b->mappings[i]));
+    EXPECT_DOUBLE_EQ(a->mappings[i].delta, b->mappings[i].delta);
+  }
+}
+
+TEST(PipelineIntegrationTest, ClusteredSubsetHoldsOnParsedCorpus) {
+  schema::SchemaForest repo = BuildRepository();
+  schema::SchemaTree personal =
+      *schema::ParseTreeSpec("book(title,author)");
+  core::Bellflower system(&repo);
+
+  core::MatchOptions baseline;
+  baseline.element.threshold = 0.5;
+  baseline.delta = 0.5;
+  baseline.clustering = core::ClusteringMode::kTreeClusters;
+  auto rb = system.Match(personal, baseline);
+  ASSERT_TRUE(rb.ok());
+
+  core::MatchOptions clustered = baseline;
+  clustered.clustering = core::ClusteringMode::kKMeans;
+  clustered.kmeans.join_distance = 2;
+  clustered.kmeans.min_cluster_size = 2;
+  auto rc = system.Match(personal, clustered);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_TRUE(core::IsSubsetOf(rc->mappings, rb->mappings));
+}
+
+TEST(PipelineIntegrationTest, InternalDtdSubsetFlowsThrough) {
+  // A full XML document whose DOCTYPE carries the schema declarations.
+  constexpr char kDoc[] =
+      "<!DOCTYPE note [\n"
+      "<!ELEMENT note (to, from, body)>\n"
+      "<!ELEMENT to (#PCDATA)>\n"
+      "<!ELEMENT from (#PCDATA)>\n"
+      "<!ELEMENT body (#PCDATA)>\n"
+      "]>\n"
+      "<note><to>a</to><from>b</from><body>c</body></note>";
+  auto doc = xml::ParseXml(kDoc);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_FALSE(doc->internal_dtd.empty());
+  auto dtd = xml::ParseDtd(doc->internal_dtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  auto trees = xml::DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok());
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_EQ((*trees)[0].name(0), "note");
+  EXPECT_EQ((*trees)[0].size(), 4u);
+}
+
+TEST(PipelineIntegrationTest, ErrorsPropagateNotCrash) {
+  schema::SchemaForest forest;
+  // Broken inputs at every stage return Status errors.
+  EXPECT_FALSE(repo::LoadSchemaText("<!ELEMENT", "dtd", "x", &forest,
+                                    {.lenient = false})
+                   .ok());
+  EXPECT_FALSE(repo::LoadSchemaText("<broken", "xsd", "x", &forest).ok());
+  EXPECT_FALSE(schema::DeserializeForest("garbage").ok());
+  EXPECT_FALSE(query::ParseXPath("not-an-xpath").ok());
+
+  schema::SchemaForest repo = BuildRepository();
+  core::Bellflower system(&repo);
+  core::MatchOptions bad;
+  bad.delta = 2.0;
+  EXPECT_FALSE(
+      system.Match(*schema::ParseTreeSpec("book"), bad).ok());
+}
+
+}  // namespace
+}  // namespace xsm

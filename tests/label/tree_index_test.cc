@@ -1,0 +1,173 @@
+#include "label/tree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "schema/schema_tree.h"
+#include "util/random.h"
+
+namespace xsm::label {
+namespace {
+
+using schema::kInvalidNode;
+using schema::NodeId;
+using schema::SchemaTree;
+
+// Naive reference implementations via parent walks.
+int NaiveDepth(const SchemaTree& t, NodeId n) {
+  int d = 0;
+  while (t.parent(n) != kInvalidNode) {
+    n = t.parent(n);
+    ++d;
+  }
+  return d;
+}
+
+NodeId NaiveLca(const SchemaTree& t, NodeId u, NodeId v) {
+  std::vector<bool> on_path(t.size(), false);
+  for (NodeId x = u; x != kInvalidNode; x = t.parent(x)) {
+    on_path[static_cast<size_t>(x)] = true;
+  }
+  for (NodeId x = v; x != kInvalidNode; x = t.parent(x)) {
+    if (on_path[static_cast<size_t>(x)]) return x;
+  }
+  return kInvalidNode;
+}
+
+int NaiveDistance(const SchemaTree& t, NodeId u, NodeId v) {
+  NodeId l = NaiveLca(t, u, v);
+  return NaiveDepth(t, u) + NaiveDepth(t, v) - 2 * NaiveDepth(t, l);
+}
+
+SchemaTree RandomTree(size_t n, uint64_t seed) {
+  xsm::Rng rng(seed);
+  SchemaTree t;
+  t.AddNode(kInvalidNode, {.name = "n0"});
+  for (size_t i = 1; i < n; ++i) {
+    NodeId parent = static_cast<NodeId>(rng.Uniform(i));
+    t.AddNode(parent, {.name = "n" + std::to_string(i)});
+  }
+  return t;
+}
+
+TEST(TreeIndexTest, PaperRepositoryFragment) {
+  // Fig. 1 repository tree:
+  // lib(n1') -> book(n2'), address(n7'); book -> title(n4'?)...
+  // Use: lib(book(title,authorName,data(shelf)),address)
+  auto t = *schema::ParseTreeSpec(
+      "lib(book(title,authorName,data(shelf)),address)");
+  TreeIndex idx = TreeIndex::Build(t);
+  // Node ids in pre-order: lib=0 book=1 title=2 authorName=3 data=4 shelf=5
+  // address=6.
+  EXPECT_EQ(idx.Lca(2, 3), 1);       // title, authorName -> book
+  EXPECT_EQ(idx.Lca(5, 6), 0);       // shelf, address -> lib
+  EXPECT_EQ(idx.Distance(2, 3), 2);  // title-book-authorName
+  EXPECT_EQ(idx.Distance(5, 6), 4);  // shelf-data-book-lib-address
+  EXPECT_EQ(idx.Distance(0, 5), 3);
+  EXPECT_EQ(idx.Distance(4, 4), 0);
+  EXPECT_TRUE(idx.IsAncestorOrSelf(0, 5));
+  EXPECT_TRUE(idx.IsAncestorOrSelf(1, 1));
+  EXPECT_FALSE(idx.IsAncestorOrSelf(6, 5));
+  EXPECT_FALSE(idx.IsAncestorOrSelf(5, 0));
+  EXPECT_EQ(idx.height(), 3);
+  EXPECT_EQ(idx.diameter(), 4);  // shelf..address
+}
+
+TEST(TreeIndexTest, SingleNode) {
+  auto t = *schema::ParseTreeSpec("solo");
+  TreeIndex idx = TreeIndex::Build(t);
+  EXPECT_EQ(idx.Distance(0, 0), 0);
+  EXPECT_EQ(idx.Lca(0, 0), 0);
+  EXPECT_EQ(idx.diameter(), 0);
+  EXPECT_EQ(idx.height(), 0);
+}
+
+TEST(TreeIndexTest, ChainDiameter) {
+  SchemaTree t;
+  NodeId prev = t.AddNode(kInvalidNode, {.name = "a"});
+  for (int i = 0; i < 9; ++i) prev = t.AddNode(prev, {.name = "x"});
+  TreeIndex idx = TreeIndex::Build(t);
+  EXPECT_EQ(idx.diameter(), 9);
+  EXPECT_EQ(idx.height(), 9);
+  EXPECT_EQ(idx.Distance(0, 9), 9);
+  EXPECT_EQ(idx.Lca(0, 9), 0);
+}
+
+TEST(TreeIndexTest, StarDiameter) {
+  SchemaTree t;
+  NodeId root = t.AddNode(kInvalidNode, {.name = "hub"});
+  for (int i = 0; i < 20; ++i) t.AddNode(root, {.name = "leaf"});
+  TreeIndex idx = TreeIndex::Build(t);
+  EXPECT_EQ(idx.diameter(), 2);
+  EXPECT_EQ(idx.height(), 1);
+  EXPECT_EQ(idx.Distance(1, 20), 2);
+  EXPECT_EQ(idx.Lca(1, 20), root);
+}
+
+class TreeIndexPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(TreeIndexPropertyTest, MatchesNaiveOnRandomTrees) {
+  auto [size, seed] = GetParam();
+  SchemaTree t = RandomTree(static_cast<size_t>(size), seed);
+  ASSERT_TRUE(t.Validate().ok());
+  TreeIndex idx = TreeIndex::Build(t);
+  xsm::Rng rng(seed ^ 0xABCDEF);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(t.size()));
+    NodeId v = static_cast<NodeId>(rng.Uniform(t.size()));
+    EXPECT_EQ(idx.Lca(u, v), NaiveLca(t, u, v))
+        << "u=" << u << " v=" << v << " size=" << size << " seed=" << seed;
+    EXPECT_EQ(idx.Distance(u, v), NaiveDistance(t, u, v));
+    EXPECT_EQ(idx.IsAncestorOrSelf(u, v), NaiveLca(t, u, v) == u);
+  }
+  // Depth agrees everywhere.
+  for (NodeId n = 0; n < static_cast<NodeId>(t.size()); ++n) {
+    EXPECT_EQ(idx.depth(n), NaiveDepth(t, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, TreeIndexPropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 7, 25, 100, 500),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(TreeIndexTest, DiameterMatchesBruteForce) {
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    SchemaTree t = RandomTree(60, seed);
+    TreeIndex idx = TreeIndex::Build(t);
+    int brute = 0;
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      for (NodeId v = u; v < static_cast<NodeId>(t.size()); ++v) {
+        brute = std::max(brute, NaiveDistance(t, u, v));
+      }
+    }
+    EXPECT_EQ(idx.diameter(), brute) << "seed=" << seed;
+  }
+}
+
+TEST(ForestIndexTest, CrossTreeDistanceIsInfinite) {
+  schema::SchemaForest f;
+  f.AddTree(*schema::ParseTreeSpec("a(b,c)"));
+  f.AddTree(*schema::ParseTreeSpec("x(y(z))"));
+  ForestIndex fi = ForestIndex::Build(f);
+  EXPECT_EQ(fi.num_trees(), 2u);
+  EXPECT_EQ(fi.Distance({0, 1}, {1, 1}), ForestIndex::kInfiniteDistance);
+  EXPECT_EQ(fi.Distance({0, 1}, {0, 2}), 2);
+  EXPECT_EQ(fi.Distance({1, 0}, {1, 2}), 2);
+}
+
+TEST(ForestIndexTest, MaxDiameter) {
+  schema::SchemaForest f;
+  f.AddTree(*schema::ParseTreeSpec("a(b,c)"));          // diameter 2
+  f.AddTree(*schema::ParseTreeSpec("x(y(z(w(q))))"));   // diameter 4
+  ForestIndex fi = ForestIndex::Build(f);
+  EXPECT_EQ(fi.max_diameter(), 4);
+  EXPECT_EQ(fi.tree(0).diameter(), 2);
+  EXPECT_EQ(fi.tree(1).diameter(), 4);
+}
+
+}  // namespace
+}  // namespace xsm::label

@@ -1,0 +1,110 @@
+#include "match/element_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace xsm::match {
+namespace {
+
+using schema::NodeProperties;
+
+NodeProperties Named(const std::string& name) {
+  NodeProperties p;
+  p.name = name;
+  return p;
+}
+
+TEST(FuzzyNameMatcherTest, ScoresNames) {
+  FuzzyNameMatcher m;
+  EXPECT_DOUBLE_EQ(m.Score(Named("name"), Named("name")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Score(Named("Name"), Named("name")), 1.0);  // case-fold
+  EXPECT_GT(m.Score(Named("address"), Named("addr")), 0.5);
+  EXPECT_LT(m.Score(Named("email"), Named("shelf")), 0.5);
+  EXPECT_TRUE(m.name_only());
+}
+
+TEST(FuzzyNameMatcherTest, CaseSensitiveVariant) {
+  FuzzyNameMatcher m(/*ignore_case=*/false);
+  EXPECT_LT(m.Score(Named("NAME"), Named("name")), 1.0);
+}
+
+TEST(JaroWinklerNameMatcherTest, PrefixSensitive) {
+  JaroWinklerNameMatcher m;
+  EXPECT_DOUBLE_EQ(m.Score(Named("title"), Named("title")), 1.0);
+  // Shared prefix scores above a same-letters-different-prefix pair.
+  EXPECT_GT(m.Score(Named("authorName"), Named("authorNm")),
+            m.Score(Named("authorName"), Named("nameAuthor")));
+}
+
+TEST(NgramNameMatcherTest, Basics) {
+  NgramNameMatcher m(3);
+  EXPECT_DOUBLE_EQ(m.Score(Named("email"), Named("EMAIL")), 1.0);
+  EXPECT_EQ(m.Score(Named("abc"), Named("xyz")), 0.0);
+}
+
+TEST(TokenNameMatcherTest, TokenJaccard) {
+  TokenNameMatcher m;
+  // {author,name} vs {name,of,author}: intersection 2, union 3.
+  EXPECT_NEAR(m.Score(Named("authorName"), Named("name_of_author")),
+              2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.Score(Named("book"), Named("Book")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Score(Named("book"), Named("shelf")), 0.0);
+  EXPECT_DOUBLE_EQ(m.Score(Named(""), Named("")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Score(Named("x"), Named("")), 0.0);
+}
+
+TEST(SynonymNameMatcherTest, UsesDefaultDictionary) {
+  SynonymNameMatcher m;
+  EXPECT_DOUBLE_EQ(m.Score(Named("email"), Named("mail")), 0.9);
+  EXPECT_DOUBLE_EQ(m.Score(Named("email"), Named("email")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Score(Named("email"), Named("book")), 0.0);
+}
+
+TEST(DatatypeMatcherTest, Families) {
+  DatatypeMatcher m;
+  NodeProperties a = Named("x");
+  NodeProperties b = Named("y");
+  a.datatype = "xs:string";
+  b.datatype = "xs:string";
+  EXPECT_DOUBLE_EQ(m.Score(a, b), 1.0);
+  b.datatype = "CDATA";
+  EXPECT_DOUBLE_EQ(m.Score(a, b), 0.8);  // same string family
+  b.datatype = "xs:int";
+  EXPECT_DOUBLE_EQ(m.Score(a, b), 0.4);  // string vs numeric
+  a.datatype = "xs:date";
+  EXPECT_DOUBLE_EQ(m.Score(a, b), 0.0);  // temporal vs numeric
+  b.datatype = "";
+  EXPECT_DOUBLE_EQ(m.Score(a, b), 0.5);  // undeclared side is neutral
+  EXPECT_FALSE(m.name_only());
+}
+
+TEST(CompositeMatcherTest, WeightedAverage) {
+  auto fuzzy = std::make_shared<FuzzyNameMatcher>();
+  auto synonym = std::make_shared<SynonymNameMatcher>();
+  CompositeMatcher composite;
+  composite.Add(fuzzy, 1.0);
+  composite.Add(synonym, 3.0);
+  NodeProperties a = Named("email");
+  NodeProperties b = Named("mail");
+  double expected =
+      (1.0 * fuzzy->Score(a, b) + 3.0 * synonym->Score(a, b)) / 4.0;
+  EXPECT_DOUBLE_EQ(composite.Score(a, b), expected);
+  EXPECT_EQ(composite.num_components(), 2u);
+  EXPECT_TRUE(composite.name_only());
+}
+
+TEST(CompositeMatcherTest, NameOnlyPropagation) {
+  CompositeMatcher composite;
+  composite.Add(std::make_shared<FuzzyNameMatcher>(), 1.0);
+  composite.Add(std::make_shared<DatatypeMatcher>(), 1.0);
+  EXPECT_FALSE(composite.name_only());
+}
+
+TEST(CompositeMatcherTest, EmptyScoresZero) {
+  CompositeMatcher composite;
+  EXPECT_DOUBLE_EQ(composite.Score(Named("a"), Named("a")), 0.0);
+}
+
+}  // namespace
+}  // namespace xsm::match

@@ -1,0 +1,144 @@
+#include "match/structural_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "schema/schema_tree.h"
+
+namespace xsm::match {
+namespace {
+
+using schema::NodeId;
+using schema::SchemaTree;
+
+TEST(SoftTokenSetSimilarityTest, Basics) {
+  EXPECT_DOUBLE_EQ(SoftTokenSetSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTokenSetSimilarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SoftTokenSetSimilarity({}, {"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(SoftTokenSetSimilarity({"book"}, {"book"}), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTokenSetSimilarity({"abc"}, {"xyz"}),
+                   SoftTokenSetSimilarity({"xyz"}, {"abc"}));  // symmetric
+}
+
+TEST(SoftTokenSetSimilarityTest, PartialOverlapAndFuzzyCredit) {
+  // {book, title} vs {book}: book matches 1.0 both ways, title gets its
+  // best match against "book".
+  double s = SoftTokenSetSimilarity({"book", "title"}, {"book"});
+  EXPECT_GT(s, 0.3);
+  EXPECT_LT(s, 1.0);
+  // Fuzzy variant tokens earn close-to-full credit.
+  EXPECT_GT(SoftTokenSetSimilarity({"author"}, {"authors"}), 0.8);
+}
+
+struct Fixture {
+  // Personal: book(title,author). Repository: the Fig. 1 library plus a
+  // garage tree with no shared context.
+  SchemaTree personal = *schema::ParseTreeSpec("book(title,author)");
+  SchemaTree lib = *schema::ParseTreeSpec(
+      "lib(address,book(data(title,authorName),shelf))");
+  SchemaTree garage = *schema::ParseTreeSpec("garage(car(plate,owner))");
+  // lib ids: lib0 address1 book2 data3 title4 authorName5 shelf6.
+};
+
+TEST(PathContextMatcherTest, SharedAncestorsScoreHigher) {
+  Fixture f;
+  PathContextMatcher m;
+  // personal title (id 1) has ancestor tokens {book};
+  // lib title (id 4) has {lib, book, data}; lib address (id 1) has {lib}.
+  double title_vs_title = m.Score(f.personal, 1, f.lib, 4);
+  double title_vs_address = m.Score(f.personal, 1, f.lib, 1);
+  EXPECT_GT(title_vs_title, title_vs_address);
+  // Roots both have empty contexts: full score.
+  EXPECT_DOUBLE_EQ(m.Score(f.personal, 0, f.garage, 0), 1.0);
+}
+
+TEST(ChildrenContextMatcherTest, ChildSetsCompared) {
+  Fixture f;
+  ChildrenContextMatcher m;
+  // personal book {title, author} vs lib data {title, authorName}: high.
+  double book_vs_data = m.Score(f.personal, 0, f.lib, 3);
+  EXPECT_GE(book_vs_data, 0.8);
+  // personal book vs garage car {plate, owner}: low.
+  double book_vs_car = m.Score(f.personal, 0, f.garage, 1);
+  EXPECT_LT(book_vs_car, book_vs_data);
+  // Two leaves agree vacuously.
+  EXPECT_DOUBLE_EQ(m.Score(f.personal, 1, f.lib, 4), 1.0);
+  // Leaf against an inner node: no shared child evidence.
+  EXPECT_DOUBLE_EQ(m.Score(f.personal, 1, f.lib, 3), 0.0);
+}
+
+TEST(LeafContextMatcherTest, DescendantLeavesCompared) {
+  Fixture f;
+  LeafContextMatcher m;
+  // personal book leaves {title, author}; lib book (id 2) leaves
+  // {title, authorName, shelf}; garage car leaves {plate, owner}.
+  double book_vs_book = m.Score(f.personal, 0, f.lib, 2);
+  double book_vs_car = m.Score(f.personal, 0, f.garage, 1);
+  EXPECT_GT(book_vs_book, book_vs_car);
+  EXPECT_GT(book_vs_book, 0.5);
+}
+
+TEST(LeafContextMatcherTest, CapBoundsWork) {
+  // A wide subtree: cap keeps the computation bounded but still sane.
+  SchemaTree wide;
+  NodeId root = wide.AddNode(schema::kInvalidNode, {.name = "root"});
+  for (int i = 0; i < 100; ++i) {
+    wide.AddNode(root, {.name = "leaf" + std::to_string(i)});
+  }
+  SchemaTree p = *schema::ParseTreeSpec("r(leaf1,leaf2)");
+  LeafContextMatcher capped(8);
+  double s = capped.Score(p, 0, wide, 0);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(CompositeStructuralMatcherTest, WeightedAverage) {
+  Fixture f;
+  auto path = std::make_shared<PathContextMatcher>();
+  auto children = std::make_shared<ChildrenContextMatcher>();
+  CompositeStructuralMatcher composite;
+  composite.Add(path, 1.0);
+  composite.Add(children, 3.0);
+  double expected = (1.0 * path->Score(f.personal, 0, f.lib, 2) +
+                     3.0 * children->Score(f.personal, 0, f.lib, 2)) /
+                    4.0;
+  EXPECT_DOUBLE_EQ(composite.Score(f.personal, 0, f.lib, 2), expected);
+  EXPECT_EQ(composite.num_components(), 2u);
+}
+
+TEST(CompositeStructuralMatcherTest, EmptyAndDefault) {
+  Fixture f;
+  CompositeStructuralMatcher empty;
+  EXPECT_DOUBLE_EQ(empty.Score(f.personal, 0, f.lib, 2), 0.0);
+  const CompositeStructuralMatcher& dflt =
+      CompositeStructuralMatcher::Default();
+  EXPECT_EQ(dflt.num_components(), 3u);
+  double s = dflt.Score(f.personal, 0, f.lib, 2);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(StructuralMatcherTest, ScoresStayInUnitRange) {
+  Fixture f;
+  const StructuralMatcher* matchers[] = {
+      &CompositeStructuralMatcher::Default()};
+  PathContextMatcher path;
+  ChildrenContextMatcher children;
+  LeafContextMatcher leaves;
+  for (const StructuralMatcher* m :
+       {static_cast<const StructuralMatcher*>(&path),
+        static_cast<const StructuralMatcher*>(&children),
+        static_cast<const StructuralMatcher*>(&leaves), matchers[0]}) {
+    for (NodeId pn = 0; pn < static_cast<NodeId>(f.personal.size()); ++pn) {
+      for (NodeId rn = 0; rn < static_cast<NodeId>(f.lib.size()); ++rn) {
+        double s = m->Score(f.personal, pn, f.lib, rn);
+        EXPECT_GE(s, 0.0) << m->name();
+        EXPECT_LE(s, 1.0) << m->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xsm::match

@@ -1,0 +1,126 @@
+#include "objective/objective.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/random.h"
+
+namespace xsm::objective {
+namespace {
+
+TEST(ObjectiveParamsTest, Validation) {
+  EXPECT_TRUE(ObjectiveParams{.alpha = 0.0}.Validate().ok());
+  EXPECT_TRUE(ObjectiveParams{.alpha = 1.0}.Validate().ok());
+  EXPECT_FALSE(ObjectiveParams{.alpha = -0.1}.Validate().ok());
+  EXPECT_FALSE(ObjectiveParams{.alpha = 1.1}.Validate().ok());
+}
+
+TEST(BellflowerObjectiveTest, DeltaSimAveragesPerNode) {
+  // |Ns|=3, |Es|=2 — the experiment's personal schema shape.
+  BellflowerObjective obj(/*alpha=*/0.5, /*k=*/4, /*nodes=*/3, /*edges=*/2);
+  EXPECT_DOUBLE_EQ(obj.DeltaSim(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(obj.DeltaSim(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(obj.DeltaSim(0.0), 0.0);
+}
+
+TEST(BellflowerObjectiveTest, DeltaPathPerfectWhenEdgesMapToSingleEdges) {
+  BellflowerObjective obj(0.5, 4, 3, 2);
+  // |Et| == |Es| == 2 → no excess → 1.0.
+  EXPECT_DOUBLE_EQ(obj.DeltaPath(2), 1.0);
+  // One edge stretched to a 3-path: excess 2, K·|Es| = 8 → 0.75.
+  EXPECT_DOUBLE_EQ(obj.DeltaPath(4), 0.75);
+  // Max stretch under K: excess 8 → 0.
+  EXPECT_DOUBLE_EQ(obj.DeltaPath(10), 0.0);
+  // Beyond K the value clamps rather than going negative.
+  EXPECT_DOUBLE_EQ(obj.DeltaPath(100), 0.0);
+}
+
+TEST(BellflowerObjectiveTest, DeltaCombinesWithAlpha) {
+  BellflowerObjective half(0.5, 4, 3, 2);
+  EXPECT_DOUBLE_EQ(half.Delta(3.0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(half.Delta(0.0, 2), 0.5);   // only path hint perfect
+  EXPECT_DOUBLE_EQ(half.Delta(3.0, 10), 0.5);  // only name hint perfect
+
+  BellflowerObjective name_heavy(0.75, 4, 3, 2);
+  EXPECT_DOUBLE_EQ(name_heavy.Delta(3.0, 10), 0.75);
+  BellflowerObjective path_heavy(0.25, 4, 3, 2);
+  EXPECT_DOUBLE_EQ(path_heavy.Delta(3.0, 10), 0.25);
+}
+
+TEST(BellflowerObjectiveTest, SingleNodeSchemaHasPerfectPath) {
+  BellflowerObjective obj(0.5, 4, 1, 0);
+  EXPECT_DOUBLE_EQ(obj.DeltaPath(0), 1.0);
+  EXPECT_DOUBLE_EQ(obj.Delta(1.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(obj.Delta(0.5, 0), 0.75);
+}
+
+TEST(BellflowerObjectiveTest, Accessors) {
+  BellflowerObjective obj(0.3, 5, 4, 3);
+  EXPECT_DOUBLE_EQ(obj.alpha(), 0.3);
+  EXPECT_DOUBLE_EQ(obj.k(), 5);
+  EXPECT_EQ(obj.num_nodes(), 4);
+  EXPECT_EQ(obj.num_edges(), 3);
+}
+
+TEST(BellflowerObjectiveTest, UpperBoundComplete) {
+  BellflowerObjective obj(0.5, 4, 3, 2);
+  // With nothing remaining, the bound equals the actual Δ.
+  EXPECT_DOUBLE_EQ(obj.UpperBound(2.4, 0.0, 5, 2), obj.Delta(2.4, 5));
+}
+
+// Property: the bound is admissible — for any split of a complete
+// assignment into (assigned prefix, remaining), the bound computed from the
+// prefix with optimistic remaining sims ≥ the final Δ.
+class UpperBoundAdmissibleTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(UpperBoundAdmissibleTest, BoundDominatesCompletion) {
+  auto [alpha, seed] = GetParam();
+  xsm::Rng rng(seed);
+  const int nodes = 5;
+  const int edges = 4;
+  const double k = 6;
+  BellflowerObjective obj(alpha, k, nodes, edges);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random "true" assignment: per-node sims + per-edge path lengths.
+    double sims[5];
+    int64_t lens[4];
+    for (double& s : sims) s = rng.NextDouble();
+    for (int64_t& l : lens) l = 1 + static_cast<int64_t>(rng.Uniform(5));
+    double total_sim = 0;
+    for (double s : sims) total_sim += s;
+    int64_t total_len = 0;
+    for (int64_t l : lens) total_len += l;
+    double final_delta = obj.Delta(total_sim, total_len);
+
+    // Any prefix: first p nodes assigned (p-1 edges closed, root closes 0).
+    for (int p = 1; p <= nodes; ++p) {
+      double sim_sum = 0;
+      for (int i = 0; i < p; ++i) sim_sum += sims[i];
+      int64_t path = 0;
+      for (int i = 0; i < p - 1; ++i) path += lens[i];
+      // Optimistic remaining: each unassigned node at its max possible
+      // similarity. Use 1.0 (≥ the true sim).
+      double optimistic = static_cast<double>(nodes - p);
+      double bound = obj.UpperBound(sim_sum, optimistic, path, p - 1);
+      EXPECT_GE(bound + 1e-12, final_delta)
+          << "alpha=" << alpha << " p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, UpperBoundAdmissibleTest,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(3u, 17u)));
+
+TEST(BellflowerObjectiveTest, DeltaMonotoneInSimAndAntitoneInPath) {
+  BellflowerObjective obj(0.5, 4, 3, 2);
+  EXPECT_GT(obj.Delta(2.5, 4), obj.Delta(2.0, 4));
+  EXPECT_GT(obj.Delta(2.0, 3), obj.Delta(2.0, 6));
+}
+
+}  // namespace
+}  // namespace xsm::objective

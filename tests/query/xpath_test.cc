@@ -1,0 +1,142 @@
+#include "query/xpath.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::query {
+namespace {
+
+using schema::SchemaForest;
+using schema::SchemaTree;
+
+TEST(XPathParseTest, SimplePath) {
+  auto r = ParseXPath("/book/author");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->steps.size(), 2u);
+  EXPECT_EQ(r->steps[0].name, "book");
+  EXPECT_EQ(r->steps[1].name, "author");
+  EXPECT_EQ(r->ToString(), "/book/author");
+}
+
+TEST(XPathParseTest, PredicateWithLiteral) {
+  auto r = ParseXPath("/book[title=\"Iliad\"]/author");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->steps.size(), 2u);
+  ASSERT_EQ(r->steps[0].predicates.size(), 1u);
+  EXPECT_EQ(r->steps[0].predicates[0].child_path,
+            (std::vector<std::string>{"title"}));
+  EXPECT_EQ(r->steps[0].predicates[0].literal, "Iliad");
+  EXPECT_EQ(r->ToString(), "/book[title=\"Iliad\"]/author");
+}
+
+TEST(XPathParseTest, SingleQuotesAndMultiplePredicates) {
+  auto r = ParseXPath("/a[b='x'][c/d='y']/e");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->steps[0].predicates.size(), 2u);
+  EXPECT_EQ(r->steps[0].predicates[1].child_path,
+            (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(XPathParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("book/author").ok());   // relative
+  EXPECT_FALSE(ParseXPath("/").ok());             // empty step
+  EXPECT_FALSE(ParseXPath("/a//b").ok());         // empty step
+  EXPECT_FALSE(ParseXPath("/a[b=]").ok());        // missing literal
+  EXPECT_FALSE(ParseXPath("/a[b=\"x\"").ok());    // missing ]
+  EXPECT_FALSE(ParseXPath("/a[=\"x\"]").ok());    // missing child
+  EXPECT_FALSE(ParseXPath("/a[b\"x\"]").ok());    // missing =
+}
+
+// Paper Fig. 1 scenario: personal schema book(title,author), repository
+// tree lib(address,book(data(title,authorName),shelf)) with the mapping
+// book→lib/book, title→.../data/title, author→.../data/authorName.
+struct RewriteFixture {
+  SchemaTree personal = *schema::ParseTreeSpec("book(title,author)");
+  SchemaForest repo;
+  generate::SchemaMapping mapping;
+
+  RewriteFixture() {
+    repo.AddTree(*schema::ParseTreeSpec(
+        "lib(address,book(data(title,authorName),shelf))"));
+    // Node ids: lib=0 address=1 book=2 data=3 title=4 authorName=5 shelf=6.
+    mapping.tree = 0;
+    mapping.images = {2, 4, 5};  // book, title, author
+    mapping.delta = 0.9;
+  }
+};
+
+TEST(RewriteQueryTest, PaperScenario) {
+  RewriteFixture f;
+  auto query = ParseXPath("/book[title=\"Iliad\"]/author");
+  ASSERT_TRUE(query.ok());
+  auto rewritten = RewriteQuery(*query, f.personal, f.mapping, f.repo);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_EQ(rewritten->ToString(),
+            "/lib/book[data/title=\"Iliad\"]/data/authorName");
+}
+
+TEST(RewriteQueryTest, RootOnlyQuery) {
+  RewriteFixture f;
+  auto query = ParseXPath("/book");
+  ASSERT_TRUE(query.ok());
+  auto rewritten = RewriteQuery(*query, f.personal, f.mapping, f.repo);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->ToString(), "/lib/book");
+}
+
+TEST(RewriteQueryTest, NonDescendingImageUsesParentSteps) {
+  // Personal a(b); images where b's image is a sibling subtree of a's
+  // image: navigation needs "..".
+  SchemaTree personal = *schema::ParseTreeSpec("a(b)");
+  SchemaForest repo;
+  repo.AddTree(*schema::ParseTreeSpec("root(x(aa),y(bb))"));
+  // ids: root=0 x=1 aa=2 y=3 bb=4.
+  generate::SchemaMapping mapping;
+  mapping.tree = 0;
+  mapping.images = {2, 4};  // a→aa, b→bb
+  auto query = ParseXPath("/a/b");
+  ASSERT_TRUE(query.ok());
+  auto rewritten = RewriteQuery(*query, personal, mapping, repo);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_EQ(rewritten->ToString(), "/root/x/aa/../../y/bb");
+}
+
+TEST(RewriteQueryTest, PredicateOnSameNode) {
+  // Predicate child mapping to the same image region.
+  RewriteFixture f;
+  auto query = ParseXPath("/book[author='Homer']/title");
+  ASSERT_TRUE(query.ok());
+  auto rewritten = RewriteQuery(*query, f.personal, f.mapping, f.repo);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->ToString(),
+            "/lib/book[data/authorName=\"Homer\"]/data/title");
+}
+
+TEST(RewriteQueryTest, Errors) {
+  RewriteFixture f;
+  auto wrong_root = ParseXPath("/magazine/author");
+  ASSERT_TRUE(wrong_root.ok());
+  EXPECT_FALSE(RewriteQuery(*wrong_root, f.personal, f.mapping, f.repo).ok());
+
+  auto wrong_child = ParseXPath("/book/publisher");
+  ASSERT_TRUE(wrong_child.ok());
+  EXPECT_FALSE(
+      RewriteQuery(*wrong_child, f.personal, f.mapping, f.repo).ok());
+
+  auto wrong_pred = ParseXPath("/book[isbn=\"1\"]/author");
+  ASSERT_TRUE(wrong_pred.ok());
+  EXPECT_FALSE(RewriteQuery(*wrong_pred, f.personal, f.mapping, f.repo).ok());
+
+  // Mapping size mismatch.
+  generate::SchemaMapping bad = f.mapping;
+  bad.images.pop_back();
+  auto query = ParseXPath("/book/author");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(RewriteQuery(*query, f.personal, bad, f.repo).ok());
+}
+
+}  // namespace
+}  // namespace xsm::query

@@ -1,0 +1,145 @@
+#include "repo/loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace xsm::repo {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xsm_loader_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name,
+                        const std::string& content) {
+    fs::path p = dir_ / name;
+    std::ofstream out(p);
+    out << content;
+    return p.string();
+  }
+
+  fs::path dir_;
+};
+
+constexpr char kDtd[] =
+    "<!ELEMENT lib (book*, address)>\n"
+    "<!ELEMENT book (title, author)>\n"
+    "<!ELEMENT title (#PCDATA)>\n"
+    "<!ELEMENT author (#PCDATA)>\n"
+    "<!ELEMENT address (#PCDATA)>\n";
+
+constexpr char kXsd[] = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="person">
+    <xs:complexType><xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="email" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>)";
+
+TEST_F(LoaderTest, LoadDtdFile) {
+  std::string path = WriteFile("lib.dtd", kDtd);
+  schema::SchemaForest forest;
+  auto r = LoadSchemaFile(path, &forest);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1u);
+  EXPECT_EQ(forest.num_trees(), 1u);
+  EXPECT_EQ(forest.tree(0).name(0), "lib");
+  EXPECT_EQ(forest.source(0), path);
+}
+
+TEST_F(LoaderTest, LoadXsdFile) {
+  std::string path = WriteFile("person.xsd", kXsd);
+  schema::SchemaForest forest;
+  auto r = LoadSchemaFile(path, &forest);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1u);
+  EXPECT_EQ(forest.tree(0).name(0), "person");
+  EXPECT_EQ(forest.tree(0).size(), 3u);
+}
+
+TEST_F(LoaderTest, FormatSniffingForUnknownExtension) {
+  std::string dtd_path = WriteFile("schema1.txt", kDtd);
+  std::string xsd_path = WriteFile("schema2.txt", kXsd);
+  schema::SchemaForest forest;
+  ASSERT_TRUE(LoadSchemaFile(dtd_path, &forest).ok());
+  ASSERT_TRUE(LoadSchemaFile(xsd_path, &forest).ok());
+  EXPECT_EQ(forest.num_trees(), 2u);
+}
+
+TEST_F(LoaderTest, LoadDirectory) {
+  WriteFile("a.dtd", kDtd);
+  WriteFile("b.xsd", kXsd);
+  WriteFile("ignored.txt", "not a schema");
+  schema::SchemaForest forest;
+  auto r = LoadRepositoryFromDirectory(dir_.string(), &forest);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->files_loaded, 2u);
+  EXPECT_EQ(r->files_failed, 0u);
+  EXPECT_EQ(r->trees_added, 2u);
+  EXPECT_EQ(forest.num_trees(), 2u);
+  // Deterministic order: sorted paths → a.dtd before b.xsd.
+  EXPECT_EQ(forest.tree(0).name(0), "lib");
+  EXPECT_EQ(forest.tree(1).name(0), "person");
+}
+
+TEST_F(LoaderTest, LenientDirectorySkipsBadFiles) {
+  WriteFile("good.dtd", kDtd);
+  WriteFile("bad.xsd", "<broken");
+  schema::SchemaForest forest;
+  auto r = LoadRepositoryFromDirectory(dir_.string(), &forest);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->files_loaded, 1u);
+  EXPECT_EQ(r->files_failed, 1u);
+  EXPECT_FALSE(r->warnings.empty());
+}
+
+TEST_F(LoaderTest, StrictDirectoryFailsOnBadFiles) {
+  WriteFile("good.dtd", kDtd);
+  WriteFile("bad.xsd", "<broken");
+  schema::SchemaForest forest;
+  LoadOptions strict;
+  strict.lenient = false;
+  EXPECT_FALSE(
+      LoadRepositoryFromDirectory(dir_.string(), &forest, strict).ok());
+}
+
+TEST_F(LoaderTest, MissingFileAndDirectory) {
+  schema::SchemaForest forest;
+  EXPECT_FALSE(LoadSchemaFile((dir_ / "nope.dtd").string(), &forest).ok());
+  EXPECT_FALSE(
+      LoadRepositoryFromDirectory((dir_ / "nope").string(), &forest).ok());
+}
+
+TEST_F(LoaderTest, LoadSchemaTextValidatesFormat) {
+  schema::SchemaForest forest;
+  EXPECT_FALSE(LoadSchemaText(kDtd, "bogus", "tag", &forest).ok());
+  EXPECT_FALSE(LoadSchemaText(kDtd, "dtd", "tag", nullptr).ok());
+  auto r = LoadSchemaText(kDtd, "dtd", "inline-dtd", &forest);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(forest.source(0), "inline-dtd");
+}
+
+TEST_F(LoaderTest, WarningsCollectedInReport) {
+  schema::SchemaForest forest;
+  LoadReport report;
+  std::string dtd_with_pe =
+      "<!ENTITY % x \"y\">\n<!ELEMENT a (%x;)>\n<!ELEMENT b (#PCDATA)>\n";
+  auto r = LoadSchemaText(dtd_with_pe, "dtd", "pe.dtd", &forest, {}, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(report.warnings.empty());
+}
+
+}  // namespace
+}  // namespace xsm::repo

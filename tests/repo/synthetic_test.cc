@@ -1,0 +1,177 @@
+#include "repo/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "match/element_matching.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::repo {
+namespace {
+
+TEST(SyntheticRepoTest, RespectsTargetSize) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 2000;
+  opts.seed = 7;
+  auto r = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->total_nodes(), 2000u);
+  // Overshoot bounded by one tree.
+  EXPECT_LE(r->total_nodes(), 2000u + opts.max_tree_size);
+  EXPECT_GT(r->num_trees(), 10u);
+}
+
+TEST(SyntheticRepoTest, DeterministicForSeed) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 1500;
+  opts.seed = 42;
+  auto a = GenerateSyntheticRepository(opts);
+  auto b = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_trees(), b->num_trees());
+  ASSERT_EQ(a->total_nodes(), b->total_nodes());
+  for (schema::TreeId t = 0; t < static_cast<schema::TreeId>(a->num_trees());
+       ++t) {
+    EXPECT_EQ(schema::ToTreeSpec(a->tree(t)), schema::ToTreeSpec(b->tree(t)));
+  }
+}
+
+TEST(SyntheticRepoTest, DifferentSeedsDiffer) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 1500;
+  opts.seed = 1;
+  auto a = GenerateSyntheticRepository(opts);
+  opts.seed = 2;
+  auto b = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = a->num_trees() != b->num_trees();
+  if (!any_diff) {
+    for (schema::TreeId t = 0;
+         t < static_cast<schema::TreeId>(a->num_trees()); ++t) {
+      if (schema::ToTreeSpec(a->tree(t)) != schema::ToTreeSpec(b->tree(t))) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticRepoTest, TreesAreValidAndSizedWithinBounds) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 3000;
+  opts.seed = 11;
+  auto r = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->Validate().ok());
+  for (schema::TreeId t = 0; t < static_cast<schema::TreeId>(r->num_trees());
+       ++t) {
+    EXPECT_GE(r->tree(t).size(), opts.min_tree_size);
+    EXPECT_LE(r->tree(t).size(), opts.max_tree_size);
+  }
+}
+
+TEST(SyntheticRepoTest, VocabularyYieldsMappingElements) {
+  // The generator must reproduce the paper's key corpus property: the
+  // canonical personal schema finds a substantial number of fuzzy matches.
+  SyntheticRepoOptions opts;
+  opts.target_elements = 5000;
+  opts.seed = 3;
+  auto repo = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(repo.ok());
+  auto personal = schema::ParseTreeSpec("name(address,email)");
+  ASSERT_TRUE(personal.ok());
+  auto matching =
+      match::MatchElements(*personal, *repo, {.threshold = 0.5});
+  ASSERT_TRUE(matching.ok());
+  // Density in the rough band of the paper (4520 of 9759 ≈ 0.46 with
+  // multiplicity): accept a generous [0.1, 1.0] band per element.
+  double density =
+      static_cast<double>(matching->total_mapping_elements()) /
+      static_cast<double>(repo->total_nodes());
+  EXPECT_GT(density, 0.10) << matching->total_mapping_elements();
+  EXPECT_LT(density, 1.00);
+  // All three sets non-empty.
+  for (const auto& set : matching->sets) EXPECT_GT(set.size(), 0u);
+}
+
+TEST(SyntheticRepoTest, ValidatesOptions) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 0;
+  EXPECT_FALSE(GenerateSyntheticRepository(opts).ok());
+  opts = SyntheticRepoOptions{};
+  opts.min_tree_size = 50;
+  opts.max_tree_size = 10;
+  EXPECT_FALSE(GenerateSyntheticRepository(opts).ok());
+  opts = SyntheticRepoOptions{};
+  opts.typo_probability = 1.5;
+  EXPECT_FALSE(GenerateSyntheticRepository(opts).ok());
+  opts = SyntheticRepoOptions{};
+  opts.max_fanout = 0;
+  EXPECT_FALSE(GenerateSyntheticRepository(opts).ok());
+}
+
+class SampleRepositoryTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(SampleRepositoryTest, DrawsWholeTreesUpToTarget) {
+  auto [target, seed] = GetParam();
+  SyntheticRepoOptions opts;
+  opts.target_elements = 8000;
+  opts.seed = 5;
+  auto full = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(full.ok());
+  schema::SchemaForest sample = SampleRepository(*full, target, seed);
+  EXPECT_GE(sample.total_nodes(), std::min(target, full->total_nodes()));
+  EXPECT_LE(sample.total_nodes(), target + opts.max_tree_size);
+  EXPECT_LE(sample.num_trees(), full->num_trees());
+  EXPECT_TRUE(sample.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SampleRepositoryTest,
+    ::testing::Combine(::testing::Values(size_t{500}, size_t{2500},
+                                         size_t{6000}),
+                       ::testing::Values(1u, 9u)));
+
+TEST(SampleRepositoryTest, DeterministicPerSeed) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 4000;
+  auto full = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(full.ok());
+  auto a = SampleRepository(*full, 1500, 3);
+  auto b = SampleRepository(*full, 1500, 3);
+  ASSERT_EQ(a.num_trees(), b.num_trees());
+  for (schema::TreeId t = 0; t < static_cast<schema::TreeId>(a.num_trees());
+       ++t) {
+    EXPECT_EQ(a.source(t), b.source(t));
+  }
+}
+
+TEST(ComputeStatsTest, ReportsCorpusShape) {
+  SyntheticRepoOptions opts;
+  opts.target_elements = 3000;
+  auto repo = GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(repo.ok());
+  RepositoryStats stats = ComputeStats(*repo);
+  EXPECT_EQ(stats.trees, repo->num_trees());
+  EXPECT_EQ(stats.nodes, repo->total_nodes());
+  EXPECT_GT(stats.avg_tree_size, 3.0);
+  EXPECT_GT(stats.distinct_names, 100u);
+  EXPECT_GT(stats.max_depth, 1);
+  EXPECT_GE(stats.max_tree_size, static_cast<size_t>(stats.avg_tree_size));
+}
+
+TEST(ComputeStatsTest, EmptyForest) {
+  schema::SchemaForest empty;
+  RepositoryStats stats = ComputeStats(empty);
+  EXPECT_EQ(stats.trees, 0u);
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_tree_size, 0.0);
+}
+
+}  // namespace
+}  // namespace xsm::repo

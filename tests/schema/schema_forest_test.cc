@@ -1,0 +1,91 @@
+#include "schema/schema_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace xsm::schema {
+namespace {
+
+SchemaForest MakeForest() {
+  SchemaForest f;
+  f.AddTree(*ParseTreeSpec("lib(book(title,authorName),address)"),
+            "lib.dtd");
+  f.AddTree(*ParseTreeSpec("person(name,email)"), "person.xsd");
+  return f;
+}
+
+TEST(SchemaForestTest, AddAndAccess) {
+  SchemaForest f = MakeForest();
+  EXPECT_EQ(f.num_trees(), 2u);
+  EXPECT_EQ(f.total_nodes(), 8u);
+  EXPECT_EQ(f.tree(0).name(0), "lib");
+  EXPECT_EQ(f.tree(1).name(0), "person");
+  EXPECT_EQ(f.source(0), "lib.dtd");
+  EXPECT_EQ(f.source(1), "person.xsd");
+}
+
+TEST(SchemaForestTest, NodeRefAccessors) {
+  SchemaForest f = MakeForest();
+  NodeRef ref{1, 1};
+  EXPECT_EQ(f.name(ref), "name");
+  EXPECT_EQ(f.props(ref).kind, NodeKind::kElement);
+}
+
+TEST(SchemaForestTest, ForEachNodeVisitsAll) {
+  SchemaForest f = MakeForest();
+  size_t count = 0;
+  std::set<NodeRef> seen;
+  f.ForEachNode([&](NodeRef r) {
+    ++count;
+    seen.insert(r);
+  });
+  EXPECT_EQ(count, f.total_nodes());
+  EXPECT_EQ(seen.size(), f.total_nodes());
+}
+
+TEST(SchemaForestTest, ValidateAll) {
+  SchemaForest f = MakeForest();
+  EXPECT_TRUE(f.Validate().ok());
+}
+
+TEST(NodeRefTest, Ordering) {
+  NodeRef a{0, 5};
+  NodeRef b{1, 0};
+  NodeRef c{1, 3};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(NodeRefTest, EqualityAndValidity) {
+  NodeRef a{2, 3};
+  NodeRef b{2, 3};
+  NodeRef c{2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(NodeRef{}.valid());
+}
+
+TEST(NodeRefTest, HashDistinguishes) {
+  std::unordered_set<NodeRef> s;
+  for (int32_t t = 0; t < 10; ++t) {
+    for (int32_t n = 0; n < 10; ++n) s.insert(NodeRef{t, n});
+  }
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(SchemaForestTest, EmptyForest) {
+  SchemaForest f;
+  EXPECT_EQ(f.num_trees(), 0u);
+  EXPECT_EQ(f.total_nodes(), 0u);
+  EXPECT_TRUE(f.Validate().ok());
+  size_t count = 0;
+  f.ForEachNode([&](NodeRef) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace xsm::schema

@@ -1,0 +1,149 @@
+#include "schema/schema_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm::schema {
+namespace {
+
+SchemaTree BuildPaperPersonalSchema() {
+  // Fig. 1: book(title, author).
+  SchemaTree s;
+  NodeId book = s.AddNode(kInvalidNode, {.name = "book"});
+  s.AddNode(book, {.name = "title"});
+  s.AddNode(book, {.name = "author"});
+  return s;
+}
+
+TEST(SchemaTreeTest, BuildBasics) {
+  SchemaTree s = BuildPaperPersonalSchema();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.num_edges(), 2);
+  EXPECT_EQ(s.root(), 0);
+  EXPECT_EQ(s.name(0), "book");
+  EXPECT_EQ(s.parent(1), 0);
+  EXPECT_EQ(s.parent(2), 0);
+  EXPECT_EQ(s.depth(0), 0);
+  EXPECT_EQ(s.depth(1), 1);
+  EXPECT_EQ(s.children(0).size(), 2u);
+  EXPECT_TRUE(s.IsLeaf(1));
+  EXPECT_FALSE(s.IsLeaf(0));
+}
+
+TEST(SchemaTreeTest, EmptyTree) {
+  SchemaTree s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.root(), kInvalidNode);
+  EXPECT_EQ(s.num_edges(), 0);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_TRUE(s.PreOrder().empty());
+}
+
+TEST(SchemaTreeTest, PreOrderFollowsDocumentOrder) {
+  // lib(book(title,authorName,data(shelf)),address) — paper's repository
+  // fragment shape.
+  SchemaTree t;
+  NodeId lib = t.AddNode(kInvalidNode, {.name = "lib"});
+  NodeId book = t.AddNode(lib, {.name = "book"});
+  NodeId title = t.AddNode(book, {.name = "title"});
+  NodeId author = t.AddNode(book, {.name = "authorName"});
+  NodeId data = t.AddNode(book, {.name = "data"});
+  NodeId shelf = t.AddNode(data, {.name = "shelf"});
+  NodeId address = t.AddNode(lib, {.name = "address"});
+  EXPECT_EQ(t.PreOrder(), (std::vector<NodeId>{lib, book, title, author, data,
+                                               shelf, address}));
+}
+
+TEST(SchemaTreeTest, ValidateAcceptsWellFormed) {
+  SchemaTree s = BuildPaperPersonalSchema();
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTreeTest, PropertiesRoundTrip) {
+  SchemaTree s;
+  NodeId r = s.AddNode(kInvalidNode, {.name = "root"});
+  NodeId a = s.AddNode(r, {.name = "isbn",
+                           .kind = NodeKind::kAttribute,
+                           .datatype = "CDATA",
+                           .repeatable = false,
+                           .optional = true});
+  EXPECT_EQ(s.props(a).kind, NodeKind::kAttribute);
+  EXPECT_EQ(s.props(a).datatype, "CDATA");
+  EXPECT_TRUE(s.props(a).optional);
+  s.mutable_props(a)->datatype = "xs:string";
+  EXPECT_EQ(s.props(a).datatype, "xs:string");
+}
+
+TEST(TreeSpecTest, ParseSimple) {
+  auto r = ParseTreeSpec("book(title,author)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SchemaTree& s = *r;
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.name(0), "book");
+  EXPECT_EQ(s.name(1), "title");
+  EXPECT_EQ(s.name(2), "author");
+}
+
+TEST(TreeSpecTest, ParseNestedWithAttributesAndSpaces) {
+  auto r = ParseTreeSpec(" lib ( book ( @isbn , title ) , address ) ");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SchemaTree& s = *r;
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.props(2).kind, NodeKind::kAttribute);
+  EXPECT_EQ(s.name(2), "isbn");
+  EXPECT_EQ(s.depth(3), 2);
+  EXPECT_EQ(s.depth(4), 1);
+}
+
+TEST(TreeSpecTest, SingleNode) {
+  auto r = ParseTreeSpec("root");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->num_edges(), 0);
+}
+
+TEST(TreeSpecTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseTreeSpec("").ok());
+  EXPECT_FALSE(ParseTreeSpec("a(b").ok());
+  EXPECT_FALSE(ParseTreeSpec("a(b))").ok());
+  EXPECT_FALSE(ParseTreeSpec("a(,b)").ok());
+  EXPECT_FALSE(ParseTreeSpec("a b").ok());
+  EXPECT_FALSE(ParseTreeSpec("(a)").ok());
+}
+
+TEST(TreeSpecTest, RoundTrip) {
+  const std::string spec = "lib(book(@isbn,title,data(shelf)),address)";
+  auto r = ParseTreeSpec(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToTreeSpec(*r), spec);
+}
+
+TEST(TreeSpecTest, NamesWithPunctuation) {
+  auto r = ParseTreeSpec("xs:schema(my-element(sub_el.v2))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->name(0), "xs:schema");
+  EXPECT_EQ(r->name(1), "my-element");
+  EXPECT_EQ(r->name(2), "sub_el.v2");
+}
+
+TEST(SchemaTreeTest, ToStringShowsStructure) {
+  SchemaTree s = BuildPaperPersonalSchema();
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("book"), std::string::npos);
+  EXPECT_NE(str.find("  title"), std::string::npos);
+  EXPECT_NE(str.find("  author"), std::string::npos);
+}
+
+TEST(SchemaTreeTest, DeepChain) {
+  SchemaTree s;
+  NodeId prev = s.AddNode(kInvalidNode, {.name = "n0"});
+  for (int i = 1; i < 100; ++i) {
+    prev = s.AddNode(prev, {.name = "n" + std::to_string(i)});
+  }
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.depth(99), 99);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.PreOrder().size(), 100u);
+}
+
+}  // namespace
+}  // namespace xsm::schema

@@ -1,0 +1,127 @@
+#include "schema/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "repo/synthetic.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::schema {
+namespace {
+
+SchemaForest MakeForest() {
+  SchemaForest f;
+  SchemaTree t1;
+  NodeId root = t1.AddNode(kInvalidNode, {.name = "lib"});
+  NodeId book = t1.AddNode(root, {.name = "book", .repeatable = true});
+  t1.AddNode(book, {.name = "isbn",
+                    .kind = NodeKind::kAttribute,
+                    .datatype = "CDATA",
+                    .optional = true});
+  t1.AddNode(book, {.name = "title", .datatype = "xs:string"});
+  f.AddTree(std::move(t1), "library with spaces.dtd");
+  f.AddTree(*ParseTreeSpec("person(name,email)"), "person.xsd");
+  return f;
+}
+
+void ExpectForestsEqual(const SchemaForest& a, const SchemaForest& b) {
+  ASSERT_EQ(a.num_trees(), b.num_trees());
+  ASSERT_EQ(a.total_nodes(), b.total_nodes());
+  for (TreeId t = 0; t < static_cast<TreeId>(a.num_trees()); ++t) {
+    EXPECT_EQ(a.source(t), b.source(t));
+    const SchemaTree& ta = a.tree(t);
+    const SchemaTree& tb = b.tree(t);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (NodeId n = 0; n < static_cast<NodeId>(ta.size()); ++n) {
+      EXPECT_EQ(ta.parent(n), tb.parent(n));
+      EXPECT_EQ(ta.name(n), tb.name(n));
+      EXPECT_EQ(ta.props(n).kind, tb.props(n).kind);
+      EXPECT_EQ(ta.props(n).datatype, tb.props(n).datatype);
+      EXPECT_EQ(ta.props(n).repeatable, tb.props(n).repeatable);
+      EXPECT_EQ(ta.props(n).optional, tb.props(n).optional);
+    }
+  }
+}
+
+TEST(SerializationTest, RoundTrip) {
+  SchemaForest f = MakeForest();
+  std::string text = SerializeForest(f);
+  auto parsed = DeserializeForest(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectForestsEqual(f, *parsed);
+}
+
+TEST(SerializationTest, RoundTripSyntheticCorpus) {
+  repo::SyntheticRepoOptions opts;
+  opts.target_elements = 1200;
+  opts.seed = 77;
+  auto f = repo::GenerateSyntheticRepository(opts);
+  ASSERT_TRUE(f.ok());
+  auto parsed = DeserializeForest(SerializeForest(*f));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectForestsEqual(*f, *parsed);
+}
+
+TEST(SerializationTest, EmptyForest) {
+  SchemaForest empty;
+  auto parsed = DeserializeForest(SerializeForest(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_trees(), 0u);
+}
+
+TEST(SerializationTest, EscapingOfSpecialCharacters) {
+  SchemaForest f;
+  SchemaTree t;
+  t.AddNode(kInvalidNode, {.name = "weird name%with specials"});
+  f.AddTree(std::move(t), "dir with space/file%.dtd");
+  auto parsed = DeserializeForest(SerializeForest(f));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->source(0), "dir with space/file%.dtd");
+  EXPECT_EQ(parsed->tree(0).name(0), "weird name%with specials");
+}
+
+TEST(SerializationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializeForest("").ok());
+  EXPECT_FALSE(DeserializeForest("not a forest").ok());
+  EXPECT_FALSE(DeserializeForest("#xsm-forest v1\nnode 0 -1 E - x").ok());
+  EXPECT_FALSE(DeserializeForest("#xsm-forest v1\ntree a\nnode 0 -1 E - x")
+                   .ok());  // unterminated
+  EXPECT_FALSE(
+      DeserializeForest("#xsm-forest v1\ntree a\nnode 1 -1 E - x\nend")
+          .ok());  // non-dense id
+  EXPECT_FALSE(
+      DeserializeForest("#xsm-forest v1\ntree a\nnode 0 5 E - x\nend")
+          .ok());  // bad parent
+  EXPECT_FALSE(
+      DeserializeForest("#xsm-forest v1\ntree a\nnode 0 -1 Q - x\nend")
+          .ok());  // bad kind
+  EXPECT_FALSE(
+      DeserializeForest("#xsm-forest v1\ntree a\nbogus\nend").ok());
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesTolerated) {
+  auto parsed = DeserializeForest(
+      "#xsm-forest v1\n\n# a comment\ntree src\nnode 0 -1 E - root\n"
+      "\nend\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_trees(), 1u);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  SchemaForest f = MakeForest();
+  std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("xsm_ser_" + std::to_string(::getpid()) + ".forest"))
+          .string();
+  ASSERT_TRUE(SaveForestToFile(f, path).ok());
+  auto loaded = LoadForestFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectForestsEqual(f, *loaded);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(LoadForestFromFile(path).ok());
+}
+
+}  // namespace
+}  // namespace xsm::schema

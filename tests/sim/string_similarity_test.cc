@@ -1,0 +1,158 @@
+#include "sim/string_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "util/random.h"
+
+namespace xsm::sim {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+}
+
+TEST(EditDistanceTest, TranspositionCostsOneInDamerau) {
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2);
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1);
+  EXPECT_EQ(DamerauLevenshteinDistance("author", "auhtor"), 1);
+  EXPECT_EQ(DamerauLevenshteinDistance("ca", "abc"), 3);  // OSA variant
+}
+
+TEST(EditDistanceTest, DamerauNeverExceedsLevenshtein) {
+  Rng rng(99);
+  const std::string alphabet = "abcde";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(10);
+    size_t lb = rng.Uniform(10);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(5)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(5)];
+    EXPECT_LE(DamerauLevenshteinDistance(a, b), LevenshteinDistance(a, b))
+        << a << " vs " << b;
+  }
+}
+
+TEST(FuzzySimilarityTest, IdentityAndEmpty) {
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarity("address", "address"), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarity("abc", ""), 0.0);
+}
+
+TEST(FuzzySimilarityTest, KnownValues) {
+  // dist("name","nam") = 1, max len 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarity("name", "nam"), 0.75);
+  // transposition: dist 1, len 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarity("name", "nmae"), 0.75);
+  // dist("email","mail") = 1 deletion, max len 5 -> 0.8.
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarity("email", "mail"), 0.8);
+}
+
+TEST(FuzzySimilarityTest, CaseSensitivityVariants) {
+  EXPECT_LT(FuzzyStringSimilarity("NAME", "name"), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarityIgnoreCase("NAME", "name"), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyStringSimilarityIgnoreCase("AuthorName", "authorname"),
+                   1.0);
+}
+
+class SimilarityRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityRangeTest, AllKernelsInUnitRangeAndSymmetric) {
+  Rng rng(GetParam());
+  const std::string alphabet = "abcdefgh_-";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(14);
+    size_t lb = rng.Uniform(14);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(10)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(10)];
+
+    for (auto fn : {FuzzyStringSimilarity, JaroSimilarity,
+                    JaroWinklerSimilarity}) {
+      double ab = fn(a, b);
+      double ba = fn(b, a);
+      EXPECT_GE(ab, 0.0) << a << "|" << b;
+      EXPECT_LE(ab, 1.0) << a << "|" << b;
+      EXPECT_DOUBLE_EQ(ab, ba) << a << "|" << b;
+    }
+    double ng = NgramDiceSimilarity(a, b);
+    EXPECT_GE(ng, 0.0);
+    EXPECT_LE(ng, 1.0);
+    EXPECT_DOUBLE_EQ(ng, NgramDiceSimilarity(b, a));
+    // Identity always scores 1.
+    EXPECT_DOUBLE_EQ(FuzzyStringSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), a.empty() ? 1.0 : 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityRangeTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+  // Winkler never decreases Jaro.
+  EXPECT_GE(jw, JaroSimilarity("martha", "marhta"));
+}
+
+TEST(NgramTest, Basics) {
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("night", "night"), 1.0);
+  EXPECT_GT(NgramDiceSimilarity("night", "nacht"), 0.0);
+  EXPECT_LT(NgramDiceSimilarity("night", "nacht"), 0.5);
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("abc", "xyz"), 0.0);
+  // Case-insensitive by construction.
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("Email", "email"), 1.0);
+}
+
+TEST(NgramTest, ShortStringsWithPadding) {
+  // One-char strings still produce bigrams thanks to padding.
+  EXPECT_GT(NgramDiceSimilarity("a", "a", 2), 0.0);
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("a", "b", 3), 0.0);
+}
+
+TEST(FuzzySimilarityTest, SchemaNamePairs) {
+  // The kinds of pairs the experiment relies on: close variants score above
+  // a 0.5 matcher threshold, unrelated names below it.
+  EXPECT_GT(FuzzyStringSimilarityIgnoreCase("authorName", "author_name"),
+            0.5);
+  EXPECT_GT(FuzzyStringSimilarityIgnoreCase("email", "e-mail"), 0.5);
+  EXPECT_GT(FuzzyStringSimilarityIgnoreCase("address", "addr"), 0.5);
+  EXPECT_LT(FuzzyStringSimilarityIgnoreCase("email", "shelf"), 0.5);
+  EXPECT_LT(FuzzyStringSimilarityIgnoreCase("address", "book"), 0.5);
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnSamples) {
+  Rng rng(5);
+  const std::string alphabet = "abcd";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s[3];
+    for (auto& str : s) {
+      size_t len = rng.Uniform(8);
+      for (size_t i = 0; i < len; ++i) str += alphabet[rng.Uniform(4)];
+    }
+    int ab = LevenshteinDistance(s[0], s[1]);
+    int bc = LevenshteinDistance(s[1], s[2]);
+    int ac = LevenshteinDistance(s[0], s[2]);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+}  // namespace
+}  // namespace xsm::sim

@@ -1,0 +1,63 @@
+#include "sim/synonym_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xsm::sim {
+namespace {
+
+TEST(SynonymDictionaryTest, BasicGroups) {
+  SynonymDictionary d(std::vector<std::vector<std::string>>{
+      {"name", "title"}, {"email", "mail"}});
+  EXPECT_TRUE(d.AreSynonyms("name", "title"));
+  EXPECT_TRUE(d.AreSynonyms("title", "name"));
+  EXPECT_FALSE(d.AreSynonyms("name", "mail"));
+  EXPECT_EQ(d.num_groups(), 2u);
+}
+
+TEST(SynonymDictionaryTest, CaseInsensitive) {
+  SynonymDictionary d(std::vector<std::vector<std::string>>{{"Name", "TITLE"}});
+  EXPECT_TRUE(d.AreSynonyms("NAME", "title"));
+}
+
+TEST(SynonymDictionaryTest, UnknownTermsAreNotSynonyms) {
+  SynonymDictionary d(std::vector<std::vector<std::string>>{{"a", "b"}});
+  EXPECT_FALSE(d.AreSynonyms("a", "zzz"));
+  EXPECT_FALSE(d.AreSynonyms("zzz", "yyy"));
+  EXPECT_FALSE(d.AreSynonyms("zzz", "zzz"));  // not in dictionary
+}
+
+TEST(SynonymDictionaryTest, TermInMultipleGroups) {
+  SynonymDictionary d;
+  d.AddGroup({"name", "title"});
+  d.AddGroup({"name", "fullname"});
+  EXPECT_TRUE(d.AreSynonyms("name", "title"));
+  EXPECT_TRUE(d.AreSynonyms("name", "fullname"));
+  // Transitivity does NOT hold across groups by design.
+  EXPECT_FALSE(d.AreSynonyms("title", "fullname"));
+}
+
+TEST(SynonymDictionaryTest, ScoreTiers) {
+  SynonymDictionary d(std::vector<std::vector<std::string>>{{"email", "mail"}});
+  EXPECT_DOUBLE_EQ(d.Score("email", "EMAIL"), 1.0);   // equal beats synonym
+  EXPECT_DOUBLE_EQ(d.Score("email", "mail"), 0.9);
+  EXPECT_DOUBLE_EQ(d.Score("email", "mail", 0.8), 0.8);
+  EXPECT_DOUBLE_EQ(d.Score("email", "phone"), 0.0);
+  // Equal unknown terms still score 1.0 (exact match needs no dictionary).
+  EXPECT_DOUBLE_EQ(d.Score("zzz", "zzz"), 1.0);
+}
+
+TEST(SynonymDictionaryTest, DefaultDictionaryDomainVocab) {
+  const SynonymDictionary& d = SynonymDictionary::Default();
+  EXPECT_GT(d.num_groups(), 10u);
+  EXPECT_TRUE(d.AreSynonyms("email", "mail"));
+  EXPECT_TRUE(d.AreSynonyms("author", "writer"));
+  EXPECT_TRUE(d.AreSynonyms("address", "location"));
+  EXPECT_TRUE(d.AreSynonyms("zip", "postcode"));
+  EXPECT_FALSE(d.AreSynonyms("email", "address"));
+}
+
+}  // namespace
+}  // namespace xsm::sim

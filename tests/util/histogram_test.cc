@@ -1,0 +1,82 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm {
+namespace {
+
+TEST(PowerHistogramTest, BucketBoundaries) {
+  PowerHistogram h(8);
+  h.Add(1);                      // [1,1] -> bucket 0
+  h.Add(2);                      // [2,3] -> bucket 1
+  h.Add(3);
+  h.Add(4);                      // [4,7] -> bucket 2
+  h.Add(7);
+  h.Add(8);                      // [8,15] -> bucket 3
+  h.Add(15);
+  h.Add(128);                    // [128,255] -> bucket 7
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.BucketCount(3), 2u);
+  EXPECT_EQ(h.BucketCount(7), 1u);
+  EXPECT_EQ(h.total_count(), 8u);
+}
+
+TEST(PowerHistogramTest, OverflowClampsToLastBucket) {
+  PowerHistogram h(4);  // last bucket is [8,15]
+  h.Add(1000);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+}
+
+TEST(PowerHistogramTest, ZeroTreatedAsOne) {
+  PowerHistogram h(4);
+  h.Add(0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.min(), 1u);
+}
+
+TEST(PowerHistogramTest, SummaryStats) {
+  PowerHistogram h;
+  h.Add(2);
+  h.Add(4);
+  h.Add(6);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 6u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+}
+
+TEST(PowerHistogramTest, BucketLabels) {
+  EXPECT_EQ(PowerHistogram::BucketLabel(0), "[1,1]");
+  EXPECT_EQ(PowerHistogram::BucketLabel(1), "[2,3]");
+  EXPECT_EQ(PowerHistogram::BucketLabel(7), "[128,255]");
+}
+
+TEST(PowerHistogramTest, ToStringSkipsEmptyBuckets) {
+  PowerHistogram h(8);
+  h.Add(5);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("[4,7]"), std::string::npos);
+  EXPECT_EQ(s.find("[1,1]"), std::string::npos);
+}
+
+TEST(StatsAccumulatorTest, Empty) {
+  StatsAccumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.StdDev(), 0.0);
+}
+
+TEST(StatsAccumulatorTest, MeanMinMaxStd) {
+  StatsAccumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.Add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.StdDev(), 2.0);  // classic example dataset
+}
+
+}  // namespace
+}  // namespace xsm

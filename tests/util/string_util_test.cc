@@ -1,0 +1,84 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AuthorName"), "authorname");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("a-B_c9"), "a-b_c9");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("schema.xsd", "schema"));
+  EXPECT_FALSE(StartsWith("s", "schema"));
+  EXPECT_TRUE(EndsWith("schema.xsd", ".xsd"));
+  EXPECT_FALSE(EndsWith("schema.dtd", ".xsd"));
+}
+
+TEST(StringUtilTest, TokenizeCamelCase) {
+  EXPECT_EQ(TokenizeIdentifier("authorName"),
+            (std::vector<std::string>{"author", "name"}));
+  EXPECT_EQ(TokenizeIdentifier("AuthorName"),
+            (std::vector<std::string>{"author", "name"}));
+}
+
+TEST(StringUtilTest, TokenizeSnakeAndKebab) {
+  EXPECT_EQ(TokenizeIdentifier("author_name"),
+            (std::vector<std::string>{"author", "name"}));
+  EXPECT_EQ(TokenizeIdentifier("author-name"),
+            (std::vector<std::string>{"author", "name"}));
+  EXPECT_EQ(TokenizeIdentifier("xs:element"),
+            (std::vector<std::string>{"xs", "element"}));
+}
+
+TEST(StringUtilTest, TokenizeAcronymRun) {
+  EXPECT_EQ(TokenizeIdentifier("XMLSchema"),
+            (std::vector<std::string>{"xml", "schema"}));
+  EXPECT_EQ(TokenizeIdentifier("parseXML"),
+            (std::vector<std::string>{"parse", "xml"}));
+}
+
+TEST(StringUtilTest, TokenizeDigits) {
+  EXPECT_EQ(TokenizeIdentifier("address2"),
+            (std::vector<std::string>{"address", "2"}));
+  EXPECT_EQ(TokenizeIdentifier("ipv4Address"),
+            (std::vector<std::string>{"ipv", "4", "address"}));
+}
+
+TEST(StringUtilTest, TokenizeEmptyAndSeparatorsOnly) {
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+  EXPECT_TRUE(TokenizeIdentifier("_-_").empty());
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 0.5), "0.50");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace xsm

@@ -1,0 +1,209 @@
+#include "xml/dtd_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm::xml {
+namespace {
+
+constexpr char kLibraryDtd[] = R"(
+<!-- A small library DTD, like the paper's Fig. 1 repository fragment. -->
+<!ELEMENT lib (book*, address)>
+<!ELEMENT book (data, title)>
+<!ELEMENT data (authorName, shelf?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authorName (#PCDATA)>
+<!ELEMENT shelf (#PCDATA)>
+<!ELEMENT address (#PCDATA)>
+<!ATTLIST book isbn CDATA #REQUIRED lang CDATA #IMPLIED>
+)";
+
+TEST(DtdParserTest, ParsesElementsAndAttributes) {
+  auto r = ParseDtd(kLibraryDtd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->elements.size(), 7u);
+  EXPECT_TRUE(r->warnings.empty());
+
+  const DtdElementDecl* lib = r->FindElement("lib");
+  ASSERT_NE(lib, nullptr);
+  ASSERT_EQ(lib->children.size(), 2u);
+  EXPECT_EQ(lib->children[0].name, "book");
+  EXPECT_TRUE(lib->children[0].repeatable);
+  EXPECT_TRUE(lib->children[0].optional);
+  EXPECT_EQ(lib->children[1].name, "address");
+  EXPECT_FALSE(lib->children[1].repeatable);
+
+  const DtdElementDecl* data = r->FindElement("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_FALSE(data->children[0].optional);
+  EXPECT_TRUE(data->children[1].optional);  // shelf?
+
+  const DtdElementDecl* title = r->FindElement("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_TRUE(title->has_pcdata);
+  EXPECT_TRUE(title->children.empty());
+
+  ASSERT_EQ(r->attributes.size(), 2u);
+  EXPECT_EQ(r->attributes[0].element, "book");
+  EXPECT_EQ(r->attributes[0].name, "isbn");
+  EXPECT_TRUE(r->attributes[0].required);
+  EXPECT_FALSE(r->attributes[1].required);
+}
+
+TEST(DtdParserTest, ChoiceGroupsMarkOptional) {
+  auto r = ParseDtd("<!ELEMENT a (b | c | d)>");
+  ASSERT_TRUE(r.ok());
+  const DtdElementDecl* a = r->FindElement("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->children.size(), 3u);
+  for (const auto& c : a->children) EXPECT_TRUE(c.optional);
+}
+
+TEST(DtdParserTest, NestedGroupsAndCardinality) {
+  auto r = ParseDtd("<!ELEMENT a (b, (c | d)*, e+)>");
+  ASSERT_TRUE(r.ok());
+  const DtdElementDecl* a = r->FindElement("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->children.size(), 4u);
+  EXPECT_FALSE(a->children[0].repeatable);  // b
+  EXPECT_TRUE(a->children[1].repeatable);   // c (inside (..)*)
+  EXPECT_TRUE(a->children[1].optional);
+  EXPECT_TRUE(a->children[2].repeatable);   // d
+  EXPECT_TRUE(a->children[3].repeatable);   // e+
+  EXPECT_FALSE(a->children[3].optional);
+}
+
+TEST(DtdParserTest, MixedContentModel) {
+  auto r = ParseDtd("<!ELEMENT p (#PCDATA | b | i)*>");
+  ASSERT_TRUE(r.ok());
+  const DtdElementDecl* p = r->FindElement("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->has_pcdata);
+  EXPECT_EQ(p->children.size(), 2u);
+  EXPECT_TRUE(p->children[0].repeatable);
+}
+
+TEST(DtdParserTest, EmptyAndAny) {
+  auto r = ParseDtd("<!ELEMENT br EMPTY><!ELEMENT any ANY>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->FindElement("br")->is_empty);
+  EXPECT_TRUE(r->FindElement("any")->is_any);
+}
+
+TEST(DtdParserTest, DuplicateNamesInModelDeduplicated) {
+  auto r = ParseDtd("<!ELEMENT a (b, c, b?)>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->FindElement("a")->children.size(), 2u);
+}
+
+TEST(DtdParserTest, LenientSkipsParameterEntities) {
+  auto r = ParseDtd(
+      "<!ENTITY % common \"(a|b)\">\n"
+      "<!ELEMENT x %common;>\n"
+      "<!ELEMENT y (z)>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->elements.size(), 1u);
+  EXPECT_EQ(r->elements[0].name, "y");
+  EXPECT_FALSE(r->warnings.empty());
+}
+
+TEST(DtdParserTest, StrictModeFailsOnBadDeclarations) {
+  DtdParseOptions strict{.lenient = false};
+  EXPECT_FALSE(ParseDtd("<!ELEMENT x %pe;>", strict).ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b", strict).ok());
+  EXPECT_FALSE(ParseDtd("<!BOGUS thing>", strict).ok());
+  EXPECT_TRUE(ParseDtd("<!ELEMENT a (b)>", strict).ok());
+}
+
+TEST(DtdParserTest, CommentsAndEntitiesIgnored) {
+  auto r = ParseDtd(
+      "<!-- <!ELEMENT fake (x)> -->\n"
+      "<!ENTITY copy \"(c)\">\n"
+      "<!ELEMENT real (#PCDATA)>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->elements.size(), 1u);
+  EXPECT_EQ(r->elements[0].name, "real");
+}
+
+TEST(DtdToSchemaTest, ExpandsLibrary) {
+  auto dtd = ParseDtd(kLibraryDtd);
+  ASSERT_TRUE(dtd.ok());
+  auto trees = DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok()) << trees.status().ToString();
+  ASSERT_EQ(trees->size(), 1u);  // single root: lib
+  const schema::SchemaTree& t = (*trees)[0];
+  ASSERT_TRUE(t.Validate().ok());
+  // lib, book, isbn@, lang@, data, authorName, shelf, title, address
+  EXPECT_EQ(t.size(), 9u);
+  EXPECT_EQ(t.name(t.root()), "lib");
+  // Attribute nodes are present with datatype CDATA.
+  int attr_count = 0;
+  for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(t.size());
+       ++n) {
+    if (t.props(n).kind == schema::NodeKind::kAttribute) {
+      ++attr_count;
+      EXPECT_EQ(t.props(n).datatype, "CDATA");
+    }
+  }
+  EXPECT_EQ(attr_count, 2);
+}
+
+TEST(DtdToSchemaTest, MultipleRoots) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT r1 (shared)><!ELEMENT r2 (shared)>"
+      "<!ELEMENT shared (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  auto trees = DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok());
+  EXPECT_EQ(trees->size(), 2u);  // r1 and r2; shared is referenced
+}
+
+TEST(DtdToSchemaTest, RecursionIsCut) {
+  auto dtd = ParseDtd("<!ELEMENT a (b)><!ELEMENT b (a?, c)>"
+                      "<!ELEMENT c (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  auto trees = DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok()) << trees.status().ToString();
+  ASSERT_EQ(trees->size(), 1u);
+  // a(b(c)) — the recursive a under b is cut.
+  EXPECT_EQ((*trees)[0].size(), 3u);
+}
+
+TEST(DtdToSchemaTest, RecursionCanFail) {
+  auto dtd = ParseDtd("<!ELEMENT a (b)><!ELEMENT b (a?)>");
+  ASSERT_TRUE(dtd.ok());
+  DtdToSchemaOptions opts;
+  opts.fail_on_recursion = true;
+  EXPECT_FALSE(DtdToSchemaTrees(*dtd, opts).ok());
+}
+
+TEST(DtdToSchemaTest, PureCycleYieldsOneCoveringRoot) {
+  auto dtd = ParseDtd("<!ELEMENT a (b)><!ELEMENT b (a)>");
+  ASSERT_TRUE(dtd.ok());
+  auto trees = DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok());
+  // The first declaration claims the cycle: a(b), recursion cut below b.
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_EQ((*trees)[0].name(0), "a");
+  EXPECT_EQ((*trees)[0].size(), 2u);
+}
+
+TEST(DtdToSchemaTest, UndeclaredChildBecomesLeaf) {
+  auto dtd = ParseDtd("<!ELEMENT a (mystery)>");
+  ASSERT_TRUE(dtd.ok());
+  auto trees = DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok());
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_EQ((*trees)[0].size(), 2u);
+  EXPECT_EQ((*trees)[0].name(1), "mystery");
+}
+
+TEST(DtdToSchemaTest, EmptyDtd) {
+  auto dtd = ParseDtd("");
+  ASSERT_TRUE(dtd.ok());
+  auto trees = DtdToSchemaTrees(*dtd);
+  ASSERT_TRUE(trees.ok());
+  EXPECT_TRUE(trees->empty());
+}
+
+}  // namespace
+}  // namespace xsm::xml

@@ -1,0 +1,124 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm::xml {
+namespace {
+
+TEST(XmlParserTest, SimpleDocument) {
+  auto r = ParseXml("<root><a x=\"1\"/><b>text</b></root>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const XmlElement& root = *r->root;
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "a");
+  ASSERT_NE(root.children[0]->FindAttribute("x"), nullptr);
+  EXPECT_EQ(*root.children[0]->FindAttribute("x"), "1");
+  EXPECT_EQ(root.children[0]->FindAttribute("missing"), nullptr);
+  EXPECT_EQ(root.children[1]->text, "text");
+}
+
+TEST(XmlParserTest, PrologCommentsAndPis) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!-- a comment -->\n"
+      "<?pi data?>\n"
+      "<root>\n  <!-- inner --> <child/> <?another pi?>\n</root>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->root->children.size(), 1u);
+}
+
+TEST(XmlParserTest, DoctypeWithInternalSubset) {
+  auto r = ParseXml(
+      "<!DOCTYPE note [<!ELEMENT note (to,from)><!ELEMENT to (#PCDATA)>]>"
+      "<note><to>a</to></note>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->doctype_name, "note");
+  EXPECT_NE(r->internal_dtd.find("<!ELEMENT note (to,from)>"),
+            std::string::npos);
+}
+
+TEST(XmlParserTest, DoctypeWithSystemLiteral) {
+  auto r = ParseXml(
+      "<!DOCTYPE html SYSTEM \"http://x/y.dtd\"><html></html>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->doctype_name, "html");
+  EXPECT_TRUE(r->internal_dtd.empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndMixedContent) {
+  auto r = ParseXml("<a>pre<b><c/></b>post</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->root->text, "prepost");
+  ASSERT_EQ(r->root->children.size(), 1u);
+  EXPECT_EQ(r->root->children[0]->children.size(), 1u);
+}
+
+TEST(XmlParserTest, CdataSection) {
+  auto r = ParseXml("<a><![CDATA[<not-xml> & raw]]></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->root->text, "<not-xml> & raw");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto r = ParseXml("<a x=\"&lt;&amp;&gt;\">&quot;q&apos; &#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->root->FindAttribute("x"), "<&>");
+  EXPECT_EQ(r->root->text, "\"q' AB");
+}
+
+TEST(XmlParserTest, DecodeEntitiesDirect) {
+  EXPECT_EQ(DecodeEntities("a&lt;b"), "a<b");
+  EXPECT_EQ(DecodeEntities("&unknown;"), "&unknown;");
+  EXPECT_EQ(DecodeEntities("lone & ampersand"), "lone & ampersand");
+  EXPECT_EQ(DecodeEntities("&#x20AC;"), "\xE2\x82\xAC");  // euro sign
+}
+
+TEST(XmlParserTest, SelfClosingAndAttributesWithSingleQuotes) {
+  auto r = ParseXml("<a k1='v1' k2=\"v2\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->root->FindAttribute("k1"), "v1");
+  EXPECT_EQ(*r->root->FindAttribute("k2"), "v2");
+  EXPECT_TRUE(r->root->children.empty());
+}
+
+TEST(XmlParserTest, LocalName) {
+  auto r = ParseXml("<xs:schema xmlns:xs=\"http://x\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->root->name, "xs:schema");
+  EXPECT_EQ(r->root->LocalName(), "schema");
+}
+
+TEST(XmlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a b></a>").ok());
+  EXPECT_FALSE(ParseXml("<a b=v></a>").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());  // two roots
+  EXPECT_FALSE(ParseXml("just text").ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"x <\"/>").ok());  // '<' in value
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(XmlParserTest, Utf8BomAccepted) {
+  auto r = ParseXml("\xEF\xBB\xBF<root/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->root->name, "root");
+}
+
+TEST(XmlParserTest, WhitespaceInEndTag) {
+  auto r = ParseXml("<a></a  >");
+  ASSERT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace xsm::xml

@@ -1,0 +1,224 @@
+#include "xml/xsd_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xsm::xml {
+namespace {
+
+constexpr char kPersonXsd[] = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="person">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="name" type="xs:string"/>
+        <xs:element name="address" type="AddressType" minOccurs="0"/>
+        <xs:element name="email" type="xs:string" maxOccurs="unbounded"/>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:ID" use="required"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:complexType name="AddressType">
+    <xs:sequence>
+      <xs:element name="street" type="xs:string"/>
+      <xs:element name="city" type="xs:string"/>
+      <xs:element name="zip" type="xs:int"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>)";
+
+TEST(XsdParserTest, ParsesGlobalElementWithNamedType) {
+  auto r = ParseXsd(kPersonXsd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->trees.size(), 1u);
+  const schema::SchemaTree& t = r->trees[0];
+  ASSERT_TRUE(t.Validate().ok());
+  // person, id@, name, address(street, city, zip), email = 8 nodes.
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.name(t.root()), "person");
+
+  // Attribute id is required.
+  schema::NodeId id_node = -1;
+  schema::NodeId address_node = -1;
+  schema::NodeId email_node = -1;
+  for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(t.size());
+       ++n) {
+    if (t.name(n) == "id") id_node = n;
+    if (t.name(n) == "address") address_node = n;
+    if (t.name(n) == "email") email_node = n;
+  }
+  ASSERT_NE(id_node, -1);
+  EXPECT_EQ(t.props(id_node).kind, schema::NodeKind::kAttribute);
+  EXPECT_FALSE(t.props(id_node).optional);
+  ASSERT_NE(address_node, -1);
+  EXPECT_TRUE(t.props(address_node).optional);     // minOccurs=0
+  EXPECT_EQ(t.children(address_node).size(), 3u);  // named type expanded
+  ASSERT_NE(email_node, -1);
+  EXPECT_TRUE(t.props(email_node).repeatable);  // maxOccurs=unbounded
+  EXPECT_EQ(t.props(email_node).datatype, "xs:string");
+}
+
+TEST(XsdParserTest, MultipleGlobalElements) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="a" type="xs:string"/>
+    <xs:element name="b" type="xs:string"/>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->trees.size(), 2u);
+  EXPECT_EQ(r->trees[0].name(0), "a");
+  EXPECT_EQ(r->trees[1].name(0), "b");
+}
+
+TEST(XsdParserTest, ElementRefResolved) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="list">
+      <xs:complexType><xs:sequence>
+        <xs:element ref="item" maxOccurs="unbounded"/>
+      </xs:sequence></xs:complexType>
+    </xs:element>
+    <xs:element name="item">
+      <xs:complexType><xs:sequence>
+        <xs:element name="label" type="xs:string"/>
+      </xs:sequence></xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Two global elements → two trees; the `list` tree embeds item(label).
+  ASSERT_EQ(r->trees.size(), 2u);
+  const schema::SchemaTree& list = r->trees[0];
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.name(1), "item");
+  EXPECT_TRUE(list.props(1).repeatable);  // occurrence attrs from the ref
+  EXPECT_EQ(list.name(2), "label");
+}
+
+TEST(XsdParserTest, ChoiceAndNestedGroups) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="payment">
+      <xs:complexType>
+        <xs:choice>
+          <xs:element name="card" type="xs:string"/>
+          <xs:sequence>
+            <xs:element name="iban" type="xs:string"/>
+            <xs:element name="bic" type="xs:string"/>
+          </xs:sequence>
+        </xs:choice>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->trees.size(), 1u);
+  EXPECT_EQ(r->trees[0].size(), 4u);  // payment, card, iban, bic
+}
+
+TEST(XsdParserTest, RecursiveTypeIsCut) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="node" type="NodeType"/>
+    <xs:complexType name="NodeType">
+      <xs:sequence>
+        <xs:element name="value" type="xs:string"/>
+        <xs:element name="child" type="NodeType" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->trees.size(), 1u);
+  // node(value, child) — the nested NodeType under child is cut.
+  EXPECT_EQ(r->trees[0].size(), 3u);
+}
+
+TEST(XsdParserTest, RecursionCanFail) {
+  XsdParseOptions opts;
+  opts.fail_on_recursion = true;
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="node" type="T"/>
+    <xs:complexType name="T">
+      <xs:sequence><xs:element name="kid" type="T"/></xs:sequence>
+    </xs:complexType>
+  </xs:schema>)",
+                    opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XsdParserTest, ExtensionInheritsBase) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="manager" type="ManagerType"/>
+    <xs:complexType name="PersonType">
+      <xs:sequence><xs:element name="name" type="xs:string"/></xs:sequence>
+    </xs:complexType>
+    <xs:complexType name="ManagerType">
+      <xs:complexContent>
+        <xs:extension base="PersonType">
+          <xs:sequence><xs:element name="team" type="xs:string"/></xs:sequence>
+        </xs:extension>
+      </xs:complexContent>
+    </xs:complexType>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->trees.size(), 1u);
+  const schema::SchemaTree& t = r->trees[0];
+  EXPECT_EQ(t.size(), 3u);  // manager, name (inherited), team
+  EXPECT_EQ(t.name(1), "name");
+  EXPECT_EQ(t.name(2), "team");
+}
+
+TEST(XsdParserTest, InlineSimpleTypeBecomesDatatype) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="score">
+      <xs:simpleType>
+        <xs:restriction base="xs:int"/>
+      </xs:simpleType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->trees.size(), 1u);
+  EXPECT_EQ(r->trees[0].props(0).datatype, "xs:int");
+}
+
+TEST(XsdParserTest, LenientSkipsUnsupportedConstructs) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="doc">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:group ref="g"/>
+          <xs:element name="body" type="xs:string"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->trees.size(), 1u);
+  EXPECT_EQ(r->trees[0].size(), 2u);  // doc, body
+  EXPECT_FALSE(r->warnings.empty());
+}
+
+TEST(XsdParserTest, StrictFailsOnUnsupported) {
+  XsdParseOptions strict;
+  strict.lenient = false;
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="doc">
+      <xs:complexType><xs:sequence><xs:group ref="g"/>
+      </xs:sequence></xs:complexType>
+    </xs:element>
+  </xs:schema>)",
+                    strict);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XsdParserTest, NotASchemaDocument) {
+  EXPECT_FALSE(ParseXsd("<html></html>").ok());
+  EXPECT_FALSE(ParseXsd("not xml at all").ok());
+}
+
+TEST(XsdParserTest, SchemaWithNoGlobalElements) {
+  auto r = ParseXsd(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:complexType name="Orphan">
+      <xs:sequence><xs:element name="x" type="xs:string"/></xs:sequence>
+    </xs:complexType>
+  </xs:schema>)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->trees.empty());
+  EXPECT_FALSE(r->warnings.empty());
+}
+
+}  // namespace
+}  // namespace xsm::xml

@@ -1,0 +1,294 @@
+// xsm_cli — command-line front end for the Bellflower matcher.
+//
+// Subcommands:
+//   gen      --elements N [--seed S] --out FILE
+//            Generate a synthetic repository and save it.
+//   convert  --repo-dir DIR --out FILE
+//            Import .dtd/.xsd files and save the forest snapshot.
+//   stats    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
+//            Print corpus statistics.
+//   match    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
+//            --personal SPEC [--delta D] [--alpha A] [--threshold T]
+//            [--cluster tree|kmeans] [--join J] [--top N] [--partial]
+//            [--structural] [--query XPATH]
+//            Run the matcher and print the ranked mappings.
+//
+// Examples:
+//   xsm_cli gen --elements 10000 --out corpus.forest
+//   xsm_cli match --forest corpus.forest --personal "name(address,email)"
+//       --cluster kmeans --join 3 --top 10
+//   xsm_cli match --repo-dir examples/data --personal "book(title,author)"
+//       --delta 0.55 --query '/book[title="Iliad"]/author'
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xsm/xsm.h"
+#include "match/structural_matcher.h"
+#include "schema/serialization.h"
+
+namespace {
+
+using namespace xsm;
+
+// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "";  // boolean flag
+        }
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::atof(Get(key).c_str()) : fallback;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    return Has(key) ? std::atol(Get(key).c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xsm_cli <gen|convert|stats|match> [options]\n"
+      "  gen      --elements N [--seed S] --out FILE\n"
+      "  convert  --repo-dir DIR --out FILE\n"
+      "  stats    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
+      "  match    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
+      "           --personal SPEC [--delta D] [--alpha A] [--threshold T]\n"
+      "           [--cluster tree|kmeans] [--join J] [--top N]\n"
+      "           [--partial] [--structural] [--query XPATH]\n");
+  return 2;
+}
+
+// Loads the repository from whichever source flag is present.
+Result<schema::SchemaForest> LoadRepository(const Args& args) {
+  if (args.Has("forest")) {
+    return schema::LoadForestFromFile(args.Get("forest"));
+  }
+  if (args.Has("repo-dir")) {
+    schema::SchemaForest forest;
+    XSM_ASSIGN_OR_RETURN(repo::LoadReport report,
+                         repo::LoadRepositoryFromDirectory(
+                             args.Get("repo-dir"), &forest));
+    std::fprintf(stderr, "loaded %zu files (%zu failed), %zu trees\n",
+                 report.files_loaded, report.files_failed,
+                 report.trees_added);
+    return forest;
+  }
+  if (args.Has("synthetic")) {
+    std::string spec = args.Get("synthetic");
+    repo::SyntheticRepoOptions options;
+    size_t colon = spec.find(':');
+    options.target_elements =
+        static_cast<size_t>(std::atol(spec.substr(0, colon).c_str()));
+    if (colon != std::string::npos) {
+      options.seed =
+          static_cast<uint64_t>(std::atol(spec.substr(colon + 1).c_str()));
+    }
+    return repo::GenerateSyntheticRepository(options);
+  }
+  return Status::InvalidArgument(
+      "need one of --forest / --repo-dir / --synthetic");
+}
+
+int RunGen(const Args& args) {
+  if (!args.Has("elements") || !args.Has("out")) {
+    std::fprintf(stderr, "gen requires --elements and --out\n");
+    return 2;
+  }
+  repo::SyntheticRepoOptions options;
+  options.target_elements = static_cast<size_t>(args.GetInt("elements", 0));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  auto forest = repo::GenerateSyntheticRepository(options);
+  if (!forest.ok()) {
+    std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+    return 1;
+  }
+  Status save = schema::SaveForestToFile(*forest, args.Get("out"));
+  if (!save.ok()) {
+    std::fprintf(stderr, "%s\n", save.ToString().c_str());
+    return 1;
+  }
+  repo::RepositoryStats stats = repo::ComputeStats(*forest);
+  std::printf("wrote %s: %zu elements over %zu trees\n",
+              args.Get("out").c_str(), stats.nodes, stats.trees);
+  return 0;
+}
+
+int RunConvert(const Args& args) {
+  if (!args.Has("repo-dir") || !args.Has("out")) {
+    std::fprintf(stderr, "convert requires --repo-dir and --out\n");
+    return 2;
+  }
+  auto forest = LoadRepository(args);
+  if (!forest.ok()) {
+    std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+    return 1;
+  }
+  Status save = schema::SaveForestToFile(*forest, args.Get("out"));
+  if (!save.ok()) {
+    std::fprintf(stderr, "%s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu trees, %zu elements)\n",
+              args.Get("out").c_str(), forest->num_trees(),
+              forest->total_nodes());
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  auto forest = LoadRepository(args);
+  if (!forest.ok()) {
+    std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+    return 1;
+  }
+  repo::RepositoryStats stats = repo::ComputeStats(*forest);
+  std::printf("trees:          %zu\n", stats.trees);
+  std::printf("elements:       %zu\n", stats.nodes);
+  std::printf("avg tree size:  %.1f\n", stats.avg_tree_size);
+  std::printf("max tree size:  %zu\n", stats.max_tree_size);
+  std::printf("max depth:      %d\n", stats.max_depth);
+  std::printf("distinct names: %zu\n", stats.distinct_names);
+  return 0;
+}
+
+int RunMatch(const Args& args) {
+  auto forest = LoadRepository(args);
+  if (!forest.ok()) {
+    std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+    return 1;
+  }
+  if (!args.Has("personal")) {
+    std::fprintf(stderr, "match requires --personal SPEC\n");
+    return 2;
+  }
+  auto personal = schema::ParseTreeSpec(args.Get("personal"));
+  if (!personal.ok()) {
+    std::fprintf(stderr, "bad --personal: %s\n",
+                 personal.status().ToString().c_str());
+    return 1;
+  }
+
+  core::MatchOptions options;
+  options.delta = args.GetDouble("delta", 0.75);
+  options.objective.alpha = args.GetDouble("alpha", 0.5);
+  options.element.threshold = args.GetDouble("threshold", 0.5);
+  options.top_n = static_cast<size_t>(args.GetInt("top", 20));
+  std::string mode = args.Get("cluster", "kmeans");
+  if (mode == "tree") {
+    options.clustering = core::ClusteringMode::kTreeClusters;
+  } else if (mode == "kmeans") {
+    options.clustering = core::ClusteringMode::kKMeans;
+    options.kmeans.join_distance =
+        static_cast<int>(args.GetInt("join", 3));
+  } else {
+    std::fprintf(stderr, "--cluster must be tree or kmeans\n");
+    return 2;
+  }
+  if (args.Has("partial")) {
+    options.include_partial_mappings = true;
+    options.partial.delta = options.delta * 0.7;
+  }
+  if (args.Has("structural")) {
+    options.structural_matcher =
+        &match::CompositeStructuralMatcher::Default();
+  }
+
+  core::Bellflower system(&*forest);
+  auto result = system.Match(*personal, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const core::MatchStats& stats = result->stats;
+  std::printf("repository: %zu elements / %zu trees | mapping elements: %zu"
+              " | clusters: %zu (%zu useful)\n",
+              stats.repository_nodes, stats.repository_trees,
+              stats.total_mapping_elements, stats.num_clusters,
+              stats.num_useful_clusters);
+  std::printf("search space: %.0f | partial mappings generated: %llu | "
+              "mappings (delta>=%.2f): %zu\n\n",
+              stats.search_space,
+              static_cast<unsigned long long>(
+                  stats.generator.partial_mappings),
+              options.delta, stats.num_mappings);
+
+  int rank = 1;
+  for (const auto& mapping : result->mappings) {
+    std::printf("%3d. %s\n", rank++,
+                generate::MappingToString(mapping, *personal, *forest)
+                    .c_str());
+  }
+  if (options.include_partial_mappings) {
+    std::printf("\npartial mappings (%zu):\n",
+                result->partial_mappings.size());
+    int prank = 1;
+    for (const auto& pm : result->partial_mappings) {
+      if (prank > 10) break;
+      std::printf("%3d. tree=%d delta=%.3f coverage=%.2f\n", prank++,
+                  pm.tree, pm.delta, pm.Coverage());
+    }
+  }
+
+  if (args.Has("query") && !result->mappings.empty()) {
+    auto query = query::ParseXPath(args.Get("query"));
+    if (!query.ok()) {
+      std::fprintf(stderr, "bad --query: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nquery rewrites of %s:\n", args.Get("query").c_str());
+    int qrank = 1;
+    for (const auto& mapping : result->mappings) {
+      if (qrank > 5) break;
+      auto rewritten =
+          query::RewriteQuery(*query, *personal, mapping, *forest);
+      std::printf("%3d. %s\n", qrank++,
+                  rewritten.ok()
+                      ? rewritten->ToString().c_str()
+                      : rewritten.status().ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args(argc, argv);
+  if (!args.ok()) return Usage();
+  std::string command = argv[1];
+  if (command == "gen") return RunGen(args);
+  if (command == "convert") return RunConvert(args);
+  if (command == "stats") return RunStats(args);
+  if (command == "match") return RunMatch(args);
+  return Usage();
+}
