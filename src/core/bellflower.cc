@@ -27,36 +27,101 @@ Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
   if (options.delta < 0.0 || options.delta > 1.0) {
     return Status::InvalidArgument("delta must be in [0,1]");
   }
+  XSM_ASSIGN_OR_RETURN(
+      ClusterState state,
+      BuildClusterState(personal, ClusterStateOptions::From(options)));
+  return MatchWithState(personal, state, options);
+}
+
+Result<ClusterState> Bellflower::BuildClusterState(
+    const schema::SchemaTree& personal,
+    const ClusterStateOptions& options) const {
   if (personal.empty()) {
     return Status::InvalidArgument("personal schema is empty");
   }
   XSM_RETURN_NOT_OK(personal.Validate());
 
-  MatchResult result;
-  MatchStats& stats = result.stats;
-  stats.repository_nodes = repository_->total_nodes();
-  stats.repository_trees = repository_->num_trees();
+  ClusterState state;
 
   // --- Stage ②③: element matching. ---------------------------------------
   Timer timer;
   XSM_ASSIGN_OR_RETURN(
-      match::ElementMatchingResult matching,
+      state.matching,
       match::MatchElements(personal, *repository_, options.element));
-  stats.time_matching_seconds = timer.ElapsedSeconds();
-  stats.total_mapping_elements = matching.total_mapping_elements();
-  stats.distinct_mapping_nodes = matching.distinct_nodes.size();
+  state.time_matching_seconds = timer.ElapsedSeconds();
 
-  if (matching.distinct_nodes.empty()) {
+  if (state.matching.distinct_nodes.empty()) {
+    return state;  // No mapping elements anywhere: nothing to cluster.
+  }
+
+  // Cluster points = distinct matched repository nodes. Element scores are
+  // deliberately not part of a point: clustering depends only on node
+  // positions and masks, which is what makes the state reusable across
+  // generation-phase option changes (δ, top-N, structural matchers, ...).
+  state.points.reserve(state.matching.distinct_nodes.size());
+  for (size_t i = 0; i < state.matching.distinct_nodes.size(); ++i) {
+    state.points.push_back(
+        {state.matching.distinct_nodes[i], state.matching.masks[i]});
+  }
+
+  // --- Stage ⓒ: clustering. ----------------------------------------------
+  timer.Restart();
+  if (options.clustering == ClusteringMode::kTreeClusters) {
+    state.clustering = cluster::TreeClusters(state.points);
+  } else {
+    std::vector<size_t> set_sizes(personal.size());
+    for (size_t i = 0; i < personal.size(); ++i) {
+      set_sizes[i] = state.matching.sets[i].size();
+    }
+    cluster::KMeansClusterer clusterer(repository_, &index_);
+    XSM_ASSIGN_OR_RETURN(
+        state.clustering,
+        clusterer.Cluster(state.points, set_sizes, options.kmeans));
+  }
+  state.time_clustering_seconds = timer.ElapsedSeconds();
+  return state;
+}
+
+Result<MatchResult> Bellflower::MatchWithState(
+    const schema::SchemaTree& personal, const ClusterState& state,
+    const MatchOptions& options) const {
+  XSM_RETURN_NOT_OK(options.objective.Validate());
+  if (options.delta < 0.0 || options.delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0,1]");
+  }
+  if (personal.empty()) {
+    return Status::InvalidArgument("personal schema is empty");
+  }
+  if (state.matching.sets.size() != personal.size()) {
+    return Status::InvalidArgument(
+        "cluster state was built for a different personal schema");
+  }
+
+  MatchResult result;
+  MatchStats& stats = result.stats;
+  stats.repository_nodes = repository_->total_nodes();
+  stats.repository_trees = repository_->num_trees();
+  stats.time_matching_seconds = state.time_matching_seconds;
+  stats.total_mapping_elements = state.matching.total_mapping_elements();
+  stats.distinct_mapping_nodes = state.matching.distinct_nodes.size();
+
+  if (state.matching.distinct_nodes.empty()) {
     return result;  // No mapping elements anywhere: empty solution list.
   }
 
   // Two-phase baseline: structural matchers applied to *every* mapping
-  // element before clustering (structural_within_clusters_only == false).
+  // element (structural_within_clusters_only == false). Scores never
+  // influence clustering, so rescoring a local copy here — after the
+  // clustering stage — produces the same mappings as the historical
+  // rescore-before-clustering order while keeping `state` immutable.
+  const match::ElementMatchingResult* matching = &state.matching;
+  match::ElementMatchingResult rescored;
   if (options.structural_matcher != nullptr &&
       !options.structural_within_clusters_only) {
+    rescored = state.matching;
     Timer structural_timer;
     const double w = options.structural_weight;
-    for (auto& set : matching.sets) {
+    for (auto& set : rescored.sets) {
       for (auto& element : set.elements) {
         double structural = options.structural_matcher->Score(
             personal, set.personal_node, repository_->tree(element.node.tree),
@@ -66,37 +131,18 @@ Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
       }
     }
     stats.time_structural_seconds = structural_timer.ElapsedSeconds();
+    matching = &rescored;
   }
 
-  // Cluster points = distinct matched repository nodes.
-  std::vector<cluster::ClusterPoint> points;
-  points.reserve(matching.distinct_nodes.size());
-  for (size_t i = 0; i < matching.distinct_nodes.size(); ++i) {
-    points.push_back({matching.distinct_nodes[i], matching.masks[i]});
-  }
-
-  // --- Stage ⓒ: clustering. ----------------------------------------------
-  timer.Restart();
-  cluster::ClusteringResult clustering;
-  if (options.clustering == ClusteringMode::kTreeClusters) {
-    clustering = cluster::TreeClusters(points);
-  } else {
-    std::vector<size_t> set_sizes(personal.size());
-    for (size_t i = 0; i < personal.size(); ++i) {
-      set_sizes[i] = matching.sets[i].size();
-    }
-    cluster::KMeansClusterer clusterer(repository_, &index_);
-    XSM_ASSIGN_OR_RETURN(clustering,
-                         clusterer.Cluster(points, set_sizes,
-                                           options.kmeans));
-  }
-  stats.time_clustering_seconds = timer.ElapsedSeconds();
+  const std::vector<cluster::ClusterPoint>& points = state.points;
+  const cluster::ClusteringResult& clustering = state.clustering;
+  stats.time_clustering_seconds = state.time_clustering_seconds;
   stats.kmeans = clustering.stats;
   stats.num_clusters = clustering.clusters.size();
 
   // --- Stage ④: per-cluster mapping generation. --------------------------
-  timer.Restart();
-  const uint32_t full_mask = matching.FullMask();
+  Timer timer;
+  const uint32_t full_mask = matching->FullMask();
   double k_resolved = ResolveK(options.objective);
   objective::BellflowerObjective objective(
       options.objective.alpha, k_resolved,
@@ -137,7 +183,7 @@ Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
     cands.tree = c.tree;
     cands.candidates.resize(personal.size());
     for (size_t n = 0; n < personal.size(); ++n) {
-      const auto& me = matching.sets[n].elements;
+      const auto& me = matching->sets[n].elements;
       auto& dst = cands.candidates[n];
       size_t i = 0;
       size_t j = 0;

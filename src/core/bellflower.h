@@ -157,6 +157,43 @@ struct MatchResult {
   MatchStats stats;
 };
 
+/// The subset of MatchOptions that determines the expensive, reusable
+/// preprocessing (element matching ②③ + clustering ⓒ). Two MatchOptions
+/// with equal ClusterStateOptions can share one ClusterState; everything
+/// else in MatchOptions (δ, top-N, cluster order, partial mappings,
+/// structural matchers) only affects the generation phase.
+struct ClusterStateOptions {
+  match::ElementMatchingOptions element;
+  ClusteringMode clustering = ClusteringMode::kKMeans;
+  cluster::KMeansOptions kmeans;
+
+  /// Projects a full MatchOptions onto its state-determining subset.
+  static ClusterStateOptions From(const MatchOptions& options) {
+    ClusterStateOptions state;
+    state.element = options.element;
+    state.clustering = options.clustering;
+    state.kmeans = options.kmeans;
+    return state;
+  }
+};
+
+/// Immutable output of the matching+clustering stages for one personal
+/// schema. Build once with Bellflower::BuildClusterState, then run any
+/// number of (concurrent) MatchWithState calls against it — the state is
+/// never mutated after construction, so a `const ClusterState&` may be
+/// shared freely across threads (this is what service::ClusterIndexCache
+/// hands out).
+struct ClusterState {
+  match::ElementMatchingResult matching;
+  /// One point per distinct matched repository node (aligned with
+  /// matching.distinct_nodes / matching.masks).
+  std::vector<cluster::ClusterPoint> points;
+  cluster::ClusteringResult clustering;
+
+  double time_matching_seconds = 0;
+  double time_clustering_seconds = 0;
+};
+
 /// The matching system. Owns the structural index over the repository; the
 /// repository itself must outlive the Bellflower instance.
 class Bellflower {
@@ -171,8 +208,25 @@ class Bellflower {
   double ResolveK(const objective::ObjectiveParams& params) const;
 
   /// Solves the schema matching problem P = (personal, R, Δ, δ).
+  /// Equivalent to BuildClusterState + MatchWithState.
   Result<MatchResult> Match(const schema::SchemaTree& personal,
                             const MatchOptions& options) const;
+
+  /// Runs the expensive preprocessing stages (element matching +
+  /// clustering) and returns their reusable result. Thread-safe: only
+  /// reads the repository and index.
+  Result<ClusterState> BuildClusterState(
+      const schema::SchemaTree& personal,
+      const ClusterStateOptions& options) const;
+
+  /// Runs the generation stages (④⑤ plus the §2.3 extensions) against a
+  /// previously built state. `state` must have been built for the same
+  /// personal schema (and this repository); it is not mutated, so many
+  /// MatchWithState calls may run concurrently against one state.
+  /// `options`' state-determining fields are ignored — the state wins.
+  Result<MatchResult> MatchWithState(const schema::SchemaTree& personal,
+                                     const ClusterState& state,
+                                     const MatchOptions& options) const;
 
  private:
   const schema::SchemaForest* repository_;

@@ -1,0 +1,91 @@
+#include "service/cluster_index_cache.h"
+
+#include <utility>
+
+namespace xsm::service {
+
+Result<ClusterStatePtr> ClusterIndexCache::GetOrCompute(
+    const std::string& key, const Factory& factory) {
+  if (capacity_ == 0) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.misses;
+    }
+    XSM_ASSIGN_OR_RETURN(core::ClusterState state, factory());
+    return std::make_shared<const core::ClusterState>(std::move(state));
+  }
+
+  std::promise<Outcome> promise;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      Slot& slot = it->second;
+      std::shared_future<Outcome> future = slot.future;
+      if (slot.ready) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, slot.lru_it);  // mark recently used
+      } else {
+        ++stats_.shared;
+      }
+      lock.unlock();
+      Outcome outcome = future.get();
+      if (!outcome.status.ok()) return outcome.status;
+      return outcome.state;
+    }
+    ++stats_.misses;
+    Slot slot;
+    slot.future = promise.get_future().share();
+    slots_.emplace(key, std::move(slot));
+  }
+
+  // Build outside the lock: other keys proceed, same-key callers wait on
+  // the shared future.
+  Outcome outcome;
+  {
+    Result<core::ClusterState> built = factory();
+    if (built.ok()) {
+      outcome.state = std::make_shared<const core::ClusterState>(
+          std::move(built).value());
+    } else {
+      outcome.status = built.status();
+    }
+  }
+  promise.set_value(outcome);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (!outcome.status.ok()) {
+    // Leave no failed entry behind; the next request retries.
+    if (it != slots_.end() && !it->second.ready) slots_.erase(it);
+    return outcome.status;
+  }
+  if (it != slots_.end() && !it->second.ready) {
+    lru_.push_front(key);
+    it->second.ready = true;
+    it->second.lru_it = lru_.begin();
+    while (lru_.size() > capacity_) {
+      slots_.erase(lru_.back());
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  return outcome.state;
+}
+
+ClusterIndexCache::Stats ClusterIndexCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+void ClusterIndexCache::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const std::string& key : lru_) {
+    slots_.erase(key);
+  }
+  lru_.clear();
+}
+
+}  // namespace xsm::service

@@ -1,0 +1,84 @@
+// ClusterIndexCache: a thread-safe LRU cache of immutable ClusterState
+// (element matching + clustering output) keyed by a fingerprint of the
+// personal schema and the clustering options. This is what amortizes the
+// paper's preprocessing across queries: reclustering with the same
+// (personal, k-means parameters) key is computed at most once — concurrent
+// requests for a missing key share a single in-flight computation — and the
+// resulting state is handed out as shared_ptr<const ...> for lock-free
+// concurrent generation.
+#ifndef XSM_SERVICE_CLUSTER_INDEX_CACHE_H_
+#define XSM_SERVICE_CLUSTER_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/bellflower.h"
+#include "util/status.h"
+
+namespace xsm::service {
+
+/// Shareable handle to one immutable cluster state.
+using ClusterStatePtr = std::shared_ptr<const core::ClusterState>;
+
+class ClusterIndexCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;       ///< served from a ready entry
+    uint64_t shared = 0;     ///< waited on another thread's in-flight build
+    uint64_t misses = 0;     ///< ran the factory
+    uint64_t evictions = 0;  ///< ready entries dropped by the LRU policy
+    size_t entries = 0;      ///< ready entries currently resident
+  };
+
+  using Factory = std::function<Result<core::ClusterState>()>;
+
+  /// `capacity` is the maximum number of ready entries; 0 disables caching
+  /// entirely (every GetOrCompute runs the factory).
+  explicit ClusterIndexCache(size_t capacity) : capacity_(capacity) {}
+
+  ClusterIndexCache(const ClusterIndexCache&) = delete;
+  ClusterIndexCache& operator=(const ClusterIndexCache&) = delete;
+
+  /// Returns the state cached under `key`, or runs `factory` to build it.
+  /// Concurrent calls with the same missing key run the factory exactly
+  /// once; the others block until it finishes. A failed factory propagates
+  /// its Status to every waiter and leaves no entry behind (the next call
+  /// retries).
+  Result<ClusterStatePtr> GetOrCompute(const std::string& key,
+                                       const Factory& factory);
+
+  Stats stats() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Drops all ready entries (in-flight builds are unaffected; states
+  /// already handed out stay alive through their shared_ptr).
+  void Clear();
+
+ private:
+  struct Outcome {
+    Status status;
+    ClusterStatePtr state;  // non-null iff status.ok()
+  };
+  struct Slot {
+    std::shared_future<Outcome> future;
+    bool ready = false;
+    std::list<std::string>::iterator lru_it;  // valid iff ready
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> slots_;
+  /// Ready keys, most recently used first.
+  std::list<std::string> lru_;
+  Stats stats_;
+};
+
+}  // namespace xsm::service
+
+#endif  // XSM_SERVICE_CLUSTER_INDEX_CACHE_H_

@@ -1,0 +1,175 @@
+#include "service/match_service.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "util/random.h"
+
+namespace xsm::service {
+
+namespace {
+
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+/// Appends a string length-prefixed, so names containing the fingerprint's
+/// own delimiters (':' is legal in XML names) cannot make two different
+/// schemas serialize to one key.
+void AppendString(std::string* out, const std::string& s) {
+  AppendFormat(out, "%zu=", s.size());
+  out->append(s);
+}
+
+/// Canonical serialization of the personal schema: every structural and
+/// property bit that can influence element matching.
+void AppendTreeFingerprint(const schema::SchemaTree& tree, std::string* out) {
+  for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(tree.size());
+       ++n) {
+    const schema::NodeProperties& props = tree.props(n);
+    AppendFormat(out, "%d:", tree.parent(n));
+    AppendString(out, props.name);
+    AppendFormat(out, ":%d:", static_cast<int>(props.kind));
+    AppendString(out, props.datatype);
+    AppendFormat(out, ":%d%d;", props.repeatable ? 1 : 0,
+                 props.optional ? 1 : 0);
+  }
+}
+
+void AppendStateOptionsFingerprint(const core::ClusterStateOptions& options,
+                                   std::string* out) {
+  // Element matching stage. A custom matcher is identified by address: two
+  // queries share a cache entry only when they pass the same instance.
+  AppendFormat(out, "|el:%.17g:%d:%p", options.element.threshold,
+               options.element.match_attributes ? 1 : 0,
+               static_cast<const void*>(options.element.matcher));
+
+  if (options.clustering == core::ClusteringMode::kTreeClusters) {
+    out->append("|tree");  // the baseline ignores every k-means knob
+    return;
+  }
+  const cluster::KMeansOptions& km = options.kmeans;
+  AppendFormat(out, "|km:%d:%zu", static_cast<int>(km.init),
+               km.num_centroids);
+  AppendFormat(out, ":%d:%d", km.join_reclustering ? km.join_distance : -1,
+               km.remove_reclustering
+                   ? static_cast<int>(km.min_cluster_size)
+                   : -1);
+  AppendFormat(out, ":%zu:%d:%.17g", km.max_cluster_size,
+               static_cast<int>(km.distance), km.name_weight);
+  AppendFormat(out, ":%.17g:%d", km.convergence_fraction, km.max_iterations);
+  // The seed only feeds the randomized initializations; normalizing it to 0
+  // for kMinSet lets per-query derived seeds share one cache entry in the
+  // common deterministic case.
+  uint64_t effective_seed =
+      km.init == cluster::CentroidInit::kMinSet ? 0 : km.seed;
+  AppendFormat(out, ":%" PRIu64, effective_seed);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MatchService>> MatchService::Create(
+    schema::SchemaForest repository, const MatchServiceOptions& options) {
+  XSM_ASSIGN_OR_RETURN(std::shared_ptr<const RepositorySnapshot> snapshot,
+                       RepositorySnapshot::Create(std::move(repository)));
+  return std::make_unique<MatchService>(std::move(snapshot), options);
+}
+
+MatchService::MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
+                           const MatchServiceOptions& options)
+    : snapshot_(std::move(snapshot)),
+      options_(options),
+      cache_(options.cluster_cache_capacity),
+      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                     : options.num_threads) {}
+
+core::MatchOptions MatchService::EffectiveOptions(
+    const MatchQuery& query) const {
+  core::MatchOptions effective = query.options;
+  const bool randomized =
+      effective.clustering == core::ClusteringMode::kKMeans &&
+      effective.kmeans.init != cluster::CentroidInit::kMinSet;
+  if (options_.derive_seeds && randomized) {
+    effective.kmeans.seed = SeedForQuery(options_.base_seed, query.id);
+  }
+  return effective;
+}
+
+namespace {
+
+std::string BuildClusterStateKey(const schema::SchemaTree& personal,
+                                 const core::ClusterStateOptions& options) {
+  std::string key;
+  key.reserve(256);
+  AppendTreeFingerprint(personal, &key);
+  AppendStateOptionsFingerprint(options, &key);
+  return key;
+}
+
+}  // namespace
+
+std::string MatchService::ClusterStateKey(const MatchQuery& query) const {
+  return BuildClusterStateKey(
+      query.personal, core::ClusterStateOptions::From(EffectiveOptions(query)));
+}
+
+Result<core::MatchResult> MatchService::Match(const MatchQuery& query) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  core::MatchOptions effective = EffectiveOptions(query);
+  // Reject invalid generation options up front (mirroring Bellflower::Match)
+  // so a bad query cannot pay for — or cache — a cluster-state build.
+  XSM_RETURN_NOT_OK(effective.objective.Validate());
+  if (effective.delta < 0.0 || effective.delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0,1]");
+  }
+  core::ClusterStateOptions state_options =
+      core::ClusterStateOptions::From(effective);
+  const core::Bellflower& matcher = snapshot_->matcher();
+  XSM_ASSIGN_OR_RETURN(
+      ClusterStatePtr state,
+      cache_.GetOrCompute(
+          BuildClusterStateKey(query.personal, state_options), [&]() {
+            return matcher.BuildClusterState(query.personal, state_options);
+          }));
+  return matcher.MatchWithState(query.personal, *state, effective);
+}
+
+std::future<Result<core::MatchResult>> MatchService::SubmitMatch(
+    MatchQuery query) {
+  return pool_.Submit(
+      [this, query = std::move(query)]() { return Match(query); });
+}
+
+std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
+    std::vector<MatchQuery> queries) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::future<Result<core::MatchResult>>> futures;
+  futures.reserve(queries.size());
+  for (MatchQuery& query : queries) {
+    futures.push_back(pool_.Submit(
+        [this, query = std::move(query)]() { return Match(query); }));
+  }
+  std::vector<Result<core::MatchResult>> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+ServiceStats MatchService::stats() const {
+  ServiceStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace xsm::service

@@ -1,0 +1,129 @@
+// MatchService: the long-lived serving front end over one repository
+// snapshot. Where core::Bellflower solves one matching problem, the service
+// executes *traffic*: single queries, batches, and async submissions run
+// concurrently on a fixed thread pool against the shared immutable
+// snapshot, and the expensive preprocessing (element matching + clustering)
+// is amortized across queries through a ClusterIndexCache — reclustering
+// with the same (personal schema, clustering parameters) key happens at
+// most once.
+//
+// Quickstart:
+//   auto service = service::MatchService::Create(std::move(forest));
+//   service::MatchQuery query;
+//   query.id = "q1";
+//   query.personal = *schema::ParseTreeSpec("name(address,email)");
+//   query.options.delta = 0.75;
+//   auto result = (*service)->Match(query);               // synchronous
+//   auto future = (*service)->SubmitMatch(query);         // async
+//   auto results = (*service)->MatchBatch(queries);       // parallel batch
+#ifndef XSM_SERVICE_MATCH_SERVICE_H_
+#define XSM_SERVICE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bellflower.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+#include "service/cluster_index_cache.h"
+#include "service/repository_snapshot.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace xsm::service {
+
+/// One unit of service work: a personal schema plus the matching knobs.
+struct MatchQuery {
+  /// Stable identity of the query. Labels results and — for randomized
+  /// clustering initializations — seeds the per-query RNG, so re-running a
+  /// query with the same id reproduces its result exactly regardless of
+  /// concurrency (see MatchServiceOptions::derive_seeds).
+  std::string id;
+  schema::SchemaTree personal;
+  core::MatchOptions options;
+};
+
+struct MatchServiceOptions {
+  /// Worker threads executing SubmitMatch / MatchBatch work; 0 means
+  /// ThreadPool::DefaultThreadCount().
+  size_t num_threads = 0;
+  /// Capacity of the cluster-state cache in entries (distinct
+  /// (personal schema, clustering options) keys); 0 disables caching.
+  size_t cluster_cache_capacity = 64;
+  /// Base seed mixed with query ids by SeedForQuery.
+  uint64_t base_seed = 42;
+  /// When a query's clustering consumes randomness (CentroidInit::kRandom /
+  /// kFarthestFirst), replace its k-means seed with
+  /// SeedForQuery(base_seed, query.id) so results are a pure function of
+  /// the query, not of thread interleaving. The default kMinSet
+  /// initialization is deterministic and ignores the seed, so those
+  /// queries share cache entries across ids.
+  bool derive_seeds = true;
+};
+
+struct ServiceStats {
+  uint64_t queries = 0;  ///< Match() calls (batch members included)
+  uint64_t batches = 0;  ///< MatchBatch() calls
+  ClusterIndexCache::Stats cache;
+};
+
+/// Thread-safe; one instance serves arbitrarily many concurrent callers.
+class MatchService {
+ public:
+  /// Convenience: snapshots `repository` (validating it, building the
+  /// index once) and wraps it in a service.
+  static Result<std::unique_ptr<MatchService>> Create(
+      schema::SchemaForest repository, const MatchServiceOptions& options =
+                                           MatchServiceOptions());
+
+  MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
+               const MatchServiceOptions& options = MatchServiceOptions());
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Executes one query on the calling thread (consults / fills the
+  /// cluster cache). Safe to call from any number of threads.
+  Result<core::MatchResult> Match(const MatchQuery& query);
+
+  /// Enqueues one query on the pool; the future resolves when it finishes.
+  std::future<Result<core::MatchResult>> SubmitMatch(MatchQuery query);
+
+  /// Executes all queries on the pool and returns their results in input
+  /// order. Blocks until the whole batch is done. Call from outside the
+  /// pool (a batch inside a pool task would wait on its own workers).
+  std::vector<Result<core::MatchResult>> MatchBatch(
+      std::vector<MatchQuery> queries);
+
+  const RepositorySnapshot& snapshot() const { return *snapshot_; }
+  const MatchServiceOptions& options() const { return options_; }
+  ThreadPool& pool() { return pool_; }
+  ServiceStats stats() const;
+
+  /// Drops every cached cluster state (measurement / repository tuning).
+  void ClearCache() { cache_.Clear(); }
+
+  /// The options Match() actually runs for `query` after per-query seed
+  /// derivation. Exposed for tests and tools.
+  core::MatchOptions EffectiveOptions(const MatchQuery& query) const;
+
+  /// The cluster-cache key for `query`: a canonical fingerprint of its
+  /// personal schema and state-determining options. Exposed for tests.
+  std::string ClusterStateKey(const MatchQuery& query) const;
+
+ private:
+  std::shared_ptr<const RepositorySnapshot> snapshot_;
+  MatchServiceOptions options_;
+  ClusterIndexCache cache_;
+  ThreadPool pool_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace xsm::service
+
+#endif  // XSM_SERVICE_MATCH_SERVICE_H_

@@ -1,0 +1,53 @@
+#include "service/repository_snapshot.h"
+
+#include <utility>
+
+#include "util/random.h"
+
+namespace xsm::service {
+
+namespace {
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t FingerprintForest(const schema::SchemaForest& forest) {
+  uint64_t h = Mix(forest.num_trees(), forest.total_nodes());
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    const schema::SchemaTree& tree =
+        forest.tree(static_cast<schema::TreeId>(t));
+    h = Mix(h, tree.size());
+    for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(tree.size());
+         ++n) {
+      const schema::NodeProperties& props = tree.props(n);
+      h = Mix(h, Fnv1a(props.name));
+      h = Mix(h, Fnv1a(props.datatype));
+      h = Mix(h, static_cast<uint64_t>(props.kind));
+      h = Mix(h, (props.repeatable ? 2u : 0u) | (props.optional ? 1u : 0u));
+      h = Mix(h, static_cast<uint64_t>(tree.parent(n)) + 1);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const RepositorySnapshot>> RepositorySnapshot::Create(
+    schema::SchemaForest forest) {
+  XSM_RETURN_NOT_OK(forest.Validate());
+  // Not make_shared: the constructor is private and the forest must be in
+  // its final location before the matcher indexes it.
+  std::shared_ptr<const RepositorySnapshot> snapshot(
+      new RepositorySnapshot(std::move(forest)));
+  return snapshot;
+}
+
+RepositorySnapshot::RepositorySnapshot(schema::SchemaForest forest)
+    : forest_(std::move(forest)) {
+  matcher_ = std::make_unique<core::Bellflower>(&forest_);
+  fingerprint_ = FingerprintForest(forest_);
+}
+
+}  // namespace xsm::service

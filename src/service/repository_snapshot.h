@@ -1,0 +1,54 @@
+// RepositorySnapshot: an immutable view of one loaded repository — the
+// schema forest plus the structural index and matcher built over it, created
+// once at load time and shared by every query. This is the service layer's
+// unit of repository state: queries hold a shared_ptr<const ...> to the
+// snapshot they run against, so a future repository reload can swap in a new
+// snapshot without disturbing in-flight queries.
+#ifndef XSM_SERVICE_REPOSITORY_SNAPSHOT_H_
+#define XSM_SERVICE_REPOSITORY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bellflower.h"
+#include "label/tree_index.h"
+#include "schema/schema_forest.h"
+#include "util/status.h"
+
+namespace xsm::service {
+
+/// Immutable repository + index + matcher. Never mutated after Create, so a
+/// const reference may be used from any number of threads concurrently.
+class RepositorySnapshot {
+ public:
+  /// Validates and freezes `forest`, building the forest index once.
+  /// Heap-allocates the snapshot so the matcher's internal pointer into the
+  /// forest stays valid for the snapshot's whole life.
+  static Result<std::shared_ptr<const RepositorySnapshot>> Create(
+      schema::SchemaForest forest);
+
+  RepositorySnapshot(const RepositorySnapshot&) = delete;
+  RepositorySnapshot& operator=(const RepositorySnapshot&) = delete;
+
+  const schema::SchemaForest& forest() const { return forest_; }
+  const core::Bellflower& matcher() const { return *matcher_; }
+  const label::ForestIndex& index() const { return matcher_->index(); }
+
+  size_t num_trees() const { return forest_.num_trees(); }
+  size_t total_nodes() const { return forest_.total_nodes(); }
+
+  /// Content hash over every tree's structure and node properties;
+  /// identifies the snapshot in logs and namespaces persisted cache keys.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  explicit RepositorySnapshot(schema::SchemaForest forest);
+
+  schema::SchemaForest forest_;
+  std::unique_ptr<core::Bellflower> matcher_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace xsm::service
+
+#endif  // XSM_SERVICE_REPOSITORY_SNAPSHOT_H_

@@ -9,10 +9,35 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace xsm {
+
+/// 64-bit FNV-1a over a byte string. Not cryptographic; used for seed
+/// derivation and content fingerprints.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+/// Derives a deterministic seed for one query from a service-level base
+/// seed and the query's id. Concurrent service queries must not share
+/// mutable RNG state — each query constructs its own Rng from this seed, so
+/// results are a pure function of (base_seed, query_id) regardless of
+/// thread interleaving or execution order. FNV-1a over the id, finalized
+/// with a SplitMix64 step so that nearby ids map to unrelated seeds.
+inline uint64_t SeedForQuery(uint64_t base_seed, std::string_view query_id) {
+  uint64_t x = Fnv1a(query_id) ^ (base_seed + 0x9E3779B97F4A7C15ull);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 
 /// xoshiro256**-based generator: fast, high quality, fully deterministic for
 /// a given seed across platforms (unlike std::mt19937 distributions).

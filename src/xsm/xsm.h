@@ -26,11 +26,15 @@
 #include "repo/synthetic.h"              // IWYU pragma: export
 #include "schema/schema_forest.h"        // IWYU pragma: export
 #include "schema/schema_tree.h"          // IWYU pragma: export
+#include "service/cluster_index_cache.h"  // IWYU pragma: export
+#include "service/match_service.h"        // IWYU pragma: export
+#include "service/repository_snapshot.h"  // IWYU pragma: export
 #include "sim/string_similarity.h"       // IWYU pragma: export
 #include "sim/synonym_dictionary.h"      // IWYU pragma: export
 #include "util/histogram.h"              // IWYU pragma: export
 #include "util/random.h"                 // IWYU pragma: export
 #include "util/status.h"                 // IWYU pragma: export
+#include "util/thread_pool.h"            // IWYU pragma: export
 #include "util/timer.h"                  // IWYU pragma: export
 #include "xml/dtd_parser.h"              // IWYU pragma: export
 #include "xml/xml_parser.h"              // IWYU pragma: export

@@ -1,0 +1,147 @@
+#include "service/cluster_index_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xsm::service {
+namespace {
+
+// A distinguishable empty state: tag it through the matching-time field.
+Result<core::ClusterState> MakeState(double tag) {
+  core::ClusterState state;
+  state.time_matching_seconds = tag;
+  return state;
+}
+
+TEST(ClusterIndexCacheTest, MissComputesThenHitReturnsSameObject) {
+  ClusterIndexCache cache(4);
+  int calls = 0;
+  auto factory = [&calls]() {
+    ++calls;
+    return MakeState(1.0);
+  };
+
+  auto first = cache.GetOrCompute("k", factory);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrCompute("k", factory);
+  ASSERT_TRUE(second.ok());
+
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first->get(), second->get());  // literally the same state
+  ClusterIndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ClusterIndexCacheTest, ConcurrentSameKeyRunsFactoryOnce) {
+  ClusterIndexCache cache(4);
+  std::atomic<int> calls{0};
+  auto factory = [&calls]() {
+    calls.fetch_add(1);
+    // Give waiters time to pile onto the in-flight slot.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return MakeState(2.0);
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&]() {
+      auto result = cache.GetOrCompute("shared-key", factory);
+      if (!result.ok() || (*result)->time_matching_seconds != 2.0) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(failures.load(), 0);
+  ClusterIndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.shared, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(ClusterIndexCacheTest, FailedFactoryIsNotCachedAndRetries) {
+  ClusterIndexCache cache(4);
+  int calls = 0;
+  auto failing = [&calls]() -> Result<core::ClusterState> {
+    ++calls;
+    return Status::Internal("boom");
+  };
+
+  auto first = cache.GetOrCompute("k", failing);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kInternal);
+
+  // The failure left no entry: the next call runs the factory again.
+  auto second = cache.GetOrCompute("k", [&calls]() {
+    ++calls;
+    return MakeState(3.0);
+  });
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ClusterIndexCacheTest, LruEvictsLeastRecentlyUsed) {
+  ClusterIndexCache cache(2);
+  int calls = 0;
+  auto factory = [&calls]() {
+    ++calls;
+    return MakeState(4.0);
+  };
+
+  ASSERT_TRUE(cache.GetOrCompute("a", factory).ok());  // miss: {a}
+  ASSERT_TRUE(cache.GetOrCompute("b", factory).ok());  // miss: {b, a}
+  ASSERT_TRUE(cache.GetOrCompute("a", factory).ok());  // hit:  {a, b}
+  ASSERT_TRUE(cache.GetOrCompute("c", factory).ok());  // miss: {c, a}, b out
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  ASSERT_TRUE(cache.GetOrCompute("a", factory).ok());  // still resident
+  EXPECT_EQ(calls, 3);
+  ASSERT_TRUE(cache.GetOrCompute("b", factory).ok());  // evicted: recompute
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(ClusterIndexCacheTest, ZeroCapacityDisablesCaching) {
+  ClusterIndexCache cache(0);
+  int calls = 0;
+  auto factory = [&calls]() {
+    ++calls;
+    return MakeState(5.0);
+  };
+  ASSERT_TRUE(cache.GetOrCompute("k", factory).ok());
+  ASSERT_TRUE(cache.GetOrCompute("k", factory).ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ClusterIndexCacheTest, ClearDropsEntriesButKeepsHandedOutStates) {
+  ClusterIndexCache cache(4);
+  auto result = cache.GetOrCompute("k", []() { return MakeState(6.0); });
+  ASSERT_TRUE(result.ok());
+  ClusterStatePtr held = *result;
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(held->time_matching_seconds, 6.0);  // still alive
+
+  int calls = 0;
+  ASSERT_TRUE(cache.GetOrCompute("k", [&calls]() {
+                     ++calls;
+                     return MakeState(7.0);
+                   }).ok());
+  EXPECT_EQ(calls, 1);  // rebuilt after Clear
+}
+
+}  // namespace
+}  // namespace xsm::service

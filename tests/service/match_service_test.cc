@@ -1,0 +1,307 @@
+#include "service/match_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bellflower.h"
+#include "repo/synthetic.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::service {
+namespace {
+
+// Personal schemas for the batch tests: distinct shapes and vocabularies so
+// each query produces its own cluster state and result set.
+const char* kSpecs[] = {
+    "name(address,email)",
+    "person(name,phone)",
+    "book(title,author)",
+    "order(item(price),customer)",
+    "customer(name,address(city,zip))",
+    "article(title,publisher)",
+    "employee(name,department,email)",
+    "product(name,price,@id)",
+};
+constexpr size_t kNumSpecs = sizeof(kSpecs) / sizeof(kSpecs[0]);
+
+class MatchServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo::SyntheticRepoOptions options;
+    options.target_elements = 2000;
+    options.seed = 7;
+    auto forest = repo::GenerateSyntheticRepository(options);
+    ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+    forest_ = new schema::SchemaForest(std::move(*forest));
+    direct_ = new core::Bellflower(forest_);
+  }
+
+  static void TearDownTestSuite() {
+    delete direct_;
+    direct_ = nullptr;
+    delete forest_;
+    forest_ = nullptr;
+  }
+
+  static MatchQuery MakeQuery(const std::string& id, const char* spec) {
+    MatchQuery query;
+    query.id = id;
+    auto personal = schema::ParseTreeSpec(spec);
+    EXPECT_TRUE(personal.ok()) << personal.status().ToString();
+    query.personal = std::move(*personal);
+    query.options.delta = 0.6;
+    query.options.top_n = 10;
+    return query;
+  }
+
+  static std::unique_ptr<MatchService> MakeService(
+      MatchServiceOptions options = MatchServiceOptions()) {
+    auto snapshot = RepositorySnapshot::Create(*forest_);
+    EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    return std::make_unique<MatchService>(std::move(*snapshot), options);
+  }
+
+  // Byte-identical comparison: same assignments AND the exact same doubles.
+  static void ExpectSameResults(const core::MatchResult& got,
+                                const core::MatchResult& want) {
+    ASSERT_EQ(got.mappings.size(), want.mappings.size());
+    for (size_t i = 0; i < got.mappings.size(); ++i) {
+      const generate::SchemaMapping& a = got.mappings[i];
+      const generate::SchemaMapping& b = want.mappings[i];
+      EXPECT_EQ(a.tree, b.tree) << "mapping " << i;
+      EXPECT_EQ(a.images, b.images) << "mapping " << i;
+      EXPECT_EQ(a.delta, b.delta) << "mapping " << i;
+      EXPECT_EQ(a.delta_sim, b.delta_sim) << "mapping " << i;
+      EXPECT_EQ(a.delta_path, b.delta_path) << "mapping " << i;
+      EXPECT_EQ(a.total_path_length, b.total_path_length) << "mapping " << i;
+    }
+    EXPECT_EQ(got.stats.num_mappings, want.stats.num_mappings);
+    EXPECT_EQ(got.stats.num_clusters, want.stats.num_clusters);
+    EXPECT_EQ(got.stats.num_useful_clusters, want.stats.num_useful_clusters);
+  }
+
+  static schema::SchemaForest* forest_;
+  static core::Bellflower* direct_;
+};
+
+schema::SchemaForest* MatchServiceTest::forest_ = nullptr;
+core::Bellflower* MatchServiceTest::direct_ = nullptr;
+
+TEST_F(MatchServiceTest, MatchEqualsDirectBellflower) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("q0", kSpecs[0]);
+
+  auto via_service = service->Match(query);
+  ASSERT_TRUE(via_service.ok()) << via_service.status().ToString();
+  auto via_direct = direct_->Match(query.personal, query.options);
+  ASSERT_TRUE(via_direct.ok()) << via_direct.status().ToString();
+
+  EXPECT_FALSE(via_service->mappings.empty());
+  ExpectSameResults(*via_service, *via_direct);
+}
+
+// The PR's acceptance criterion: a batch of >= 8 queries on >= 4 threads
+// produces byte-identical mappings, in input order, to sequential direct
+// Bellflower::Match calls.
+TEST_F(MatchServiceTest, BatchOnFourThreadsIsByteIdenticalAndInOrder) {
+  MatchServiceOptions options;
+  options.num_threads = 4;
+  auto service = MakeService(options);
+
+  std::vector<MatchQuery> queries;
+  for (size_t i = 0; i < kNumSpecs; ++i) {
+    queries.push_back(MakeQuery("batch-" + std::to_string(i), kSpecs[i]));
+  }
+  ASSERT_GE(queries.size(), 8u);
+
+  std::vector<Result<core::MatchResult>> batch = service->MatchBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  size_t nonempty = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+    auto direct = direct_->Match(queries[i].personal, queries[i].options);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameResults(*batch[i], *direct);  // order: result i is query i
+    if (!batch[i]->mappings.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 0u);
+  EXPECT_EQ(service->stats().queries, queries.size());
+  EXPECT_EQ(service->stats().batches, 1u);
+}
+
+TEST_F(MatchServiceTest, RepeatedQueryHitsClusterCache) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("repeat", kSpecs[1]);
+
+  auto first = service->Match(query);
+  ASSERT_TRUE(first.ok());
+  auto second = service->Match(query);
+  ASSERT_TRUE(second.ok());
+  ExpectSameResults(*second, *first);
+
+  ClusterIndexCache::Stats cache = service->stats().cache;
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.entries, 1u);
+}
+
+TEST_F(MatchServiceTest, GenerationOnlyOptionsShareClusterState) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("gen-a", kSpecs[2]);
+  ASSERT_TRUE(service->Match(query).ok());
+
+  // δ and top-N only affect the generation phase: same cache entry.
+  MatchQuery variant = query;
+  variant.id = "gen-b";
+  variant.options.delta = 0.8;
+  variant.options.top_n = 3;
+  EXPECT_EQ(service->ClusterStateKey(variant),
+            service->ClusterStateKey(query));
+  ASSERT_TRUE(service->Match(variant).ok());
+  EXPECT_EQ(service->stats().cache.misses, 1u);
+  EXPECT_EQ(service->stats().cache.hits, 1u);
+
+  // A clustering knob (join distance) changes the key: new entry.
+  MatchQuery reclustered = query;
+  reclustered.id = "gen-c";
+  reclustered.options.kmeans.join_distance = 4;
+  EXPECT_NE(service->ClusterStateKey(reclustered),
+            service->ClusterStateKey(query));
+  ASSERT_TRUE(service->Match(reclustered).ok());
+  EXPECT_EQ(service->stats().cache.misses, 2u);
+}
+
+TEST_F(MatchServiceTest, TreeClusterBaselineIgnoresKMeansKnobs) {
+  auto service = MakeService();
+  MatchQuery a = MakeQuery("tree-a", kSpecs[3]);
+  a.options.clustering = core::ClusteringMode::kTreeClusters;
+  MatchQuery b = a;
+  b.id = "tree-b";
+  b.options.kmeans.join_distance = 2;
+  b.options.kmeans.seed = 999;
+  EXPECT_EQ(service->ClusterStateKey(a), service->ClusterStateKey(b));
+}
+
+TEST_F(MatchServiceTest, SubmitMatchResolvesToSameResult) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("async", kSpecs[4]);
+
+  auto future = service->SubmitMatch(query);
+  auto async_result = future.get();
+  ASSERT_TRUE(async_result.ok()) << async_result.status().ToString();
+  auto direct = direct_->Match(query.personal, query.options);
+  ASSERT_TRUE(direct.ok());
+  ExpectSameResults(*async_result, *direct);
+}
+
+TEST_F(MatchServiceTest, IdenticalQueriesInBatchComputeStateOnce) {
+  MatchServiceOptions options;
+  options.num_threads = 8;
+  auto service = MakeService(options);
+
+  std::vector<MatchQuery> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(MakeQuery("same-" + std::to_string(i), kSpecs[5]));
+  }
+  auto results = service->MatchBatch(std::move(queries));
+
+  ASSERT_TRUE(results[0].ok());
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    ExpectSameResults(*results[i], *results[0]);
+  }
+  ClusterIndexCache::Stats cache = service->stats().cache;
+  EXPECT_EQ(cache.misses, 1u);  // one build; everyone else hit or shared it
+  EXPECT_EQ(cache.hits + cache.shared, 15u);
+}
+
+TEST_F(MatchServiceTest, DerivedSeedsAreDeterministicPerQueryId) {
+  MatchServiceOptions options;
+  options.num_threads = 4;
+  auto service = MakeService(options);
+
+  MatchQuery query = MakeQuery("rand-1", kSpecs[6]);
+  query.options.kmeans.init = cluster::CentroidInit::kRandom;
+  query.options.kmeans.num_centroids = 40;
+
+  // Re-running the same id reproduces the result exactly (cache cleared in
+  // between, so clustering really reruns with the derived seed).
+  auto first = service->Match(query);
+  ASSERT_TRUE(first.ok());
+  service->ClearCache();
+  auto again = service->Match(query);
+  ASSERT_TRUE(again.ok());
+  ExpectSameResults(*again, *first);
+
+  // A different query id derives a different seed.
+  MatchQuery other = query;
+  other.id = "rand-2";
+  EXPECT_NE(service->EffectiveOptions(other).kmeans.seed,
+            service->EffectiveOptions(query).kmeans.seed);
+  EXPECT_NE(service->ClusterStateKey(other), service->ClusterStateKey(query));
+
+  // With derivation off, the caller's seed is used untouched.
+  MatchServiceOptions raw;
+  raw.derive_seeds = false;
+  auto raw_service = MakeService(raw);
+  EXPECT_EQ(raw_service->EffectiveOptions(query).kmeans.seed,
+            query.options.kmeans.seed);
+}
+
+TEST_F(MatchServiceTest, DisabledCacheStillCorrect) {
+  MatchServiceOptions options;
+  options.cluster_cache_capacity = 0;
+  auto service = MakeService(options);
+  MatchQuery query = MakeQuery("nocache", kSpecs[7]);
+
+  auto first = service->Match(query);
+  auto second = service->Match(query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameResults(*second, *first);
+  EXPECT_EQ(service->stats().cache.misses, 2u);
+  EXPECT_EQ(service->stats().cache.entries, 0u);
+}
+
+TEST_F(MatchServiceTest, InvalidQueryPropagatesStatus) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("bad", kSpecs[0]);
+  query.options.delta = 1.5;
+  auto result = service->Match(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Rejected before the expensive build: nothing computed, nothing cached.
+  EXPECT_EQ(service->stats().cache.misses, 0u);
+  EXPECT_EQ(service->stats().cache.entries, 0u);
+}
+
+TEST_F(MatchServiceTest, DelimiterNamesDoNotCollideInCacheKey) {
+  auto service = MakeService();
+  // ':' is legal in XML names (namespaces). Unprefixed concatenation would
+  // serialize both of these children as "...a:0:b:0::00;" — one cache key
+  // for two different schemas; length-prefixing keeps them distinct.
+  MatchQuery a = MakeQuery("colon-a", "root(child)");
+  a.personal.mutable_props(1)->name = "a:0:b";
+  MatchQuery b = MakeQuery("colon-b", "root(child)");
+  b.personal.mutable_props(1)->name = "a";
+  b.personal.mutable_props(1)->datatype = "b:0:";
+  EXPECT_NE(service->ClusterStateKey(a), service->ClusterStateKey(b));
+}
+
+TEST_F(MatchServiceTest, CreateValidatesForest) {
+  schema::SchemaForest empty;
+  auto service = MatchService::Create(std::move(empty));
+  ASSERT_TRUE(service.ok());  // empty repository is valid, just matchless
+  MatchQuery query = MakeQuery("empty", kSpecs[0]);
+  auto result = (*service)->Match(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->mappings.empty());
+}
+
+}  // namespace
+}  // namespace xsm::service

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace xsm {
@@ -101,6 +103,61 @@ TEST(RngTest, GaussianMoments) {
   double var = sum_sq / n - mean * mean;
   EXPECT_NEAR(mean, 10.0, 0.1);
   EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(SeedForQueryTest, DeterministicForSameInputs) {
+  EXPECT_EQ(SeedForQuery(42, "query-1"), SeedForQuery(42, "query-1"));
+  EXPECT_EQ(SeedForQuery(0, ""), SeedForQuery(0, ""));
+}
+
+TEST(SeedForQueryTest, DistinctIdsProduceDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 1000; ++i) {
+    seeds.insert(SeedForQuery(42, "query-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SeedForQueryTest, BaseSeedChangesSeed) {
+  EXPECT_NE(SeedForQuery(1, "q"), SeedForQuery(2, "q"));
+}
+
+TEST(SeedForQueryTest, NearbyIdsGiveUnrelatedStreams) {
+  Rng a(SeedForQuery(42, "q1"));
+  Rng b(SeedForQuery(42, "q2"));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// Regression test for the service-concurrency audit: per-query Rng streams
+// are a pure function of (base_seed, query_id), so N queries drawing random
+// numbers concurrently see exactly the sequences a sequential run produces.
+// A shared mutable RNG would interleave draws nondeterministically.
+TEST(SeedForQueryTest, ConcurrentQueriesMatchSequentialReference) {
+  constexpr int kQueries = 16;
+  constexpr int kDraws = 256;
+  const uint64_t base = 2006;
+
+  std::vector<std::vector<uint64_t>> reference(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    Rng rng(SeedForQuery(base, "query-" + std::to_string(q)));
+    for (int i = 0; i < kDraws; ++i) reference[q].push_back(rng.Next());
+  }
+
+  std::vector<std::vector<uint64_t>> concurrent(kQueries);
+  std::vector<std::thread> threads;
+  for (int q = 0; q < kQueries; ++q) {
+    threads.emplace_back([&concurrent, base, q]() {
+      Rng rng(SeedForQuery(base, "query-" + std::to_string(q)));
+      for (int i = 0; i < kDraws; ++i) concurrent[q].push_back(rng.Next());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(concurrent, reference);
 }
 
 TEST(RngTest, PickReturnsMember) {

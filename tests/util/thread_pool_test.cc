@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace xsm {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Schedule([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitManyPreservesPerTaskResults) {
+  ThreadPool pool(8);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsTasksConcurrently) {
+  // Two tasks that each wait for the other to start can only finish if the
+  // pool runs them on distinct threads.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  auto rendezvous = [&started]() {
+    started.fetch_add(1);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (started.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  std::future<bool> a = pool.Submit(rendezvous);
+  std::future<bool> b = pool.Submit(rendezvous);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Schedule([&counter]() { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run every scheduled task before joining.
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitAllowsReuse) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThreadEvenForZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace xsm

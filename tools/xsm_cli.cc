@@ -12,6 +12,17 @@
 //            [--cluster tree|kmeans] [--join J] [--top N] [--partial]
 //            [--structural] [--query XPATH]
 //            Run the matcher and print the ranked mappings.
+//   batch    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
+//            --queries FILE [--threads N] [--delta D] [--top N]
+//            [--cluster tree|kmeans] [--join J] [--threshold T] [--alpha A]
+//            Run a MatchService batch from a query file: one query per
+//            line, `SPEC [key=value ...]` (keys: id, delta, top, cluster,
+//            join, threshold, alpha); '#' starts a comment. Per-line keys
+//            override the command-line defaults.
+//   serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
+//            [--threads N] [--delta D] [--top N] ...
+//            Interactive loop: read one query line (same format as batch)
+//            from stdin per request, print its top mappings.
 //
 // Examples:
 //   xsm_cli gen --elements 10000 --out corpus.forest
@@ -19,9 +30,13 @@
 //       --cluster kmeans --join 3 --top 10
 //   xsm_cli match --repo-dir examples/data --personal "book(title,author)"
 //       --delta 0.55 --query '/book[title="Iliad"]/author'
+//   xsm_cli batch --forest corpus.forest --queries queries.txt --threads 8
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -75,14 +90,20 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xsm_cli <gen|convert|stats|match> [options]\n"
+      "usage: xsm_cli <gen|convert|stats|match|batch|serve> [options]\n"
       "  gen      --elements N [--seed S] --out FILE\n"
       "  convert  --repo-dir DIR --out FILE\n"
       "  stats    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "  match    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "           --personal SPEC [--delta D] [--alpha A] [--threshold T]\n"
       "           [--cluster tree|kmeans] [--join J] [--top N]\n"
-      "           [--partial] [--structural] [--query XPATH]\n");
+      "           [--partial] [--structural] [--query XPATH]\n"
+      "  batch    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
+      "           --queries FILE [--threads N] [--delta D] [--top N]\n"
+      "           [--cluster tree|kmeans] [--join J] [--threshold T]\n"
+      "           [--alpha A]\n"
+      "  serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
+      "           [--threads N] [--delta D] [--top N] [--cluster ...]\n");
   return 2;
 }
 
@@ -279,6 +300,227 @@ int RunMatch(const Args& args) {
   return 0;
 }
 
+// Options shared by batch and serve: command-line defaults that each query
+// line may override.
+core::MatchOptions DefaultServiceOptions(const Args& args, bool* ok) {
+  core::MatchOptions options;
+  options.delta = args.GetDouble("delta", 0.75);
+  options.objective.alpha = args.GetDouble("alpha", 0.5);
+  options.element.threshold = args.GetDouble("threshold", 0.5);
+  options.top_n = static_cast<size_t>(args.GetInt("top", 10));
+  options.kmeans.join_distance = static_cast<int>(args.GetInt("join", 3));
+  std::string mode = args.Get("cluster", "kmeans");
+  if (mode == "tree") {
+    options.clustering = core::ClusteringMode::kTreeClusters;
+  } else if (mode == "kmeans") {
+    options.clustering = core::ClusteringMode::kKMeans;
+  } else {
+    std::fprintf(stderr, "--cluster must be tree or kmeans\n");
+    *ok = false;
+  }
+  return options;
+}
+
+// Parses one query line of the batch/serve format:
+//   SPEC [id=NAME] [delta=D] [top=N] [cluster=tree|kmeans] [join=J]
+//        [threshold=T] [alpha=A]
+Result<service::MatchQuery> ParseQueryLine(
+    const std::string& line, const core::MatchOptions& defaults,
+    size_t index) {
+  std::istringstream stream(line);
+  std::string spec;
+  stream >> spec;
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty query line");
+  }
+
+  service::MatchQuery query;
+  query.id = "q" + std::to_string(index);
+  query.options = defaults;
+  XSM_ASSIGN_OR_RETURN(query.personal, schema::ParseTreeSpec(spec));
+
+  std::string token;
+  while (stream >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got: " + token);
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "id") {
+      query.id = value;
+    } else if (key == "delta") {
+      query.options.delta = std::atof(value.c_str());
+    } else if (key == "top") {
+      query.options.top_n = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (key == "join") {
+      query.options.kmeans.join_distance =
+          static_cast<int>(std::atol(value.c_str()));
+    } else if (key == "threshold") {
+      query.options.element.threshold = std::atof(value.c_str());
+    } else if (key == "alpha") {
+      query.options.objective.alpha = std::atof(value.c_str());
+    } else if (key == "cluster") {
+      if (value == "tree") {
+        query.options.clustering = core::ClusteringMode::kTreeClusters;
+      } else if (value == "kmeans") {
+        query.options.clustering = core::ClusteringMode::kKMeans;
+      } else {
+        return Status::InvalidArgument("cluster must be tree or kmeans");
+      }
+    } else {
+      return Status::InvalidArgument("unknown query key: " + key);
+    }
+  }
+  return query;
+}
+
+Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
+  long threads = args.GetInt("threads", 0);
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  XSM_ASSIGN_OR_RETURN(schema::SchemaForest forest, LoadRepository(args));
+  service::MatchServiceOptions options;
+  options.num_threads = static_cast<size_t>(threads);
+  return service::MatchService::Create(std::move(forest), options);
+}
+
+void PrintQueryResult(const service::MatchQuery& query,
+                      const Result<core::MatchResult>& result,
+                      const schema::SchemaForest& forest) {
+  if (!result.ok()) {
+    std::printf("%-12s ERROR %s\n", query.id.c_str(),
+                result.status().ToString().c_str());
+    return;
+  }
+  const core::MatchStats& stats = result->stats;
+  std::printf("%-12s mappings=%zu clusters=%zu useful=%zu",
+              query.id.c_str(), stats.num_mappings, stats.num_clusters,
+              stats.num_useful_clusters);
+  if (!result->mappings.empty()) {
+    std::printf("  best: %s",
+                generate::MappingToString(result->mappings.front(),
+                                          query.personal, forest)
+                    .c_str());
+  }
+  std::printf("\n");
+}
+
+int RunBatch(const Args& args) {
+  if (!args.Has("queries")) {
+    std::fprintf(stderr, "batch requires --queries FILE\n");
+    return 2;
+  }
+  bool ok = true;
+  core::MatchOptions defaults = DefaultServiceOptions(args, &ok);
+  if (!ok) return 2;
+
+  std::ifstream file(args.Get("queries"));
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", args.Get("queries").c_str());
+    return 1;
+  }
+  std::vector<service::MatchQuery> queries;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto query = ParseQueryLine(line, defaults, queries.size());
+    if (!query.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", args.Get("queries").c_str(),
+                   lineno, query.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(*query));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries in %s\n", args.Get("queries").c_str());
+    return 1;
+  }
+
+  auto service = MakeService(args);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  const schema::SchemaForest& forest = (*service)->snapshot().forest();
+  std::fprintf(stderr,
+               "serving %zu queries over %zu elements / %zu trees on %zu "
+               "threads\n",
+               queries.size(), forest.total_nodes(), forest.num_trees(),
+               (*service)->pool().num_threads());
+
+  Timer timer;
+  auto results = (*service)->MatchBatch(queries);
+  double elapsed = timer.ElapsedSeconds();
+
+  int failed = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PrintQueryResult(queries[i], results[i], forest);
+    if (!results[i].ok()) ++failed;
+  }
+  service::ServiceStats stats = (*service)->stats();
+  std::printf(
+      "\n%zu queries in %.3fs (%.1f queries/sec) | cluster cache: "
+      "%llu hits, %llu shared, %llu misses\n",
+      queries.size(), elapsed,
+      static_cast<double>(queries.size()) / elapsed,
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.shared),
+      static_cast<unsigned long long>(stats.cache.misses));
+  return failed == 0 ? 0 : 1;
+}
+
+int RunServe(const Args& args) {
+  bool ok = true;
+  core::MatchOptions defaults = DefaultServiceOptions(args, &ok);
+  if (!ok) return 2;
+
+  auto service = MakeService(args);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  const schema::SchemaForest& forest = (*service)->snapshot().forest();
+  std::fprintf(stderr,
+               "ready: %zu elements / %zu trees; enter queries "
+               "(SPEC [key=value ...]), EOF to quit\n",
+               forest.total_nodes(), forest.num_trees());
+
+  std::string line;
+  size_t index = 0;
+  while (std::getline(std::cin, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto query = ParseQueryLine(line, defaults, index++);
+    if (!query.ok()) {
+      std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+      continue;
+    }
+    Timer timer;
+    // Through the pool (not the calling thread) so --threads is honest.
+    auto result = (*service)->SubmitMatch(*query).get();
+    double elapsed = timer.ElapsedSeconds();
+    PrintQueryResult(*query, result, forest);
+    if (result.ok()) {
+      int rank = 1;
+      for (const auto& mapping : result->mappings) {
+        std::printf("  %3d. %s\n", rank++,
+                    generate::MappingToString(mapping, query->personal,
+                                              forest)
+                        .c_str());
+      }
+    }
+    std::fprintf(stderr, "  (%.1f ms)\n", elapsed * 1e3);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,5 +532,7 @@ int main(int argc, char** argv) {
   if (command == "convert") return RunConvert(args);
   if (command == "stats") return RunStats(args);
   if (command == "match") return RunMatch(args);
+  if (command == "batch") return RunBatch(args);
+  if (command == "serve") return RunServe(args);
   return Usage();
 }
