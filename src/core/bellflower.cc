@@ -4,6 +4,7 @@
 #include <bit>
 #include <functional>
 
+#include "core/match_observer.h"
 #include "util/timer.h"
 
 namespace xsm::core {
@@ -30,7 +31,33 @@ Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
   XSM_ASSIGN_OR_RETURN(
       ClusterState state,
       BuildClusterState(personal, ClusterStateOptions::From(options)));
-  return MatchWithState(personal, state, options);
+  return MatchWithStateImpl(personal, state, options, nullptr, nullptr);
+}
+
+Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
+                                      const MatchOptions& options,
+                                      const ExecutionControl& control,
+                                      MatchObserver* observer) const {
+  XSM_RETURN_NOT_OK(options.objective.Validate());
+  if (options.delta < 0.0 || options.delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0,1]");
+  }
+  // Already cancelled / past deadline: don't pay for preprocessing. Once
+  // BuildClusterState starts it runs to completion (its output is the
+  // shareable, cacheable artifact — never half-built).
+  ExecutionMonitor pre(control);
+  if (pre.ShouldStop()) {
+    MatchResult result;
+    result.stats.repository_nodes = repository_->total_nodes();
+    result.stats.repository_trees = repository_->num_trees();
+    result.execution = pre.status();
+    if (observer != nullptr) observer->OnFinish(result);
+    return result;
+  }
+  XSM_ASSIGN_OR_RETURN(
+      ClusterState state,
+      BuildClusterState(personal, ClusterStateOptions::From(options)));
+  return MatchWithStateImpl(personal, state, options, &control, observer);
 }
 
 Result<ClusterState> Bellflower::BuildClusterState(
@@ -85,6 +112,20 @@ Result<ClusterState> Bellflower::BuildClusterState(
 Result<MatchResult> Bellflower::MatchWithState(
     const schema::SchemaTree& personal, const ClusterState& state,
     const MatchOptions& options) const {
+  return MatchWithStateImpl(personal, state, options, nullptr, nullptr);
+}
+
+Result<MatchResult> Bellflower::MatchWithState(
+    const schema::SchemaTree& personal, const ClusterState& state,
+    const MatchOptions& options, const ExecutionControl& control,
+    MatchObserver* observer) const {
+  return MatchWithStateImpl(personal, state, options, &control, observer);
+}
+
+Result<MatchResult> Bellflower::MatchWithStateImpl(
+    const schema::SchemaTree& personal, const ClusterState& state,
+    const MatchOptions& options, const ExecutionControl* control,
+    MatchObserver* observer) const {
   XSM_RETURN_NOT_OK(options.objective.Validate());
   if (options.delta < 0.0 || options.delta > 1.0) {
     return Status::InvalidArgument("delta must be in [0,1]");
@@ -106,7 +147,39 @@ Result<MatchResult> Bellflower::MatchWithState(
   stats.distinct_mapping_nodes = state.matching.distinct_nodes.size();
 
   if (state.matching.distinct_nodes.empty()) {
-    return result;  // No mapping elements anywhere: empty solution list.
+    // No mapping elements anywhere: empty solution list.
+    if (observer != nullptr) observer->OnFinish(result);
+    return result;
+  }
+
+  // Cooperative execution: one monitor is shared by every generator call of
+  // this run, so the cancel/deadline/early-exit verdict is checked at node-
+  // expansion granularity and the emitted-mapping budget is global across
+  // clusters. A null `control` never stops.
+  ExecutionMonitor monitor;
+  if (control != nullptr) monitor = ExecutionMonitor(*control);
+  // Indices into result.mappings kept sorted by MappingOrder, so each
+  // running rank costs O(log k) compares + one insert instead of a linear
+  // rescan of everything found so far.
+  std::vector<size_t> rank_order;
+  if (observer != nullptr) {
+    // The generators append to result.mappings and then fire the hook, so
+    // the new mapping is always the last element.
+    monitor.on_emit = [&result, &rank_order, observer]() {
+      const size_t new_index = result.mappings.size() - 1;
+      auto before = [&result](size_t a, size_t b) {
+        return generate::MappingOrder()(result.mappings[a],
+                                        result.mappings[b]);
+      };
+      auto pos = std::upper_bound(rank_order.begin(), rank_order.end(),
+                                  new_index, before);
+      size_t rank = static_cast<size_t>(pos - rank_order.begin()) + 1;
+      rank_order.insert(pos, new_index);
+      observer->OnMapping(result.mappings[new_index], rank);
+    };
+    monitor.on_partial_emit = [&result, observer]() {
+      observer->OnPartialMapping(result.partial_mappings.back());
+    };
   }
 
   // Two-phase baseline: structural matchers applied to *every* mapping
@@ -122,6 +195,7 @@ Result<MatchResult> Bellflower::MatchWithState(
     Timer structural_timer;
     const double w = options.structural_weight;
     for (auto& set : rescored.sets) {
+      if (monitor.ShouldStop()) break;
       for (auto& element : set.elements) {
         double structural = options.structural_matcher->Score(
             personal, set.personal_node, repository_->tree(element.node.tree),
@@ -160,6 +234,9 @@ Result<MatchResult> Bellflower::MatchWithState(
   std::vector<size_t> non_useful;
 
   for (size_t ci = 0; ci < clustering.clusters.size(); ++ci) {
+    // A stop during candidate building leaves later clusters out of
+    // useful_order / non_useful, so the generation loops skip them too.
+    if (monitor.ShouldStop()) break;
     const cluster::Cluster& c = clustering.clusters[ci];
     ClusterSummary summary;
     summary.tree = c.tree;
@@ -234,7 +311,8 @@ Result<MatchResult> Bellflower::MatchWithState(
   }
 
   // Cluster ordering (§7 future work): optimistic-Δ estimate per cluster.
-  if (options.cluster_order == ClusterOrder::kQualityDescending) {
+  if (options.cluster_order == ClusterOrder::kQualityDescending &&
+      !monitor.stopped()) {
     std::vector<schema::NodeId> order = personal.PreOrder();
     std::vector<double> quality(clustering.clusters.size(), 0.0);
     for (size_t ci : useful_order) {
@@ -284,7 +362,14 @@ Result<MatchResult> Bellflower::MatchWithState(
       options.adaptive_top_n && options.top_n > 0 &&
       gen_options.algorithm == generate::Algorithm::kBranchAndBound;
   bool first_seen = false;
+  const size_t total_useful = useful_order.size();
+  size_t sequence = 0;
   for (size_t ci : useful_order) {
+    if (monitor.ShouldStop()) break;
+    if (observer != nullptr) {
+      observer->OnClusterStart(sequence, total_useful,
+                               stats.cluster_summaries[ci]);
+    }
     generate::GeneratorOptions cluster_options = gen_options;
     if (adaptive && result.mappings.size() >= options.top_n) {
       std::vector<double> deltas;
@@ -301,7 +386,7 @@ Result<MatchResult> Bellflower::MatchWithState(
                                          cluster_options);
     XSM_RETURN_NOT_OK(generator.Generate(
         all_candidates[ci], index_.tree(all_candidates[ci].tree),
-        &result.mappings, &stats.generator));
+        &result.mappings, &stats.generator, &monitor));
     if (!first_seen) {
       ++stats.clusters_until_first_mapping;
       if (!result.mappings.empty()) {
@@ -310,6 +395,12 @@ Result<MatchResult> Bellflower::MatchWithState(
             stats.generator.partial_mappings;
       }
     }
+    if (observer != nullptr) {
+      stats.num_mappings = result.mappings.size();  // incremental snapshot
+      observer->OnClusterFinish(sequence, total_useful,
+                                stats.cluster_summaries[ci], stats);
+    }
+    ++sequence;
   }
   if (!first_seen) {
     stats.partials_until_first_mapping = stats.generator.partial_mappings;
@@ -320,9 +411,10 @@ Result<MatchResult> Bellflower::MatchWithState(
     generate::PartialMappingGenerator partial_generator(personal, objective,
                                                         options.partial);
     for (size_t ci : non_useful) {
+      if (monitor.ShouldStop()) break;
       XSM_RETURN_NOT_OK(partial_generator.Generate(
           all_candidates[ci], index_.tree(all_candidates[ci].tree),
-          &result.partial_mappings, &stats.partial_generator));
+          &result.partial_mappings, &stats.partial_generator, &monitor));
     }
     std::sort(result.partial_mappings.begin(),
               result.partial_mappings.end(),
@@ -345,6 +437,8 @@ Result<MatchResult> Bellflower::MatchWithState(
   if (options.top_n > 0 && result.mappings.size() > options.top_n) {
     result.mappings.resize(options.top_n);
   }
+  result.execution = monitor.status();
+  if (observer != nullptr) observer->OnFinish(result);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "core/execution_control.h"
 #include "generate/mapping_generator.h"
 #include "generate/partial_generator.h"
 #include "label/tree_index.h"
@@ -141,7 +142,7 @@ struct MatchStats {
   // Two-phase (structural) matching extension: how many (n, n′) pairs the
   // second matcher group scored, and the time it took. The §2.3 efficiency
   // claim is that the within-cluster count is much smaller than the
-  // всего-elements count.
+  // total-elements count.
   uint64_t structural_evaluations = 0;
   double time_structural_seconds = 0;
 
@@ -155,6 +156,10 @@ struct MatchResult {
   /// MatchOptions::include_partial_mappings is set.
   std::vector<generate::PartialMapping> partial_mappings;
   MatchStats stats;
+  /// Why the run ended. Anything other than kCompleted means the search was
+  /// cut short (ExecutionControl) and `mappings` / `partial_mappings` hold
+  /// the results gathered up to that point, still ranked and top-N-trimmed.
+  ExecutionStatus execution = ExecutionStatus::kCompleted;
 };
 
 /// The subset of MatchOptions that determines the expensive, reusable
@@ -194,6 +199,8 @@ struct ClusterState {
   double time_clustering_seconds = 0;
 };
 
+class MatchObserver;  // core/match_observer.h
+
 /// The matching system. Owns the structural index over the repository; the
 /// repository itself must outlive the Bellflower instance.
 class Bellflower {
@@ -212,6 +219,20 @@ class Bellflower {
   Result<MatchResult> Match(const schema::SchemaTree& personal,
                             const MatchOptions& options) const;
 
+  /// Anytime variant: `control` bounds the run (cooperative cancellation,
+  /// wall-clock deadline, early exit after N mappings) and `observer` (may
+  /// be null) streams cluster progress and every emitted mapping as it is
+  /// found. A run that no limit interrupts produces a result byte-identical
+  /// to the blocking overload; an interrupted run returns the mappings
+  /// gathered so far with MatchResult::execution naming the reason — a cut
+  /// run is still Status-OK, not an error. Preprocessing (BuildClusterState)
+  /// is not interrupted mid-build; control is honored before it starts and
+  /// throughout generation at cluster and node-expansion granularity.
+  Result<MatchResult> Match(const schema::SchemaTree& personal,
+                            const MatchOptions& options,
+                            const ExecutionControl& control,
+                            MatchObserver* observer = nullptr) const;
+
   /// Runs the expensive preprocessing stages (element matching +
   /// clustering) and returns their reusable result. Thread-safe: only
   /// reads the repository and index.
@@ -228,7 +249,24 @@ class Bellflower {
                                      const ClusterState& state,
                                      const MatchOptions& options) const;
 
+  /// Anytime variant of MatchWithState; see the streaming Match overload
+  /// for `control` / `observer` semantics.
+  Result<MatchResult> MatchWithState(const schema::SchemaTree& personal,
+                                     const ClusterState& state,
+                                     const MatchOptions& options,
+                                     const ExecutionControl& control,
+                                     MatchObserver* observer = nullptr) const;
+
  private:
+  /// Shared generation path; `control` == nullptr means unlimited (the
+  /// monitor never stops) with zero per-expansion overhead beyond two
+  /// branches.
+  Result<MatchResult> MatchWithStateImpl(const schema::SchemaTree& personal,
+                                         const ClusterState& state,
+                                         const MatchOptions& options,
+                                         const ExecutionControl* control,
+                                         MatchObserver* observer) const;
+
   const schema::SchemaForest* repository_;
   label::ForestIndex index_;
 };

@@ -1,0 +1,53 @@
+#include "core/execution_control.h"
+
+namespace xsm::core {
+
+std::string_view ExecutionStatusName(ExecutionStatus status) {
+  switch (status) {
+    case ExecutionStatus::kCompleted:
+      return "completed";
+    case ExecutionStatus::kCancelled:
+      return "cancelled";
+    case ExecutionStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ExecutionStatus::kEarlyStopped:
+      return "early_stopped";
+  }
+  return "unknown";
+}
+
+ExecutionControl ExecutionControl::WithDeadline(double seconds) {
+  ExecutionControl control;
+  control.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  return control;
+}
+
+bool ExecutionMonitor::ShouldStop() {
+  if (status_ != ExecutionStatus::kCompleted) return true;
+  if (control_ == nullptr) return false;
+  if (control_->cancel.cancelled()) {
+    status_ = ExecutionStatus::kCancelled;
+    return true;
+  }
+  if (control_->stop_after_n_mappings != 0 &&
+      emitted_ >= control_->stop_after_n_mappings) {
+    status_ = ExecutionStatus::kEarlyStopped;
+    return true;
+  }
+  if (control_->deadline.has_value()) {
+    if (until_clock_check_ == 0) {
+      until_clock_check_ = kDeadlineStride;
+      if (std::chrono::steady_clock::now() >= *control_->deadline) {
+        status_ = ExecutionStatus::kDeadlineExceeded;
+        return true;
+      }
+    } else {
+      --until_clock_check_;
+    }
+  }
+  return false;
+}
+
+}  // namespace xsm::core

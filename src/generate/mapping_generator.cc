@@ -84,13 +84,27 @@ struct MappingGenerator::SearchContext {
            counters->partial_mappings >= g->options_.max_partial_mappings;
   }
 
+  // Cooperative execution check (cancel / deadline / early-exit), polled at
+  // every node expansion. Sets `stop` so unwinding frames exit too.
+  bool ControlSaysStop() {
+    if (monitor != nullptr && monitor->ShouldStop()) stop = true;
+    return stop;
+  }
+
+  void RecordEmitted() {
+    counters->emitted++;
+    if (monitor != nullptr) monitor->RecordEmitted();
+  }
+
   const MappingGenerator* gen = nullptr;
+  core::ExecutionMonitor* monitor = nullptr;
 };
 
 Status MappingGenerator::Generate(const ClusterCandidates& cands,
                                   const label::TreeIndex& tree_index,
                                   std::vector<SchemaMapping>* out,
-                                  GeneratorCounters* counters) const {
+                                  GeneratorCounters* counters,
+                                  core::ExecutionMonitor* monitor) const {
   if (cands.candidates.size() != personal_.size()) {
     return Status::InvalidArgument(
         "candidate sets do not match personal schema size");
@@ -102,6 +116,7 @@ Status MappingGenerator::Generate(const ClusterCandidates& cands,
 
   SearchContext ctx;
   ctx.gen = this;
+  ctx.monitor = monitor;
   ctx.cands = &cands;
   ctx.tree_index = &tree_index;
   ctx.out = out;
@@ -150,7 +165,7 @@ void MappingGenerator::Dfs(SearchContext* ctx, size_t position,
       bounded && options_.bound_mode == BoundMode::kForwardChecking;
 
   for (const match::MappingElement& cand : *ctx->cands_at[position]) {
-    if (ctx->stop) return;
+    if (ctx->ControlSaysStop()) return;
     if (ctx->BudgetExceeded()) {
       ctx->counters->truncated = true;
       ctx->stop = true;
@@ -193,7 +208,7 @@ void MappingGenerator::Dfs(SearchContext* ctx, size_t position,
         mapping.delta_path = objective_.DeltaPath(path_sum);
         mapping.total_path_length = path_sum;
         ctx->out->push_back(std::move(mapping));
-        ctx->counters->emitted++;
+        ctx->RecordEmitted();
       }
       continue;
     }
@@ -268,7 +283,9 @@ void MappingGenerator::RunBeam(SearchContext* ctx) const {
   for (size_t position = 0; position < m && !frontier.empty(); ++position) {
     std::vector<BeamState> next;
     for (const BeamState& state : frontier) {
+      if (ctx->stop) break;
       for (const match::MappingElement& cand : *ctx->cands_at[position]) {
+        if (ctx->ControlSaysStop()) break;
         if (ctx->BudgetExceeded()) {
           ctx->counters->truncated = true;
           break;
@@ -304,10 +321,14 @@ void MappingGenerator::RunBeam(SearchContext* ctx) const {
                        });
       next.resize(options_.beam_width);
     }
+    // A level abandoned mid-expansion holds incomplete prefixes only;
+    // nothing from this cluster can be emitted.
+    if (ctx->stop) return;
     frontier = std::move(next);
   }
 
   for (const BeamState& state : frontier) {
+    if (ctx->ControlSaysStop()) return;
     ctx->counters->complete_mappings++;
     double delta = objective_.Delta(state.sim_sum, state.path_sum);
     if (delta < options_.delta) continue;
@@ -322,7 +343,7 @@ void MappingGenerator::RunBeam(SearchContext* ctx) const {
     mapping.delta_path = objective_.DeltaPath(state.path_sum);
     mapping.total_path_length = state.path_sum;
     ctx->out->push_back(std::move(mapping));
-    ctx->counters->emitted++;
+    ctx->RecordEmitted();
   }
 }
 
@@ -339,6 +360,7 @@ void MappingGenerator::RunAStar(SearchContext* ctx) const {
   open.push(std::move(root));
 
   while (!open.empty()) {
+    if (ctx->ControlSaysStop()) return;
     if (ctx->BudgetExceeded()) {
       ctx->counters->truncated = true;
       return;
@@ -364,7 +386,7 @@ void MappingGenerator::RunAStar(SearchContext* ctx) const {
         mapping.delta_path = objective_.DeltaPath(state.path_sum);
         mapping.total_path_length = state.path_sum;
         ctx->out->push_back(std::move(mapping));
-        ctx->counters->emitted++;
+        ctx->RecordEmitted();
       }
       continue;
     }

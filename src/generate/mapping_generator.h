@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/execution_control.h"
 #include "generate/schema_mapping.h"
 #include "label/tree_index.h"
 #include "match/element_matching.h"
@@ -102,10 +103,16 @@ class MappingGenerator {
   /// Enumerates mappings within one cluster. Appends results to `out`
   /// (unsorted) and accumulates counters. `tree_index` must belong to
   /// `cands.tree`.
+  ///
+  /// `monitor` (optional) is polled at node-expansion granularity: when it
+  /// reports a stop (cancellation, deadline, early-exit budget) the search
+  /// returns immediately with the mappings emitted so far; each emitted
+  /// mapping is recorded through it right after being appended to `out`.
   Status Generate(const ClusterCandidates& cands,
                   const label::TreeIndex& tree_index,
                   std::vector<SchemaMapping>* out,
-                  GeneratorCounters* counters) const;
+                  GeneratorCounters* counters,
+                  core::ExecutionMonitor* monitor = nullptr) const;
 
   const GeneratorOptions& options() const { return options_; }
 

@@ -21,6 +21,7 @@ struct PartialMappingGenerator::Walk {
   std::vector<PartialMapping>* out = nullptr;
   GeneratorCounters* counters = nullptr;
   const PartialMappingGenerator* gen = nullptr;
+  core::ExecutionMonitor* monitor = nullptr;
 
   std::vector<const std::vector<match::MappingElement>*> cands_at;
   // Current assignment by personal NodeId (not position): needed to find
@@ -37,7 +38,8 @@ struct PartialMappingGenerator::Walk {
 Status PartialMappingGenerator::Generate(const ClusterCandidates& cands,
                                          const label::TreeIndex& tree_index,
                                          std::vector<PartialMapping>* out,
-                                         GeneratorCounters* counters) const {
+                                         GeneratorCounters* counters,
+                                         core::ExecutionMonitor* monitor) const {
   if (cands.candidates.size() != personal_.size()) {
     return Status::InvalidArgument(
         "candidate sets do not match personal schema size");
@@ -53,6 +55,7 @@ Status PartialMappingGenerator::Generate(const ClusterCandidates& cands,
 
   Walk walk;
   walk.gen = this;
+  walk.monitor = monitor;
   walk.cands = &cands;
   walk.tree_index = &tree_index;
   walk.out = out;
@@ -95,6 +98,7 @@ void PartialMappingGenerator::Dfs(Walk* walk, size_t position) const {
     mapping.assigned_count = walk->assigned;
     walk->out->push_back(std::move(mapping));
     walk->counters->emitted++;
+    if (walk->monitor != nullptr) walk->monitor->RecordPartialEmitted();
     return;
   }
 
@@ -119,6 +123,10 @@ void PartialMappingGenerator::Dfs(Walk* walk, size_t position) const {
 
   for (const match::MappingElement& cand : candidates) {
     if (walk->stop) return;
+    if (walk->monitor != nullptr && walk->monitor->ShouldStop()) {
+      walk->stop = true;
+      return;
+    }
     if (options_.max_partial_mappings != 0 &&
         walk->counters->partial_mappings >=
             options_.max_partial_mappings) {

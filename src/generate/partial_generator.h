@@ -72,10 +72,14 @@ class PartialMappingGenerator {
 
   /// Appends qualifying partial mappings of `cands` to `out`. Useful
   /// clusters are legal input (they simply yield complete assignments).
+  /// `monitor` (optional) is polled at node-expansion granularity for
+  /// cancellation/deadline; emitted partial mappings are reported through
+  /// it but do not consume the early-exit mapping budget.
   Status Generate(const ClusterCandidates& cands,
                   const label::TreeIndex& tree_index,
                   std::vector<PartialMapping>* out,
-                  GeneratorCounters* counters) const;
+                  GeneratorCounters* counters,
+                  core::ExecutionMonitor* monitor = nullptr) const;
 
  private:
   struct Walk;

@@ -120,7 +120,24 @@ std::string MatchService::ClusterStateKey(const MatchQuery& query) const {
       query.personal, core::ClusterStateOptions::From(EffectiveOptions(query)));
 }
 
+core::ExecutionControl MatchService::ResolveControl(
+    core::ExecutionControl control) const {
+  if (!control.deadline.has_value() && options_.default_deadline_seconds > 0) {
+    control.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.default_deadline_seconds));
+  }
+  return control;
+}
+
 Result<core::MatchResult> MatchService::Match(const MatchQuery& query) {
+  return Match(query, core::ExecutionControl(), nullptr);
+}
+
+Result<core::MatchResult> MatchService::Match(
+    const MatchQuery& query, const core::ExecutionControl& control,
+    core::MatchObserver* observer) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   core::MatchOptions effective = EffectiveOptions(query);
   // Reject invalid generation options up front (mirroring Bellflower::Match)
@@ -129,6 +146,25 @@ Result<core::MatchResult> MatchService::Match(const MatchQuery& query) {
   if (effective.delta < 0.0 || effective.delta > 1.0) {
     return Status::InvalidArgument("delta must be in [0,1]");
   }
+  core::ExecutionControl resolved = ResolveControl(control);
+
+  // A query that is already cancelled / past its deadline pays for nothing.
+  core::ExecutionMonitor pre(resolved);
+  if (pre.ShouldStop()) {
+    core::MatchResult result;
+    result.stats.repository_nodes = snapshot_->forest().total_nodes();
+    result.stats.repository_trees = snapshot_->forest().num_trees();
+    result.execution = pre.status();
+    CountTerminal(result.execution);
+    if (observer != nullptr) observer->OnFinish(result);
+    return result;
+  }
+
+  // The factory deliberately ignores `resolved`: a cluster-state build that
+  // starts always completes, so the cache only ever holds fully built
+  // entries and concurrent queries sharing the in-flight build are never
+  // failed by someone else's cancellation. The control is re-checked at the
+  // top of the generation phase, so an expired query still stops promptly.
   core::ClusterStateOptions state_options =
       core::ClusterStateOptions::From(effective);
   const core::Bellflower& matcher = snapshot_->matcher();
@@ -138,13 +174,30 @@ Result<core::MatchResult> MatchService::Match(const MatchQuery& query) {
           BuildClusterStateKey(query.personal, state_options), [&]() {
             return matcher.BuildClusterState(query.personal, state_options);
           }));
-  return matcher.MatchWithState(query.personal, *state, effective);
+  Result<core::MatchResult> run = matcher.MatchWithState(
+      query.personal, *state, effective, resolved, observer);
+  if (run.ok()) CountTerminal(run->execution);
+  return run;
 }
 
-std::future<Result<core::MatchResult>> MatchService::SubmitMatch(
-    MatchQuery query) {
-  return pool_.Submit(
-      [this, query = std::move(query)]() { return Match(query); });
+Result<core::MatchResult> MatchService::MatchStreaming(
+    const MatchQuery& query, core::MatchObserver* observer,
+    const core::ExecutionControl& control) {
+  return Match(query, control, observer);
+}
+
+MatchHandle MatchService::SubmitMatch(MatchQuery query,
+                                      core::ExecutionControl control,
+                                      core::MatchObserver* observer) {
+  // Resolve the default deadline now: time spent queued counts against it.
+  control = ResolveControl(std::move(control));
+  MatchHandle handle;
+  handle.token_ = control.cancel;
+  handle.future_ = pool_.Submit([this, query = std::move(query),
+                                 control = std::move(control), observer]() {
+    return Match(query, control, observer);
+  });
+  return handle;
 }
 
 std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
@@ -164,10 +217,29 @@ std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
   return results;
 }
 
+void MatchService::CountTerminal(core::ExecutionStatus status) {
+  switch (status) {
+    case core::ExecutionStatus::kCompleted:
+      break;
+    case core::ExecutionStatus::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::ExecutionStatus::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case core::ExecutionStatus::kEarlyStopped:
+      early_stopped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
 ServiceStats MatchService::stats() const {
   ServiceStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.early_stopped = early_stopped_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
 }

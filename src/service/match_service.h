@@ -14,8 +14,16 @@
 //   query.personal = *schema::ParseTreeSpec("name(address,email)");
 //   query.options.delta = 0.75;
 //   auto result = (*service)->Match(query);               // synchronous
-//   auto future = (*service)->SubmitMatch(query);         // async
+//   auto handle = (*service)->SubmitMatch(query);         // async, cancellable
+//   handle.Cancel();                                      // cooperative stop
+//   auto partial = handle.Get();                          // mappings so far
 //   auto results = (*service)->MatchBatch(queries);       // parallel batch
+//
+// Streaming (anytime) execution: MatchStreaming runs a query under an
+// ExecutionControl (cancellation, deadline, stop-after-N) and reports every
+// mapping to a MatchObserver the moment it is found; see
+// core/match_observer.h. MatchServiceOptions::default_deadline_seconds
+// bounds every query that doesn't bring its own deadline.
 #ifndef XSM_SERVICE_MATCH_SERVICE_H_
 #define XSM_SERVICE_MATCH_SERVICE_H_
 
@@ -27,6 +35,8 @@
 #include <vector>
 
 #include "core/bellflower.h"
+#include "core/execution_control.h"
+#include "core/match_observer.h"
 #include "schema/schema_forest.h"
 #include "schema/schema_tree.h"
 #include "service/cluster_index_cache.h"
@@ -63,12 +73,52 @@ struct MatchServiceOptions {
   /// initialization is deterministic and ignores the seed, so those
   /// queries share cache entries across ids.
   bool derive_seeds = true;
+  /// Per-query wall-clock deadline in seconds, applied to every query whose
+  /// ExecutionControl carries no deadline of its own; 0 disables. The clock
+  /// starts when the query is submitted (SubmitMatch) or executed (Match /
+  /// MatchStreaming / MatchBatch members), so pool queue wait counts
+  /// against it. An expired query returns the mappings found so far with
+  /// MatchResult::execution == kDeadlineExceeded.
+  double default_deadline_seconds = 0;
 };
 
 struct ServiceStats {
   uint64_t queries = 0;  ///< Match() calls (batch members included)
   uint64_t batches = 0;  ///< MatchBatch() calls
+  // Queries cut short by execution control (terminal status != kCompleted).
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t early_stopped = 0;
   ClusterIndexCache::Stats cache;
+};
+
+/// Handle to one in-flight SubmitMatch query. Cancel() requests cooperative
+/// cancellation — the query still resolves normally (Status-OK) with the
+/// mappings found so far and execution == kCancelled. Move-only; Get() may
+/// be called once.
+class MatchHandle {
+ public:
+  MatchHandle() = default;
+
+  /// Requests cancellation; safe from any thread, idempotent, and a no-op
+  /// once the query finished.
+  void Cancel() const { token_.Cancel(); }
+
+  /// Blocks until the query finishes and returns its result.
+  Result<core::MatchResult> Get() { return future_.get(); }
+
+  /// True until Get() consumes the result.
+  bool valid() const { return future_.valid(); }
+
+  /// The underlying future, for callers that need wait_for/wait_until.
+  std::future<Result<core::MatchResult>>& future() { return future_; }
+
+  const core::CancelToken& token() const { return token_; }
+
+ private:
+  friend class MatchService;
+  core::CancelToken token_;
+  std::future<Result<core::MatchResult>> future_;
 };
 
 /// Thread-safe; one instance serves arbitrarily many concurrent callers.
@@ -90,8 +140,33 @@ class MatchService {
   /// cluster cache). Safe to call from any number of threads.
   Result<core::MatchResult> Match(const MatchQuery& query);
 
-  /// Enqueues one query on the pool; the future resolves when it finishes.
-  std::future<Result<core::MatchResult>> SubmitMatch(MatchQuery query);
+  /// Anytime variant: runs under `control` (cancellation / deadline /
+  /// stop-after-N; the service default deadline fills in if `control` has
+  /// none) and streams progress to `observer` (may be null). A run no limit
+  /// interrupts is byte-identical to Match(query); an interrupted run
+  /// resolves Status-OK with the mappings found so far and the typed
+  /// terminal status in MatchResult::execution. Cancellation never poisons
+  /// the cluster cache: a cluster-state build that has started always
+  /// completes (and is cached fully built); control is re-checked before
+  /// and after it.
+  Result<core::MatchResult> Match(const MatchQuery& query,
+                                  const core::ExecutionControl& control,
+                                  core::MatchObserver* observer = nullptr);
+
+  /// Sugar for streaming consumers: Match(query, control, observer) with
+  /// the argument order of "subscribe this observer to that query".
+  Result<core::MatchResult> MatchStreaming(
+      const MatchQuery& query, core::MatchObserver* observer,
+      const core::ExecutionControl& control = core::ExecutionControl());
+
+  /// Enqueues one query on the pool and returns a cancellable handle; the
+  /// service default deadline starts now (queue wait counts). `observer`
+  /// (may be null) must outlive the query; its callbacks run on the pool
+  /// thread executing it.
+  MatchHandle SubmitMatch(MatchQuery query,
+                          core::ExecutionControl control =
+                              core::ExecutionControl(),
+                          core::MatchObserver* observer = nullptr);
 
   /// Executes all queries on the pool and returns their results in input
   /// order. Blocks until the whole batch is done. Call from outside the
@@ -116,12 +191,21 @@ class MatchService {
   std::string ClusterStateKey(const MatchQuery& query) const;
 
  private:
+  /// Fills in the service default deadline when `control` has none.
+  core::ExecutionControl ResolveControl(core::ExecutionControl control) const;
+
+  /// Bumps the terminal-status counter for one finished query.
+  void CountTerminal(core::ExecutionStatus status);
+
   std::shared_ptr<const RepositorySnapshot> snapshot_;
   MatchServiceOptions options_;
   ClusterIndexCache cache_;
   ThreadPool pool_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> early_stopped_{0};
 };
 
 }  // namespace xsm::service

@@ -9,11 +9,25 @@
 //   xsm::core::MatchOptions options;                // δ, α, clustering, ...
 //   auto result = system.Match(*personal, options);
 //   for (const auto& m : result->mappings) { ... }
+//
+// Streaming / anytime execution (cancellation, deadlines, early exit):
+//   struct Printer : xsm::core::MatchObserver {
+//     void OnMapping(const xsm::generate::SchemaMapping& m,
+//                    size_t running_rank) override { ... }
+//   } printer;
+//   auto control = xsm::core::ExecutionControl::WithDeadline(0.5);  // 500 ms
+//   control.stop_after_n_mappings = 10;             // first 10 are enough
+//   auto run = system.Match(*personal, options, control, &printer);
+//   // run->execution: kCompleted / kCancelled / kDeadlineExceeded /
+//   // kEarlyStopped; run->mappings holds whatever was found in time.
+//   // control.cancel.Cancel() (from any thread) stops the run cooperatively.
 #ifndef XSM_XSM_XSM_H_
 #define XSM_XSM_XSM_H_
 
 #include "cluster/kmeans.h"              // IWYU pragma: export
 #include "core/bellflower.h"             // IWYU pragma: export
+#include "core/execution_control.h"      // IWYU pragma: export
+#include "core/match_observer.h"         // IWYU pragma: export
 #include "core/preservation.h"           // IWYU pragma: export
 #include "generate/mapping_generator.h"  // IWYU pragma: export
 #include "generate/schema_mapping.h"     // IWYU pragma: export

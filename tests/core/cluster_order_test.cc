@@ -1,0 +1,85 @@
+// ClusterOrder::kQualityDescending coverage (paper §7 future work (2)):
+// quality ordering must not change the result set, only reach the first
+// mapping with no more work than the natural repository order.
+#include <gtest/gtest.h>
+
+#include "core/bellflower.h"
+#include "repo/synthetic.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::core {
+namespace {
+
+class ClusterOrderQualityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // The §5 experiment shape at reduced scale: seeded, deterministic.
+    repo::SyntheticRepoOptions options;
+    options.target_elements = 4000;
+    options.seed = 2006;
+    auto forest = repo::GenerateSyntheticRepository(options);
+    ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+    forest_ = new schema::SchemaForest(std::move(*forest));
+    system_ = new Bellflower(forest_);
+    auto personal = schema::ParseTreeSpec("name(address,email)");
+    ASSERT_TRUE(personal.ok());
+    personal_ = new schema::SchemaTree(std::move(*personal));
+  }
+
+  static void TearDownTestSuite() {
+    delete personal_;
+    personal_ = nullptr;
+    delete system_;
+    system_ = nullptr;
+    delete forest_;
+    forest_ = nullptr;
+  }
+
+  static MatchOptions Options(ClusterOrder order) {
+    MatchOptions options;
+    // Selective δ: only a few clusters can produce mappings at all — the
+    // regime where ordering matters (bench_ablation_cluster_order shape).
+    options.delta = 0.95;
+    options.kmeans.join_distance = 3;
+    options.cluster_order = order;
+    return options;
+  }
+
+  static schema::SchemaForest* forest_;
+  static Bellflower* system_;
+  static schema::SchemaTree* personal_;
+};
+
+schema::SchemaForest* ClusterOrderQualityTest::forest_ = nullptr;
+Bellflower* ClusterOrderQualityTest::system_ = nullptr;
+schema::SchemaTree* ClusterOrderQualityTest::personal_ = nullptr;
+
+TEST_F(ClusterOrderQualityTest, QualityOrderReachesFirstMappingNoLater) {
+  auto natural = system_->Match(*personal_, Options(ClusterOrder::kNatural));
+  ASSERT_TRUE(natural.ok()) << natural.status().ToString();
+  auto quality =
+      system_->Match(*personal_, Options(ClusterOrder::kQualityDescending));
+  ASSERT_TRUE(quality.ok()) << quality.status().ToString();
+
+  // The ordering must matter in this configuration at all.
+  ASSERT_FALSE(natural->mappings.empty());
+  ASSERT_GT(natural->stats.num_useful_clusters, 1u);
+
+  // Identical ranked result sets: ordering affects when mappings are
+  // found, never which.
+  ASSERT_EQ(quality->mappings.size(), natural->mappings.size());
+  for (size_t i = 0; i < natural->mappings.size(); ++i) {
+    EXPECT_EQ(quality->mappings[i].tree, natural->mappings[i].tree) << i;
+    EXPECT_EQ(quality->mappings[i].images, natural->mappings[i].images) << i;
+    EXPECT_EQ(quality->mappings[i].delta, natural->mappings[i].delta) << i;
+  }
+
+  // §7 claim: the quality order does no more work before its first mapping.
+  EXPECT_LE(quality->stats.clusters_until_first_mapping,
+            natural->stats.clusters_until_first_mapping);
+  EXPECT_LE(quality->stats.partials_until_first_mapping,
+            natural->stats.partials_until_first_mapping);
+}
+
+}  // namespace
+}  // namespace xsm::core

@@ -1,0 +1,337 @@
+#include "core/execution_control.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bellflower.h"
+#include "core/match_observer.h"
+#include "repo/synthetic.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::core {
+namespace {
+
+// --- ExecutionControl / ExecutionMonitor unit tests ------------------------
+
+TEST(CancelTokenTest, CopiesShareOneFlag) {
+  CancelToken token;
+  CancelToken copy = token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(copy.cancelled());
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+  copy.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ExecutionMonitorTest, NullAndUnlimitedControlNeverStop) {
+  ExecutionMonitor null_monitor;
+  EXPECT_FALSE(null_monitor.ShouldStop());
+
+  ExecutionControl control;
+  EXPECT_FALSE(control.limited());
+  ExecutionMonitor monitor(control);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(monitor.ShouldStop());
+  }
+  EXPECT_EQ(monitor.status(), ExecutionStatus::kCompleted);
+}
+
+TEST(ExecutionMonitorTest, CancellationIsDetectedAndSticky) {
+  ExecutionControl control;
+  ExecutionMonitor monitor(control);
+  EXPECT_FALSE(monitor.ShouldStop());
+  control.cancel.Cancel();
+  EXPECT_TRUE(monitor.ShouldStop());
+  EXPECT_EQ(monitor.status(), ExecutionStatus::kCancelled);
+  EXPECT_TRUE(monitor.stopped());
+  EXPECT_TRUE(monitor.ShouldStop());  // sticky
+}
+
+TEST(ExecutionMonitorTest, EarlyStopBudgetCountsEmittedMappings) {
+  ExecutionControl control;
+  control.stop_after_n_mappings = 2;
+  EXPECT_TRUE(control.limited());
+  ExecutionMonitor monitor(control);
+  EXPECT_FALSE(monitor.ShouldStop());
+  monitor.RecordEmitted();
+  EXPECT_FALSE(monitor.ShouldStop());  // budget not yet consumed
+  monitor.RecordEmitted();
+  EXPECT_TRUE(monitor.ShouldStop());  // the 2nd mapping is kept, then stop
+  EXPECT_EQ(monitor.status(), ExecutionStatus::kEarlyStopped);
+  EXPECT_EQ(monitor.emitted(), 2u);
+}
+
+TEST(ExecutionMonitorTest, ExpiredDeadlineStopsOnFirstCheck) {
+  ExecutionControl control = ExecutionControl::WithDeadline(-1.0);
+  ExecutionMonitor monitor(control);
+  EXPECT_TRUE(monitor.ShouldStop());
+  EXPECT_EQ(monitor.status(), ExecutionStatus::kDeadlineExceeded);
+}
+
+TEST(ExecutionMonitorTest, FarDeadlineDoesNotStop) {
+  ExecutionControl control = ExecutionControl::WithDeadline(3600.0);
+  ExecutionMonitor monitor(control);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(monitor.ShouldStop());
+  }
+}
+
+TEST(ExecutionStatusTest, NamesAreStable) {
+  EXPECT_EQ(ExecutionStatusName(ExecutionStatus::kCompleted), "completed");
+  EXPECT_EQ(ExecutionStatusName(ExecutionStatus::kCancelled), "cancelled");
+  EXPECT_EQ(ExecutionStatusName(ExecutionStatus::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(ExecutionStatusName(ExecutionStatus::kEarlyStopped),
+            "early_stopped");
+}
+
+// --- Streaming Bellflower runs ---------------------------------------------
+
+/// Records every callback for assertions; optionally cancels after the
+/// first mapping.
+class RecordingObserver : public MatchObserver {
+ public:
+  void OnClusterStart(size_t sequence, size_t total,
+                      const ClusterSummary& summary) override {
+    (void)summary;
+    starts.push_back(sequence);
+    totals.push_back(total);
+  }
+  void OnClusterFinish(size_t sequence, size_t total,
+                       const ClusterSummary& summary,
+                       const MatchStats& stats_so_far) override {
+    (void)total;
+    (void)summary;
+    finishes.push_back(sequence);
+    mappings_so_far.push_back(stats_so_far.num_mappings);
+  }
+  void OnMapping(const generate::SchemaMapping& mapping,
+                 size_t running_rank) override {
+    mappings.push_back(mapping);
+    ranks.push_back(running_rank);
+    if (cancel_after_first_mapping) cancel_after_first_mapping->Cancel();
+  }
+  void OnPartialMapping(const generate::PartialMapping& partial) override {
+    (void)partial;
+    ++partials;
+  }
+  void OnFinish(const MatchResult& result) override {
+    ++finish_calls;
+    final_execution = result.execution;
+  }
+
+  std::vector<size_t> starts;
+  std::vector<size_t> totals;
+  std::vector<size_t> finishes;
+  std::vector<size_t> mappings_so_far;
+  std::vector<generate::SchemaMapping> mappings;
+  std::vector<size_t> ranks;
+  size_t partials = 0;
+  size_t finish_calls = 0;
+  ExecutionStatus final_execution = ExecutionStatus::kCompleted;
+  const CancelToken* cancel_after_first_mapping = nullptr;
+};
+
+class StreamingMatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo::SyntheticRepoOptions options;
+    options.target_elements = 2000;
+    options.seed = 7;
+    auto forest = repo::GenerateSyntheticRepository(options);
+    ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+    forest_ = new schema::SchemaForest(std::move(*forest));
+    system_ = new Bellflower(forest_);
+    auto personal = schema::ParseTreeSpec("name(address,email)");
+    ASSERT_TRUE(personal.ok());
+    personal_ = new schema::SchemaTree(std::move(*personal));
+  }
+
+  static void TearDownTestSuite() {
+    delete personal_;
+    personal_ = nullptr;
+    delete system_;
+    system_ = nullptr;
+    delete forest_;
+    forest_ = nullptr;
+  }
+
+  static MatchOptions Options() {
+    MatchOptions options;
+    options.delta = 0.6;
+    return options;  // top_n = 0: keep everything, no trimming
+  }
+
+  static void ExpectSameMappings(
+      const std::vector<generate::SchemaMapping>& got,
+      const std::vector<generate::SchemaMapping>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].tree, want[i].tree) << i;
+      EXPECT_EQ(got[i].images, want[i].images) << i;
+      EXPECT_EQ(got[i].delta, want[i].delta) << i;
+      EXPECT_EQ(got[i].delta_sim, want[i].delta_sim) << i;
+      EXPECT_EQ(got[i].delta_path, want[i].delta_path) << i;
+      EXPECT_EQ(got[i].total_path_length, want[i].total_path_length) << i;
+    }
+  }
+
+  static schema::SchemaForest* forest_;
+  static Bellflower* system_;
+  static schema::SchemaTree* personal_;
+};
+
+schema::SchemaForest* StreamingMatchTest::forest_ = nullptr;
+Bellflower* StreamingMatchTest::system_ = nullptr;
+schema::SchemaTree* StreamingMatchTest::personal_ = nullptr;
+
+// Acceptance criterion: an uninterrupted streaming run is byte-identical to
+// the blocking API, and the observer saw every mapping and every useful
+// cluster exactly once.
+TEST_F(StreamingMatchTest, UninterruptedStreamingIsByteIdenticalToBlocking) {
+  auto blocking = system_->Match(*personal_, Options());
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  ASSERT_FALSE(blocking->mappings.empty());
+  EXPECT_EQ(blocking->execution, ExecutionStatus::kCompleted);
+
+  RecordingObserver observer;
+  auto streaming =
+      system_->Match(*personal_, Options(), ExecutionControl(), &observer);
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_EQ(streaming->execution, ExecutionStatus::kCompleted);
+  ExpectSameMappings(streaming->mappings, blocking->mappings);
+
+  // Every emitted mapping was observed (unsorted emission order), and the
+  // cluster callbacks pair up over all useful clusters.
+  EXPECT_EQ(observer.mappings.size(), blocking->mappings.size());
+  EXPECT_EQ(observer.starts.size(),
+            blocking->stats.num_useful_clusters);
+  EXPECT_EQ(observer.finishes, observer.starts);
+  for (size_t total : observer.totals) {
+    EXPECT_EQ(total, blocking->stats.num_useful_clusters);
+  }
+  // Running ranks are 1-based and bounded by the count found so far, and
+  // the incremental num_mappings snapshots are non-decreasing.
+  for (size_t i = 0; i < observer.ranks.size(); ++i) {
+    EXPECT_GE(observer.ranks[i], 1u);
+    EXPECT_LE(observer.ranks[i], i + 1);
+  }
+  for (size_t i = 1; i < observer.mappings_so_far.size(); ++i) {
+    EXPECT_GE(observer.mappings_so_far[i], observer.mappings_so_far[i - 1]);
+  }
+  EXPECT_EQ(observer.mappings_so_far.empty()
+                ? 0
+                : observer.mappings_so_far.back(),
+            blocking->mappings.size());
+  EXPECT_EQ(observer.finish_calls, 1u);
+  EXPECT_EQ(observer.final_execution, ExecutionStatus::kCompleted);
+}
+
+TEST_F(StreamingMatchTest, PreCancelledRunDoesNoWork) {
+  ExecutionControl control;
+  control.cancel.Cancel();
+  auto result = system_->Match(*personal_, Options(), control);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, ExecutionStatus::kCancelled);
+  EXPECT_TRUE(result->mappings.empty());
+  EXPECT_EQ(result->stats.generator.partial_mappings, 0u);
+}
+
+TEST_F(StreamingMatchTest, CancelFromObserverReturnsPartialResults) {
+  auto blocking = system_->Match(*personal_, Options());
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_GT(blocking->mappings.size(), 1u);
+
+  ExecutionControl control;
+  RecordingObserver observer;
+  observer.cancel_after_first_mapping = &control.cancel;
+  auto result = system_->Match(*personal_, Options(), control, &observer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, ExecutionStatus::kCancelled);
+  // The cancel landed after the first mapping, at most one expansion later:
+  // something was found, but less than the full run.
+  EXPECT_GE(result->mappings.size(), 1u);
+  EXPECT_LT(result->mappings.size(), blocking->mappings.size());
+  EXPECT_EQ(observer.finish_calls, 1u);
+  EXPECT_EQ(observer.final_execution, ExecutionStatus::kCancelled);
+  // Partial results are genuine mappings of the full run.
+  for (const auto& mapping : result->mappings) {
+    bool found = false;
+    for (const auto& reference : blocking->mappings) {
+      if (mapping.SameAssignment(reference)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(StreamingMatchTest, ExpiredDeadlineInGenerationPhase) {
+  ClusterStateOptions state_options = ClusterStateOptions::From(Options());
+  auto state = system_->BuildClusterState(*personal_, state_options);
+  ASSERT_TRUE(state.ok());
+
+  auto result = system_->MatchWithState(*personal_, *state, Options(),
+                                        ExecutionControl::WithDeadline(-1.0));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, ExecutionStatus::kDeadlineExceeded);
+  EXPECT_TRUE(result->mappings.empty());
+  // The deadline fired before any generator ran.
+  EXPECT_EQ(result->stats.generator.partial_mappings, 0u);
+}
+
+TEST_F(StreamingMatchTest, StopAfterOneMappingEarlyStops) {
+  auto blocking = system_->Match(*personal_, Options());
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_GT(blocking->mappings.size(), 1u);
+
+  ExecutionControl control;
+  control.stop_after_n_mappings = 1;
+  auto result = system_->Match(*personal_, Options(), control);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, ExecutionStatus::kEarlyStopped);
+  ASSERT_EQ(result->mappings.size(), 1u);
+  // Strictly less search work than the full run.
+  EXPECT_LT(result->stats.generator.partial_mappings,
+            blocking->stats.generator.partial_mappings);
+  bool found = false;
+  for (const auto& reference : blocking->mappings) {
+    if (result->mappings[0].SameAssignment(reference)) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StreamingMatchTest, BudgetLargerThanResultSetCompletes) {
+  auto blocking = system_->Match(*personal_, Options());
+  ASSERT_TRUE(blocking.ok());
+
+  ExecutionControl control;
+  control.stop_after_n_mappings = blocking->mappings.size() + 100;
+  auto result = system_->Match(*personal_, Options(), control);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->execution, ExecutionStatus::kCompleted);
+  ExpectSameMappings(result->mappings, blocking->mappings);
+}
+
+TEST_F(StreamingMatchTest, PartialMappingsStreamToObserver) {
+  MatchOptions options = Options();
+  options.include_partial_mappings = true;
+  options.partial.delta = 0.45;
+
+  RecordingObserver observer;
+  auto result =
+      system_->Match(*personal_, options, ExecutionControl(), &observer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, ExecutionStatus::kCompleted);
+  EXPECT_EQ(observer.partials, result->partial_mappings.size());
+}
+
+}  // namespace
+}  // namespace xsm::core

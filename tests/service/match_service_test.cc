@@ -191,9 +191,10 @@ TEST_F(MatchServiceTest, SubmitMatchResolvesToSameResult) {
   auto service = MakeService();
   MatchQuery query = MakeQuery("async", kSpecs[4]);
 
-  auto future = service->SubmitMatch(query);
-  auto async_result = future.get();
+  MatchHandle handle = service->SubmitMatch(query);
+  auto async_result = handle.Get();
   ASSERT_TRUE(async_result.ok()) << async_result.status().ToString();
+  EXPECT_EQ(async_result->execution, core::ExecutionStatus::kCompleted);
   auto direct = direct_->Match(query.personal, query.options);
   ASSERT_TRUE(direct.ok());
   ExpectSameResults(*async_result, *direct);

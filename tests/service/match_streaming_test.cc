@@ -1,0 +1,256 @@
+// Streaming / anytime MatchService execution: MatchStreaming, cancellable
+// SubmitMatch handles, the default per-query deadline, and the acceptance
+// stress test that cancellation can never poison the ClusterIndexCache.
+#include "service/match_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bellflower.h"
+#include "core/execution_control.h"
+#include "core/match_observer.h"
+#include "repo/synthetic.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::service {
+namespace {
+
+class CollectingObserver : public core::MatchObserver {
+ public:
+  void OnMapping(const generate::SchemaMapping& mapping,
+                 size_t running_rank) override {
+    (void)running_rank;
+    mappings.push_back(mapping);
+    if (cancel_after_first_mapping) cancel_after_first_mapping->Cancel();
+  }
+
+  std::vector<generate::SchemaMapping> mappings;
+  const core::CancelToken* cancel_after_first_mapping = nullptr;
+};
+
+class MatchStreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo::SyntheticRepoOptions options;
+    options.target_elements = 2000;
+    options.seed = 7;
+    auto forest = repo::GenerateSyntheticRepository(options);
+    ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+    forest_ = new schema::SchemaForest(std::move(*forest));
+  }
+
+  static void TearDownTestSuite() {
+    delete forest_;
+    forest_ = nullptr;
+  }
+
+  static MatchQuery MakeQuery(const std::string& id,
+                              const char* spec = "name(address,email)") {
+    MatchQuery query;
+    query.id = id;
+    auto personal = schema::ParseTreeSpec(spec);
+    EXPECT_TRUE(personal.ok()) << personal.status().ToString();
+    query.personal = std::move(*personal);
+    query.options.delta = 0.6;
+    return query;
+  }
+
+  static std::unique_ptr<MatchService> MakeService(
+      MatchServiceOptions options = MatchServiceOptions()) {
+    auto snapshot = RepositorySnapshot::Create(*forest_);
+    EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    return std::make_unique<MatchService>(std::move(*snapshot), options);
+  }
+
+  static void ExpectSameResults(const core::MatchResult& got,
+                                const core::MatchResult& want) {
+    ASSERT_EQ(got.mappings.size(), want.mappings.size());
+    for (size_t i = 0; i < got.mappings.size(); ++i) {
+      EXPECT_EQ(got.mappings[i].tree, want.mappings[i].tree) << i;
+      EXPECT_EQ(got.mappings[i].images, want.mappings[i].images) << i;
+      EXPECT_EQ(got.mappings[i].delta, want.mappings[i].delta) << i;
+      EXPECT_EQ(got.mappings[i].delta_sim, want.mappings[i].delta_sim) << i;
+      EXPECT_EQ(got.mappings[i].delta_path, want.mappings[i].delta_path)
+          << i;
+    }
+  }
+
+  static schema::SchemaForest* forest_;
+};
+
+schema::SchemaForest* MatchStreamingTest::forest_ = nullptr;
+
+TEST_F(MatchStreamingTest, StreamingEqualsBlockingMatch) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("stream");
+
+  auto blocking = service->Match(query);
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  ASSERT_FALSE(blocking->mappings.empty());
+
+  CollectingObserver observer;
+  auto streaming = service->MatchStreaming(query, &observer);
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_EQ(streaming->execution, core::ExecutionStatus::kCompleted);
+  ExpectSameResults(*streaming, *blocking);
+  EXPECT_EQ(observer.mappings.size(), blocking->mappings.size());
+}
+
+TEST_F(MatchStreamingTest, HandleCancelBeforeExecutionSkipsAllWork) {
+  MatchServiceOptions options;
+  options.num_threads = 1;
+  auto service = MakeService(options);
+
+  // Hold the single worker hostage so the submitted query stays queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_running = false;
+  service->pool().Schedule([&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    blocker_running = true;
+    cv.notify_all();
+    cv.wait(lock, [&]() { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return blocker_running; });
+  }
+
+  MatchHandle handle = service->SubmitMatch(MakeQuery("queued"));
+  handle.Cancel();  // lands while the query is still in the queue
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  auto result = handle.Get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kCancelled);
+  EXPECT_TRUE(result->mappings.empty());
+  // The pre-execution check fired: no cluster-state build, nothing cached.
+  EXPECT_EQ(service->stats().cache.misses, 0u);
+  EXPECT_EQ(service->stats().cache.entries, 0u);
+  EXPECT_EQ(service->stats().cancelled, 1u);
+}
+
+TEST_F(MatchStreamingTest, CancelMidGenerationReturnsPartialResults) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("midrun");
+
+  auto blocking = service->Match(query);
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_GT(blocking->mappings.size(), 1u);
+
+  core::ExecutionControl control;
+  CollectingObserver observer;
+  observer.cancel_after_first_mapping = &control.cancel;
+  auto result = service->MatchStreaming(query, &observer, control);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kCancelled);
+  EXPECT_GE(result->mappings.size(), 1u);
+  EXPECT_LT(result->mappings.size(), blocking->mappings.size());
+
+  // The cancelled query's cluster state was cached fully built: the next
+  // (uncancelled) identical query hits the cache and reproduces the
+  // blocking result byte-for-byte.
+  uint64_t hits_before = service->stats().cache.hits;
+  auto again = service->Match(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->execution, core::ExecutionStatus::kCompleted);
+  ExpectSameResults(*again, *blocking);
+  EXPECT_GT(service->stats().cache.hits, hits_before);
+}
+
+TEST_F(MatchStreamingTest, DefaultDeadlineExpiresQueries) {
+  MatchServiceOptions options;
+  options.default_deadline_seconds = 1e-9;  // expires immediately
+  auto service = MakeService(options);
+
+  auto result = service->Match(MakeQuery("expired"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kDeadlineExceeded);
+  EXPECT_TRUE(result->mappings.empty());
+  EXPECT_EQ(service->stats().deadline_exceeded, 1u);
+
+  // A caller-supplied deadline wins over the service default.
+  auto generous = service->Match(MakeQuery("generous"),
+                                 core::ExecutionControl::WithDeadline(3600));
+  ASSERT_TRUE(generous.ok());
+  EXPECT_EQ(generous->execution, core::ExecutionStatus::kCompleted);
+  EXPECT_FALSE(generous->mappings.empty());
+}
+
+TEST_F(MatchStreamingTest, EarlyStopCountsInServiceStats) {
+  auto service = MakeService();
+  core::ExecutionControl control;
+  control.stop_after_n_mappings = 1;
+  auto result = service->Match(MakeQuery("first1"), control);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kEarlyStopped);
+  EXPECT_EQ(result->mappings.size(), 1u);
+  EXPECT_EQ(service->stats().early_stopped, 1u);
+}
+
+// Acceptance criterion: a concurrent cancellation stress run leaves no
+// half-built ClusterIndexCache entries — every subsequent hit reproduces
+// the uncancelled result.
+TEST_F(MatchStreamingTest, CancellationStressNeverPoisonsCache) {
+  MatchServiceOptions options;
+  options.num_threads = 4;
+  auto service = MakeService(options);
+  MatchQuery query = MakeQuery("stress");
+
+  auto reference = service->Match(query);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->mappings.empty());
+
+  constexpr int kRounds = 8;
+  constexpr int kConcurrent = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    service->ClearCache();  // force a fresh build raced by cancellations
+    std::vector<MatchHandle> handles;
+    handles.reserve(kConcurrent);
+    for (int i = 0; i < kConcurrent; ++i) {
+      handles.push_back(service->SubmitMatch(query));
+    }
+    // Cancel every other query while the shared build / generation runs.
+    for (int i = 0; i < kConcurrent; i += 2) {
+      handles[static_cast<size_t>(i)].Cancel();
+    }
+    for (int i = 0; i < kConcurrent; ++i) {
+      auto result = handles[static_cast<size_t>(i)].Get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (i % 2 == 1) {
+        // Never cancelled: must be the full, exact result.
+        ASSERT_EQ(result->execution, core::ExecutionStatus::kCompleted);
+        ExpectSameResults(*result, *reference);
+      } else {
+        // Cancelled: completed (cancel lost the race) with the full result,
+        // or cut short with a subset — never an error, never garbage.
+        if (result->execution == core::ExecutionStatus::kCompleted) {
+          ExpectSameResults(*result, *reference);
+        } else {
+          EXPECT_EQ(result->execution, core::ExecutionStatus::kCancelled);
+          EXPECT_LE(result->mappings.size(), reference->mappings.size());
+        }
+      }
+    }
+    // Whatever the interleaving, the cache entry (if present) is fully
+    // built: a fresh query must hit or rebuild to the exact result.
+    auto after = service->Match(query);
+    ASSERT_TRUE(after.ok());
+    ASSERT_EQ(after->execution, core::ExecutionStatus::kCompleted);
+    ExpectSameResults(*after, *reference);
+  }
+}
+
+}  // namespace
+}  // namespace xsm::service

@@ -15,14 +15,28 @@
 //   batch    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
 //            --queries FILE [--threads N] [--delta D] [--top N]
 //            [--cluster tree|kmeans] [--join J] [--threshold T] [--alpha A]
+//            [--deadline-ms MS] [--first-n N] [--cluster-events]
 //            Run a MatchService batch from a query file: one query per
 //            line, `SPEC [key=value ...]` (keys: id, delta, top, cluster,
 //            join, threshold, alpha); '#' starts a comment. Per-line keys
-//            override the command-line defaults.
+//            override the command-line defaults. Results stream to stdout
+//            as NDJSON events: one "mapping" line per emitted mapping the
+//            moment it is found, then one "done" line per query (input
+//            order) with the typed terminal status.
 //   serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
 //            [--threads N] [--delta D] [--top N] ...
+//            [--deadline-ms MS] [--first-n N] [--cluster-events]
 //            Interactive loop: read one query line (same format as batch)
-//            from stdin per request, print its top mappings.
+//            from stdin per request, stream its NDJSON mapping events.
+//
+// Streaming flags (match/batch/serve):
+//   --deadline-ms MS   per-query wall-clock deadline; an expired query
+//                      reports status "deadline_exceeded" with the mappings
+//                      found so far.
+//   --first-n N        stop each query after its first N mappings
+//                      ("early_stopped") — the anytime / time-to-first mode.
+//   --cluster-events   also emit one "cluster" NDJSON event per generated
+//                      cluster (progress observability; off by default).
 //
 // Examples:
 //   xsm_cli gen --elements 10000 --out corpus.forest
@@ -36,6 +50,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -101,9 +117,13 @@ int Usage() {
       "  batch    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "           --queries FILE [--threads N] [--delta D] [--top N]\n"
       "           [--cluster tree|kmeans] [--join J] [--threshold T]\n"
-      "           [--alpha A]\n"
+      "           [--alpha A] [--deadline-ms MS] [--first-n N]\n"
+      "           [--cluster-events]\n"
       "  serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
-      "           [--threads N] [--delta D] [--top N] [--cluster ...]\n");
+      "           [--threads N] [--delta D] [--top N] [--cluster ...]\n"
+      "           [--deadline-ms MS] [--first-n N] [--cluster-events]\n"
+      "batch/serve stream NDJSON events (mapping / cluster / done / error)\n"
+      "to stdout; match honors --deadline-ms / --first-n too.\n");
   return 2;
 }
 
@@ -241,11 +261,26 @@ int RunMatch(const Args& args) {
         &match::CompositeStructuralMatcher::Default();
   }
 
+  core::ExecutionControl control;
+  if (args.Has("deadline-ms")) {
+    control = core::ExecutionControl::WithDeadline(
+        args.GetDouble("deadline-ms", 0) / 1e3);
+  }
+  long first_n = args.GetInt("first-n", 0);
+  if (first_n > 0) {
+    control.stop_after_n_mappings = static_cast<uint64_t>(first_n);
+  }
+
   core::Bellflower system(&*forest);
-  auto result = system.Match(*personal, options);
+  auto result = system.Match(*personal, options, control);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (result->execution != core::ExecutionStatus::kCompleted) {
+    std::fprintf(stderr, "run stopped early: %s (results are partial)\n",
+                 std::string(core::ExecutionStatusName(result->execution))
+                     .c_str());
   }
 
   const core::MatchStats& stats = result->stats;
@@ -383,28 +418,159 @@ Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
   XSM_ASSIGN_OR_RETURN(schema::SchemaForest forest, LoadRepository(args));
   service::MatchServiceOptions options;
   options.num_threads = static_cast<size_t>(threads);
+  // --deadline-ms becomes the service's default per-query deadline; the
+  // clock starts at SubmitMatch, so pool queue wait counts against it.
+  options.default_deadline_seconds = args.GetDouble("deadline-ms", 0) / 1e3;
   return service::MatchService::Create(std::move(forest), options);
 }
 
-void PrintQueryResult(const service::MatchQuery& query,
-                      const Result<core::MatchResult>& result,
-                      const schema::SchemaForest& forest) {
+// --- NDJSON event streaming (batch / serve) --------------------------------
+
+std::mutex g_stdout_mu;  // one complete event line at a time
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void EmitEventLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_stdout_mu);
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);  // streaming: every event visible immediately
+}
+
+/// Streams one query's run as NDJSON events. Event lines are composed as
+/// strings — unbounded fields (query ids, mapping text) can never truncate
+/// the JSON; fixed snprintf buffers only ever hold numeric fields.
+/// Callbacks fire on the pool thread executing the query; EmitEventLine
+/// keeps lines atomic under concurrent batch output.
+class NdjsonObserver : public core::MatchObserver {
+ public:
+  NdjsonObserver(std::string id, const schema::SchemaTree* personal,
+                 const schema::SchemaForest* forest, bool cluster_events)
+      : id_(JsonEscape(id)),
+        personal_(personal),
+        forest_(forest),
+        cluster_events_(cluster_events) {}
+
+  void OnMapping(const generate::SchemaMapping& mapping,
+                 size_t running_rank) override {
+    char nums[224];
+    std::snprintf(nums, sizeof(nums),
+                  "\",\"rank\":%zu,\"tree\":%d,\"delta\":%.6f,"
+                  "\"delta_sim\":%.6f,\"delta_path\":%.6f,\"ms\":%.3f,"
+                  "\"map\":\"",
+                  running_rank, mapping.tree, mapping.delta,
+                  mapping.delta_sim, mapping.delta_path, ElapsedMs());
+    std::string line = "{\"type\":\"mapping\",\"id\":\"" + id_ + nums;
+    line +=
+        JsonEscape(generate::MappingToString(mapping, *personal_, *forest_));
+    line += "\"}";
+    EmitEventLine(line);
+  }
+
+  void OnClusterFinish(size_t sequence, size_t total,
+                       const core::ClusterSummary& summary,
+                       const core::MatchStats& so_far) override {
+    if (!cluster_events_) return;
+    char nums[224];
+    std::snprintf(nums, sizeof(nums),
+                  "\",\"seq\":%zu,\"total\":%zu,\"tree\":%d,"
+                  "\"mappings\":%zu,\"partials_generated\":%llu,"
+                  "\"ms\":%.3f}",
+                  sequence, total, summary.tree, so_far.num_mappings,
+                  static_cast<unsigned long long>(
+                      so_far.generator.partial_mappings),
+                  ElapsedMs());
+    EmitEventLine("{\"type\":\"cluster\",\"id\":\"" + id_ + nums);
+  }
+
+  void OnFinish(const core::MatchResult& result) override {
+    (void)result;
+    // Completion time measured on the worker, not when the main thread
+    // gets around to printing the done event.
+    finished_ms_ = ElapsedMs();
+  }
+
+  double ElapsedMs() const { return timer_.ElapsedSeconds() * 1e3; }
+  /// Submission-to-completion latency; falls back to the current elapsed
+  /// time for runs that failed before finishing.
+  double DoneMs() const { return finished_ms_ >= 0 ? finished_ms_ : ElapsedMs(); }
+
+ private:
+  std::string id_;  // pre-escaped
+  const schema::SchemaTree* personal_;
+  const schema::SchemaForest* forest_;
+  bool cluster_events_;
+  Timer timer_;
+  double finished_ms_ = -1;
+};
+
+void EmitDoneEvent(const service::MatchQuery& query,
+                   const Result<core::MatchResult>& result,
+                   double elapsed_ms) {
   if (!result.ok()) {
-    std::printf("%-12s ERROR %s\n", query.id.c_str(),
-                result.status().ToString().c_str());
+    EmitEventLine("{\"type\":\"error\",\"id\":\"" + JsonEscape(query.id) +
+                  "\",\"message\":\"" +
+                  JsonEscape(result.status().ToString()) + "\"}");
     return;
   }
   const core::MatchStats& stats = result->stats;
-  std::printf("%-12s mappings=%zu clusters=%zu useful=%zu",
-              query.id.c_str(), stats.num_mappings, stats.num_clusters,
-              stats.num_useful_clusters);
-  if (!result->mappings.empty()) {
-    std::printf("  best: %s",
-                generate::MappingToString(result->mappings.front(),
-                                          query.personal, forest)
-                    .c_str());
+  char nums[256];
+  // "mappings" counts everything with Δ ≥ δ found by the run — it matches
+  // the `match` command's count and the number of mapping event lines;
+  // "kept" is the returned list after top-N trimming.
+  std::snprintf(
+      nums, sizeof(nums),
+      "\",\"mappings\":%zu,\"kept\":%zu,\"partial_mappings\":%zu,"
+      "\"clusters\":%zu,\"useful\":%zu,\"ms\":%.3f}",
+      stats.num_mappings, result->mappings.size(),
+      result->partial_mappings.size(), stats.num_clusters,
+      stats.num_useful_clusters, elapsed_ms);
+  EmitEventLine("{\"type\":\"done\",\"id\":\"" + JsonEscape(query.id) +
+                "\",\"status\":\"" +
+                std::string(core::ExecutionStatusName(result->execution)) +
+                nums);
+}
+
+/// --first-n as a per-query ExecutionControl (fresh cancel token per call;
+/// the deadline comes from the service default, see MakeService).
+core::ExecutionControl ControlFromArgs(const Args& args) {
+  core::ExecutionControl control;
+  long first_n = args.GetInt("first-n", 0);
+  if (first_n > 0) {
+    control.stop_after_n_mappings = static_cast<uint64_t>(first_n);
   }
-  std::printf("\n");
+  return control;
 }
 
 int RunBatch(const Args& args) {
@@ -454,24 +620,42 @@ int RunBatch(const Args& args) {
                queries.size(), forest.total_nodes(), forest.num_trees(),
                (*service)->pool().num_threads());
 
+  // Stream every query: mapping events interleave across pool threads (each
+  // carries its query id); done events follow in input order.
+  const bool cluster_events = args.Has("cluster-events");
+  std::vector<std::unique_ptr<NdjsonObserver>> observers;
+  std::vector<service::MatchHandle> handles;
+  observers.reserve(queries.size());
+  handles.reserve(queries.size());
   Timer timer;
-  auto results = (*service)->MatchBatch(queries);
-  double elapsed = timer.ElapsedSeconds();
+  for (service::MatchQuery& query : queries) {
+    observers.push_back(std::make_unique<NdjsonObserver>(
+        query.id, &query.personal, &forest, cluster_events));
+    handles.push_back((*service)->SubmitMatch(query, ControlFromArgs(args),
+                                              observers.back().get()));
+  }
 
   int failed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    PrintQueryResult(queries[i], results[i], forest);
-    if (!results[i].ok()) ++failed;
+    auto result = handles[i].Get();
+    EmitDoneEvent(queries[i], result, observers[i]->DoneMs());
+    if (!result.ok()) ++failed;
   }
+  double elapsed = timer.ElapsedSeconds();
   service::ServiceStats stats = (*service)->stats();
-  std::printf(
-      "\n%zu queries in %.3fs (%.1f queries/sec) | cluster cache: "
-      "%llu hits, %llu shared, %llu misses\n",
+  std::fprintf(
+      stderr,
+      "%zu queries in %.3fs (%.1f queries/sec) | cluster cache: "
+      "%llu hits, %llu shared, %llu misses | cancelled %llu, "
+      "deadline_exceeded %llu, early_stopped %llu\n",
       queries.size(), elapsed,
       static_cast<double>(queries.size()) / elapsed,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.shared),
-      static_cast<unsigned long long>(stats.cache.misses));
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.early_stopped));
   return failed == 0 ? 0 : 1;
 }
 
@@ -486,9 +670,11 @@ int RunServe(const Args& args) {
     return 1;
   }
   const schema::SchemaForest& forest = (*service)->snapshot().forest();
+  const bool cluster_events = args.Has("cluster-events");
   std::fprintf(stderr,
                "ready: %zu elements / %zu trees; enter queries "
-               "(SPEC [key=value ...]), EOF to quit\n",
+               "(SPEC [key=value ...]), EOF to quit; NDJSON events on "
+               "stdout\n",
                forest.total_nodes(), forest.num_trees());
 
   std::string line;
@@ -502,21 +688,15 @@ int RunServe(const Args& args) {
       std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
       continue;
     }
-    Timer timer;
     // Through the pool (not the calling thread) so --threads is honest.
-    auto result = (*service)->SubmitMatch(*query).get();
-    double elapsed = timer.ElapsedSeconds();
-    PrintQueryResult(*query, result, forest);
-    if (result.ok()) {
-      int rank = 1;
-      for (const auto& mapping : result->mappings) {
-        std::printf("  %3d. %s\n", rank++,
-                    generate::MappingToString(mapping, query->personal,
-                                              forest)
-                        .c_str());
-      }
-    }
-    std::fprintf(stderr, "  (%.1f ms)\n", elapsed * 1e3);
+    // Mapping events stream while the query runs; the done event carries
+    // the typed terminal status (completed / deadline_exceeded / ...).
+    NdjsonObserver observer(query->id, &query->personal, &forest,
+                            cluster_events);
+    service::MatchHandle handle =
+        (*service)->SubmitMatch(*query, ControlFromArgs(args), &observer);
+    auto result = handle.Get();
+    EmitDoneEvent(*query, result, observer.DoneMs());
   }
   return 0;
 }
