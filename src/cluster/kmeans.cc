@@ -75,6 +75,10 @@ NodeRef ComputeMedoid(const std::vector<int32_t>& members,
     for (int32_t mj : members) {
       cost += tidx.Distance(candidate.node,
                             points[static_cast<size_t>(mj)].node.node);
+      // Distances are non-negative, so once the partial cost strictly
+      // exceeds the best the candidate can neither win nor tie-win;
+      // breaking on equality would lose the node-id tie-break.
+      if (cost > best_cost) break;
     }
     if (cost < best_cost ||
         (cost == best_cost && candidate.node < best.node)) {

@@ -42,9 +42,7 @@ Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
   if (options.delta < 0.0 || options.delta > 1.0) {
     return Status::InvalidArgument("delta must be in [0,1]");
   }
-  // Already cancelled / past deadline: don't pay for preprocessing. Once
-  // BuildClusterState starts it runs to completion (its output is the
-  // shareable, cacheable artifact — never half-built).
+  // Already cancelled / past deadline: don't pay for preprocessing.
   ExecutionMonitor pre(control);
   if (pre.ShouldStop()) {
     MatchResult result;
@@ -54,15 +52,34 @@ Result<MatchResult> Bellflower::Match(const schema::SchemaTree& personal,
     if (observer != nullptr) observer->OnFinish(result);
     return result;
   }
-  XSM_ASSIGN_OR_RETURN(
-      ClusterState state,
-      BuildClusterState(personal, ClusterStateOptions::From(options)));
-  return MatchWithStateImpl(personal, state, options, &control, observer);
+  // The element-matching stage polls `control` too; a build it stops comes
+  // back as kCancelled / kDeadlineExceeded and is folded into the same
+  // partial-result contract as a stop during generation.
+  Result<ClusterState> built =
+      BuildClusterState(personal, ClusterStateOptions::From(options),
+                        &control);
+  if (!built.ok()) {
+    const StatusCode code = built.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      MatchResult result;
+      result.stats.repository_nodes = repository_->total_nodes();
+      result.stats.repository_trees = repository_->num_trees();
+      result.execution = code == StatusCode::kCancelled
+                             ? ExecutionStatus::kCancelled
+                             : ExecutionStatus::kDeadlineExceeded;
+      if (observer != nullptr) observer->OnFinish(result);
+      return result;
+    }
+    return built.status();
+  }
+  return MatchWithStateImpl(personal, built.value(), options, &control,
+                            observer);
 }
 
 Result<ClusterState> Bellflower::BuildClusterState(
-    const schema::SchemaTree& personal,
-    const ClusterStateOptions& options) const {
+    const schema::SchemaTree& personal, const ClusterStateOptions& options,
+    const ExecutionControl* control) const {
   if (personal.empty()) {
     return Status::InvalidArgument("personal schema is empty");
   }
@@ -72,9 +89,11 @@ Result<ClusterState> Bellflower::BuildClusterState(
 
   // --- Stage ②③: element matching. ---------------------------------------
   Timer timer;
+  match::ElementMatchingOptions element = options.element;
+  if (element.control == nullptr) element.control = control;
   XSM_ASSIGN_OR_RETURN(
       state.matching,
-      match::MatchElements(personal, *repository_, options.element));
+      match::MatchElements(personal, *repository_, element));
   state.time_matching_seconds = timer.ElapsedSeconds();
 
   if (state.matching.distinct_nodes.empty()) {

@@ -225,9 +225,11 @@ class Bellflower {
   /// found. A run that no limit interrupts produces a result byte-identical
   /// to the blocking overload; an interrupted run returns the mappings
   /// gathered so far with MatchResult::execution naming the reason — a cut
-  /// run is still Status-OK, not an error. Preprocessing (BuildClusterState)
-  /// is not interrupted mid-build; control is honored before it starts and
-  /// throughout generation at cluster and node-expansion granularity.
+  /// run is still Status-OK, not an error. Control is honored before
+  /// preprocessing, during its element-matching stage (per dictionary
+  /// entry), and throughout generation at cluster and node-expansion
+  /// granularity. (service::MatchService builds its *cached* states without
+  /// control on purpose, so cancellation never poisons the cache.)
   Result<MatchResult> Match(const schema::SchemaTree& personal,
                             const MatchOptions& options,
                             const ExecutionControl& control,
@@ -235,10 +237,13 @@ class Bellflower {
 
   /// Runs the expensive preprocessing stages (element matching +
   /// clustering) and returns their reusable result. Thread-safe: only
-  /// reads the repository and index.
+  /// reads the repository and index. `control` (may be null) bounds the
+  /// element-matching stage: a stopped build returns Status kCancelled /
+  /// kDeadlineExceeded — never a half-built state. It supplements any
+  /// control already present in options.element.
   Result<ClusterState> BuildClusterState(
-      const schema::SchemaTree& personal,
-      const ClusterStateOptions& options) const;
+      const schema::SchemaTree& personal, const ClusterStateOptions& options,
+      const ExecutionControl* control = nullptr) const;
 
   /// Runs the generation stages (④⑤ plus the §2.3 extensions) against a
   /// previously built state. `state` must have been built for the same

@@ -9,11 +9,38 @@
 
 namespace xsm::match {
 
+double ElementMatcher::ScoreName(const NameView& personal,
+                                 const NameView& repo, double threshold,
+                                 sim::EditDistanceScratch* scratch) const {
+  (void)threshold;
+  (void)scratch;
+  schema::NodeProperties a;
+  a.name = std::string(personal.raw);
+  schema::NodeProperties b;
+  b.name = std::string(repo.raw);
+  return Score(a, b);
+}
+
 double FuzzyNameMatcher::Score(const schema::NodeProperties& personal,
                                const schema::NodeProperties& repo) const {
   return ignore_case_
              ? sim::FuzzyStringSimilarityIgnoreCase(personal.name, repo.name)
              : sim::FuzzyStringSimilarity(personal.name, repo.name);
+}
+
+double FuzzyNameMatcher::ScoreName(const NameView& personal,
+                                   const NameView& repo, double threshold,
+                                   sim::EditDistanceScratch* scratch) const {
+  // The signatures are over the case-folds, but folding never increases the
+  // edit distance, so the bag bound stays sound for the case-sensitive
+  // variant too.
+  return ignore_case_
+             ? sim::FuzzyStringSimilarityWithThreshold(
+                   personal.lower, repo.lower, threshold, scratch,
+                   personal.signature, repo.signature)
+             : sim::FuzzyStringSimilarityWithThreshold(
+                   personal.raw, repo.raw, threshold, scratch,
+                   personal.signature, repo.signature);
 }
 
 const FuzzyNameMatcher& FuzzyNameMatcher::Default() {
@@ -28,9 +55,25 @@ double JaroWinklerNameMatcher::Score(
                                     ToLower(repo.name));
 }
 
+double JaroWinklerNameMatcher::ScoreName(
+    const NameView& personal, const NameView& repo, double threshold,
+    sim::EditDistanceScratch* scratch) const {
+  (void)threshold;
+  (void)scratch;
+  return sim::JaroWinklerSimilarity(personal.lower, repo.lower);
+}
+
 double NgramNameMatcher::Score(const schema::NodeProperties& personal,
                                const schema::NodeProperties& repo) const {
   return sim::NgramDiceSimilarity(personal.name, repo.name, n_);
+}
+
+double NgramNameMatcher::ScoreName(const NameView& personal,
+                                   const NameView& repo, double threshold,
+                                   sim::EditDistanceScratch* scratch) const {
+  (void)threshold;
+  (void)scratch;
+  return sim::NgramDiceSimilarityPrelowered(personal.lower, repo.lower, n_);
 }
 
 double TokenNameMatcher::Score(const schema::NodeProperties& personal,

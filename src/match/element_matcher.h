@@ -15,7 +15,24 @@
 #include "schema/schema_tree.h"
 #include "sim/synonym_dictionary.h"
 
+namespace xsm::sim {
+struct EditDistanceScratch;  // sim/string_similarity.h
+struct NameSignature;
+}  // namespace xsm::sim
+
 namespace xsm::match {
+
+/// One name in the two spellings the matching engine caches: the raw form
+/// and its ASCII case-fold, plus (optionally) the case-fold's character
+/// histogram. Repository-side views come from the NameDictionary,
+/// personal-side views are folded once per query, so case-insensitive
+/// matchers never lowercase inside the scoring loop.
+struct NameView {
+  std::string_view raw;
+  std::string_view lower;
+  /// Signature of `lower`, for bag-distance pruning; may be null.
+  const sim::NameSignature* signature = nullptr;
+};
 
 /// Interface of a localized element matcher: similarity of two nodes from
 /// their local properties only (name, kind, datatype).
@@ -35,6 +52,23 @@ class ElementMatcher {
   /// (the "approximate string joins almost for free" optimization the paper
   /// cites for efficient matcher implementations).
   virtual bool name_only() const { return true; }
+
+  /// True if ScoreName is a real implementation. The matching engine then
+  /// scores (personal node, distinct name) pairs through it — with cached
+  /// case-folds, reusable scratch buffers, and threshold pruning — instead
+  /// of the property-based Score.
+  virtual bool has_name_fast_path() const { return false; }
+
+  /// Threshold-aware name scorer. Contract: whenever the true Score of two
+  /// nodes carrying these names is >= threshold, the returned value must be
+  /// bit-identical to that Score; when it is below, any value < threshold
+  /// may be returned (the caller drops the pair either way — this is what
+  /// makes pruning invisible in the results). `scratch` may be null and may
+  /// be reused across calls on one thread. The default forwards to Score on
+  /// name-only property sets; overrides should do better.
+  virtual double ScoreName(const NameView& personal, const NameView& repo,
+                           double threshold,
+                           sim::EditDistanceScratch* scratch) const;
 };
 
 /// Bellflower's matcher: normalized Damerau–Levenshtein similarity of the
@@ -46,6 +80,13 @@ class FuzzyNameMatcher final : public ElementMatcher {
   double Score(const schema::NodeProperties& personal,
                const schema::NodeProperties& repo) const override;
   std::string_view name() const override { return "fuzzy-name"; }
+  bool has_name_fast_path() const override { return true; }
+  /// Banded, early-abandoning edit distance over the cached case-folds
+  /// (raw forms when case-sensitive); pairs whose length difference alone
+  /// caps the similarity below the threshold never run the DP.
+  double ScoreName(const NameView& personal, const NameView& repo,
+                   double threshold,
+                   sim::EditDistanceScratch* scratch) const override;
 
   /// Process-wide default instance (case-insensitive).
   static const FuzzyNameMatcher& Default();
@@ -60,6 +101,12 @@ class JaroWinklerNameMatcher final : public ElementMatcher {
   double Score(const schema::NodeProperties& personal,
                const schema::NodeProperties& repo) const override;
   std::string_view name() const override { return "jaro-winkler"; }
+  bool has_name_fast_path() const override { return true; }
+  /// Runs on the cached case-folds, skipping the two ToLower copies Score
+  /// pays per pair.
+  double ScoreName(const NameView& personal, const NameView& repo,
+                   double threshold,
+                   sim::EditDistanceScratch* scratch) const override;
 };
 
 /// Character n-gram Dice coefficient over names.
@@ -69,6 +116,10 @@ class NgramNameMatcher final : public ElementMatcher {
   double Score(const schema::NodeProperties& personal,
                const schema::NodeProperties& repo) const override;
   std::string_view name() const override { return "ngram"; }
+  bool has_name_fast_path() const override { return true; }
+  double ScoreName(const NameView& personal, const NameView& repo,
+                   double threshold,
+                   sim::EditDistanceScratch* scratch) const override;
 
  private:
   int n_;

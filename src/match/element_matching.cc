@@ -1,8 +1,18 @@
 #include "match/element_matching.h"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <future>
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <utility>
+
+#include "match/name_dictionary.h"
+#include "sim/string_similarity.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace xsm::match {
 
@@ -25,9 +35,10 @@ schema::NodeId ElementMatchingResult::SmallestSetNode() const {
   return best;
 }
 
-Result<ElementMatchingResult> MatchElements(
-    const schema::SchemaTree& personal, const schema::SchemaForest& repo,
-    const ElementMatchingOptions& options) {
+namespace {
+
+Status ValidateInputs(const schema::SchemaTree& personal,
+                      const ElementMatchingOptions& options) {
   if (personal.empty()) {
     return Status::InvalidArgument("personal schema is empty");
   }
@@ -39,6 +50,24 @@ Result<ElementMatchingResult> MatchElements(
   if (options.threshold < 0.0 || options.threshold > 1.0) {
     return Status::InvalidArgument("threshold must be in [0,1]");
   }
+  return Status::OK();
+}
+
+Status StatusFromExecution(core::ExecutionStatus status) {
+  switch (status) {
+    case core::ExecutionStatus::kDeadlineExceeded:
+      return Status::DeadlineExceeded("element matching deadline exceeded");
+    default:
+      return Status::Cancelled("element matching cancelled");
+  }
+}
+
+}  // namespace
+
+Result<ElementMatchingResult> MatchElementsReference(
+    const schema::SchemaTree& personal, const schema::SchemaForest& repo,
+    const ElementMatchingOptions& options) {
+  XSM_RETURN_NOT_OK(ValidateInputs(personal, options));
   const ElementMatcher& matcher =
       options.matcher ? *options.matcher : FuzzyNameMatcher::Default();
 
@@ -88,6 +117,174 @@ Result<ElementMatchingResult> MatchElements(
     }
   });
 
+  return result;
+}
+
+Result<ElementMatchingResult> MatchElements(
+    const schema::SchemaTree& personal, const schema::SchemaForest& repo,
+    const ElementMatchingOptions& options) {
+  XSM_RETURN_NOT_OK(ValidateInputs(personal, options));
+  const ElementMatcher& matcher =
+      options.matcher ? *options.matcher : FuzzyNameMatcher::Default();
+  if (!matcher.name_only()) {
+    return MatchElementsReference(personal, repo, options);
+  }
+
+  const NameDictionary* dict = options.dictionary;
+  NameDictionary transient;
+  if (dict == nullptr) {
+    transient = NameDictionary::Build(repo);
+    dict = &transient;
+  } else if (dict->forest() != &repo) {
+    return Status::InvalidArgument(
+        "name dictionary was built over a different forest");
+  }
+
+  const size_t m = personal.size();
+  const size_t num_entries = dict->size();
+  ElementMatchingResult result;
+  result.sets.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    result.sets[i].personal_node = static_cast<schema::NodeId>(i);
+  }
+  if (num_entries == 0) return result;
+
+  // Personal-side name forms, folded and fingerprinted once per query.
+  std::vector<std::string> personal_lower(m);
+  std::vector<sim::NameSignature> personal_sigs(m);
+  std::vector<NameView> personal_views(m);
+  for (size_t i = 0; i < m; ++i) {
+    const std::string& name =
+        personal.props(static_cast<schema::NodeId>(i)).name;
+    personal_lower[i] = ToLower(name);
+    personal_sigs[i] = sim::NameSignature::Of(personal_lower[i]);
+    personal_views[i] = {name, personal_lower[i], &personal_sigs[i]};
+  }
+
+  // --- Stage 1: score the m × D (personal node, distinct name) matrix. ----
+  // Shards write disjoint ranges of these, so no synchronization is needed
+  // beyond joining the futures.
+  const bool fast = matcher.has_name_fast_path();
+  std::vector<double> scores(num_entries * m, 0.0);
+  std::vector<uint32_t> entry_masks(num_entries, 0);
+  // First stop verdict of any shard (0 = none); other shards bail promptly.
+  std::atomic<int> stop_code{0};
+
+  auto score_range = [&](size_t begin, size_t end) {
+    core::ExecutionMonitor monitor;
+    if (options.control != nullptr) {
+      monitor = core::ExecutionMonitor(*options.control);
+    }
+    sim::EditDistanceScratch scratch;
+    for (size_t d = begin; d < end; ++d) {
+      if (options.control != nullptr) {
+        if (stop_code.load(std::memory_order_relaxed) != 0) return;
+        if (monitor.ShouldStop()) {
+          stop_code.store(static_cast<int>(monitor.status()),
+                          std::memory_order_relaxed);
+          return;
+        }
+      }
+      const NameDictionary::Entry& entry = dict->entry(d);
+      // A name carried only by attributes can never reach the output when
+      // attributes are excluded; skip its scores entirely.
+      if (!options.match_attributes && entry.element_nodes.empty()) continue;
+      const NameView repo_view{entry.name, entry.lower, &entry.signature};
+      const schema::NodeProperties* rep_props =
+          fast ? nullptr : &repo.props(entry.representative);
+      uint32_t mask = 0;
+      for (size_t i = 0; i < m; ++i) {
+        const double score =
+            fast ? matcher.ScoreName(personal_views[i], repo_view,
+                                     options.threshold, &scratch)
+                 : matcher.Score(
+                       personal.props(static_cast<schema::NodeId>(i)),
+                       *rep_props);
+        if (score >= options.threshold && score > 0.0) {
+          scores[d * m + i] = score;
+          mask |= uint32_t{1} << i;
+        }
+      }
+      entry_masks[d] = mask;
+    }
+  };
+
+  if (options.pool != nullptr && options.pool->num_threads() > 1 &&
+      num_entries > 1) {
+    size_t shards = options.num_shards != 0 ? options.num_shards
+                                            : options.pool->num_threads() * 4;
+    shards = std::min(std::max<size_t>(shards, 1), num_entries);
+    const size_t chunk = (num_entries + shards - 1) / shards;
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t begin = s * chunk;
+      const size_t end = std::min(num_entries, begin + chunk);
+      if (begin >= end) break;
+      futures.push_back(
+          options.pool->Submit([&score_range, begin, end]() {
+            score_range(begin, end);
+          }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  } else {
+    score_range(0, num_entries);
+  }
+  if (const int code = stop_code.load(std::memory_order_relaxed); code != 0) {
+    return StatusFromExecution(static_cast<core::ExecutionStatus>(code));
+  }
+
+  // --- Stage 2: broadcast qualifying scores via the posting lists. --------
+  // Exact output sizes first, so every vector is built with one allocation.
+  size_t total_nodes = 0;
+  std::vector<size_t> per_set(m, 0);
+  for (size_t d = 0; d < num_entries; ++d) {
+    const uint32_t mask = entry_masks[d];
+    if (mask == 0) continue;
+    const NameDictionary::Entry& entry = dict->entry(d);
+    const size_t nodes =
+        entry.element_nodes.size() +
+        (options.match_attributes ? entry.attribute_nodes.size() : 0);
+    total_nodes += nodes;
+    uint32_t bits = mask;
+    while (bits != 0) {
+      per_set[static_cast<size_t>(std::countr_zero(bits))] += nodes;
+      bits &= bits - 1;
+    }
+  }
+  std::vector<std::pair<schema::NodeRef, uint32_t>> matched;
+  matched.reserve(total_nodes);
+  for (size_t d = 0; d < num_entries; ++d) {
+    if (entry_masks[d] == 0) continue;
+    const NameDictionary::Entry& entry = dict->entry(d);
+    const uint32_t idx = static_cast<uint32_t>(d);
+    for (schema::NodeRef ref : entry.element_nodes) {
+      matched.emplace_back(ref, idx);
+    }
+    if (options.match_attributes) {
+      for (schema::NodeRef ref : entry.attribute_nodes) {
+        matched.emplace_back(ref, idx);
+      }
+    }
+  }
+  // NodeRefs are unique across entries, so this recovers exactly the
+  // repository iteration order of the reference sweep.
+  std::sort(matched.begin(), matched.end());
+
+  result.distinct_nodes.reserve(matched.size());
+  result.masks.reserve(matched.size());
+  for (size_t i = 0; i < m; ++i) result.sets[i].elements.reserve(per_set[i]);
+  for (const auto& [ref, d] : matched) {
+    const uint32_t mask = entry_masks[d];
+    result.distinct_nodes.push_back(ref);
+    result.masks.push_back(mask);
+    uint32_t bits = mask;
+    while (bits != 0) {
+      const size_t i = static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      result.sets[i].elements.push_back({ref, scores[d * m + i]});
+    }
+  }
   return result;
 }
 

@@ -2,18 +2,34 @@
 // node with every repository node and produces the mapping-element sets
 // ME_n. Pairs scoring at or above the matcher threshold become mapping
 // elements.
+//
+// For name-only matchers the stage runs as a two-stage engine: stage 1
+// scores the m × D matrix of (personal node, distinct repository name)
+// pairs against a NameDictionary — optionally sharded across a ThreadPool
+// and pruned by the matcher's threshold-aware name fast path — and stage 2
+// broadcasts the qualifying scores to nodes through the dictionary's
+// posting lists. The engine is bit-identical to the retained reference
+// sweep (MatchElementsReference) for any fixed inputs; dictionary, pool,
+// shard count and cancellation only change how fast the answer arrives.
 #ifndef XSM_MATCH_ELEMENT_MATCHING_H_
 #define XSM_MATCH_ELEMENT_MATCHING_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "core/execution_control.h"
 #include "match/element_matcher.h"
 #include "schema/schema_forest.h"
 #include "schema/schema_tree.h"
 #include "util/status.h"
 
+namespace xsm {
+class ThreadPool;  // util/thread_pool.h
+}  // namespace xsm
+
 namespace xsm::match {
+
+class NameDictionary;  // match/name_dictionary.h
 
 /// One mapping element n ↦ n′: a repository node with its similarity to the
 /// personal node owning the set.
@@ -46,6 +62,29 @@ struct ElementMatchingOptions {
   /// Whether attribute nodes are candidates (the paper's repository counts
   /// "element (attribute) nodes").
   bool match_attributes = true;
+
+  // --- Execution plumbing. The fields below never change the result, only
+  // --- how fast (or whether) it is computed; the cluster-state cache key
+  // --- deliberately excludes them.
+
+  /// Precomputed name dictionary, which must have been built over the same
+  /// forest instance being matched (service::RepositorySnapshot keeps one).
+  /// nullptr: a transient dictionary is built for the call when the matcher
+  /// is name-only.
+  const NameDictionary* dictionary = nullptr;
+  /// Scores dictionary shards on this pool; nullptr runs them serially on
+  /// the calling thread. Use a pool whose workers never wait on element
+  /// matching themselves (service::MatchService keeps a dedicated one).
+  ThreadPool* pool = nullptr;
+  /// Number of dictionary shards scored independently; 0 = four per pool
+  /// thread (clamped to the dictionary size). More shards smooth load
+  /// imbalance between cheap and expensive names.
+  size_t num_shards = 0;
+  /// Cooperative cancellation/deadline for the scoring stage, polled per
+  /// dictionary entry. A stopped run returns Status kCancelled /
+  /// kDeadlineExceeded instead of a result. Only the dictionary engine
+  /// polls it; the reference sweep ignores it.
+  const core::ExecutionControl* control = nullptr;
 };
 
 /// Output of the stage.
@@ -74,10 +113,24 @@ struct ElementMatchingResult {
   }
 };
 
-/// Runs the stage. Errors: empty personal schema, more than
-/// kMaxPersonalNodes nodes, threshold outside [0,1], or null repository
-/// forest are rejected with InvalidArgument.
+/// Runs the stage. Name-only matchers take the dictionary engine; others
+/// fall back to the reference sweep (their scores may depend on more than
+/// names, so per-name deduplication does not apply). Errors: empty personal
+/// schema, more than kMaxPersonalNodes nodes, threshold outside [0,1], or a
+/// dictionary built over a different forest are rejected with
+/// InvalidArgument; a run stopped by `options.control` returns kCancelled /
+/// kDeadlineExceeded.
 Result<ElementMatchingResult> MatchElements(
+    const schema::SchemaTree& personal, const schema::SchemaForest& repo,
+    const ElementMatchingOptions& options);
+
+/// The retained seed implementation: a serial all-pairs sweep with
+/// per-personal-node score memoization. This is the ground truth the
+/// dictionary engine must reproduce bit-for-bit (the equivalence suite
+/// enforces it across thresholds, matchers and thread counts) and the
+/// execution path for matchers that are not name-only. Ignores the
+/// execution-plumbing fields of `options`.
+Result<ElementMatchingResult> MatchElementsReference(
     const schema::SchemaTree& personal, const schema::SchemaForest& repo,
     const ElementMatchingOptions& options);
 

@@ -1,0 +1,38 @@
+#include "match/name_dictionary.h"
+
+#include "util/string_util.h"
+
+namespace xsm::match {
+
+NameDictionary NameDictionary::Build(const schema::SchemaForest& forest) {
+  NameDictionary dict;
+  dict.forest_ = &forest;
+  forest.ForEachNode([&dict, &forest](schema::NodeRef ref) {
+    const schema::NodeProperties& props = forest.props(ref);
+    auto [it, inserted] =
+        dict.index_.try_emplace(props.name, dict.entries_.size());
+    if (inserted) {
+      Entry entry;
+      entry.name = props.name;
+      entry.lower = ToLower(props.name);
+      entry.signature = sim::NameSignature::Of(entry.lower);
+      entry.representative = ref;
+      dict.entries_.push_back(std::move(entry));
+    }
+    Entry& entry = dict.entries_[it->second];
+    if (props.kind == schema::NodeKind::kAttribute) {
+      entry.attribute_nodes.push_back(ref);
+    } else {
+      entry.element_nodes.push_back(ref);
+    }
+    ++dict.total_nodes_;
+  });
+  return dict;
+}
+
+size_t NameDictionary::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+}  // namespace xsm::match

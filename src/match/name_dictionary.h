@@ -1,0 +1,93 @@
+// NameDictionary: the deduplicated name table of one repository forest.
+//
+// Repository corpora repeat names heavily (a few thousand distinct names
+// across ~10^5 nodes), so the element-matching engine scores personal nodes
+// against *distinct names* and broadcasts the qualifying scores back to
+// nodes through per-name posting lists. The dictionary is that precomputed
+// index: one entry per distinct spelling, carrying the cached ASCII
+// case-fold (so case-insensitive matchers never re-lowercase a repository
+// name) and the nodes holding the name, sorted by NodeRef and split by node
+// kind (so attribute filtering never re-reads node properties).
+//
+// Immutable after Build, never mutated by the engine: one dictionary is
+// built per service::RepositorySnapshot and shared by every query against
+// it, from any number of threads.
+#ifndef XSM_MATCH_NAME_DICTIONARY_H_
+#define XSM_MATCH_NAME_DICTIONARY_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/schema_forest.h"
+#include "sim/string_similarity.h"
+
+namespace xsm::match {
+
+class NameDictionary {
+ public:
+  struct Entry {
+    std::string name;   ///< raw spelling, exactly as in the forest
+    std::string lower;  ///< cached ASCII case-fold of `name`
+    /// Character histogram of `lower`, for bag-distance candidate pruning.
+    sim::NameSignature signature;
+    /// Posting lists: nodes carrying the name, sorted by NodeRef, split by
+    /// kind so ElementMatchingOptions::match_attributes is a list choice.
+    std::vector<schema::NodeRef> element_nodes;
+    std::vector<schema::NodeRef> attribute_nodes;
+    /// First node carrying the name (in NodeRef order); its properties
+    /// stand in for the whole group when a name-only matcher without a
+    /// dedicated name fast path scores this entry.
+    schema::NodeRef representative;
+
+    size_t num_nodes() const {
+      return element_nodes.size() + attribute_nodes.size();
+    }
+  };
+
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  NameDictionary() = default;
+
+  /// One pass over the forest; entries are created in first-appearance
+  /// order, posting lists come out sorted because ForEachNode iterates in
+  /// NodeRef order.
+  static NameDictionary Build(const schema::SchemaForest& forest);
+
+  /// The forest this dictionary was built over (identity, by address). The
+  /// engine rejects a dictionary whose forest is not the one being matched.
+  const schema::SchemaForest* forest() const { return forest_; }
+
+  /// Number of distinct names.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Total nodes indexed (= forest.total_nodes() at build time).
+  size_t total_nodes() const { return total_nodes_; }
+
+  /// Entry index of `name`, or kNotFound.
+  size_t Find(std::string_view name) const;
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  const schema::SchemaForest* forest_ = nullptr;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t, TransparentHash, std::equal_to<>>
+      index_;
+  size_t total_nodes_ = 0;
+};
+
+}  // namespace xsm::match
+
+#endif  // XSM_MATCH_NAME_DICTIONARY_H_

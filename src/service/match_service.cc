@@ -46,7 +46,9 @@ void AppendTreeFingerprint(const schema::SchemaTree& tree, std::string* out) {
 void AppendStateOptionsFingerprint(const core::ClusterStateOptions& options,
                                    std::string* out) {
   // Element matching stage. A custom matcher is identified by address: two
-  // queries share a cache entry only when they pass the same instance.
+  // queries share a cache entry only when they pass the same instance. The
+  // execution-plumbing fields (dictionary, pool, shards, control) are
+  // deliberately absent: they never change the result.
   AppendFormat(out, "|el:%.17g:%d:%p", options.element.threshold,
                options.element.match_attributes ? 1 : 0,
                static_cast<const void*>(options.element.matcher));
@@ -88,7 +90,11 @@ MatchService::MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
       options_(options),
       cache_(options.cluster_cache_capacity),
       pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                                     : options.num_threads) {}
+                                     : options.num_threads) {
+  if (options.matching_threads > 0) {
+    matching_pool_ = std::make_unique<ThreadPool>(options.matching_threads);
+  }
+}
 
 core::MatchOptions MatchService::EffectiveOptions(
     const MatchQuery& query) const {
@@ -99,6 +105,21 @@ core::MatchOptions MatchService::EffectiveOptions(
   if (options_.derive_seeds && randomized) {
     effective.kmeans.seed = SeedForQuery(options_.base_seed, query.id);
   }
+  // Element-matching execution plumbing. Results never depend on these (the
+  // engine is bit-identical with or without them), so the cluster-state key
+  // ignores them and cached states stay shareable across configurations.
+  if (effective.element.dictionary == nullptr) {
+    effective.element.dictionary = &snapshot_->name_dictionary();
+  }
+  if (effective.element.pool == nullptr && matching_pool_ != nullptr) {
+    effective.element.pool = matching_pool_.get();
+  }
+  // A query-supplied element.control is dropped, not honored: cached
+  // cluster-state builds must always run to completion — a cancelled build
+  // would fail every concurrent query sharing it in-flight (the cache key
+  // excludes control on purpose). Cancellation and deadlines bound the
+  // generation phase through Match(query, control, observer) instead.
+  effective.element.control = nullptr;
   return effective;
 }
 

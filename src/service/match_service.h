@@ -61,6 +61,13 @@ struct MatchServiceOptions {
   /// Worker threads executing SubmitMatch / MatchBatch work; 0 means
   /// ThreadPool::DefaultThreadCount().
   size_t num_threads = 0;
+  /// Worker threads for the element-matching stage of cluster-state builds
+  /// (dictionary shards; see match::ElementMatchingOptions::pool). A
+  /// dedicated pool, separate from `num_threads`: queries executing on the
+  /// main pool fan their matching out here, so they can never deadlock
+  /// waiting on their own workers. 0 scores serially on the query's thread
+  /// — the right default when the main pool already saturates the machine.
+  size_t matching_threads = 0;
   /// Capacity of the cluster-state cache in entries (distinct
   /// (personal schema, clustering options) keys); 0 disables caching.
   size_t cluster_cache_capacity = 64;
@@ -183,7 +190,9 @@ class MatchService {
   void ClearCache() { cache_.Clear(); }
 
   /// The options Match() actually runs for `query` after per-query seed
-  /// derivation. Exposed for tests and tools.
+  /// derivation and element-matching plumbing injection (the snapshot's
+  /// name dictionary, plus the matching pool when configured — unless the
+  /// query brought its own). Exposed for tests and tools.
   core::MatchOptions EffectiveOptions(const MatchQuery& query) const;
 
   /// The cluster-cache key for `query`: a canonical fingerprint of its
@@ -201,6 +210,8 @@ class MatchService {
   MatchServiceOptions options_;
   ClusterIndexCache cache_;
   ThreadPool pool_;
+  /// Element-matching shard pool; null when matching_threads == 0.
+  std::unique_ptr<ThreadPool> matching_pool_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> cancelled_{0};

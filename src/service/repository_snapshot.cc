@@ -47,6 +47,7 @@ Result<std::shared_ptr<const RepositorySnapshot>> RepositorySnapshot::Create(
 RepositorySnapshot::RepositorySnapshot(schema::SchemaForest forest)
     : forest_(std::move(forest)) {
   matcher_ = std::make_unique<core::Bellflower>(&forest_);
+  name_dict_ = match::NameDictionary::Build(forest_);
   fingerprint_ = FingerprintForest(forest_);
 }
 

@@ -12,6 +12,7 @@
 
 #include "core/bellflower.h"
 #include "label/tree_index.h"
+#include "match/name_dictionary.h"
 #include "schema/schema_forest.h"
 #include "util/status.h"
 
@@ -33,6 +34,9 @@ class RepositorySnapshot {
   const schema::SchemaForest& forest() const { return forest_; }
   const core::Bellflower& matcher() const { return *matcher_; }
   const label::ForestIndex& index() const { return matcher_->index(); }
+  /// Deduplicated name table over the forest, built once here so every
+  /// query's element-matching stage scores distinct names instead of nodes.
+  const match::NameDictionary& name_dictionary() const { return name_dict_; }
 
   size_t num_trees() const { return forest_.num_trees(); }
   size_t total_nodes() const { return forest_.total_nodes(); }
@@ -46,6 +50,7 @@ class RepositorySnapshot {
 
   schema::SchemaForest forest_;
   std::unique_ptr<core::Bellflower> matcher_;
+  match::NameDictionary name_dict_;
   uint64_t fingerprint_ = 0;
 };
 

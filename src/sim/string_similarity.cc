@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,11 +13,11 @@ namespace xsm::sim {
 
 namespace {
 
-// Shared scratch row buffers would make the functions non-reentrant; sizes
-// here are short identifier names, so per-call vectors are fine.
+// Larger than any reachable cell value, small enough that +1 never wraps.
+constexpr int kInfDistance = 1 << 29;
 
 int EditDistanceImpl(std::string_view a, std::string_view b,
-                     bool transpositions) {
+                     bool transpositions, EditDistanceScratch* scratch) {
   const size_t la = a.size();
   const size_t lb = b.size();
   if (la == 0) return static_cast<int>(lb);
@@ -24,9 +25,16 @@ int EditDistanceImpl(std::string_view a, std::string_view b,
 
   // Three rolling rows: i-2, i-1, i (the i-2 row is needed only for the
   // transposition case).
-  std::vector<int> prev2(lb + 1);
-  std::vector<int> prev(lb + 1);
-  std::vector<int> cur(lb + 1);
+  EditDistanceScratch local;
+  EditDistanceScratch& s = scratch != nullptr ? *scratch : local;
+  if (s.prev2.size() < lb + 1) {
+    s.prev2.resize(lb + 1);
+    s.prev.resize(lb + 1);
+    s.cur.resize(lb + 1);
+  }
+  std::vector<int>& prev2 = s.prev2;
+  std::vector<int>& prev = s.prev;
+  std::vector<int>& cur = s.cur;
   for (size_t j = 0; j <= lb; ++j) prev[j] = static_cast<int>(j);
 
   for (size_t i = 1; i <= la; ++i) {
@@ -52,11 +60,80 @@ int EditDistanceImpl(std::string_view a, std::string_view b,
 }  // namespace
 
 int DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
-  return EditDistanceImpl(a, b, /*transpositions=*/true);
+  return EditDistanceImpl(a, b, /*transpositions=*/true, nullptr);
+}
+
+int DamerauLevenshteinDistance(std::string_view a, std::string_view b,
+                               EditDistanceScratch* scratch) {
+  return EditDistanceImpl(a, b, /*transpositions=*/true, scratch);
 }
 
 int LevenshteinDistance(std::string_view a, std::string_view b) {
-  return EditDistanceImpl(a, b, /*transpositions=*/false);
+  return EditDistanceImpl(a, b, /*transpositions=*/false, nullptr);
+}
+
+int BoundedDamerauLevenshteinDistance(std::string_view a, std::string_view b,
+                                      int max_dist,
+                                      EditDistanceScratch* scratch) {
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  // Every edit changes the length difference by at most 1, so the distance
+  // is at least |la - lb|.
+  const int diff = la > lb ? la - lb : lb - la;
+  if (diff > max_dist) return max_dist + 1;
+  if (la == 0 || lb == 0) {
+    const int d = la + lb;  // one side is empty
+    return d <= max_dist ? d : max_dist + 1;
+  }
+  if (max_dist == 0) return a == b ? 0 : 1;
+
+  EditDistanceScratch local;
+  EditDistanceScratch& s = scratch != nullptr ? *scratch : local;
+  const size_t width = static_cast<size_t>(lb) + 1;
+  if (s.prev2.size() < width) {
+    s.prev2.resize(width);
+    s.prev.resize(width);
+    s.cur.resize(width);
+  }
+  std::vector<int>& prev2 = s.prev2;
+  std::vector<int>& prev = s.prev;
+  std::vector<int>& cur = s.cur;
+
+  // Row 0, banded: cells with j > max_dist are unreachable within budget.
+  const int init_hi = std::min(lb, max_dist);
+  for (int j = 0; j <= init_hi; ++j) prev[j] = j;
+  if (init_hi < lb) prev[init_hi + 1] = kInfDistance;
+
+  int prev_row_min = 0;
+  for (int i = 1; i <= la; ++i) {
+    const int lo = std::max(1, i - max_dist);
+    const int hi = std::min(lb, i + max_dist);
+    cur[0] = i <= max_dist ? i : kInfDistance;
+    if (lo > 1) cur[lo - 1] = kInfDistance;
+    int row_min = kInfDistance;
+    for (int j = lo; j <= hi; ++j) {
+      int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      int best = std::min({prev[j] + 1,        // deletion (exclusion)
+                           cur[j - 1] + 1,     // insertion
+                           prev[j - 1] + cost  // substitution / match
+      });
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        best = std::min(best, prev2[j - 2] + 1);  // transposition
+      }
+      cur[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    if (hi < lb) cur[hi + 1] = kInfDistance;
+    // Early abandon: every cell of row i derives (with non-negative cost)
+    // from rows i-1 and i-2, so once two consecutive row minima exceed the
+    // budget no later cell can come back under it.
+    if (row_min > max_dist && prev_row_min > max_dist) return max_dist + 1;
+    prev_row_min = row_min;
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  const int d = prev[lb];
+  return d <= max_dist ? d : max_dist + 1;
 }
 
 double FuzzyStringSimilarity(std::string_view a, std::string_view b) {
@@ -71,6 +148,90 @@ double FuzzyStringSimilarityIgnoreCase(std::string_view a,
   std::string la = ToLower(a);
   std::string lb = ToLower(b);
   return FuzzyStringSimilarity(la, lb);
+}
+
+NameSignature NameSignature::Of(std::string_view lower) {
+  NameSignature sig;
+  for (char c : lower) {
+    size_t bucket;
+    if (c >= 'a' && c <= 'z') {
+      bucket = static_cast<size_t>(c - 'a');
+    } else if (c >= '0' && c <= '9') {
+      bucket = 26;
+    } else {
+      bucket = 27;
+    }
+    if (sig.counts[bucket] != 255) ++sig.counts[bucket];
+  }
+  return sig;
+}
+
+int NameSignature::BagDistance(const NameSignature& other) const {
+  int surplus = 0;
+  int deficit = 0;
+  for (size_t k = 0; k < kBuckets; ++k) {
+    const int d = static_cast<int>(counts[k]) -
+                  static_cast<int>(other.counts[k]);
+    if (d > 0) {
+      surplus += d;
+    } else {
+      deficit -= d;
+    }
+  }
+  return surplus > deficit ? surplus : deficit;
+}
+
+double FuzzyStringSimilarityWithThreshold(std::string_view a,
+                                          std::string_view b,
+                                          double threshold,
+                                          EditDistanceScratch* scratch) {
+  return FuzzyStringSimilarityWithThreshold(a, b, threshold, scratch,
+                                            nullptr, nullptr);
+}
+
+double FuzzyStringSimilarityWithThreshold(std::string_view a,
+                                          std::string_view b,
+                                          double threshold,
+                                          EditDistanceScratch* scratch,
+                                          const NameSignature* sig_a,
+                                          const NameSignature* sig_b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  if (a == b) return 1.0;  // distance 0: 1 - 0/norm is exactly 1.0
+  const double norm = static_cast<double>(longest);
+
+  // Length pre-filter: the distance is at least the length difference, and
+  // x/norm is monotone in x, so this upper bound is sound in floating point
+  // too. Most non-matching pairs exit here, before the admissible-distance
+  // derivation below.
+  const size_t diff = longest - std::min(a.size(), b.size());
+  if (1.0 - static_cast<double>(diff) / norm < threshold) return 0.0;
+
+  // Largest admissible distance: the biggest d with 1 - d/norm >= threshold.
+  // Found with the exact floating-point expression of the final similarity
+  // (not algebra on the inequality), so the pruned path qualifies precisely
+  // the pairs the full computation would.
+  int max_d = static_cast<int>((1.0 - threshold) * norm);
+  max_d = std::clamp(max_d, 0, static_cast<int>(longest));
+  while (max_d > 0 &&
+         1.0 - static_cast<double>(max_d) / norm < threshold) {
+    --max_d;
+  }
+  while (max_d < static_cast<int>(longest) &&
+         1.0 - static_cast<double>(max_d + 1) / norm >= threshold) {
+    ++max_d;
+  }
+
+  // Bag filter: the multiset lower bound kills most of the pairs that
+  // survive the length filter, for the price of one 28-bucket compare.
+  if (sig_a != nullptr && sig_b != nullptr &&
+      sig_a->BagDistance(*sig_b) > max_d) {
+    return 0.0;
+  }
+
+  const int d = BoundedDamerauLevenshteinDistance(a, b, max_d, scratch);
+  if (d > max_d) return 0.0;  // true similarity is < threshold
+  return 1.0 - static_cast<double>(d) / norm;
 }
 
 double JaroSimilarity(std::string_view a, std::string_view b) {
@@ -121,20 +282,94 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
   return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
 }
 
-double NgramDiceSimilarity(std::string_view a, std::string_view b, int n) {
+namespace {
+
+// The j-th character of `s` padded with one '^' in front and one '$' behind.
+inline char PaddedChar(std::string_view s, size_t j) {
+  if (j == 0) return '^';
+  if (j <= s.size()) return s[j - 1];
+  return '$';
+}
+
+// Packs the n-grams of the padded form of `s` into integer codes (one byte
+// per character) and sorts them; multiset gram counting then becomes a
+// linear merge over two small vectors instead of a hash map of substring
+// copies.
+template <typename Code>
+void PackSortedGrams(std::string_view s, int n, std::vector<Code>* out) {
+  const size_t padded = s.size() + 2;
+  const size_t count = padded - static_cast<size_t>(n) + 1;
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Code code = 0;
+    for (int k = 0; k < n; ++k) {
+      code = static_cast<Code>(code << 8) |
+             static_cast<unsigned char>(PaddedChar(s, i + static_cast<size_t>(k)));
+    }
+    out->push_back(code);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+// Size of the multiset intersection of two sorted code vectors.
+template <typename Code>
+size_t SortedSharedCount(const std::vector<Code>& a,
+                         const std::vector<Code>& b) {
+  size_t shared = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return shared;
+}
+
+template <typename Code>
+double NgramDicePacked(std::string_view a, std::string_view b, int n) {
+  std::vector<Code> grams_a;
+  std::vector<Code> grams_b;
+  PackSortedGrams(a, n, &grams_a);
+  PackSortedGrams(b, n, &grams_b);
+  size_t shared = SortedSharedCount(grams_a, grams_b);
+  return 2.0 * static_cast<double>(shared) /
+         static_cast<double>(grams_a.size() + grams_b.size());
+}
+
+}  // namespace
+
+double NgramDiceSimilarityPrelowered(std::string_view a, std::string_view b,
+                                     int n) {
   if (n < 1) n = 1;
-  std::string la = ToLower(a);
-  std::string lb = ToLower(b);
-  if (la == lb) return 1.0;
-  // Pad with one boundary marker on each side so short names still produce
-  // grams.
-  std::string pa = "^" + la + "$";
-  std::string pb = "^" + lb + "$";
-  if (pa.size() < static_cast<size_t>(n) ||
-      pb.size() < static_cast<size_t>(n)) {
+  if (a == b) return 1.0;
+  // One boundary marker pads each side so short names still produce grams.
+  if (a.size() + 2 < static_cast<size_t>(n) ||
+      b.size() + 2 < static_cast<size_t>(n)) {
     return 0.0;
   }
+  if (n <= 4) return NgramDicePacked<uint32_t>(a, b, n);
+  if (n <= 8) return NgramDicePacked<uint64_t>(a, b, n);
 
+  // Grams wider than 8 bytes don't pack into a machine word; count them the
+  // slow way (unused by the built-in matchers).
+  std::string pa;
+  pa.reserve(a.size() + 2);
+  pa.push_back('^');
+  pa.append(a);
+  pa.push_back('$');
+  std::string pb;
+  pb.reserve(b.size() + 2);
+  pb.push_back('^');
+  pb.append(b);
+  pb.push_back('$');
   std::unordered_map<std::string, int> grams;
   size_t count_a = pa.size() - static_cast<size_t>(n) + 1;
   for (size_t i = 0; i < count_a; ++i) {
@@ -151,6 +386,12 @@ double NgramDiceSimilarity(std::string_view a, std::string_view b, int n) {
   }
   return 2.0 * static_cast<double>(shared) /
          static_cast<double>(count_a + count_b);
+}
+
+double NgramDiceSimilarity(std::string_view a, std::string_view b, int n) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  return NgramDiceSimilarityPrelowered(la, lb, n);
 }
 
 }  // namespace xsm::sim

@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kIOError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -34,6 +34,7 @@
 #include "label/tree_index.h"            // IWYU pragma: export
 #include "match/element_matcher.h"       // IWYU pragma: export
 #include "match/element_matching.h"      // IWYU pragma: export
+#include "match/name_dictionary.h"       // IWYU pragma: export
 #include "objective/objective.h"         // IWYU pragma: export
 #include "query/xpath.h"                 // IWYU pragma: export
 #include "repo/loader.h"                 // IWYU pragma: export

@@ -1,0 +1,96 @@
+#include "match/name_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "repo/synthetic.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::match {
+namespace {
+
+using schema::NodeRef;
+using schema::SchemaForest;
+
+TEST(NameDictionaryTest, DeduplicatesAndIndexesEveryNode) {
+  SchemaForest f;
+  f.AddTree(*schema::ParseTreeSpec("book(title,@title,author(name))"));
+  f.AddTree(*schema::ParseTreeSpec("person(name,email)"));
+  NameDictionary dict = NameDictionary::Build(f);
+
+  EXPECT_EQ(dict.forest(), &f);
+  EXPECT_EQ(dict.total_nodes(), f.total_nodes());
+  // Distinct names: book, title (element + attribute), author, name,
+  // person, email.
+  EXPECT_EQ(dict.size(), 6u);
+
+  size_t title = dict.Find("title");
+  ASSERT_NE(title, NameDictionary::kNotFound);
+  EXPECT_EQ(dict.entry(title).element_nodes.size(), 1u);
+  EXPECT_EQ(dict.entry(title).attribute_nodes.size(), 1u);
+
+  size_t name = dict.Find("name");
+  ASSERT_NE(name, NameDictionary::kNotFound);
+  EXPECT_EQ(dict.entry(name).num_nodes(), 2u);  // one per tree
+  EXPECT_EQ(dict.Find("no-such-name"), NameDictionary::kNotFound);
+}
+
+TEST(NameDictionaryTest, CachesLowercaseForms) {
+  SchemaForest f;
+  f.AddTree(*schema::ParseTreeSpec("Order(CustomerName,ZIP)"));
+  NameDictionary dict = NameDictionary::Build(f);
+  size_t i = dict.Find("CustomerName");
+  ASSERT_NE(i, NameDictionary::kNotFound);
+  EXPECT_EQ(dict.entry(i).name, "CustomerName");
+  EXPECT_EQ(dict.entry(i).lower, "customername");
+  // Lookup is by raw spelling.
+  EXPECT_EQ(dict.Find("customername"), NameDictionary::kNotFound);
+}
+
+TEST(NameDictionaryTest, PostingListsSortedAndPartitionNodes) {
+  repo::SyntheticRepoOptions options;
+  options.target_elements = 1200;
+  options.seed = 17;
+  auto forest = repo::GenerateSyntheticRepository(options);
+  ASSERT_TRUE(forest.ok());
+  NameDictionary dict = NameDictionary::Build(*forest);
+
+  EXPECT_EQ(dict.total_nodes(), forest->total_nodes());
+  EXPECT_EQ(dict.size(), repo::ComputeStats(*forest).distinct_names);
+
+  size_t covered = 0;
+  std::unordered_set<NodeRef> seen;
+  for (const NameDictionary::Entry& entry : dict.entries()) {
+    EXPECT_GE(entry.num_nodes(), 1u);
+    EXPECT_TRUE(std::is_sorted(entry.element_nodes.begin(),
+                               entry.element_nodes.end()));
+    EXPECT_TRUE(std::is_sorted(entry.attribute_nodes.begin(),
+                               entry.attribute_nodes.end()));
+    NodeRef first = entry.element_nodes.empty()
+                        ? entry.attribute_nodes.front()
+                        : entry.element_nodes.front();
+    if (!entry.element_nodes.empty() && !entry.attribute_nodes.empty()) {
+      first = std::min(entry.element_nodes.front(),
+                       entry.attribute_nodes.front());
+    }
+    EXPECT_EQ(entry.representative, first);
+    for (NodeRef ref : entry.element_nodes) {
+      EXPECT_EQ(forest->props(ref).name, entry.name);
+      EXPECT_EQ(forest->props(ref).kind, schema::NodeKind::kElement);
+      EXPECT_TRUE(seen.insert(ref).second) << "node indexed twice";
+    }
+    for (NodeRef ref : entry.attribute_nodes) {
+      EXPECT_EQ(forest->props(ref).name, entry.name);
+      EXPECT_EQ(forest->props(ref).kind, schema::NodeKind::kAttribute);
+      EXPECT_TRUE(seen.insert(ref).second) << "node indexed twice";
+    }
+    covered += entry.num_nodes();
+  }
+  EXPECT_EQ(covered, forest->total_nodes());
+}
+
+}  // namespace
+}  // namespace xsm::match

@@ -294,6 +294,71 @@ TEST_F(MatchServiceTest, DelimiterNamesDoNotCollideInCacheKey) {
   EXPECT_NE(service->ClusterStateKey(a), service->ClusterStateKey(b));
 }
 
+TEST_F(MatchServiceTest, InjectsSnapshotDictionaryAndMatchingPool) {
+  MatchServiceOptions options;
+  options.matching_threads = 2;
+  auto service = MakeService(options);
+
+  // EffectiveOptions wires the snapshot's name dictionary and the dedicated
+  // matching pool into every query that didn't bring its own.
+  MatchQuery query = MakeQuery("plumbed", kSpecs[0]);
+  core::MatchOptions effective = service->EffectiveOptions(query);
+  EXPECT_EQ(effective.element.dictionary,
+            &service->snapshot().name_dictionary());
+  ASSERT_NE(effective.element.pool, nullptr);
+  EXPECT_EQ(effective.element.pool->num_threads(), 2u);
+
+  // The plumbing is result-neutral: byte-identical to the direct pipeline
+  // and to a serial-matching service, including through MatchBatch.
+  auto serial_service = MakeService();
+  std::vector<MatchQuery> queries;
+  for (size_t s = 0; s < kNumSpecs; ++s) {
+    queries.push_back(MakeQuery("plumb-" + std::to_string(s), kSpecs[s]));
+  }
+  auto parallel_results = service->MatchBatch(queries);
+  auto serial_results = serial_service->MatchBatch(queries);
+  ASSERT_EQ(parallel_results.size(), serial_results.size());
+  for (size_t i = 0; i < parallel_results.size(); ++i) {
+    ASSERT_TRUE(parallel_results[i].ok());
+    ASSERT_TRUE(serial_results[i].ok());
+    ExpectSameResults(*parallel_results[i], *serial_results[i]);
+    // Strip the injected plumbing for the direct run: the snapshot's
+    // dictionary indexes the snapshot's forest copy, not `forest_`, and a
+    // transient dictionary must give the same answer anyway.
+    core::MatchOptions direct_options = service->EffectiveOptions(queries[i]);
+    direct_options.element.dictionary = nullptr;
+    direct_options.element.pool = nullptr;
+    auto direct = direct_->Match(queries[i].personal, direct_options);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameResults(*parallel_results[i], *direct);
+  }
+}
+
+TEST_F(MatchServiceTest, QuerySuppliedElementControlCannotPoisonCache) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("ctl", kSpecs[0]);
+  core::ExecutionControl cancelled;
+  cancelled.cancel.Cancel();
+  query.options.element.control = &cancelled;
+  // The service strips the element-stage control: the cached build always
+  // completes, the query succeeds, and the cancelled control never reaches
+  // a build that other queries could share.
+  EXPECT_EQ(service->EffectiveOptions(query).element.control, nullptr);
+  auto result = service->Match(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kCompleted);
+  EXPECT_FALSE(result->mappings.empty());
+}
+
+TEST_F(MatchServiceTest, SnapshotDictionaryMatchesForest) {
+  auto service = MakeService();
+  const match::NameDictionary& dict = service->snapshot().name_dictionary();
+  EXPECT_EQ(dict.forest(), &service->snapshot().forest());
+  EXPECT_EQ(dict.total_nodes(), service->snapshot().total_nodes());
+  EXPECT_GT(dict.size(), 0u);
+  EXPECT_LE(dict.size(), dict.total_nodes());
+}
+
 TEST_F(MatchServiceTest, CreateValidatesForest) {
   schema::SchemaForest empty;
   auto service = MatchService::Create(std::move(empty));

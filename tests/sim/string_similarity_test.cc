@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <tuple>
+#include <unordered_map>
 
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace xsm::sim {
 namespace {
@@ -136,6 +139,184 @@ TEST(FuzzySimilarityTest, SchemaNamePairs) {
   EXPECT_GT(FuzzyStringSimilarityIgnoreCase("address", "addr"), 0.5);
   EXPECT_LT(FuzzyStringSimilarityIgnoreCase("email", "shelf"), 0.5);
   EXPECT_LT(FuzzyStringSimilarityIgnoreCase("address", "book"), 0.5);
+}
+
+TEST(BoundedEditDistanceTest, KnownValues) {
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("kitten", "sitting", 3), 3);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("kitten", "sitting", 2), 3);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("ab", "ba", 1), 1);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("ab", "ba", 0), 1);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("same", "same", 0), 0);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("", "abc", 3), 3);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("", "abc", 2), 3);
+  // Length difference alone exceeds the bound: pruned before any DP.
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("a", "abcdefgh", 3), 4);
+}
+
+// The property the engine's bit-identity rests on: whenever the bound
+// admits the true distance the banded DP returns it exactly, and whenever
+// it does not the result is pinned to max_dist + 1.
+TEST(BoundedEditDistanceTest, MatchesFullDPForEveryBound) {
+  Rng rng(271828);
+  const std::string alphabet = "abc";  // small alphabet: many near-misses
+  EditDistanceScratch scratch;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(13);
+    size_t lb = rng.Uniform(13);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(3)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(3)];
+    const int full = DamerauLevenshteinDistance(a, b);
+    for (int bound = 0; bound <= 14; ++bound) {
+      const int expected = full <= bound ? full : bound + 1;
+      EXPECT_EQ(BoundedDamerauLevenshteinDistance(a, b, bound, &scratch),
+                expected)
+          << a << " vs " << b << " bound " << bound;
+      // Null-scratch path agrees with the reused-scratch path.
+      EXPECT_EQ(BoundedDamerauLevenshteinDistance(a, b, bound), expected);
+    }
+  }
+}
+
+TEST(BoundedEditDistanceTest, TranspositionHeavyStrings) {
+  // Adjacent swaps are where OSA differs from plain Levenshtein; make sure
+  // the band keeps the i-2 row reachable.
+  EditDistanceScratch scratch;
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("abcdef", "badcfe", 3, &scratch),
+            3);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("abcdef", "badcfe", 2, &scratch),
+            3);
+  EXPECT_EQ(
+      BoundedDamerauLevenshteinDistance("authorname", "auhtormane", 4,
+                                        &scratch),
+      DamerauLevenshteinDistance("authorname", "auhtormane"));
+}
+
+TEST(FuzzySimilarityTest, ThresholdVariantQualifiesIdenticalPairs) {
+  Rng rng(31415);
+  const std::string alphabet = "abcdefg_";
+  EditDistanceScratch scratch;
+  const double thresholds[] = {0.0, 0.25, 0.5, 2.0 / 3.0, 0.75, 0.9, 1.0};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(14);
+    size_t lb = rng.Uniform(14);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(8)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(8)];
+    const double full = FuzzyStringSimilarity(a, b);
+    const NameSignature sig_a = NameSignature::Of(a);
+    const NameSignature sig_b = NameSignature::Of(b);
+    for (double threshold : thresholds) {
+      const double pruned =
+          FuzzyStringSimilarityWithThreshold(a, b, threshold, &scratch);
+      const double bag_pruned = FuzzyStringSimilarityWithThreshold(
+          a, b, threshold, &scratch, &sig_a, &sig_b);
+      if (full >= threshold) {
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(pruned, full) << a << "|" << b << " @ " << threshold;
+        EXPECT_EQ(bag_pruned, full) << a << "|" << b << " @ " << threshold;
+      } else {
+        EXPECT_LT(pruned, threshold) << a << "|" << b << " @ " << threshold;
+        EXPECT_LT(bag_pruned, threshold)
+            << a << "|" << b << " @ " << threshold;
+      }
+    }
+  }
+}
+
+TEST(NameSignatureTest, BagDistanceLowerBoundsEditDistance) {
+  Rng rng(8128);
+  const std::string alphabet = "abcd0_";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(12);
+    size_t lb = rng.Uniform(12);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(6)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(6)];
+    const int bag = NameSignature::Of(a).BagDistance(NameSignature::Of(b));
+    EXPECT_LE(bag, DamerauLevenshteinDistance(a, b)) << a << "|" << b;
+    EXPECT_LE(bag, LevenshteinDistance(a, b)) << a << "|" << b;
+  }
+  // Symmetric, zero on identity, counts digits and punctuation in shared
+  // buckets (both map to one bucket each).
+  EXPECT_EQ(NameSignature::Of("name").BagDistance(NameSignature::Of("name")),
+            0);
+  EXPECT_EQ(NameSignature::Of("ab12").BagDistance(NameSignature::Of("ab34")),
+            0);  // digit bucket is class-level, not per-digit
+  EXPECT_EQ(NameSignature::Of("abc").BagDistance(NameSignature::Of("xyz")),
+            3);
+}
+
+// Reference n-gram Dice: the pre-packing implementation (hash map of
+// substring copies), kept here as the oracle for the packed version.
+double NgramDiceReference(std::string_view a, std::string_view b, int n) {
+  if (n < 1) n = 1;
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la == lb) return 1.0;
+  std::string pa = "^" + la + "$";
+  std::string pb = "^" + lb + "$";
+  if (pa.size() < static_cast<size_t>(n) ||
+      pb.size() < static_cast<size_t>(n)) {
+    return 0.0;
+  }
+  std::unordered_map<std::string, int> grams;
+  size_t count_a = pa.size() - static_cast<size_t>(n) + 1;
+  for (size_t i = 0; i < count_a; ++i) {
+    ++grams[pa.substr(i, static_cast<size_t>(n))];
+  }
+  size_t count_b = pb.size() - static_cast<size_t>(n) + 1;
+  size_t shared = 0;
+  for (size_t i = 0; i < count_b; ++i) {
+    auto it = grams.find(pb.substr(i, static_cast<size_t>(n)));
+    if (it != grams.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return 2.0 * static_cast<double>(shared) /
+         static_cast<double>(count_a + count_b);
+}
+
+TEST(NgramTest, PackedGramsMatchReferenceImplementation) {
+  Rng rng(1618);
+  const std::string alphabet = "abcXYZ_-09";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(12);
+    size_t lb = rng.Uniform(12);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(10)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(10)];
+    // n <= 4 takes the uint32 path, 5..8 the uint64 path, > 8 the fallback.
+    for (int n : {1, 2, 3, 4, 5, 8, 9}) {
+      EXPECT_DOUBLE_EQ(NgramDiceSimilarity(a, b, n),
+                       NgramDiceReference(a, b, n))
+          << a << "|" << b << " n=" << n;
+    }
+  }
+}
+
+TEST(NgramTest, PreloweredMatchesLoweringPath) {
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarityPrelowered("authorname", "authorname"),
+                   NgramDiceSimilarity("AuthorName", "authorname"));
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarityPrelowered("night", "nacht"),
+                   NgramDiceSimilarity("night", "nacht"));
+}
+
+TEST(EditDistanceTest, ScratchReuseAcrossDifferentLengths) {
+  EditDistanceScratch scratch;
+  // Grow, shrink, grow: stale cells from longer strings must never leak.
+  EXPECT_EQ(DamerauLevenshteinDistance("abcdefghij", "abcdefghij", &scratch),
+            0);
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba", &scratch), 1);
+  EXPECT_EQ(DamerauLevenshteinDistance("kitten", "sitting", &scratch), 3);
+  EXPECT_EQ(BoundedDamerauLevenshteinDistance("short", "shirt", 2, &scratch),
+            1);
+  EXPECT_EQ(DamerauLevenshteinDistance("a", "b", &scratch), 1);
 }
 
 TEST(EditDistanceTest, TriangleInequalityOnSamples) {
