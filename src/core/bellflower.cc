@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <functional>
 
 #include "core/match_observer.h"
@@ -15,6 +16,12 @@ using schema::NodeRef;
 Bellflower::Bellflower(const schema::SchemaForest* repository)
     : repository_(repository) {
   index_ = label::ForestIndex::Build(*repository);
+}
+
+Bellflower::Bellflower(const schema::SchemaForest* repository,
+                       label::ForestIndex index)
+    : repository_(repository), index_(std::move(index)) {
+  assert(index_.num_trees() == repository_->num_trees());
 }
 
 double Bellflower::ResolveK(const objective::ObjectiveParams& params) const {

@@ -207,6 +207,13 @@ class Bellflower {
  public:
   explicit Bellflower(const schema::SchemaForest* repository);
 
+  /// Adopts a prebuilt index over `repository` instead of building one —
+  /// the copy-on-write path: service::RepositorySnapshot::CreateSuccessor
+  /// labels only the trees a delta touched (ForestIndex::BuildIncremental)
+  /// and hands the result here. `index` must describe exactly `repository`.
+  Bellflower(const schema::SchemaForest* repository,
+             label::ForestIndex index);
+
   const schema::SchemaForest& repository() const { return *repository_; }
   const label::ForestIndex& index() const { return index_; }
 

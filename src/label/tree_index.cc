@@ -145,10 +145,38 @@ ForestIndex ForestIndex::Build(const schema::SchemaForest& forest) {
   fi.indexes_.reserve(forest.num_trees());
   for (schema::TreeId t = 0;
        t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
-    fi.indexes_.push_back(TreeIndex::Build(forest.tree(t)));
+    fi.indexes_.push_back(
+        std::make_shared<const TreeIndex>(TreeIndex::Build(forest.tree(t))));
     fi.max_diameter_ =
-        std::max(fi.max_diameter_, fi.indexes_.back().diameter());
+        std::max(fi.max_diameter_, fi.indexes_.back()->diameter());
   }
+  return fi;
+}
+
+ForestIndex ForestIndex::BuildIncremental(
+    const schema::SchemaForest& forest, const ForestIndex& previous,
+    const std::vector<schema::TreeId>& reuse_map, IncrementalStats* stats) {
+  assert(reuse_map.size() == forest.num_trees());
+  ForestIndex fi;
+  fi.indexes_.reserve(forest.num_trees());
+  IncrementalStats local;
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    schema::TreeId prev = reuse_map[static_cast<size_t>(t)];
+    if (prev >= 0 &&
+        static_cast<size_t>(prev) < previous.num_trees() &&
+        previous.tree(prev).num_nodes() == forest.tree(t).size()) {
+      fi.indexes_.push_back(previous.tree_ptr(prev));
+      ++local.trees_reused;
+    } else {
+      fi.indexes_.push_back(
+          std::make_shared<const TreeIndex>(TreeIndex::Build(forest.tree(t))));
+      ++local.trees_rebuilt;
+    }
+    fi.max_diameter_ =
+        std::max(fi.max_diameter_, fi.indexes_.back()->diameter());
+  }
+  if (stats != nullptr) *stats = local;
   return fi;
 }
 

@@ -10,6 +10,7 @@
 #define XSM_LABEL_TREE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "schema/schema_forest.h"
@@ -70,13 +71,39 @@ class TreeIndex {
 /// Per-tree indexes for a whole forest, plus forest-level aggregates.
 /// Distances across trees are "infinite": the clustering and the generator
 /// never combine nodes of different trees.
+///
+/// Tree indexes are held as shared_ptr<const TreeIndex>, so an index built
+/// incrementally for a successor forest shares the untouched trees' labeling
+/// structures with its predecessor instead of rebuilding them.
 class ForestIndex {
  public:
+  /// How much of an incremental build was actually reused.
+  struct IncrementalStats {
+    size_t trees_reused = 0;   ///< TreeIndex shared from the previous index
+    size_t trees_rebuilt = 0;  ///< TreeIndex::Build actually ran
+  };
+
   ForestIndex() = default;
 
   static ForestIndex Build(const schema::SchemaForest& forest);
 
+  /// Builds the index for `forest` reusing `previous` where possible:
+  /// `reuse_map[t]` names the tree of the previous forest that new tree `t`
+  /// is (the identical frozen payload), or -1 when `t` is new or changed
+  /// and must be labeled from scratch. The result is equivalent to
+  /// Build(forest); only the work differs. `stats` (may be null) reports
+  /// the reuse split.
+  static ForestIndex BuildIncremental(
+      const schema::SchemaForest& forest, const ForestIndex& previous,
+      const std::vector<schema::TreeId>& reuse_map,
+      IncrementalStats* stats = nullptr);
+
   const TreeIndex& tree(schema::TreeId id) const {
+    return *indexes_[static_cast<size_t>(id)];
+  }
+  /// Shared handle of one tree's index (identity across generations is
+  /// observable through pointer equality).
+  const std::shared_ptr<const TreeIndex>& tree_ptr(schema::TreeId id) const {
     return indexes_[static_cast<size_t>(id)];
   }
   size_t num_trees() const { return indexes_.size(); }
@@ -95,7 +122,7 @@ class ForestIndex {
   int max_diameter() const { return max_diameter_; }
 
  private:
-  std::vector<TreeIndex> indexes_;
+  std::vector<std::shared_ptr<const TreeIndex>> indexes_;
   int max_diameter_ = 0;
 };
 

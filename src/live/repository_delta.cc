@@ -1,0 +1,147 @@
+#include "live/repository_delta.h"
+
+#include <utility>
+
+namespace xsm::live {
+
+void DeltaBuilder::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+bool DeltaBuilder::CheckOp(
+    const std::shared_ptr<const schema::SchemaTree>& tree,
+    schema::TreeId target, bool needs_tree) {
+  if (!status_.ok()) return false;
+  if (needs_tree) {
+    if (tree == nullptr || tree->empty()) {
+      Fail(Status::InvalidArgument("delta tree must be non-empty"));
+      return false;
+    }
+    Status valid = tree->Validate();
+    if (!valid.ok()) {
+      Fail(std::move(valid));
+      return false;
+    }
+  }
+  if (target >= 0) {
+    if (!targets_.insert(target).second) {
+      Fail(Status::InvalidArgument(
+          "delta already has an operation for tree " +
+          std::to_string(target)));
+      return false;
+    }
+  }
+  return true;
+}
+
+DeltaBuilder& DeltaBuilder::AddTree(schema::SchemaTree tree,
+                                    std::string source) {
+  return AddTree(std::make_shared<const schema::SchemaTree>(std::move(tree)),
+                 std::move(source));
+}
+
+DeltaBuilder& DeltaBuilder::AddTree(
+    std::shared_ptr<const schema::SchemaTree> tree, std::string source) {
+  if (!CheckOp(tree, -1, /*needs_tree=*/true)) return *this;
+  ops_.push_back(DeltaOp{DeltaOpKind::kAdd, -1, std::move(tree),
+                         std::move(source)});
+  return *this;
+}
+
+DeltaBuilder& DeltaBuilder::ReplaceTree(schema::TreeId target,
+                                        schema::SchemaTree tree,
+                                        std::string source) {
+  return ReplaceTree(
+      target, std::make_shared<const schema::SchemaTree>(std::move(tree)),
+      std::move(source));
+}
+
+DeltaBuilder& DeltaBuilder::ReplaceTree(
+    schema::TreeId target, std::shared_ptr<const schema::SchemaTree> tree,
+    std::string source) {
+  if (target < 0) {
+    Fail(Status::InvalidArgument("replace target must be a valid TreeId"));
+    return *this;
+  }
+  if (!CheckOp(tree, target, /*needs_tree=*/true)) return *this;
+  ops_.push_back(DeltaOp{DeltaOpKind::kReplace, target, std::move(tree),
+                         std::move(source)});
+  return *this;
+}
+
+DeltaBuilder& DeltaBuilder::RemoveTree(schema::TreeId target) {
+  if (target < 0) {
+    Fail(Status::InvalidArgument("remove target must be a valid TreeId"));
+    return *this;
+  }
+  if (!CheckOp(nullptr, target, /*needs_tree=*/false)) return *this;
+  ops_.push_back(DeltaOp{DeltaOpKind::kRemove, target, nullptr, ""});
+  return *this;
+}
+
+Result<RepositoryDelta> DeltaBuilder::Build() {
+  if (consumed_) {
+    return Status::FailedPrecondition("DeltaBuilder already consumed");
+  }
+  consumed_ = true;
+  XSM_RETURN_NOT_OK(status_);
+  if (ops_.empty()) {
+    return Status::InvalidArgument("delta has no operations");
+  }
+  RepositoryDelta delta;
+  delta.ops_ = std::move(ops_);
+  for (const DeltaOp& op : delta.ops_) {
+    switch (op.kind) {
+      case DeltaOpKind::kAdd:
+        ++delta.num_adds_;
+        break;
+      case DeltaOpKind::kReplace:
+        ++delta.num_replaces_;
+        break;
+      case DeltaOpKind::kRemove:
+        ++delta.num_removes_;
+        break;
+    }
+  }
+  return delta;
+}
+
+Result<AppliedDelta> ApplyDeltaToForest(const schema::SchemaForest& base,
+                                        const RepositoryDelta& delta) {
+  const schema::TreeId num_base =
+      static_cast<schema::TreeId>(base.num_trees());
+  // Per-base-tree plan: untouched trees carry over, replaced trees swap
+  // their payload in place, removed trees drop out.
+  std::vector<const DeltaOp*> plan(static_cast<size_t>(num_base), nullptr);
+  for (const DeltaOp& op : delta.ops()) {
+    if (op.kind == DeltaOpKind::kAdd) continue;
+    if (op.target >= num_base) {
+      return Status::InvalidArgument(
+          "delta targets tree " + std::to_string(op.target) +
+          " but the repository has " + std::to_string(num_base) + " trees");
+    }
+    plan[static_cast<size_t>(op.target)] = &op;
+  }
+
+  AppliedDelta applied;
+  for (schema::TreeId t = 0; t < num_base; ++t) {
+    const DeltaOp* op = plan[static_cast<size_t>(t)];
+    if (op == nullptr) {
+      applied.forest.AddTree(base.tree_ptr(t), base.source(t));
+      applied.reuse_map.push_back(t);
+      ++applied.trees_reused;
+    } else if (op->kind == DeltaOpKind::kReplace) {
+      applied.forest.AddTree(op->tree, op->source);
+      applied.reuse_map.push_back(-1);
+    }
+    // kRemove: the tree simply does not carry over.
+  }
+  for (const DeltaOp& op : delta.ops()) {
+    if (op.kind != DeltaOpKind::kAdd) continue;
+    applied.forest.AddTree(op.tree, op.source);
+    applied.reuse_map.push_back(-1);
+  }
+  return applied;
+}
+
+}  // namespace xsm::live

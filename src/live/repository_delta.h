@@ -1,0 +1,138 @@
+// RepositoryDelta: one validated, batched unit of repository change —
+// trees to add, replace, or retire — applied copy-on-write by
+// live::RepositoryManager to produce the next repository generation.
+//
+// The paper's reclustering experiments (Fig. 4/5) measure how much
+// clustering work survives repository change; this is the API that makes
+// such change expressible at serving time. A delta is built through
+// DeltaBuilder, which validates every tree and rejects conflicting
+// operations up front, so an invalid delta can never reach publication.
+//
+// Addressing: ReplaceTree / RemoveTree target TreeIds *of the base
+// generation* the delta is applied to. After application the surviving
+// trees are renumbered compactly (removals close their gaps, replacements
+// keep their slot, additions append in op order), and the returned reuse
+// map records where every new tree came from.
+#ifndef XSM_LIVE_REPOSITORY_DELTA_H_
+#define XSM_LIVE_REPOSITORY_DELTA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+#include "util/status.h"
+
+namespace xsm::live {
+
+enum class DeltaOpKind {
+  kAdd = 0,      ///< append a new tree
+  kReplace = 1,  ///< swap the payload of an existing tree, keeping its slot
+  kRemove = 2,   ///< retire an existing tree (later ids shift down)
+};
+
+/// One operation of a delta. `tree` is shared (never copied again) so the
+/// applied forest and any retained delta alias one frozen payload.
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kAdd;
+  /// Target tree of the *base* generation; unused for kAdd.
+  schema::TreeId target = -1;
+  /// Payload for kAdd / kReplace; null for kRemove.
+  std::shared_ptr<const schema::SchemaTree> tree;
+  /// Provenance recorded in the forest (file path, feed name, ...).
+  std::string source;
+};
+
+/// An immutable, validated batch of operations. Obtain via DeltaBuilder.
+class RepositoryDelta {
+ public:
+  const std::vector<DeltaOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+  size_t num_adds() const { return num_adds_; }
+  size_t num_replaces() const { return num_replaces_; }
+  size_t num_removes() const { return num_removes_; }
+
+  /// Trees the delta touches (replace + remove targets plus additions) —
+  /// the upper bound on rebuild work a copy-on-write apply may do.
+  size_t num_touched() const { return ops_.size(); }
+
+ private:
+  friend class DeltaBuilder;
+  RepositoryDelta() = default;
+
+  std::vector<DeltaOp> ops_;
+  size_t num_adds_ = 0;
+  size_t num_replaces_ = 0;
+  size_t num_removes_ = 0;
+};
+
+/// Accumulates operations, validating as it goes; Build() yields the
+/// immutable delta or the first error encountered. One builder produces
+/// one delta.
+///
+/// Validation performed here (target-range checks happen at apply time,
+/// against the generation the delta actually lands on):
+///   - added/replacement trees must be non-empty and structurally valid
+///   - at most one operation may target a given base tree
+///   - a delta must contain at least one operation
+class DeltaBuilder {
+ public:
+  DeltaBuilder() = default;
+
+  DeltaBuilder& AddTree(schema::SchemaTree tree, std::string source = "");
+  DeltaBuilder& AddTree(std::shared_ptr<const schema::SchemaTree> tree,
+                        std::string source = "");
+  DeltaBuilder& ReplaceTree(schema::TreeId target, schema::SchemaTree tree,
+                            std::string source = "");
+  DeltaBuilder& ReplaceTree(schema::TreeId target,
+                            std::shared_ptr<const schema::SchemaTree> tree,
+                            std::string source = "");
+  DeltaBuilder& RemoveTree(schema::TreeId target);
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  /// First validation error so far (callers may check early; Build
+  /// returns it too).
+  const Status& status() const { return status_; }
+
+  /// Finalizes the batch. The builder is consumed either way.
+  Result<RepositoryDelta> Build();
+
+ private:
+  /// Records the first error; later operations are ignored once failed.
+  void Fail(Status status);
+  /// Validates a payload tree and the uniqueness of `target` (-1 = add).
+  bool CheckOp(const std::shared_ptr<const schema::SchemaTree>& tree,
+               schema::TreeId target, bool needs_tree);
+
+  std::vector<DeltaOp> ops_;
+  /// Duplicate-target detection; a set so whole-repository deltas (e.g.
+  /// the CLI's !reload, one remove per tree) stay linear.
+  std::unordered_set<schema::TreeId> targets_;
+  Status status_ = Status::OK();
+  bool consumed_ = false;
+};
+
+/// Result of applying a delta to one forest.
+struct AppliedDelta {
+  schema::SchemaForest forest;
+  /// reuse_map[new_tree] = base tree it shares its payload with, or -1 for
+  /// added/replaced trees — exactly the shape ForestIndex::BuildIncremental
+  /// and NameDictionary::BuildIncremental consume.
+  std::vector<schema::TreeId> reuse_map;
+  size_t trees_reused = 0;
+};
+
+/// Applies `delta` to `base`, sharing every untouched tree's payload
+/// (copy-on-write: no SchemaTree is copied, ever). Fails with
+/// InvalidArgument if a replace/remove target is out of range for `base`;
+/// `base` is never modified.
+Result<AppliedDelta> ApplyDeltaToForest(const schema::SchemaForest& base,
+                                        const RepositoryDelta& delta);
+
+}  // namespace xsm::live
+
+#endif  // XSM_LIVE_REPOSITORY_DELTA_H_

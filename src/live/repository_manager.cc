@@ -1,0 +1,56 @@
+#include "live/repository_manager.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace xsm::live {
+
+Result<std::unique_ptr<RepositoryManager>> RepositoryManager::Create(
+    schema::SchemaForest initial) {
+  XSM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const service::RepositorySnapshot> snapshot,
+      service::RepositorySnapshot::Create(std::move(initial)));
+  return std::make_unique<RepositoryManager>(std::move(snapshot));
+}
+
+RepositoryManager::RepositoryManager(
+    std::shared_ptr<const service::RepositorySnapshot> initial)
+    : current_(std::move(initial)) {}
+
+Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  // Writers are serialized, so the snapshot read here is the one the
+  // successor chains from — readers may fetch it concurrently, which is
+  // fine: it is immutable either way.
+  std::shared_ptr<const service::RepositorySnapshot> base =
+      current_.load(std::memory_order_acquire);
+
+  Timer timer;
+  XSM_ASSIGN_OR_RETURN(AppliedDelta applied,
+                       ApplyDeltaToForest(base->forest(), delta));
+  XSM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const service::RepositorySnapshot> successor,
+      service::RepositorySnapshot::CreateSuccessor(
+          base, std::move(applied.forest), applied.reuse_map));
+
+  ApplyReport report;
+  report.generation = successor->generation();
+  report.fingerprint = successor->fingerprint();
+  report.trees_total = successor->num_trees();
+  const service::RepositorySnapshot::BuildStats& stats =
+      successor->build_stats();
+  report.trees_reused = stats.trees_reused;
+  report.trees_rebuilt = stats.trees_rebuilt;
+  report.name_entries_copied = stats.name_entries_copied;
+  report.name_entries_computed = stats.name_entries_computed;
+  report.build_seconds = timer.ElapsedSeconds();
+  report.snapshot = successor;
+
+  // The swap is the publication: new readers see the successor, in-flight
+  // readers keep the base until they drop their shared_ptr.
+  current_.store(std::move(successor), std::memory_order_release);
+  return report;
+}
+
+}  // namespace xsm::live

@@ -1,12 +1,32 @@
 #include "match/name_dictionary.h"
 
+#include <cassert>
+
 #include "util/string_util.h"
 
 namespace xsm::match {
 
+void NameDictionary::IndexNode(schema::NodeRef ref, size_t entry_index,
+                               schema::NodeKind kind) {
+  Entry& entry = entries_[entry_index];
+  if (kind == schema::NodeKind::kAttribute) {
+    entry.attribute_nodes.push_back(ref);
+  } else {
+    entry.element_nodes.push_back(ref);
+  }
+  entry_of_node_[static_cast<size_t>(ref.tree)][static_cast<size_t>(
+      ref.node)] = static_cast<uint32_t>(entry_index);
+  ++total_nodes_;
+}
+
 NameDictionary NameDictionary::Build(const schema::SchemaForest& forest) {
   NameDictionary dict;
   dict.forest_ = &forest;
+  dict.entry_of_node_.reserve(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    dict.entry_of_node_.emplace_back(forest.tree(t).size());
+  }
   forest.ForEachNode([&dict, &forest](schema::NodeRef ref) {
     const schema::NodeProperties& props = forest.props(ref);
     auto [it, inserted] =
@@ -19,14 +39,95 @@ NameDictionary NameDictionary::Build(const schema::SchemaForest& forest) {
       entry.representative = ref;
       dict.entries_.push_back(std::move(entry));
     }
-    Entry& entry = dict.entries_[it->second];
-    if (props.kind == schema::NodeKind::kAttribute) {
-      entry.attribute_nodes.push_back(ref);
-    } else {
-      entry.element_nodes.push_back(ref);
-    }
-    ++dict.total_nodes_;
+    dict.IndexNode(ref, it->second, props.kind);
   });
+  return dict;
+}
+
+NameDictionary NameDictionary::BuildIncremental(
+    const schema::SchemaForest& forest, const NameDictionary& previous,
+    const std::vector<schema::TreeId>& reuse_map, IncrementalStats* stats) {
+  assert(reuse_map.size() == forest.num_trees());
+  NameDictionary dict;
+  dict.forest_ = &forest;
+  dict.entry_of_node_.reserve(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    dict.entry_of_node_.emplace_back(forest.tree(t).size());
+  }
+  IncrementalStats local;
+  // Lazily resolved previous-entry → new-entry translation: one hash lookup
+  // per distinct carried-over name, then O(1) for every further node.
+  std::vector<size_t> remap(previous.size(), kNotFound);
+
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    const schema::SchemaTree& tree = forest.tree(t);
+    schema::TreeId prev_tree = reuse_map[static_cast<size_t>(t)];
+    const bool reuse =
+        prev_tree >= 0 &&
+        static_cast<size_t>(prev_tree) < previous.entry_of_node_.size() &&
+        previous.entry_of_node_[static_cast<size_t>(prev_tree)].size() ==
+            tree.size();
+    if (reuse) {
+      ++local.trees_reused;
+      for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(tree.size());
+           ++n) {
+        schema::NodeRef ref{t, n};
+        size_t prev_entry =
+            previous.EntryOf(schema::NodeRef{prev_tree, n});
+        size_t entry_index = remap[prev_entry];
+        if (entry_index == kNotFound) {
+          const Entry& old = previous.entry(prev_entry);
+          auto [it, inserted] =
+              dict.index_.try_emplace(old.name, dict.entries_.size());
+          if (inserted) {
+            Entry entry;
+            entry.name = old.name;
+            entry.lower = old.lower;          // copied, not re-folded
+            entry.signature = old.signature;  // copied, not recomputed
+            entry.representative = ref;
+            dict.entries_.push_back(std::move(entry));
+            ++local.entries_copied;
+          }
+          entry_index = it->second;
+          remap[prev_entry] = entry_index;
+        }
+        dict.IndexNode(ref, entry_index, tree.props(n).kind);
+      }
+    } else {
+      ++local.trees_rebuilt;
+      for (schema::NodeId n = 0; n < static_cast<schema::NodeId>(tree.size());
+           ++n) {
+        const schema::NodeProperties& props = tree.props(n);
+        schema::NodeRef ref{t, n};
+        auto [it, inserted] =
+            dict.index_.try_emplace(props.name, dict.entries_.size());
+        if (inserted) {
+          // The name may still be known to the previous dictionary (a
+          // changed tree mostly carries old vocabulary): copy its fold and
+          // signature instead of recomputing.
+          size_t prev_entry = previous.Find(props.name);
+          Entry entry;
+          entry.name = props.name;
+          if (prev_entry != kNotFound) {
+            const Entry& old = previous.entry(prev_entry);
+            entry.lower = old.lower;
+            entry.signature = old.signature;
+            ++local.entries_copied;
+          } else {
+            entry.lower = ToLower(props.name);
+            entry.signature = sim::NameSignature::Of(entry.lower);
+            ++local.entries_computed;
+          }
+          entry.representative = ref;
+          dict.entries_.push_back(std::move(entry));
+        }
+        dict.IndexNode(ref, it->second, props.kind);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
   return dict;
 }
 

@@ -16,6 +16,7 @@
 #define XSM_MATCH_NAME_DICTIONARY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -50,12 +51,35 @@ class NameDictionary {
 
   static constexpr size_t kNotFound = static_cast<size_t>(-1);
 
+  /// How much of an incremental build reused the previous dictionary's
+  /// per-name state (the case-folds and signatures — the compute-heavy
+  /// part) instead of recomputing it.
+  struct IncrementalStats {
+    size_t trees_reused = 0;    ///< trees taken through the no-hash path
+    size_t trees_rebuilt = 0;   ///< trees indexed from scratch
+    size_t entries_copied = 0;  ///< entry metadata copied from `previous`
+    size_t entries_computed = 0;  ///< ToLower + signature actually ran
+  };
+
   NameDictionary() = default;
 
   /// One pass over the forest; entries are created in first-appearance
   /// order, posting lists come out sorted because ForEachNode iterates in
   /// NodeRef order.
   static NameDictionary Build(const schema::SchemaForest& forest);
+
+  /// Builds the dictionary for `forest` reusing `previous` where possible:
+  /// `reuse_map[t]` names the previous forest's tree that new tree `t` is
+  /// (the identical frozen payload), or -1 for a new/changed tree. Reused
+  /// trees never hash or re-fold a name — their nodes resolve through the
+  /// previous dictionary's per-node entry table — and entry metadata
+  /// (case-fold, signature) is copied, not recomputed, for every name
+  /// already known. The result is equal to Build(forest) member for member;
+  /// only the work differs. `stats` (may be null) reports the reuse split.
+  static NameDictionary BuildIncremental(
+      const schema::SchemaForest& forest, const NameDictionary& previous,
+      const std::vector<schema::TreeId>& reuse_map,
+      IncrementalStats* stats = nullptr);
 
   /// The forest this dictionary was built over (identity, by address). The
   /// engine rejects a dictionary whose forest is not the one being matched.
@@ -73,6 +97,15 @@ class NameDictionary {
   /// Entry index of `name`, or kNotFound.
   size_t Find(std::string_view name) const;
 
+  /// Entry index of the name carried by `ref` (O(1) array read; `ref` must
+  /// be a valid node of the dictionary's forest). This is the per-node
+  /// table that lets an incremental successor build skip hashing for
+  /// unchanged trees.
+  size_t EntryOf(schema::NodeRef ref) const {
+    return entry_of_node_[static_cast<size_t>(ref.tree)]
+                         [static_cast<size_t>(ref.node)];
+  }
+
  private:
   struct TransparentHash {
     using is_transparent = void;
@@ -81,10 +114,16 @@ class NameDictionary {
     }
   };
 
+  /// Indexes ref.node's entry for one tree; appended by both build paths.
+  void IndexNode(schema::NodeRef ref, size_t entry_index,
+                 schema::NodeKind kind);
+
   const schema::SchemaForest* forest_ = nullptr;
   std::vector<Entry> entries_;
   std::unordered_map<std::string, size_t, TransparentHash, std::equal_to<>>
       index_;
+  /// entry_of_node_[tree][node] = entry index of that node's name.
+  std::vector<std::vector<uint32_t>> entry_of_node_;
   size_t total_nodes_ = 0;
 };
 

@@ -3,7 +3,13 @@
 namespace xsm::schema {
 
 TreeId SchemaForest::AddTree(SchemaTree tree, std::string source) {
-  total_nodes_ += tree.size();
+  return AddTree(std::make_shared<const SchemaTree>(std::move(tree)),
+                 std::move(source));
+}
+
+TreeId SchemaForest::AddTree(std::shared_ptr<const SchemaTree> tree,
+                             std::string source) {
+  total_nodes_ += tree->size();
   trees_.push_back(std::move(tree));
   sources_.push_back(std::move(source));
   return static_cast<TreeId>(trees_.size() - 1);
@@ -12,7 +18,7 @@ TreeId SchemaForest::AddTree(SchemaTree tree, std::string source) {
 void SchemaForest::ForEachNode(
     const std::function<void(NodeRef)>& fn) const {
   for (TreeId t = 0; t < static_cast<TreeId>(trees_.size()); ++t) {
-    const SchemaTree& tr = trees_[static_cast<size_t>(t)];
+    const SchemaTree& tr = *trees_[static_cast<size_t>(t)];
     for (NodeId n = 0; n < static_cast<NodeId>(tr.size()); ++n) {
       fn(NodeRef{t, n});
     }
@@ -20,8 +26,8 @@ void SchemaForest::ForEachNode(
 }
 
 Status SchemaForest::Validate() const {
-  for (const SchemaTree& t : trees_) {
-    XSM_RETURN_NOT_OK(t.Validate());
+  for (const std::shared_ptr<const SchemaTree>& t : trees_) {
+    XSM_RETURN_NOT_OK(t->Validate());
   }
   return Status::OK();
 }

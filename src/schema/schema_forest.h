@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,14 +37,31 @@ struct NodeRef {
 
 /// Repository of schema trees with per-tree provenance (source name) and
 /// aggregate statistics.
+///
+/// Trees are held as shared_ptr<const SchemaTree> and never mutated after
+/// AddTree, so two forests may share tree payloads: live::RepositoryManager
+/// builds each generation's forest by re-adding the previous generation's
+/// tree pointers (copy-on-write — only touched trees get new payloads).
 class SchemaForest {
  public:
   /// Adds a tree; `source` records where it came from (file path or
   /// generator tag). Returns its TreeId.
   TreeId AddTree(SchemaTree tree, std::string source = "");
 
+  /// Adds an already-shared tree without copying its payload — the
+  /// copy-on-write path. `tree` must be non-null; it is frozen by contract
+  /// (no caller may mutate it afterwards).
+  TreeId AddTree(std::shared_ptr<const SchemaTree> tree,
+                 std::string source = "");
+
   size_t num_trees() const { return trees_.size(); }
   const SchemaTree& tree(TreeId id) const {
+    return *trees_[static_cast<size_t>(id)];
+  }
+  /// The shared handle of a tree, for building a successor forest that
+  /// shares this tree's payload. Pointer equality across forests certifies
+  /// that two trees are the same frozen object.
+  const std::shared_ptr<const SchemaTree>& tree_ptr(TreeId id) const {
     return trees_[static_cast<size_t>(id)];
   }
   const std::string& source(TreeId id) const {
@@ -69,7 +87,7 @@ class SchemaForest {
   Status Validate() const;
 
  private:
-  std::vector<SchemaTree> trees_;
+  std::vector<std::shared_ptr<const SchemaTree>> trees_;
   std::vector<std::string> sources_;
   size_t total_nodes_ = 0;
 };

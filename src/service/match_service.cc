@@ -86,18 +86,25 @@ Result<std::unique_ptr<MatchService>> MatchService::Create(
 
 MatchService::MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
                            const MatchServiceOptions& options)
-    : snapshot_(std::move(snapshot)),
+    : manager_(std::make_unique<live::RepositoryManager>(std::move(snapshot))),
       options_(options),
-      cache_(options.cluster_cache_capacity),
       pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                      : options.num_threads) {
   if (options.matching_threads > 0) {
     matching_pool_ = std::make_unique<ThreadPool>(options.matching_threads);
   }
+  // Materialize the initial generation's cache namespace so the first
+  // queries don't race to create it.
+  CacheFor(manager_->Current()->fingerprint(), /*enforce_retention=*/true);
 }
 
 core::MatchOptions MatchService::EffectiveOptions(
     const MatchQuery& query) const {
+  return EffectiveOptionsFor(query, *manager_->Current());
+}
+
+core::MatchOptions MatchService::EffectiveOptionsFor(
+    const MatchQuery& query, const RepositorySnapshot& snapshot) const {
   core::MatchOptions effective = query.options;
   const bool randomized =
       effective.clustering == core::ClusteringMode::kKMeans &&
@@ -109,7 +116,7 @@ core::MatchOptions MatchService::EffectiveOptions(
   // engine is bit-identical with or without them), so the cluster-state key
   // ignores them and cached states stay shareable across configurations.
   if (effective.element.dictionary == nullptr) {
-    effective.element.dictionary = &snapshot_->name_dictionary();
+    effective.element.dictionary = &snapshot.name_dictionary();
   }
   if (effective.element.pool == nullptr && matching_pool_ != nullptr) {
     effective.element.pool = matching_pool_.get();
@@ -159,8 +166,15 @@ Result<core::MatchResult> MatchService::Match(const MatchQuery& query) {
 Result<core::MatchResult> MatchService::Match(
     const MatchQuery& query, const core::ExecutionControl& control,
     core::MatchObserver* observer) {
+  return MatchOnSnapshot(manager_->Current(), query, control, observer);
+}
+
+Result<core::MatchResult> MatchService::MatchOnSnapshot(
+    const std::shared_ptr<const RepositorySnapshot>& snapshot,
+    const MatchQuery& query, const core::ExecutionControl& control,
+    core::MatchObserver* observer) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  core::MatchOptions effective = EffectiveOptions(query);
+  core::MatchOptions effective = EffectiveOptionsFor(query, *snapshot);
   // Reject invalid generation options up front (mirroring Bellflower::Match)
   // so a bad query cannot pay for — or cache — a cluster-state build.
   XSM_RETURN_NOT_OK(effective.objective.Validate());
@@ -173,13 +187,19 @@ Result<core::MatchResult> MatchService::Match(
   core::ExecutionMonitor pre(resolved);
   if (pre.ShouldStop()) {
     core::MatchResult result;
-    result.stats.repository_nodes = snapshot_->forest().total_nodes();
-    result.stats.repository_trees = snapshot_->forest().num_trees();
+    result.stats.repository_nodes = snapshot->forest().total_nodes();
+    result.stats.repository_trees = snapshot->forest().num_trees();
     result.execution = pre.status();
     CountTerminal(result.execution);
     if (observer != nullptr) observer->OnFinish(result);
     return result;
   }
+
+  // The cache namespace is the snapshot's fingerprint: a state built for
+  // one repository content can only ever serve that content, whatever
+  // generations come and go while this query runs.
+  std::shared_ptr<ClusterIndexCache> cache =
+      CacheFor(snapshot->fingerprint());
 
   // The factory deliberately ignores `resolved`: a cluster-state build that
   // starts always completes, so the cache only ever holds fully built
@@ -188,10 +208,10 @@ Result<core::MatchResult> MatchService::Match(
   // top of the generation phase, so an expired query still stops promptly.
   core::ClusterStateOptions state_options =
       core::ClusterStateOptions::From(effective);
-  const core::Bellflower& matcher = snapshot_->matcher();
+  const core::Bellflower& matcher = snapshot->matcher();
   XSM_ASSIGN_OR_RETURN(
       ClusterStatePtr state,
-      cache_.GetOrCompute(
+      cache->GetOrCompute(
           BuildClusterStateKey(query.personal, state_options), [&]() {
             return matcher.BuildClusterState(query.personal, state_options);
           }));
@@ -212,23 +232,36 @@ MatchHandle MatchService::SubmitMatch(MatchQuery query,
                                       core::MatchObserver* observer) {
   // Resolve the default deadline now: time spent queued counts against it.
   control = ResolveControl(std::move(control));
+  // Pin the snapshot at submission, not execution: the caller reasoned
+  // about the repository that existed when it submitted, so a delta landing
+  // while the query waits in the pool queue must not retarget it.
+  std::shared_ptr<const RepositorySnapshot> snapshot = manager_->Current();
   MatchHandle handle;
   handle.token_ = control.cancel;
-  handle.future_ = pool_.Submit([this, query = std::move(query),
-                                 control = std::move(control), observer]() {
-    return Match(query, control, observer);
-  });
+  handle.future_ =
+      pool_.Submit([this, snapshot = std::move(snapshot),
+                    query = std::move(query), control = std::move(control),
+                    observer]() {
+        return MatchOnSnapshot(snapshot, query, control, observer);
+      });
   return handle;
 }
 
 std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
     std::vector<MatchQuery> queries) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+  // One pin for the whole batch: all members run against the same
+  // generation, so the result set is internally consistent even when
+  // deltas land mid-batch.
+  std::shared_ptr<const RepositorySnapshot> snapshot = manager_->Current();
   std::vector<std::future<Result<core::MatchResult>>> futures;
   futures.reserve(queries.size());
   for (MatchQuery& query : queries) {
-    futures.push_back(pool_.Submit(
-        [this, query = std::move(query)]() { return Match(query); }));
+    futures.push_back(
+        pool_.Submit([this, snapshot, query = std::move(query)]() {
+          return MatchOnSnapshot(snapshot, query, core::ExecutionControl(),
+                                 nullptr);
+        }));
   }
   std::vector<Result<core::MatchResult>> results;
   results.reserve(futures.size());
@@ -236,6 +269,80 @@ std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
     results.push_back(future.get());
   }
   return results;
+}
+
+Result<live::ApplyReport> MatchService::ApplyDelta(
+    const live::RepositoryDelta& delta) {
+  // One critical section across publication *and* cache registration:
+  // the manager serializes concurrent Apply calls on its own, but without
+  // this lock two ApplyDelta callers could register their namespaces in
+  // the opposite order, leaving a superseded generation in the
+  // most-recently-published slot and trimming the current one.
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  XSM_ASSIGN_OR_RETURN(live::ApplyReport report, manager_->Apply(delta));
+  deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  // Materialize (or revive) the new generation's cache namespace and let
+  // the retention policy retire the oldest ones.
+  CacheFor(report.fingerprint, /*enforce_retention=*/true);
+  return report;
+}
+
+std::shared_ptr<ClusterIndexCache> MatchService::CacheFor(
+    uint64_t fingerprint, bool enforce_retention) {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  // `caches_` is ordered by publication recency (most recent last), and
+  // only publication sites reorder: a query touch must not let a stale
+  // straggler's namespace outrank — and later outlive — a recently
+  // published generation's warm cache.
+  std::shared_ptr<ClusterIndexCache> cache;
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i].fingerprint != fingerprint) continue;
+    cache = caches_[i].cache;
+    if (enforce_retention && i + 1 != caches_.size()) {
+      // Re-published (e.g. a delta restored this content): move to back.
+      CacheNamespace ns = std::move(caches_[i]);
+      caches_.erase(caches_.begin() + static_cast<ptrdiff_t>(i));
+      caches_.push_back(std::move(ns));
+    }
+    break;
+  }
+  if (cache == nullptr) {
+    CacheNamespace ns;
+    ns.fingerprint = fingerprint;
+    ns.cache =
+        std::make_shared<ClusterIndexCache>(options_.cluster_cache_capacity);
+    cache = ns.cache;
+    if (enforce_retention) {
+      caches_.push_back(std::move(ns));
+    } else {
+      // Query-path creation (a query pinned to an already-retired
+      // generation): least-retained position, first to be trimmed.
+      caches_.insert(caches_.begin(), std::move(ns));
+    }
+  }
+  if (enforce_retention) {
+    const size_t limit = 1 + options_.cache_retained_generations;
+    while (caches_.size() > limit) {
+      // Retire the least recently used namespace, keeping its counters
+      // (and counting its resident states as evictions) so stats() stays
+      // cumulative. The namespace just touched sits at the back, so the
+      // one being published is never the one retired.
+      ClusterIndexCache::Stats dropped = caches_.front().cache->stats();
+      retired_cache_stats_.hits += dropped.hits;
+      retired_cache_stats_.shared += dropped.shared;
+      retired_cache_stats_.misses += dropped.misses;
+      retired_cache_stats_.evictions += dropped.evictions + dropped.entries;
+      caches_.erase(caches_.begin());
+    }
+  }
+  return cache;
+}
+
+void MatchService::ClearCache() {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  for (CacheNamespace& ns : caches_) {
+    ns.cache->Clear();
+  }
 }
 
 void MatchService::CountTerminal(core::ExecutionStatus status) {
@@ -261,7 +368,19 @@ ServiceStats MatchService::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.early_stopped = early_stopped_.load(std::memory_order_relaxed);
-  s.cache = cache_.stats();
+  s.generation = manager_->CurrentGeneration();
+  s.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  s.cache_namespaces = caches_.size();
+  s.cache = retired_cache_stats_;
+  for (const CacheNamespace& ns : caches_) {
+    ClusterIndexCache::Stats live = ns.cache->stats();
+    s.cache.hits += live.hits;
+    s.cache.shared += live.shared;
+    s.cache.misses += live.misses;
+    s.cache.evictions += live.evictions;
+    s.cache.entries += live.entries;
+  }
   return s;
 }
 

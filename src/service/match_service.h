@@ -19,11 +19,28 @@
 //   auto partial = handle.Get();                          // mappings so far
 //   auto results = (*service)->MatchBatch(queries);       // parallel batch
 //
+//   live::DeltaBuilder builder;                           // evolve the repo
+//   builder.AddTree(*schema::ParseTreeSpec("invoice(total,customer)"));
+//   auto report = (*service)->ApplyDelta(*builder.Build());
+//   // report->generation, report->trees_reused, ... ; queries submitted
+//   // from now on run against the new generation.
+//
 // Streaming (anytime) execution: MatchStreaming runs a query under an
 // ExecutionControl (cancellation, deadline, stop-after-N) and reports every
 // mapping to a MatchObserver the moment it is found; see
 // core/match_observer.h. MatchServiceOptions::default_deadline_seconds
 // bounds every query that doesn't bring its own deadline.
+//
+// Evolving repositories: the service fronts a live::RepositoryManager, so
+// the repository can change while queries are being served. ApplyDelta
+// publishes the next generation atomically; every query is pinned to the
+// snapshot that was current when it entered (Match) or was submitted
+// (SubmitMatch / MatchBatch) and finishes against it — a swap mid-flight
+// never changes, tears, or aborts a running query. Cluster caches are
+// namespaced by snapshot fingerprint, so a stale cluster state can never
+// serve a different repository content; a bounded number of recent
+// fingerprints' caches is retained (cache_retained_generations) to keep
+// pinned in-flight queries warm across small deltas.
 #ifndef XSM_SERVICE_MATCH_SERVICE_H_
 #define XSM_SERVICE_MATCH_SERVICE_H_
 
@@ -31,12 +48,15 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/bellflower.h"
 #include "core/execution_control.h"
 #include "core/match_observer.h"
+#include "live/repository_delta.h"
+#include "live/repository_manager.h"
 #include "schema/schema_forest.h"
 #include "schema/schema_tree.h"
 #include "service/cluster_index_cache.h"
@@ -68,9 +88,16 @@ struct MatchServiceOptions {
   /// waiting on their own workers. 0 scores serially on the query's thread
   /// — the right default when the main pool already saturates the machine.
   size_t matching_threads = 0;
-  /// Capacity of the cluster-state cache in entries (distinct
+  /// Capacity of each cluster-state cache namespace in entries (distinct
   /// (personal schema, clustering options) keys); 0 disables caching.
   size_t cluster_cache_capacity = 64;
+  /// Cluster caches are namespaced by snapshot fingerprint (repository
+  /// content), so ApplyDelta can never let a stale cluster state serve a
+  /// changed repository. This many *non-current* fingerprints' caches are
+  /// retained alongside the current one: queries pinned to a recent
+  /// generation stay warm across small deltas, and a delta that restores
+  /// earlier content (equal fingerprint) gets its warm cache back.
+  size_t cache_retained_generations = 1;
   /// Base seed mixed with query ids by SeedForQuery.
   uint64_t base_seed = 42;
   /// When a query's clustering consumes randomness (CentroidInit::kRandom /
@@ -96,6 +123,13 @@ struct ServiceStats {
   uint64_t cancelled = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t early_stopped = 0;
+  // Evolving-repository state.
+  uint64_t generation = 0;       ///< current repository generation
+  uint64_t deltas_applied = 0;   ///< successful ApplyDelta calls
+  size_t cache_namespaces = 0;   ///< retained per-fingerprint caches
+  /// Cluster-cache counters aggregated over every namespace this service
+  /// ever held (dropped namespaces' counters are folded in, and their
+  /// resident entries at drop time count as evictions).
   ClusterIndexCache::Stats cache;
 };
 
@@ -176,47 +210,111 @@ class MatchService {
                           core::MatchObserver* observer = nullptr);
 
   /// Executes all queries on the pool and returns their results in input
-  /// order. Blocks until the whole batch is done. Call from outside the
-  /// pool (a batch inside a pool task would wait on its own workers).
+  /// order. The whole batch is pinned to one snapshot — the generation
+  /// current at the call — so its results are mutually consistent even
+  /// when deltas land mid-batch. Blocks until the batch is done. Call from
+  /// outside the pool (a batch inside a pool task would wait on its own
+  /// workers).
   std::vector<Result<core::MatchResult>> MatchBatch(
       std::vector<MatchQuery> queries);
 
-  const RepositorySnapshot& snapshot() const { return *snapshot_; }
+  /// Applies a validated delta to the repository and atomically publishes
+  /// the successor generation. In-flight queries finish against their
+  /// pinned snapshot; queries entering after this returns see the new one.
+  /// Serialized with concurrent ApplyDelta calls; on error nothing
+  /// changes.
+  Result<live::ApplyReport> ApplyDelta(const live::RepositoryDelta& delta);
+
+  /// Generation number of the current snapshot (0 until the first delta).
+  uint64_t CurrentGeneration() const { return manager_->CurrentGeneration(); }
+
+  /// The current snapshot. Hold the returned shared_ptr while touching the
+  /// forest/dictionary it exposes — a concurrent ApplyDelta retires the
+  /// snapshot once the last holder lets go.
+  std::shared_ptr<const RepositorySnapshot> CurrentSnapshot() const {
+    return manager_->Current();
+  }
+
   const MatchServiceOptions& options() const { return options_; }
   ThreadPool& pool() { return pool_; }
   ServiceStats stats() const;
 
-  /// Drops every cached cluster state (measurement / repository tuning).
-  void ClearCache() { cache_.Clear(); }
+  /// Drops every cached cluster state in every retained namespace
+  /// (measurement / repository tuning).
+  void ClearCache();
 
-  /// The options Match() actually runs for `query` after per-query seed
-  /// derivation and element-matching plumbing injection (the snapshot's
-  /// name dictionary, plus the matching pool when configured — unless the
-  /// query brought its own). Exposed for tests and tools.
+  /// The options Match() actually runs for `query` against the *current*
+  /// snapshot, after per-query seed derivation and element-matching
+  /// plumbing injection (the snapshot's name dictionary, plus the matching
+  /// pool when configured — unless the query brought its own). Exposed for
+  /// tests and tools. Lifetime: the injected dictionary points into the
+  /// snapshot current at this call — hold CurrentSnapshot() across any use
+  /// of the returned options, or a concurrent ApplyDelta may retire it.
   core::MatchOptions EffectiveOptions(const MatchQuery& query) const;
 
   /// The cluster-cache key for `query`: a canonical fingerprint of its
-  /// personal schema and state-determining options. Exposed for tests.
+  /// personal schema and state-determining options. Stable across
+  /// generations — cross-generation isolation comes from the namespace,
+  /// not the key. Exposed for tests.
   std::string ClusterStateKey(const MatchQuery& query) const;
 
  private:
+  /// Per-fingerprint cluster-cache namespace, kept in LRU order.
+  struct CacheNamespace {
+    uint64_t fingerprint = 0;
+    std::shared_ptr<ClusterIndexCache> cache;
+  };
+
   /// Fills in the service default deadline when `control` has none.
   core::ExecutionControl ResolveControl(core::ExecutionControl control) const;
 
   /// Bumps the terminal-status counter for one finished query.
   void CountTerminal(core::ExecutionStatus status);
 
-  std::shared_ptr<const RepositorySnapshot> snapshot_;
+  /// EffectiveOptions against an explicit snapshot (the query's pin).
+  core::MatchOptions EffectiveOptionsFor(
+      const MatchQuery& query, const RepositorySnapshot& snapshot) const;
+
+  /// The whole query path, against one pinned snapshot.
+  Result<core::MatchResult> MatchOnSnapshot(
+      const std::shared_ptr<const RepositorySnapshot>& snapshot,
+      const MatchQuery& query, const core::ExecutionControl& control,
+      core::MatchObserver* observer);
+
+  /// The cache namespace for `fingerprint` (created if absent). Never
+  /// returns null. Publication sites (constructor, ApplyDelta) pass
+  /// `enforce_retention`: they move the namespace to the
+  /// most-recently-published position and trim the oldest beyond the
+  /// retention limit. The query path does neither, so a long-queued query
+  /// pinned to an already-retired generation can neither evict a recent
+  /// generation's warm cache nor promote its own stray namespace above
+  /// one — strays sit at the least-retained position and are swept up by
+  /// the next delta.
+  std::shared_ptr<ClusterIndexCache> CacheFor(uint64_t fingerprint,
+                                              bool enforce_retention = false);
+
+  std::unique_ptr<live::RepositoryManager> manager_;
   MatchServiceOptions options_;
-  ClusterIndexCache cache_;
+  /// Serializes ApplyDelta end to end (publication + cache registration),
+  /// so `caches_` publication order always matches generation order.
+  std::mutex apply_mu_;
   ThreadPool pool_;
   /// Element-matching shard pool; null when matching_threads == 0.
   std::unique_ptr<ThreadPool> matching_pool_;
+
+  mutable std::mutex caches_mu_;
+  /// Most recently *published* last (query touches never reorder);
+  /// bounded by 1 + cache_retained_generations at publication sites.
+  std::vector<CacheNamespace> caches_;
+  /// Counters folded in from dropped namespaces, so stats() is cumulative.
+  ClusterIndexCache::Stats retired_cache_stats_;
+
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> early_stopped_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
 };
 
 }  // namespace xsm::service

@@ -2,13 +2,21 @@
 // schema forest plus the structural index and matcher built over it, created
 // once at load time and shared by every query. This is the service layer's
 // unit of repository state: queries hold a shared_ptr<const ...> to the
-// snapshot they run against, so a future repository reload can swap in a new
-// snapshot without disturbing in-flight queries.
+// snapshot they run against, so a repository swap (live::RepositoryManager
+// publishing a delta) never disturbs in-flight queries.
+//
+// Snapshots form generation chains: CreateSuccessor builds generation g+1
+// from generation g by copy-on-write — trees the delta did not touch share
+// their SchemaTree payload, TreeIndex labeling and NameDictionary per-name
+// state with the predecessor; only touched trees are rebuilt. A successor
+// is member-for-member equal to a snapshot built from scratch on the same
+// forest (the live equivalence suite enforces this).
 #ifndef XSM_SERVICE_REPOSITORY_SNAPSHOT_H_
 #define XSM_SERVICE_REPOSITORY_SNAPSHOT_H_
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/bellflower.h"
 #include "label/tree_index.h"
@@ -18,15 +26,36 @@
 
 namespace xsm::service {
 
-/// Immutable repository + index + matcher. Never mutated after Create, so a
-/// const reference may be used from any number of threads concurrently.
+/// Immutable repository + index + matcher. Never mutated after creation, so
+/// a const reference may be used from any number of threads concurrently.
 class RepositorySnapshot {
  public:
+  /// How a snapshot came to be: what CreateSuccessor reused versus rebuilt
+  /// (a from-scratch Create reports everything as rebuilt/computed).
+  struct BuildStats {
+    size_t trees_reused = 0;      ///< index + dictionary state shared
+    size_t trees_rebuilt = 0;     ///< labeled and indexed from scratch
+    size_t name_entries_copied = 0;    ///< folds/signatures carried over
+    size_t name_entries_computed = 0;  ///< folds/signatures computed anew
+  };
+
   /// Validates and freezes `forest`, building the forest index once.
   /// Heap-allocates the snapshot so the matcher's internal pointer into the
-  /// forest stays valid for the snapshot's whole life.
+  /// forest stays valid for the snapshot's whole life. The snapshot is
+  /// generation 0 of a fresh chain.
   static Result<std::shared_ptr<const RepositorySnapshot>> Create(
       schema::SchemaForest forest);
+
+  /// Builds the next generation from `previous` by copy-on-write.
+  /// `reuse_map[t]` names the tree of `previous` that new tree `t` is —
+  /// certified by shared-payload pointer equality, which is rejected with
+  /// InvalidArgument when violated — or -1 for an added/replaced tree.
+  /// Shared trees reuse the predecessor's TreeIndex, NameDictionary state
+  /// and per-tree fingerprint; only the rest is built.
+  static Result<std::shared_ptr<const RepositorySnapshot>> CreateSuccessor(
+      const std::shared_ptr<const RepositorySnapshot>& previous,
+      schema::SchemaForest forest,
+      const std::vector<schema::TreeId>& reuse_map);
 
   RepositorySnapshot(const RepositorySnapshot&) = delete;
   RepositorySnapshot& operator=(const RepositorySnapshot&) = delete;
@@ -41,17 +70,45 @@ class RepositorySnapshot {
   size_t num_trees() const { return forest_.num_trees(); }
   size_t total_nodes() const { return forest_.total_nodes(); }
 
+  /// Position in the snapshot chain: 0 for Create, predecessor + 1 for
+  /// CreateSuccessor. Identifies "which repository state" in logs and
+  /// service stats; cache correctness keys on fingerprint(), not on this.
+  uint64_t generation() const { return generation_; }
+
   /// Content hash over every tree's structure and node properties;
-  /// identifies the snapshot in logs and namespaces persisted cache keys.
+  /// identifies the repository *content* (two snapshots with equal
+  /// fingerprints hold equal forests, whatever their generations) and
+  /// namespaces the service's cluster caches.
   uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Content hash of one tree (independent of its TreeId, so a tree keeps
+  /// its fingerprint when removals renumber it).
+  uint64_t tree_fingerprint(schema::TreeId id) const {
+    return tree_fingerprints_[static_cast<size_t>(id)];
+  }
+
+  /// What this snapshot's construction reused versus rebuilt.
+  const BuildStats& build_stats() const { return build_stats_; }
 
  private:
   explicit RepositorySnapshot(schema::SchemaForest forest);
 
+  /// Successor path: adopts the incrementally built index/dictionary.
+  RepositorySnapshot(schema::SchemaForest forest,
+                     const RepositorySnapshot& previous,
+                     const std::vector<schema::TreeId>& reuse_map);
+
+  /// Combines the per-tree fingerprints (already filled in) into the
+  /// forest-level fingerprint.
+  void FinishFingerprint();
+
   schema::SchemaForest forest_;
   std::unique_ptr<core::Bellflower> matcher_;
   match::NameDictionary name_dict_;
+  uint64_t generation_ = 0;
   uint64_t fingerprint_ = 0;
+  std::vector<uint64_t> tree_fingerprints_;
+  BuildStats build_stats_;
 };
 
 }  // namespace xsm::service

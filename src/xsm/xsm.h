@@ -32,6 +32,8 @@
 #include "generate/mapping_generator.h"  // IWYU pragma: export
 #include "generate/schema_mapping.h"     // IWYU pragma: export
 #include "label/tree_index.h"            // IWYU pragma: export
+#include "live/repository_delta.h"       // IWYU pragma: export
+#include "live/repository_manager.h"     // IWYU pragma: export
 #include "match/element_matcher.h"       // IWYU pragma: export
 #include "match/element_matching.h"      // IWYU pragma: export
 #include "match/name_dictionary.h"       // IWYU pragma: export

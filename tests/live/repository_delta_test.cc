@@ -1,0 +1,172 @@
+#include "live/repository_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::live {
+namespace {
+
+schema::SchemaTree Tree(const char* spec) {
+  auto tree = schema::ParseTreeSpec(spec);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+schema::SchemaForest BaseForest() {
+  schema::SchemaForest forest;
+  forest.AddTree(Tree("book(title,author)"), "book.xsd");
+  forest.AddTree(Tree("person(name,phone)"), "person.xsd");
+  forest.AddTree(Tree("order(item(price),customer)"), "order.xsd");
+  return forest;
+}
+
+TEST(DeltaBuilderTest, BuildsValidatedBatch) {
+  DeltaBuilder builder;
+  builder.AddTree(Tree("invoice(total)"), "feed")
+      .ReplaceTree(1, Tree("person(name,email)"))
+      .RemoveTree(2);
+  ASSERT_TRUE(builder.status().ok());
+  auto delta = builder.Build();
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->size(), 3u);
+  EXPECT_EQ(delta->num_adds(), 1u);
+  EXPECT_EQ(delta->num_replaces(), 1u);
+  EXPECT_EQ(delta->num_removes(), 1u);
+}
+
+TEST(DeltaBuilderTest, RejectsEmptyDelta) {
+  DeltaBuilder builder;
+  auto delta = builder.Build();
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaBuilderTest, RejectsEmptyTree) {
+  DeltaBuilder builder;
+  builder.AddTree(schema::SchemaTree());
+  auto delta = builder.Build();
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaBuilderTest, RejectsNullSharedTree) {
+  DeltaBuilder builder;
+  builder.AddTree(std::shared_ptr<const schema::SchemaTree>());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DeltaBuilderTest, RejectsDuplicateTargets) {
+  {
+    DeltaBuilder builder;
+    builder.ReplaceTree(1, Tree("a(b)")).RemoveTree(1);
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  {
+    DeltaBuilder builder;
+    builder.RemoveTree(0).RemoveTree(0);
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  // Distinct targets are fine.
+  {
+    DeltaBuilder builder;
+    builder.RemoveTree(0).RemoveTree(1);
+    EXPECT_TRUE(builder.Build().ok());
+  }
+}
+
+TEST(DeltaBuilderTest, RejectsNegativeTargets) {
+  DeltaBuilder builder;
+  builder.RemoveTree(-1);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DeltaBuilderTest, BuildConsumesBuilder) {
+  DeltaBuilder builder;
+  builder.RemoveTree(0);
+  ASSERT_TRUE(builder.Build().ok());
+  auto second = builder.Build();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ApplyDeltaTest, AddAppendsAndSharesExistingTrees) {
+  schema::SchemaForest base = BaseForest();
+  DeltaBuilder builder;
+  builder.AddTree(Tree("invoice(total,customer)"), "invoice.xsd");
+  auto delta = builder.Build();
+  ASSERT_TRUE(delta.ok());
+
+  auto applied = ApplyDeltaToForest(base, *delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->forest.num_trees(), 4u);
+  EXPECT_EQ(applied->trees_reused, 3u);
+  ASSERT_EQ(applied->reuse_map.size(), 4u);
+  EXPECT_EQ(applied->reuse_map[0], 0);
+  EXPECT_EQ(applied->reuse_map[1], 1);
+  EXPECT_EQ(applied->reuse_map[2], 2);
+  EXPECT_EQ(applied->reuse_map[3], -1);
+  // Copy-on-write: untouched payloads are the very same objects.
+  for (schema::TreeId t = 0; t < 3; ++t) {
+    EXPECT_EQ(applied->forest.tree_ptr(t), base.tree_ptr(t)) << t;
+  }
+  EXPECT_EQ(applied->forest.source(3), "invoice.xsd");
+  EXPECT_EQ(applied->forest.tree(3).name(0), "invoice");
+  // The base forest is untouched.
+  EXPECT_EQ(base.num_trees(), 3u);
+}
+
+TEST(ApplyDeltaTest, ReplaceKeepsSlotRemoveCompacts) {
+  schema::SchemaForest base = BaseForest();
+  DeltaBuilder builder;
+  builder.ReplaceTree(0, Tree("book(title,author,@isbn)"), "book2.xsd")
+      .RemoveTree(1);
+  auto delta = builder.Build();
+  ASSERT_TRUE(delta.ok());
+
+  auto applied = ApplyDeltaToForest(base, *delta);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied->forest.num_trees(), 2u);
+  EXPECT_EQ(applied->forest.tree(0).size(), 4u);  // the replacement
+  EXPECT_EQ(applied->forest.source(0), "book2.xsd");
+  EXPECT_EQ(applied->forest.tree(1).name(0), "order");  // shifted down
+  EXPECT_EQ(applied->forest.tree_ptr(1), base.tree_ptr(2));
+  ASSERT_EQ(applied->reuse_map.size(), 2u);
+  EXPECT_EQ(applied->reuse_map[0], -1);
+  EXPECT_EQ(applied->reuse_map[1], 2);
+  EXPECT_EQ(applied->trees_reused, 1u);
+  EXPECT_EQ(applied->forest.total_nodes(),
+            base.total_nodes() + 1 /*@isbn*/ - 3 /*person tree*/);
+}
+
+TEST(ApplyDeltaTest, RejectsOutOfRangeTarget) {
+  schema::SchemaForest base = BaseForest();
+  DeltaBuilder builder;
+  builder.RemoveTree(3);
+  auto delta = builder.Build();
+  ASSERT_TRUE(delta.ok());  // range is checked at apply time, per ISSUE
+  auto applied = ApplyDeltaToForest(base, *delta);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApplyDeltaTest, RemoveEveryTreeThenAddYieldsFreshRepository) {
+  schema::SchemaForest base = BaseForest();
+  DeltaBuilder builder;
+  builder.RemoveTree(0).RemoveTree(1).RemoveTree(2);
+  builder.AddTree(Tree("catalog(entry)"));
+  auto delta = builder.Build();
+  ASSERT_TRUE(delta.ok());
+  auto applied = ApplyDeltaToForest(base, *delta);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied->forest.num_trees(), 1u);
+  EXPECT_EQ(applied->forest.tree(0).name(0), "catalog");
+  EXPECT_EQ(applied->trees_reused, 0u);
+  EXPECT_EQ(applied->reuse_map[0], -1);
+}
+
+}  // namespace
+}  // namespace xsm::live

@@ -304,7 +304,7 @@ TEST_F(MatchServiceTest, InjectsSnapshotDictionaryAndMatchingPool) {
   MatchQuery query = MakeQuery("plumbed", kSpecs[0]);
   core::MatchOptions effective = service->EffectiveOptions(query);
   EXPECT_EQ(effective.element.dictionary,
-            &service->snapshot().name_dictionary());
+            &service->CurrentSnapshot()->name_dictionary());
   ASSERT_NE(effective.element.pool, nullptr);
   EXPECT_EQ(effective.element.pool->num_threads(), 2u);
 
@@ -352,9 +352,11 @@ TEST_F(MatchServiceTest, QuerySuppliedElementControlCannotPoisonCache) {
 
 TEST_F(MatchServiceTest, SnapshotDictionaryMatchesForest) {
   auto service = MakeService();
-  const match::NameDictionary& dict = service->snapshot().name_dictionary();
-  EXPECT_EQ(dict.forest(), &service->snapshot().forest());
-  EXPECT_EQ(dict.total_nodes(), service->snapshot().total_nodes());
+  std::shared_ptr<const RepositorySnapshot> snapshot =
+      service->CurrentSnapshot();
+  const match::NameDictionary& dict = snapshot->name_dictionary();
+  EXPECT_EQ(dict.forest(), &snapshot->forest());
+  EXPECT_EQ(dict.total_nodes(), snapshot->total_nodes());
   EXPECT_GT(dict.size(), 0u);
   EXPECT_LE(dict.size(), dict.total_nodes());
 }
@@ -367,6 +369,199 @@ TEST_F(MatchServiceTest, CreateValidatesForest) {
   auto result = (*service)->Match(query);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->mappings.empty());
+}
+
+// --- Evolving repositories (live::ApplyDelta through the service). --------
+
+TEST_F(MatchServiceTest, ApplyDeltaPublishesNewGeneration) {
+  auto service = MakeService();
+  EXPECT_EQ(service->CurrentGeneration(), 0u);
+  const uint64_t fp0 = service->CurrentSnapshot()->fingerprint();
+
+  // A tree hand-tailored to dominate one query's result.
+  live::DeltaBuilder builder;
+  builder.AddTree(*schema::ParseTreeSpec("name(address,email)"),
+                  "feed:exact");
+  auto report = service->ApplyDelta(*builder.Build());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->generation, 1u);
+  EXPECT_EQ(service->CurrentGeneration(), 1u);
+  EXPECT_NE(service->CurrentSnapshot()->fingerprint(), fp0);
+
+  // New queries see the ingested tree: an exact-match mapping at Δ = 1.
+  // Baseline clustering, so the tiny 3-node tree cannot be dropped by
+  // k-means cluster-size heuristics — this asserts visibility, not
+  // clustering behaviour.
+  MatchQuery query = MakeQuery("after-delta", kSpecs[0]);
+  query.options.clustering = core::ClusteringMode::kTreeClusters;
+  auto result = service->Match(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->mappings.empty());
+  EXPECT_EQ(result->mappings[0].delta, 1.0);
+  EXPECT_EQ(result->mappings[0].tree,
+            static_cast<schema::TreeId>(
+                service->CurrentSnapshot()->num_trees() - 1));
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_EQ(stats.deltas_applied, 1u);
+}
+
+TEST_F(MatchServiceTest, DeltaInvalidatesCacheByNamespaceNotByKey) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("ns", kSpecs[1]);
+  ASSERT_TRUE(service->Match(query).ok());
+  ASSERT_TRUE(service->Match(query).ok());
+  EXPECT_EQ(service->stats().cache.misses, 1u);
+  EXPECT_EQ(service->stats().cache.hits, 1u);
+  const std::string key_before = service->ClusterStateKey(query);
+
+  live::DeltaBuilder builder;
+  builder.AddTree(*schema::ParseTreeSpec("personnel(member)"), "feed");
+  ASSERT_TRUE(service->ApplyDelta(*builder.Build()).ok());
+
+  // Same cluster-state key — isolation comes from the fingerprint
+  // namespace, so the changed repository recomputes instead of serving the
+  // stale state.
+  EXPECT_EQ(service->ClusterStateKey(query), key_before);
+  ASSERT_TRUE(service->Match(query).ok());
+  ASSERT_TRUE(service->Match(query).ok());
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.hits, 2u);
+  EXPECT_EQ(stats.cache_namespaces, 2u);
+}
+
+TEST_F(MatchServiceTest, RevertedDeltaRevivesWarmCache) {
+  auto service = MakeService();
+  MatchQuery query = MakeQuery("revert", kSpecs[2]);
+  ASSERT_TRUE(service->Match(query).ok());  // miss, warms gen-0 namespace
+
+  // Add a tree, then remove it again: the final content equals gen 0, so
+  // its fingerprint — and its warm cache — come back.
+  live::DeltaBuilder add;
+  add.AddTree(*schema::ParseTreeSpec("transient(leaf)"), "feed");
+  auto r1 = service->ApplyDelta(*add.Build());
+  ASSERT_TRUE(r1.ok());
+  live::DeltaBuilder remove;
+  remove.RemoveTree(
+      static_cast<schema::TreeId>(r1->snapshot->num_trees() - 1));
+  auto r2 = service->ApplyDelta(*remove.Build());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->generation, 2u);
+  EXPECT_EQ(r2->fingerprint, service->CurrentSnapshot()->fingerprint());
+
+  ASSERT_TRUE(service->Match(query).ok());
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.cache.misses, 1u);  // no recompute: namespace revived
+  EXPECT_EQ(stats.cache.hits, 1u);
+}
+
+TEST_F(MatchServiceTest, CacheNamespaceRetentionIsBounded) {
+  MatchServiceOptions options;
+  options.cache_retained_generations = 1;
+  auto service = MakeService(options);
+  for (int i = 0; i < 4; ++i) {
+    live::DeltaBuilder builder;
+    builder.AddTree(*schema::ParseTreeSpec(
+                        "gen" + std::to_string(i) + "(leaf)"),
+                    "feed");
+    ASSERT_TRUE(service->ApplyDelta(*builder.Build()).ok());
+  }
+  // Current + one retained, however many generations went by.
+  EXPECT_EQ(service->stats().cache_namespaces, 2u);
+  EXPECT_EQ(service->CurrentGeneration(), 4u);
+}
+
+// Satellite acceptance: queries running while deltas publish finish
+// against their pinned generation, with results identical to a quiesced
+// run on that generation's content. Each generation here changes the
+// repository node count, so a result's stats identify which snapshot it
+// ran against; any torn or retargeted query would mismatch its quiesced
+// twin.
+TEST_F(MatchServiceTest, ConcurrentApplyDeltaAndBatchesStayConsistent) {
+  MatchServiceOptions options;
+  options.num_threads = 4;
+  auto service = MakeService(options);
+
+  constexpr int kGenerations = 4;  // gen 0 .. 3
+  // Quiesced ground truth per generation, keyed by total node count:
+  // independent services over deep-equal content.
+  std::vector<std::unique_ptr<MatchService>> quiesced;
+  std::vector<size_t> gen_nodes;
+  std::vector<live::RepositoryDelta> deltas;
+  {
+    auto snapshot = RepositorySnapshot::Create(*forest_);
+    ASSERT_TRUE(snapshot.ok());
+    quiesced.push_back(
+        std::make_unique<MatchService>(std::move(*snapshot)));
+    gen_nodes.push_back(forest_->total_nodes());
+  }
+  for (int g = 1; g < kGenerations; ++g) {
+    // Distinct vocabulary per generation so results genuinely differ.
+    live::DeltaBuilder builder;
+    builder.AddTree(*schema::ParseTreeSpec(
+                        "name" + std::to_string(g) +
+                        "(address" + std::to_string(g) + ",email" +
+                        std::to_string(g) + ",name(address,email))"),
+                    "gen" + std::to_string(g));
+    auto delta = builder.Build();
+    ASSERT_TRUE(delta.ok());
+    deltas.push_back(*delta);
+  }
+
+  // Build the quiesced twins by applying the same deltas to fresh
+  // services, one generation at a time.
+  for (int g = 1; g < kGenerations; ++g) {
+    auto twin_snapshot = RepositorySnapshot::Create(*forest_);
+    ASSERT_TRUE(twin_snapshot.ok());
+    auto twin = std::make_unique<MatchService>(std::move(*twin_snapshot));
+    for (int d = 0; d < g; ++d) {
+      ASSERT_TRUE(twin->ApplyDelta(deltas[static_cast<size_t>(d)]).ok());
+    }
+    gen_nodes.push_back(twin->CurrentSnapshot()->total_nodes());
+    quiesced.push_back(std::move(twin));
+  }
+  // The node-count → generation mapping must be unambiguous for the check.
+  for (int a = 0; a < kGenerations; ++a) {
+    for (int b = a + 1; b < kGenerations; ++b) {
+      ASSERT_NE(gen_nodes[static_cast<size_t>(a)],
+                gen_nodes[static_cast<size_t>(b)]);
+    }
+  }
+
+  // Fire a stream of async queries while deltas land between waves; the
+  // submissions interleave with publications across the pool.
+  std::vector<MatchHandle> handles;
+  std::vector<MatchQuery> submitted;
+  for (int g = 1; g < kGenerations; ++g) {
+    for (int burst = 0; burst < 6; ++burst) {
+      MatchQuery query = MakeQuery(
+          "live-" + std::to_string(g) + "-" + std::to_string(burst),
+          kSpecs[burst % kNumSpecs]);
+      submitted.push_back(query);
+      handles.push_back(service->SubmitMatch(query));
+    }
+    ASSERT_TRUE(service->ApplyDelta(deltas[static_cast<size_t>(g - 1)]).ok());
+  }
+
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto result = handles[i].Get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Identify the pinned generation by the repository size the run saw...
+    size_t gen = gen_nodes.size();
+    for (size_t g = 0; g < gen_nodes.size(); ++g) {
+      if (result->stats.repository_nodes == gen_nodes[g]) {
+        gen = g;
+        break;
+      }
+    }
+    ASSERT_LT(gen, gen_nodes.size()) << "result saw an unknown repository";
+    // ...and demand equality with that generation's quiesced run.
+    auto expected = quiesced[gen]->Match(submitted[i]);
+    ASSERT_TRUE(expected.ok());
+    ExpectSameResults(*result, *expected);
+  }
 }
 
 }  // namespace

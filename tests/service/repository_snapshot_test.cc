@@ -1,0 +1,155 @@
+// Pins RepositorySnapshot::fingerprint as a trustworthy cache-namespace
+// key: identical forest content must always fingerprint identically
+// (whatever objects carry it, however the snapshot was built), and any
+// single node/property/structure change must move the fingerprint.
+#include "service/repository_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "repo/synthetic.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::service {
+namespace {
+
+schema::SchemaTree Tree(const char* spec) {
+  auto tree = schema::ParseTreeSpec(spec);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+schema::SchemaForest BaseForest() {
+  schema::SchemaForest forest;
+  forest.AddTree(Tree("book(title,author(first,last))"), "book.xsd");
+  forest.AddTree(Tree("person(name,phone,@id)"), "person.xsd");
+  return forest;
+}
+
+uint64_t FingerprintOf(schema::SchemaForest forest) {
+  auto snapshot = RepositorySnapshot::Create(std::move(forest));
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return (*snapshot)->fingerprint();
+}
+
+TEST(RepositorySnapshotFingerprintTest, IdenticalForestsFingerprintEqually) {
+  // Two forests built independently (distinct payload objects) from the
+  // same specs: equal content must be all that matters.
+  EXPECT_EQ(FingerprintOf(BaseForest()), FingerprintOf(BaseForest()));
+
+  // Also across the synthetic generator, which exercises datatypes, kinds
+  // and the optional/repeatable bits.
+  repo::SyntheticRepoOptions options;
+  options.target_elements = 500;
+  options.seed = 5;
+  auto a = repo::GenerateSyntheticRepository(options);
+  auto b = repo::GenerateSyntheticRepository(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(FingerprintOf(std::move(*a)), FingerprintOf(std::move(*b)));
+}
+
+TEST(RepositorySnapshotFingerprintTest, SourceNamesDoNotAffectFingerprint) {
+  schema::SchemaForest renamed;
+  renamed.AddTree(Tree("book(title,author(first,last))"), "elsewhere.xsd");
+  renamed.AddTree(Tree("person(name,phone,@id)"), "other.xsd");
+  // Provenance strings are metadata, not content.
+  EXPECT_EQ(FingerprintOf(BaseForest()), FingerprintOf(std::move(renamed)));
+}
+
+TEST(RepositorySnapshotFingerprintTest, AnySingleChangeMovesTheFingerprint) {
+  const uint64_t base = FingerprintOf(BaseForest());
+
+  // One mutation per case, each targeting a different property dimension.
+  // Mutations are applied by rebuilding the forest from mutated trees —
+  // SchemaForest shares frozen payloads, so we mutate before adding.
+  struct Case {
+    const char* label;
+    std::function<void(schema::SchemaTree*)> mutate;  // applied to tree 0
+  };
+  const Case cases[] = {
+      {"name", [](schema::SchemaTree* t) {
+         t->mutable_props(1)->name = "titleX";
+       }},
+      {"datatype", [](schema::SchemaTree* t) {
+         t->mutable_props(1)->datatype = "xs:token";
+       }},
+      {"kind", [](schema::SchemaTree* t) {
+         t->mutable_props(1)->kind = schema::NodeKind::kAttribute;
+       }},
+      {"optional", [](schema::SchemaTree* t) {
+         t->mutable_props(1)->optional = true;
+       }},
+      {"repeatable", [](schema::SchemaTree* t) {
+         t->mutable_props(1)->repeatable = true;
+       }},
+  };
+  for (const Case& c : cases) {
+    schema::SchemaTree tree0 = Tree("book(title,author(first,last))");
+    c.mutate(&tree0);
+    schema::SchemaForest forest;
+    forest.AddTree(std::move(tree0), "book.xsd");
+    forest.AddTree(Tree("person(name,phone,@id)"), "person.xsd");
+    EXPECT_NE(FingerprintOf(std::move(forest)), base) << c.label;
+  }
+
+  // Structure: same names, different parent links.
+  {
+    schema::SchemaForest forest;
+    forest.AddTree(Tree("book(title(author(first,last)))"), "book.xsd");
+    forest.AddTree(Tree("person(name,phone,@id)"), "person.xsd");
+    EXPECT_NE(FingerprintOf(std::move(forest)), base) << "structure";
+  }
+  // Tree set: adding, dropping, and reordering trees all move it.
+  {
+    schema::SchemaForest forest = BaseForest();
+    forest.AddTree(Tree("extra(leaf)"), "extra.xsd");
+    EXPECT_NE(FingerprintOf(std::move(forest)), base) << "added tree";
+  }
+  {
+    schema::SchemaForest forest;
+    forest.AddTree(Tree("book(title,author(first,last))"), "book.xsd");
+    EXPECT_NE(FingerprintOf(std::move(forest)), base) << "dropped tree";
+  }
+  {
+    schema::SchemaForest forest;
+    forest.AddTree(Tree("person(name,phone,@id)"), "person.xsd");
+    forest.AddTree(Tree("book(title,author(first,last))"), "book.xsd");
+    EXPECT_NE(FingerprintOf(std::move(forest)), base) << "reordered trees";
+  }
+}
+
+TEST(RepositorySnapshotFingerprintTest,
+     SuccessorFingerprintEqualsScratchFingerprint) {
+  auto base = RepositorySnapshot::Create(BaseForest());
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ((*base)->generation(), 0u);
+
+  // Successor replacing tree 1, sharing tree 0.
+  schema::SchemaForest next;
+  next.AddTree((*base)->forest().tree_ptr(0), (*base)->forest().source(0));
+  next.AddTree(Tree("person(name,phone,email,@id)"), "person2.xsd");
+  auto successor = RepositorySnapshot::CreateSuccessor(
+      *base, std::move(next), {0, -1});
+  ASSERT_TRUE(successor.ok()) << successor.status().ToString();
+  EXPECT_EQ((*successor)->generation(), 1u);
+  EXPECT_EQ((*successor)->build_stats().trees_reused, 1u);
+  EXPECT_EQ((*successor)->build_stats().trees_rebuilt, 1u);
+
+  schema::SchemaForest scratch;
+  scratch.AddTree(Tree("book(title,author(first,last))"));
+  scratch.AddTree(Tree("person(name,phone,email,@id)"));
+  EXPECT_EQ((*successor)->fingerprint(), FingerprintOf(std::move(scratch)));
+  // Per-tree fingerprints carry over for shared trees.
+  EXPECT_EQ((*successor)->tree_fingerprint(0), (*base)->tree_fingerprint(0));
+  EXPECT_NE((*successor)->tree_fingerprint(1), (*base)->tree_fingerprint(1));
+}
+
+}  // namespace
+}  // namespace xsm::service

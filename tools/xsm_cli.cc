@@ -28,6 +28,16 @@
 //            [--deadline-ms MS] [--first-n N] [--cluster-events]
 //            Interactive loop: read one query line (same format as batch)
 //            from stdin per request, stream its NDJSON mapping events.
+//            Lines starting with '!' evolve the repository while serving
+//            (copy-on-write generations; see live::RepositoryManager):
+//              !ingest SPEC [source=NAME]      add one tree
+//              !replace ID SPEC [source=NAME]  swap tree ID's payload
+//              !remove ID                      retire tree ID
+//              !reload (FILE|DIR)              replace the whole repository
+//              !generation                     report the current generation
+//              !stats                          cache/generation counters
+//            Each successful mutation emits one "generation" NDJSON event;
+//            EOF prints a session summary with the cluster-cache counters.
 //
 // Streaming flags (match/batch/serve):
 //   --deadline-ms MS   per-query wall-clock deadline; an expired query
@@ -47,8 +57,10 @@
 //   xsm_cli batch --forest corpus.forest --queries queries.txt --threads 8
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -123,8 +135,28 @@ int Usage() {
       "           [--threads N] [--delta D] [--top N] [--cluster ...]\n"
       "           [--deadline-ms MS] [--first-n N] [--cluster-events]\n"
       "batch/serve stream NDJSON events (mapping / cluster / done / error)\n"
-      "to stdout; match honors --deadline-ms / --first-n too.\n");
+      "to stdout; match honors --deadline-ms / --first-n too.\n"
+      "serve also accepts repository commands on stdin: !ingest SPEC,\n"
+      "!replace ID SPEC, !remove ID, !reload FILE|DIR, !generation, !stats\n"
+      "(each mutation publishes a new generation and emits a "
+      "\"generation\" event).\n");
   return 2;
+}
+
+/// Loads a forest from either a saved forest file or a directory of
+/// .dtd/.xsd schemas (used by --forest/--repo-dir at startup and by the
+/// serve-mode `!reload` command).
+Result<schema::SchemaForest> LoadForestFromPath(const std::string& path) {
+  if (std::filesystem::is_directory(path)) {
+    schema::SchemaForest forest;
+    XSM_ASSIGN_OR_RETURN(repo::LoadReport report,
+                         repo::LoadRepositoryFromDirectory(path, &forest));
+    std::fprintf(stderr, "loaded %zu files (%zu failed), %zu trees\n",
+                 report.files_loaded, report.files_failed,
+                 report.trees_added);
+    return forest;
+  }
+  return schema::LoadForestFromFile(path);
 }
 
 // Loads the repository from whichever source flag is present.
@@ -133,14 +165,7 @@ Result<schema::SchemaForest> LoadRepository(const Args& args) {
     return schema::LoadForestFromFile(args.Get("forest"));
   }
   if (args.Has("repo-dir")) {
-    schema::SchemaForest forest;
-    XSM_ASSIGN_OR_RETURN(repo::LoadReport report,
-                         repo::LoadRepositoryFromDirectory(
-                             args.Get("repo-dir"), &forest));
-    std::fprintf(stderr, "loaded %zu files (%zu failed), %zu trees\n",
-                 report.files_loaded, report.files_failed,
-                 report.trees_added);
-    return forest;
+    return LoadForestFromPath(args.Get("repo-dir"));
   }
   if (args.Has("synthetic")) {
     std::string spec = args.Get("synthetic");
@@ -613,7 +638,12 @@ int RunBatch(const Args& args) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
     return 1;
   }
-  const schema::SchemaForest& forest = (*service)->snapshot().forest();
+  // Batch mode never applies deltas, so the snapshot held here is the one
+  // every query runs against; holding it also keeps the forest the
+  // observers format mappings with alive.
+  std::shared_ptr<const service::RepositorySnapshot> snapshot =
+      (*service)->CurrentSnapshot();
+  const schema::SchemaForest& forest = snapshot->forest();
   std::fprintf(stderr,
                "serving %zu queries over %zu elements / %zu trees on %zu "
                "threads\n",
@@ -646,17 +676,178 @@ int RunBatch(const Args& args) {
   std::fprintf(
       stderr,
       "%zu queries in %.3fs (%.1f queries/sec) | cluster cache: "
-      "%llu hits, %llu shared, %llu misses | cancelled %llu, "
-      "deadline_exceeded %llu, early_stopped %llu\n",
+      "%llu hits, %llu shared, %llu misses, %llu evictions, %zu resident | "
+      "cancelled %llu, deadline_exceeded %llu, early_stopped %llu\n",
       queries.size(), elapsed,
       static_cast<double>(queries.size()) / elapsed,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.shared),
       static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions),
+      stats.cache.entries,
       static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.deadline_exceeded),
       static_cast<unsigned long long>(stats.early_stopped));
   return failed == 0 ? 0 : 1;
+}
+
+void EmitGenerationEvent(const live::ApplyReport& report) {
+  char nums[320];
+  std::snprintf(
+      nums, sizeof(nums),
+      "{\"type\":\"generation\",\"generation\":%llu,"
+      "\"fingerprint\":\"%016llx\",\"trees\":%zu,\"trees_reused\":%zu,"
+      "\"trees_rebuilt\":%zu,\"names_copied\":%zu,\"names_computed\":%zu,"
+      "\"build_ms\":%.3f}",
+      static_cast<unsigned long long>(report.generation),
+      static_cast<unsigned long long>(report.fingerprint),
+      report.trees_total, report.trees_reused, report.trees_rebuilt,
+      report.name_entries_copied, report.name_entries_computed,
+      1e3 * report.build_seconds);
+  EmitEventLine(nums);
+}
+
+/// Handles one serve-mode '!' command line. Grammar:
+///   !ingest SPEC [source=NAME]      add one tree
+///   !replace ID SPEC [source=NAME]  swap tree ID's payload
+///   !remove ID                      retire tree ID
+///   !reload (FILE|DIR)              replace the whole repository
+///   !generation                     report the current generation
+///   !stats                          print service stats to stderr
+/// Every successful mutation emits one "generation" NDJSON event.
+void RunServeCommand(service::MatchService* service,
+                     const std::string& line) {
+  std::istringstream stream(line);
+  std::string command;
+  stream >> command;
+
+  auto apply = [service](live::DeltaBuilder builder) {
+    auto delta = builder.Build();
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+      return;
+    }
+    auto report = service->ApplyDelta(*delta);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return;
+    }
+    EmitGenerationEvent(*report);
+  };
+
+  auto parse_source = [&stream]() {
+    std::string token, source;
+    while (stream >> token) {
+      if (token.rfind("source=", 0) == 0) source = token.substr(7);
+    }
+    return source;
+  };
+
+  // Parses a tree id, rejecting values a TreeId cannot hold — a silently
+  // wrapped id would target the wrong tree.
+  auto parse_target = [&stream](long* target) {
+    return static_cast<bool>(stream >> *target) && *target >= 0 &&
+           *target <= std::numeric_limits<schema::TreeId>::max();
+  };
+
+  if (command == "!ingest" || command == "!replace") {
+    long target = -1;
+    if (command == "!replace" && !parse_target(&target)) {
+      std::fprintf(stderr, "usage: !replace ID SPEC [source=NAME]\n");
+      return;
+    }
+    std::string spec;
+    if (!(stream >> spec)) {
+      std::fprintf(stderr, "usage: %s SPEC [source=NAME]\n", command.c_str());
+      return;
+    }
+    auto tree = schema::ParseTreeSpec(spec);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "bad spec: %s\n",
+                   tree.status().ToString().c_str());
+      return;
+    }
+    std::string source = parse_source();
+    if (source.empty()) source = "serve:" + command.substr(1);
+    live::DeltaBuilder builder;
+    if (command == "!ingest") {
+      builder.AddTree(std::move(*tree), std::move(source));
+    } else {
+      builder.ReplaceTree(static_cast<schema::TreeId>(target),
+                          std::move(*tree), std::move(source));
+    }
+    apply(std::move(builder));
+  } else if (command == "!remove") {
+    long target = -1;
+    if (!parse_target(&target)) {
+      std::fprintf(stderr, "usage: !remove ID\n");
+      return;
+    }
+    live::DeltaBuilder builder;
+    builder.RemoveTree(static_cast<schema::TreeId>(target));
+    apply(std::move(builder));
+  } else if (command == "!reload") {
+    std::string path;
+    if (!(stream >> path)) {
+      std::fprintf(stderr, "usage: !reload (FILE|DIR)\n");
+      return;
+    }
+    auto loaded = LoadForestFromPath(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    if (loaded->num_trees() == 0) {
+      std::fprintf(stderr, "!reload: %s holds no trees\n", path.c_str());
+      return;
+    }
+    // Whole-repository swap as one delta: retire every current tree, add
+    // every loaded one (payloads shared from the loaded forest, not
+    // copied). Published atomically like any other delta.
+    std::shared_ptr<const service::RepositorySnapshot> snapshot =
+        service->CurrentSnapshot();
+    live::DeltaBuilder builder;
+    for (schema::TreeId t = 0;
+         t < static_cast<schema::TreeId>(snapshot->num_trees()); ++t) {
+      builder.RemoveTree(t);
+    }
+    for (schema::TreeId t = 0;
+         t < static_cast<schema::TreeId>(loaded->num_trees()); ++t) {
+      builder.AddTree(loaded->tree_ptr(t), loaded->source(t));
+    }
+    apply(std::move(builder));
+  } else if (command == "!generation") {
+    std::shared_ptr<const service::RepositorySnapshot> snapshot =
+        service->CurrentSnapshot();
+    char nums[160];
+    std::snprintf(nums, sizeof(nums),
+                  "{\"type\":\"generation\",\"generation\":%llu,"
+                  "\"fingerprint\":\"%016llx\",\"trees\":%zu}",
+                  static_cast<unsigned long long>(snapshot->generation()),
+                  static_cast<unsigned long long>(snapshot->fingerprint()),
+                  snapshot->num_trees());
+    EmitEventLine(nums);
+  } else if (command == "!stats") {
+    service::ServiceStats stats = service->stats();
+    std::fprintf(
+        stderr,
+        "generation %llu (%llu deltas) | %llu queries | cluster cache: "
+        "%llu hits, %llu shared, %llu misses, %llu evictions, %zu resident "
+        "in %zu namespaces\n",
+        static_cast<unsigned long long>(stats.generation),
+        static_cast<unsigned long long>(stats.deltas_applied),
+        static_cast<unsigned long long>(stats.queries),
+        static_cast<unsigned long long>(stats.cache.hits),
+        static_cast<unsigned long long>(stats.cache.shared),
+        static_cast<unsigned long long>(stats.cache.misses),
+        static_cast<unsigned long long>(stats.cache.evictions),
+        stats.cache.entries, stats.cache_namespaces);
+  } else {
+    std::fprintf(stderr,
+                 "unknown command %s (try !ingest, !replace, !remove, "
+                 "!reload, !generation, !stats)\n",
+                 command.c_str());
+  }
 }
 
 int RunServe(const Args& args) {
@@ -669,35 +860,72 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
     return 1;
   }
-  const schema::SchemaForest& forest = (*service)->snapshot().forest();
   const bool cluster_events = args.Has("cluster-events");
-  std::fprintf(stderr,
-               "ready: %zu elements / %zu trees; enter queries "
-               "(SPEC [key=value ...]), EOF to quit; NDJSON events on "
-               "stdout\n",
-               forest.total_nodes(), forest.num_trees());
+  {
+    std::shared_ptr<const service::RepositorySnapshot> snapshot =
+        (*service)->CurrentSnapshot();
+    std::fprintf(stderr,
+                 "ready: %zu elements / %zu trees (generation %llu); enter "
+                 "queries (SPEC [key=value ...]) or !commands (!ingest, "
+                 "!replace, !remove, !reload, !generation, !stats), EOF to "
+                 "quit; NDJSON events on stdout\n",
+                 snapshot->total_nodes(), snapshot->num_trees(),
+                 static_cast<unsigned long long>(snapshot->generation()));
+  }
 
   std::string line;
   size_t index = 0;
   while (std::getline(std::cin, line)) {
     size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '!') {
+      RunServeCommand(service->get(), line.substr(first));
+      continue;
+    }
     auto query = ParseQueryLine(line, defaults, index++);
     if (!query.ok()) {
       std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
       continue;
     }
+    // Pin the snapshot the observer formats against. Commands and queries
+    // are processed by this one thread, so the submit below pins the same
+    // snapshot; holding the shared_ptr keeps the forest alive even if a
+    // later !command retires the generation while the result prints.
+    std::shared_ptr<const service::RepositorySnapshot> snapshot =
+        (*service)->CurrentSnapshot();
     // Through the pool (not the calling thread) so --threads is honest.
     // Mapping events stream while the query runs; the done event carries
     // the typed terminal status (completed / deadline_exceeded / ...).
-    NdjsonObserver observer(query->id, &query->personal, &forest,
+    NdjsonObserver observer(query->id, &query->personal, &snapshot->forest(),
                             cluster_events);
     service::MatchHandle handle =
         (*service)->SubmitMatch(*query, ControlFromArgs(args), &observer);
     auto result = handle.Get();
     EmitDoneEvent(*query, result, observer.DoneMs());
   }
+
+  // Session summary (the serve-mode analogue of the batch footer): cache
+  // effectiveness across all generations served.
+  service::ServiceStats stats = (*service)->stats();
+  std::fprintf(
+      stderr,
+      "served %llu queries over %llu generations (%llu deltas) | cluster "
+      "cache: %llu hits, %llu shared, %llu misses, %llu evictions, %zu "
+      "resident in %zu namespaces | cancelled %llu, deadline_exceeded %llu, "
+      "early_stopped %llu\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.generation + 1),
+      static_cast<unsigned long long>(stats.deltas_applied),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.shared),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions),
+      stats.cache.entries, stats.cache_namespaces,
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.early_stopped));
   return 0;
 }
 
