@@ -111,6 +111,97 @@ TreeIndex TreeIndex::Build(const SchemaTree& tree) {
   return idx;
 }
 
+void TreeIndex::SerializeTo(wire::Writer* out) const {
+  // The labeling products that required a tree traversal are persisted:
+  // the Euler tour, the rank arrays, and the depth-derived aggregates.
+  // euler_depth_, log2_ and the RMQ sparse table are pure functions of
+  // them (no tree access), rebuilt on load — cheaper to recompute than to
+  // decode, checksum and range-validate, and consistent by construction.
+  out->U64(depth_.size());
+  out->I32Vec(depth_);
+  out->I32Vec(pre_);
+  out->I32Vec(post_);
+  out->I32Vec(first_pos_);
+  out->I32Vec(euler_);
+  out->I32(diameter_);
+  out->I32(height_);
+}
+
+Result<TreeIndex> TreeIndex::DeserializeBinary(wire::Reader* in,
+                                               size_t expected_nodes) {
+  TreeIndex idx;
+  const uint64_t n = in->U64();
+  in->I32Vec(&idx.depth_);
+  in->I32Vec(&idx.pre_);
+  in->I32Vec(&idx.post_);
+  in->I32Vec(&idx.first_pos_);
+  in->I32Vec(&idx.euler_);
+  idx.diameter_ = in->I32();
+  idx.height_ = in->I32();
+  XSM_RETURN_NOT_OK(in->status());
+
+  // Dimensional and range validation: every array Lca/Distance indexes
+  // into must have exactly the shape Build would have produced, and every
+  // stored position/node must be in range — so a logically inconsistent
+  // (but CRC-clean) file can yield wrong answers at worst, never an
+  // out-of-bounds access.
+  auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("tree index: ") + what);
+  };
+  if (n != expected_nodes) return corrupt("node count mismatch");
+  if (idx.depth_.size() != n || idx.pre_.size() != n ||
+      idx.post_.size() != n || idx.first_pos_.size() != n) {
+    return corrupt("rank array size mismatch");
+  }
+  const size_t m = idx.euler_.size();
+  if (m != (n == 0 ? 0 : 2 * n - 1)) {
+    return corrupt("euler tour size mismatch");
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (idx.euler_[i] < 0 || static_cast<uint64_t>(idx.euler_[i]) >= n) {
+      return corrupt("euler entry out of range");
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (idx.first_pos_[v] < 0 ||
+        static_cast<size_t>(idx.first_pos_[v]) >= m) {
+      return corrupt("first position out of range");
+    }
+  }
+  if (n == 0) return idx;
+
+  // Rebuild the derived arrays (identically to Build, which makes the
+  // sparse table valid by construction: every stored position is a tour
+  // position).
+  idx.euler_depth_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    idx.euler_depth_[i] = idx.depth_[static_cast<size_t>(idx.euler_[i])];
+  }
+  idx.log2_.resize(m + 1);
+  idx.log2_[1] = 0;
+  for (size_t i = 2; i <= m; ++i) idx.log2_[i] = idx.log2_[i / 2] + 1;
+  int levels = idx.log2_[m] + 1;
+  idx.sparse_.assign(static_cast<size_t>(levels), {});
+  idx.sparse_[0].resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    idx.sparse_[0][i] = static_cast<int32_t>(i);
+  }
+  for (int k = 1; k < levels; ++k) {
+    size_t len = size_t{1} << k;
+    idx.sparse_[static_cast<size_t>(k)].resize(m - len + 1);
+    for (size_t i = 0; i + len <= m; ++i) {
+      int32_t a = idx.sparse_[static_cast<size_t>(k - 1)][i];
+      int32_t b = idx.sparse_[static_cast<size_t>(k - 1)][i + len / 2];
+      idx.sparse_[static_cast<size_t>(k)][i] =
+          idx.euler_depth_[static_cast<size_t>(a)] <=
+                  idx.euler_depth_[static_cast<size_t>(b)]
+              ? a
+              : b;
+    }
+  }
+  return idx;
+}
+
 NodeId TreeIndex::Lca(NodeId u, NodeId v) const {
   assert(u >= 0 && static_cast<size_t>(u) < depth_.size());
   assert(v >= 0 && static_cast<size_t>(v) < depth_.size());
@@ -177,6 +268,34 @@ ForestIndex ForestIndex::BuildIncremental(
         std::max(fi.max_diameter_, fi.indexes_.back()->diameter());
   }
   if (stats != nullptr) *stats = local;
+  return fi;
+}
+
+void ForestIndex::SerializeTo(wire::Writer* out) const {
+  out->U64(indexes_.size());
+  for (const std::shared_ptr<const TreeIndex>& index : indexes_) {
+    index->SerializeTo(out);
+  }
+}
+
+Result<ForestIndex> ForestIndex::DeserializeBinary(
+    wire::Reader* in, const schema::SchemaForest& forest) {
+  const uint64_t count = in->U64();
+  if (in->ok() && count != forest.num_trees()) {
+    return Status::Corruption("forest index: tree count mismatch");
+  }
+  ForestIndex fi;
+  fi.indexes_.reserve(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    XSM_ASSIGN_OR_RETURN(
+        TreeIndex index,
+        TreeIndex::DeserializeBinary(in, forest.tree(t).size()));
+    fi.max_diameter_ = std::max(fi.max_diameter_, index.diameter());
+    fi.indexes_.push_back(
+        std::make_shared<const TreeIndex>(std::move(index)));
+  }
+  XSM_RETURN_NOT_OK(in->status());
   return fi;
 }
 

@@ -15,6 +15,7 @@
 
 #include "schema/schema_forest.h"
 #include "schema/schema_tree.h"
+#include "util/wire.h"
 
 namespace xsm::label {
 
@@ -50,6 +51,21 @@ class TreeIndex {
 
   /// Maximum node depth (tree height in edges).
   int height() const { return height_; }
+
+  /// Binary serialization hook for the snapshot store: the traversal
+  /// products (Euler tour, rank arrays, depth aggregates) verbatim, so a
+  /// load never walks the tree again. The RMQ sparse table — a pure
+  /// function of the tour — is rebuilt on load rather than stored:
+  /// recomputing it is cheaper than decoding and validating it, and it is
+  /// then consistent by construction.
+  void SerializeTo(wire::Writer* out) const;
+
+  /// Inverse of SerializeTo. `expected_nodes` is the size of the tree this
+  /// index must label; any dimensional or range inconsistency (which would
+  /// otherwise be out-of-bounds reads in Lca/Distance) fails with
+  /// Corruption.
+  static Result<TreeIndex> DeserializeBinary(wire::Reader* in,
+                                             size_t expected_nodes);
 
  private:
   // Euler tour arrays.
@@ -120,6 +136,13 @@ class ForestIndex {
 
   /// Largest diameter over all member trees.
   int max_diameter() const { return max_diameter_; }
+
+  /// Binary serialization hooks for the snapshot store (per-tree
+  /// TreeIndex::SerializeTo in TreeId order). Deserialization validates
+  /// each index against the corresponding tree of `forest`.
+  void SerializeTo(wire::Writer* out) const;
+  static Result<ForestIndex> DeserializeBinary(
+      wire::Reader* in, const schema::SchemaForest& forest);
 
  private:
   std::vector<std::shared_ptr<const TreeIndex>> indexes_;

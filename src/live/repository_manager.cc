@@ -14,6 +14,14 @@ Result<std::unique_ptr<RepositoryManager>> RepositoryManager::Create(
   return std::make_unique<RepositoryManager>(std::move(snapshot));
 }
 
+Result<std::unique_ptr<RepositoryManager>> RepositoryManager::WarmStart(
+    const std::string& path) {
+  XSM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const service::RepositorySnapshot> snapshot,
+      store::LoadSnapshotFromFile(path));
+  return std::make_unique<RepositoryManager>(std::move(snapshot));
+}
+
 RepositoryManager::RepositoryManager(
     std::shared_ptr<const service::RepositorySnapshot> initial)
     : current_(std::move(initial)) {}

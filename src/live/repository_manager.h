@@ -24,6 +24,7 @@
 #include "live/repository_delta.h"
 #include "schema/schema_forest.h"
 #include "service/repository_snapshot.h"
+#include "store/snapshot_store.h"
 #include "util/status.h"
 
 namespace xsm::live {
@@ -51,6 +52,13 @@ class RepositoryManager {
   static Result<std::unique_ptr<RepositoryManager>> Create(
       schema::SchemaForest initial);
 
+  /// Boots from a persisted snapshot (store::SaveSnapshotToFile output):
+  /// no re-parsing or re-indexing, and the generation chain continues
+  /// where it left off — the first Apply after a warm start publishes
+  /// the loaded generation + 1.
+  static Result<std::unique_ptr<RepositoryManager>> WarmStart(
+      const std::string& path);
+
   /// Adopts an existing snapshot (whatever its generation) as the current
   /// one — the path service::MatchService uses when constructed from a
   /// snapshot it already has.
@@ -74,6 +82,14 @@ class RepositoryManager {
   /// is published and the current generation is unchanged. In-flight
   /// readers of the previous generation are never disturbed.
   Result<ApplyReport> Apply(const RepositoryDelta& delta);
+
+  /// Persists the current snapshot (atomic write; see
+  /// store::SaveSnapshotToFile). Concurrent Apply calls are fine: the
+  /// snapshot pinned at entry is saved, whole and consistent.
+  Result<store::SnapshotFileInfo> SaveSnapshot(
+      const std::string& path) const {
+    return store::SaveSnapshotToFile(*Current(), path);
+  }
 
  private:
   /// Serializes writers so generations form a chain, never a fork.

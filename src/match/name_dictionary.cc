@@ -1,5 +1,6 @@
 #include "match/name_dictionary.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/string_util.h"
@@ -134,6 +135,135 @@ NameDictionary NameDictionary::BuildIncremental(
 size_t NameDictionary::Find(std::string_view name) const {
   auto it = index_.find(name);
   return it == index_.end() ? kNotFound : it->second;
+}
+
+namespace {
+
+void WriteRef(wire::Writer* out, schema::NodeRef ref) {
+  out->I32(ref.tree);
+  out->I32(ref.node);
+}
+
+schema::NodeRef ReadRef(wire::Reader* in) {
+  schema::NodeRef ref;
+  ref.tree = in->I32();
+  ref.node = in->I32();
+  return ref;
+}
+
+}  // namespace
+
+void NameDictionary::SerializeTo(wire::Writer* out) const {
+  out->U64(entries_.size());
+  for (const Entry& entry : entries_) {
+    out->Str(entry.name);
+    out->Str(entry.lower);
+    for (uint8_t count : entry.signature.counts) out->U8(count);
+    out->U64(entry.element_nodes.size());
+    for (schema::NodeRef ref : entry.element_nodes) WriteRef(out, ref);
+    out->U64(entry.attribute_nodes.size());
+    for (schema::NodeRef ref : entry.attribute_nodes) WriteRef(out, ref);
+    WriteRef(out, entry.representative);
+  }
+  out->U64(total_nodes_);
+}
+
+Result<NameDictionary> NameDictionary::DeserializeBinary(
+    wire::Reader* in, const schema::SchemaForest& forest) {
+  auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("name dictionary: ") + what);
+  };
+  NameDictionary dict;
+  dict.forest_ = &forest;
+  dict.entry_of_node_.reserve(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    // Sentinel-filled; IndexNode overwrites exactly-once below.
+    dict.entry_of_node_.emplace_back(forest.tree(t).size(), UINT32_MAX);
+  }
+
+  const uint64_t num_entries = in->U64();
+  // Each entry holds at least one node, so the forest size bounds the
+  // believable entry count.
+  if (in->ok() && num_entries > forest.total_nodes()) {
+    return corrupt("more entries than forest nodes");
+  }
+  auto in_range = [&forest](schema::NodeRef ref) {
+    return ref.tree >= 0 &&
+           static_cast<size_t>(ref.tree) < forest.num_trees() &&
+           ref.node >= 0 &&
+           static_cast<size_t>(ref.node) < forest.tree(ref.tree).size();
+  };
+  for (uint64_t i = 0; i < num_entries && in->ok(); ++i) {
+    Entry entry;
+    entry.name = in->Str();
+    entry.lower = in->Str();
+    for (uint8_t& count : entry.signature.counts) count = in->U8();
+    for (int list = 0; list < 2 && in->ok(); ++list) {
+      const bool attributes = list == 1;
+      std::vector<schema::NodeRef>& refs =
+          attributes ? entry.attribute_nodes : entry.element_nodes;
+      const uint64_t count = in->U64();
+      if (!in->ok()) break;
+      if (count > forest.total_nodes()) {
+        return corrupt("posting list longer than forest");
+      }
+      refs.reserve(static_cast<size_t>(count));
+      for (uint64_t j = 0; j < count && in->ok(); ++j) {
+        schema::NodeRef ref = ReadRef(in);
+        if (!in->ok()) break;
+        if (!in_range(ref)) return corrupt("posting ref out of range");
+        if ((forest.props(ref).kind == schema::NodeKind::kAttribute) !=
+            attributes) {
+          return corrupt("posting ref in wrong kind list");
+        }
+        if (!refs.empty() && !(refs.back() < ref)) {
+          return corrupt("posting list not strictly sorted");
+        }
+        if (dict.entry_of_node_[static_cast<size_t>(ref.tree)]
+                               [static_cast<size_t>(ref.node)] !=
+            UINT32_MAX) {
+          return corrupt("node indexed by two entries");
+        }
+        dict.entry_of_node_[static_cast<size_t>(ref.tree)]
+                           [static_cast<size_t>(ref.node)] =
+            static_cast<uint32_t>(i);
+        ++dict.total_nodes_;
+        refs.push_back(ref);
+      }
+    }
+    entry.representative = ReadRef(in);
+    if (!in->ok()) break;
+    if (entry.num_nodes() == 0) return corrupt("entry without nodes");
+    // The representative is the first carrier in NodeRef order — an
+    // invariant, so derive-and-compare rather than trust.
+    schema::NodeRef first;
+    if (entry.element_nodes.empty()) {
+      first = entry.attribute_nodes.front();
+    } else if (entry.attribute_nodes.empty()) {
+      first = entry.element_nodes.front();
+    } else {
+      first = std::min(entry.element_nodes.front(),
+                       entry.attribute_nodes.front());
+    }
+    if (entry.representative != first) {
+      return corrupt("representative is not the first carrier");
+    }
+    auto [it, inserted] =
+        dict.index_.try_emplace(entry.name, dict.entries_.size());
+    (void)it;
+    if (!inserted) return corrupt("duplicate entry name");
+    dict.entries_.push_back(std::move(entry));
+  }
+  const uint64_t stored_total = in->U64();
+  XSM_RETURN_NOT_OK(in->status());
+  if (stored_total != dict.total_nodes_ ||
+      dict.total_nodes_ != forest.total_nodes()) {
+    // Combined with the exactly-once table fill above, equality with the
+    // forest's node count proves every node is covered.
+    return corrupt("posting lists do not cover the forest");
+  }
+  return dict;
 }
 
 }  // namespace xsm::match

@@ -25,6 +25,11 @@
 
 #include "schema/schema_forest.h"
 #include "sim/string_similarity.h"
+#include "util/wire.h"
+
+namespace xsm::service {
+class RepositorySnapshot;
+}
 
 namespace xsm::match {
 
@@ -97,6 +102,21 @@ class NameDictionary {
   /// Entry index of `name`, or kNotFound.
   size_t Find(std::string_view name) const;
 
+  /// Binary serialization hook for the snapshot store: every entry with its
+  /// cached fold, bag signature and posting lists, so a load never re-folds
+  /// or re-hashes a repository name. The per-node entry table is derived
+  /// from the posting lists on load, not stored twice.
+  void SerializeTo(wire::Writer* out) const;
+
+  /// Inverse of SerializeTo, bound to `forest` (which must be the very
+  /// forest the dictionary was built over — the caller re-binds via the
+  /// snapshot-assembly hook once the forest reaches its final address).
+  /// Rebuilds the name hash and per-node table, validating that posting
+  /// lists are sorted, in-range, kind-consistent and cover every forest
+  /// node exactly once; anything else fails with Corruption.
+  static Result<NameDictionary> DeserializeBinary(
+      wire::Reader* in, const schema::SchemaForest& forest);
+
   /// Entry index of the name carried by `ref` (O(1) array read; `ref` must
   /// be a valid node of the dictionary's forest). This is the per-node
   /// table that lets an incremental successor build skip hashing for
@@ -107,6 +127,11 @@ class NameDictionary {
   }
 
  private:
+  /// Snapshot assembly moves the forest into its final location after the
+  /// dictionary is deserialized, then re-points it here.
+  friend class xsm::service::RepositorySnapshot;
+  void BindForest(const schema::SchemaForest* forest) { forest_ = forest; }
+
   struct TransparentHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {

@@ -74,6 +74,89 @@ Status SchemaTree::Validate() const {
   return Status::OK();
 }
 
+void SchemaTree::SerializeTo(wire::Writer* out) const {
+  // Column layout: the parent links go out as one bulk vector and the
+  // fixed-width per-node bits as one byte each, so a load decodes arrays,
+  // not records. kind and flags pack into one byte (kind << 2 |
+  // repeatable << 1 | optional).
+  out->U64(nodes_.size());
+  std::vector<int32_t> parents;
+  parents.reserve(nodes_.size());
+  for (const Node& node : nodes_) parents.push_back(node.parent);
+  out->I32Vec(parents);
+  for (const Node& node : nodes_) {
+    out->U8(static_cast<uint8_t>(
+        (static_cast<uint8_t>(node.props.kind) << 2) |
+        (node.props.repeatable ? 2u : 0u) |
+        (node.props.optional ? 1u : 0u)));
+  }
+  for (const Node& node : nodes_) out->Str(node.props.name);
+  for (const Node& node : nodes_) out->Str(node.props.datatype);
+}
+
+Result<SchemaTree> SchemaTree::DeserializeBinary(wire::Reader* in) {
+  const uint64_t count = in->U64();
+  // No writer produces empty trees (parsers and DeltaBuilder both demand a
+  // root), so an empty one is damage.
+  if (in->ok() && count == 0) in->Fail("schema tree: empty tree");
+  SchemaTree tree;
+  std::vector<int32_t> parents;
+  if (in->ok() && count > 0) {
+    if (!in->I32Vec(&parents) || parents.size() != count) {
+      in->Fail("schema tree: parent column size mismatch");
+    }
+  }
+  // Parent links define the whole shape; validate them up front (the
+  // reconstruction below indexes by them), then build nodes directly —
+  // children counted first so every child list is allocated exactly once.
+  for (uint64_t i = 0; in->ok() && i < count; ++i) {
+    const bool valid = i == 0 ? parents[0] == kInvalidNode
+                              : parents[i] >= 0 &&
+                                    static_cast<uint64_t>(parents[i]) < i;
+    if (!valid) in->Fail("schema tree: parent id out of range");
+  }
+  XSM_RETURN_NOT_OK(in->status());
+
+  tree.nodes_.resize(count);
+  std::vector<uint32_t> child_counts(count, 0);
+  for (uint64_t i = 1; i < count; ++i) {
+    ++child_counts[static_cast<size_t>(parents[i])];
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Node& node = tree.nodes_[i];
+    node.parent = parents[i];
+    node.children.reserve(child_counts[i]);
+    if (i > 0) {
+      Node& parent = tree.nodes_[static_cast<size_t>(parents[i])];
+      node.depth = parent.depth + 1;
+      parent.children.push_back(static_cast<NodeId>(i));
+    }
+  }
+  for (uint64_t i = 0; i < count && in->ok(); ++i) {
+    const uint8_t packed = in->U8();
+    if (packed >> 2 > static_cast<uint8_t>(NodeKind::kAttribute)) {
+      in->Fail("schema tree: unknown node kind");
+      break;
+    }
+    NodeProperties& props = tree.nodes_[i].props;
+    props.kind = static_cast<NodeKind>(packed >> 2);
+    props.repeatable = (packed & 2u) != 0;
+    props.optional = (packed & 1u) != 0;
+  }
+  for (uint64_t i = 0; i < count && in->ok(); ++i) {
+    tree.nodes_[i].props.name = in->Str();
+  }
+  for (uint64_t i = 0; i < count && in->ok(); ++i) {
+    tree.nodes_[i].props.datatype = in->Str();
+  }
+  XSM_RETURN_NOT_OK(in->status());
+  Status valid = tree.Validate();
+  if (!valid.ok()) {
+    return Status::Corruption("schema tree: " + valid.ToString());
+  }
+  return tree;
+}
+
 std::string SchemaTree::ToString() const {
   std::string out;
   if (nodes_.empty()) return out;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/wire.h"
 
 namespace xsm::schema {
 
@@ -86,6 +87,17 @@ class SchemaTree {
   /// Structural invariants: single root, acyclic parent links, consistent
   /// child lists and depths.
   Status Validate() const;
+
+  /// Binary serialization hook for the snapshot store: column layout in id
+  /// order — the parent-link vector, one packed kind/flags byte per node,
+  /// then the name and datatype columns. Ids are insertion order and every
+  /// parent precedes its children, so the inverse rebuilds nodes in one
+  /// pass with exact child-list allocation.
+  void SerializeTo(wire::Writer* out) const;
+
+  /// Inverse of SerializeTo. Corruption on inconsistent counts or parent
+  /// links; the returned tree additionally passes Validate().
+  static Result<SchemaTree> DeserializeBinary(wire::Reader* in);
 
   /// Human-readable indented rendering, for debugging and examples.
   std::string ToString() const;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "store/snapshot_store.h"
 #include "util/random.h"
 
 namespace xsm::service {
@@ -81,6 +82,13 @@ Result<std::unique_ptr<MatchService>> MatchService::Create(
     schema::SchemaForest repository, const MatchServiceOptions& options) {
   XSM_ASSIGN_OR_RETURN(std::shared_ptr<const RepositorySnapshot> snapshot,
                        RepositorySnapshot::Create(std::move(repository)));
+  return std::make_unique<MatchService>(std::move(snapshot), options);
+}
+
+Result<std::unique_ptr<MatchService>> MatchService::WarmStart(
+    const std::string& path, const MatchServiceOptions& options) {
+  XSM_ASSIGN_OR_RETURN(std::shared_ptr<const RepositorySnapshot> snapshot,
+                       store::LoadSnapshotFromFile(path));
   return std::make_unique<MatchService>(std::move(snapshot), options);
 }
 

@@ -171,6 +171,15 @@ class MatchService {
       schema::SchemaForest repository, const MatchServiceOptions& options =
                                            MatchServiceOptions());
 
+  /// Boots a service from a snapshot persisted by SaveSnapshot /
+  /// store::SaveSnapshotToFile: the forest, structural index, name
+  /// dictionary and fingerprints are loaded, not rebuilt, and the
+  /// generation chain continues delta ingestion from the loaded
+  /// generation (the first ApplyDelta publishes it + 1).
+  static Result<std::unique_ptr<MatchService>> WarmStart(
+      const std::string& path, const MatchServiceOptions& options =
+                                   MatchServiceOptions());
+
   MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
                const MatchServiceOptions& options = MatchServiceOptions());
 
@@ -242,6 +251,13 @@ class MatchService {
   /// Drops every cached cluster state in every retained namespace
   /// (measurement / repository tuning).
   void ClearCache();
+
+  /// Persists the current snapshot for a later WarmStart (atomic write;
+  /// see store::SaveSnapshotToFile). Safe alongside concurrent queries and
+  /// deltas: the snapshot pinned at entry is saved, whole and consistent.
+  Result<store::SnapshotFileInfo> SaveSnapshot(const std::string& path) const {
+    return manager_->SaveSnapshot(path);
+  }
 
   /// The options Match() actually runs for `query` against the *current*
   /// snapshot, after per-query seed derivation and element-matching

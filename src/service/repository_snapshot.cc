@@ -93,12 +93,72 @@ RepositorySnapshot::CreateSuccessor(
   return snapshot;
 }
 
+Result<std::shared_ptr<const RepositorySnapshot>>
+RepositorySnapshot::FromParts(
+    schema::SchemaForest forest, label::ForestIndex index,
+    match::NameDictionary dictionary, uint64_t generation,
+    uint64_t expected_fingerprint,
+    const std::vector<uint64_t>& expected_tree_fingerprints) {
+  XSM_RETURN_NOT_OK(forest.Validate());
+  if (index.num_trees() != forest.num_trees()) {
+    return Status::InvalidArgument(
+        "adopted index does not describe the forest");
+  }
+  if (dictionary.total_nodes() != forest.total_nodes()) {
+    return Status::InvalidArgument(
+        "adopted dictionary does not describe the forest");
+  }
+  if (expected_tree_fingerprints.size() != forest.num_trees()) {
+    return Status::Corruption(
+        "per-tree fingerprint count does not match the forest");
+  }
+  std::shared_ptr<const RepositorySnapshot> snapshot(new RepositorySnapshot(
+      std::move(forest), std::move(index), std::move(dictionary),
+      generation));
+  // The constructor recomputed fingerprints from the adopted forest; the
+  // expected values came from the persisted file. Equality proves the
+  // loaded snapshot carries exactly the content that was saved.
+  if (snapshot->fingerprint() != expected_fingerprint) {
+    return Status::Corruption(
+        "loaded forest fingerprint does not match the saved one");
+  }
+  for (size_t t = 0; t < expected_tree_fingerprints.size(); ++t) {
+    if (snapshot->tree_fingerprints_[t] != expected_tree_fingerprints[t]) {
+      return Status::Corruption("tree " + std::to_string(t) +
+                                " fingerprint does not match the saved one");
+    }
+  }
+  return snapshot;
+}
+
 RepositorySnapshot::RepositorySnapshot(schema::SchemaForest forest)
     : forest_(std::move(forest)) {
   matcher_ = std::make_unique<core::Bellflower>(&forest_);
   name_dict_ = match::NameDictionary::Build(forest_);
   build_stats_.trees_rebuilt = forest_.num_trees();
   build_stats_.name_entries_computed = name_dict_.size();
+  tree_fingerprints_.reserve(forest_.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest_.num_trees()); ++t) {
+    tree_fingerprints_.push_back(FingerprintTree(forest_.tree(t)));
+  }
+  FinishFingerprint();
+}
+
+RepositorySnapshot::RepositorySnapshot(schema::SchemaForest forest,
+                                       label::ForestIndex index,
+                                       match::NameDictionary dictionary,
+                                       uint64_t generation)
+    : forest_(std::move(forest)),
+      name_dict_(std::move(dictionary)),
+      generation_(generation) {
+  matcher_ = std::make_unique<core::Bellflower>(&forest_, std::move(index));
+  // The dictionary was deserialized against the pre-move forest; its
+  // content (refs, entries) is address-free, only the back-pointer moves.
+  name_dict_.BindForest(&forest_);
+  // Nothing was rebuilt: the whole point of a warm start.
+  build_stats_.trees_reused = forest_.num_trees();
+  build_stats_.name_entries_copied = name_dict_.size();
   tree_fingerprints_.reserve(forest_.num_trees());
   for (schema::TreeId t = 0;
        t < static_cast<schema::TreeId>(forest_.num_trees()); ++t) {

@@ -57,6 +57,22 @@ class RepositorySnapshot {
       schema::SchemaForest forest,
       const std::vector<schema::TreeId>& reuse_map);
 
+  /// Store-assembly hook (store::DeserializeSnapshot): adopts components
+  /// deserialized from a persisted snapshot instead of building them, so a
+  /// warm start never re-labels or re-folds anything. Validates `forest`,
+  /// requires `index`/`dictionary` to describe it (the dictionary is
+  /// re-bound to the forest's final address), and recomputes the content
+  /// fingerprints from the adopted forest: a mismatch with
+  /// `expected_fingerprint` / `expected_tree_fingerprints` (the values read
+  /// from the file) fails with Corruption, so a loaded snapshot provably
+  /// carries the content that was saved. The snapshot resumes the saved
+  /// chain at `generation` — CreateSuccessor continues from generation + 1.
+  static Result<std::shared_ptr<const RepositorySnapshot>> FromParts(
+      schema::SchemaForest forest, label::ForestIndex index,
+      match::NameDictionary dictionary, uint64_t generation,
+      uint64_t expected_fingerprint,
+      const std::vector<uint64_t>& expected_tree_fingerprints);
+
   RepositorySnapshot(const RepositorySnapshot&) = delete;
   RepositorySnapshot& operator=(const RepositorySnapshot&) = delete;
 
@@ -97,6 +113,10 @@ class RepositorySnapshot {
   RepositorySnapshot(schema::SchemaForest forest,
                      const RepositorySnapshot& previous,
                      const std::vector<schema::TreeId>& reuse_map);
+
+  /// Warm-start path: adopts deserialized components (see FromParts).
+  RepositorySnapshot(schema::SchemaForest forest, label::ForestIndex index,
+                     match::NameDictionary dictionary, uint64_t generation);
 
   /// Combines the per-tree fingerprints (already filled in) into the
   /// forest-level fingerprint.

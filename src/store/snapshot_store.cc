@@ -1,0 +1,377 @@
+#include "store/snapshot_store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "label/tree_index.h"
+#include "match/name_dictionary.h"
+#include "schema/schema_forest.h"
+#include "schema/schema_tree.h"
+#include "util/wire.h"
+
+namespace xsm::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'S', 'M', 'S', 'N', 'A', 'P', '\0'};
+// magic + version + section_count + generation + fingerprint + trees +
+// total_nodes + header crc. The header fields live outside every section,
+// so they carry their own CRC (over the fields, not the magic).
+constexpr size_t kHeaderFieldsSize = 4 + 4 + 8 + 8 + 8 + 8;
+constexpr size_t kHeaderSize = 8 + kHeaderFieldsSize + 4;
+// id + crc + payload_size.
+constexpr size_t kSectionFrameSize = 4 + 4 + 8;
+constexpr uint32_t kSectionCount = 4;
+
+const char* SectionName(Section id) {
+  switch (id) {
+    case Section::kForest:
+      return "forest";
+    case Section::kIndex:
+      return "index";
+    case Section::kDictionary:
+      return "dictionary";
+    case Section::kFingerprints:
+      return "fingerprints";
+  }
+  return "unknown";
+}
+
+void AppendSection(std::string* out, Section id,
+                   const std::string& payload) {
+  wire::Writer frame(out);
+  frame.U32(static_cast<uint32_t>(id));
+  frame.U32(wire::Crc32c(payload));
+  frame.U64(payload.size());
+  out->append(payload);
+}
+
+/// Reads one section's framing and payload window, in the fixed v1 order.
+/// CRC is verified here, so decoders below run on bytes proven to be the
+/// ones that were written.
+Result<std::string_view> TakeSection(std::string_view bytes,
+                                     size_t* cursor, Section expected) {
+  if (bytes.size() - *cursor < kSectionFrameSize) {
+    return Status::Corruption("truncated before " +
+                              std::string(SectionName(expected)) +
+                              " section");
+  }
+  wire::Reader frame(bytes.substr(*cursor, kSectionFrameSize));
+  const uint32_t id = frame.U32();
+  const uint32_t crc = frame.U32();
+  const uint64_t size = frame.U64();
+  *cursor += kSectionFrameSize;
+  if (id != static_cast<uint32_t>(expected)) {
+    return Status::Corruption("expected " +
+                              std::string(SectionName(expected)) +
+                              " section, found id " + std::to_string(id));
+  }
+  if (size > bytes.size() - *cursor) {
+    return Status::Corruption("truncated " +
+                              std::string(SectionName(expected)) +
+                              " section");
+  }
+  std::string_view payload = bytes.substr(*cursor, size);
+  *cursor += static_cast<size_t>(size);
+  if (wire::Crc32c(payload) != crc) {
+    return Status::Corruption(std::string(SectionName(expected)) +
+                              " section CRC mismatch");
+  }
+  return payload;
+}
+
+/// Every section must be consumed exactly: trailing bytes mean the writer
+/// and reader disagree about the layout.
+Status ExpectDrained(const wire::Reader& reader, Section id) {
+  XSM_RETURN_NOT_OK(reader.status());
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes in " +
+                              std::string(SectionName(id)) + " section");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeSnapshot(const service::RepositorySnapshot& snapshot) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  wire::Writer header(&out);
+  header.U32(kFormatVersion);
+  header.U32(kSectionCount);
+  header.U64(snapshot.generation());
+  header.U64(snapshot.fingerprint());
+  header.U64(snapshot.num_trees());
+  header.U64(snapshot.total_nodes());
+  header.U32(wire::Crc32c(
+      std::string_view(out).substr(sizeof(kMagic), kHeaderFieldsSize)));
+
+  const schema::SchemaForest& forest = snapshot.forest();
+  std::string payload;
+  wire::Writer writer(&payload);
+
+  writer.U64(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    writer.Str(forest.source(t));
+    forest.tree(t).SerializeTo(&writer);
+  }
+  AppendSection(&out, Section::kForest, payload);
+
+  payload.clear();
+  snapshot.index().SerializeTo(&writer);
+  AppendSection(&out, Section::kIndex, payload);
+
+  payload.clear();
+  snapshot.name_dictionary().SerializeTo(&writer);
+  AppendSection(&out, Section::kDictionary, payload);
+
+  payload.clear();
+  std::vector<uint64_t> tree_fingerprints;
+  tree_fingerprints.reserve(forest.num_trees());
+  for (schema::TreeId t = 0;
+       t < static_cast<schema::TreeId>(forest.num_trees()); ++t) {
+    tree_fingerprints.push_back(snapshot.tree_fingerprint(t));
+  }
+  writer.U64Vec(tree_fingerprints);
+  AppendSection(&out, Section::kFingerprints, payload);
+  return out;
+}
+
+Result<SnapshotFileInfo> ProbeSnapshot(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an xsm snapshot file (bad magic)");
+  }
+  if (bytes.size() < sizeof(kMagic) + 4) {
+    return Status::Corruption("truncated snapshot header");
+  }
+  wire::Reader reader(bytes.substr(sizeof(kMagic)));
+  SnapshotFileInfo info;
+  info.format_version = reader.U32();
+  // The version gate comes before any further header interpretation: a
+  // future format may lay the rest out differently, and must be refused
+  // typed rather than misread.
+  if (info.format_version > kFormatVersion) {
+    return Status::Unimplemented(
+        "snapshot format version " + std::to_string(info.format_version) +
+        " is newer than this build reads (<= " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("truncated snapshot header");
+  }
+  const uint32_t section_count = reader.U32();
+  info.generation = reader.U64();
+  info.fingerprint = reader.U64();
+  info.trees = reader.U64();
+  info.total_nodes = reader.U64();
+  const uint32_t header_crc = reader.U32();
+  info.total_bytes = bytes.size();
+  if (wire::Crc32c(bytes.substr(sizeof(kMagic), kHeaderFieldsSize)) !=
+      header_crc) {
+    return Status::Corruption("snapshot header CRC mismatch");
+  }
+  if (info.format_version == 0 || section_count != kSectionCount) {
+    return Status::Corruption("snapshot header is internally inconsistent");
+  }
+  // Walk the section framing (no CRC work) so a probe notices truncation.
+  size_t cursor = kHeaderSize;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    if (bytes.size() - cursor < kSectionFrameSize) {
+      return Status::Corruption("truncated section table");
+    }
+    wire::Reader frame(bytes.substr(cursor, kSectionFrameSize));
+    frame.U32();
+    frame.U32();
+    const uint64_t size = frame.U64();
+    cursor += kSectionFrameSize;
+    if (size > bytes.size() - cursor) {
+      return Status::Corruption("truncated section payload");
+    }
+    cursor += static_cast<size_t>(size);
+  }
+  if (cursor != bytes.size()) {
+    return Status::Corruption("trailing bytes after last section");
+  }
+  return info;
+}
+
+Result<std::shared_ptr<const service::RepositorySnapshot>>
+DeserializeSnapshot(std::string_view bytes) {
+  XSM_ASSIGN_OR_RETURN(SnapshotFileInfo info, ProbeSnapshot(bytes));
+  size_t cursor = kHeaderSize;
+
+  XSM_ASSIGN_OR_RETURN(
+      std::string_view forest_bytes,
+      TakeSection(bytes, &cursor, Section::kForest));
+  wire::Reader forest_reader(forest_bytes);
+  const uint64_t num_trees = forest_reader.U64();
+  if (forest_reader.ok() && num_trees != info.trees) {
+    return Status::Corruption("forest section tree count disagrees with "
+                              "the header");
+  }
+  schema::SchemaForest forest;
+  for (uint64_t t = 0; t < num_trees && forest_reader.ok(); ++t) {
+    std::string source = forest_reader.Str();
+    XSM_ASSIGN_OR_RETURN(schema::SchemaTree tree,
+                         schema::SchemaTree::DeserializeBinary(
+                             &forest_reader));
+    forest.AddTree(std::move(tree), std::move(source));
+  }
+  XSM_RETURN_NOT_OK(ExpectDrained(forest_reader, Section::kForest));
+  if (forest.total_nodes() != info.total_nodes) {
+    return Status::Corruption("forest section node count disagrees with "
+                              "the header");
+  }
+
+  XSM_ASSIGN_OR_RETURN(
+      std::string_view index_bytes,
+      TakeSection(bytes, &cursor, Section::kIndex));
+  wire::Reader index_reader(index_bytes);
+  XSM_ASSIGN_OR_RETURN(
+      label::ForestIndex index,
+      label::ForestIndex::DeserializeBinary(&index_reader, forest));
+  XSM_RETURN_NOT_OK(ExpectDrained(index_reader, Section::kIndex));
+
+  XSM_ASSIGN_OR_RETURN(
+      std::string_view dict_bytes,
+      TakeSection(bytes, &cursor, Section::kDictionary));
+  wire::Reader dict_reader(dict_bytes);
+  XSM_ASSIGN_OR_RETURN(
+      match::NameDictionary dictionary,
+      match::NameDictionary::DeserializeBinary(&dict_reader, forest));
+  XSM_RETURN_NOT_OK(ExpectDrained(dict_reader, Section::kDictionary));
+
+  XSM_ASSIGN_OR_RETURN(
+      std::string_view fp_bytes,
+      TakeSection(bytes, &cursor, Section::kFingerprints));
+  wire::Reader fp_reader(fp_bytes);
+  std::vector<uint64_t> tree_fingerprints;
+  fp_reader.U64Vec(&tree_fingerprints);
+  XSM_RETURN_NOT_OK(ExpectDrained(fp_reader, Section::kFingerprints));
+
+  // FromParts re-fingerprints the forest and compares against the file's
+  // values — the end-to-end guarantee that load == save, content-wise.
+  return service::RepositorySnapshot::FromParts(
+      std::move(forest), std::move(index), std::move(dictionary),
+      info.generation, info.fingerprint, tree_fingerprints);
+}
+
+namespace {
+
+/// Flushes a just-written file's data (and, best-effort, its directory
+/// entry) to stable storage, so the rename below publishes bytes that are
+/// actually on disk — without this, a power loss after the rename can
+/// leave the final name pointing at zero-length data while the previous
+/// snapshot is already gone.
+Status SyncFileToDisk(const std::string& file_path,
+                      const std::string& dir_path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(file_path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::IOError("cannot reopen " + file_path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failure on " + file_path);
+  int dir_fd = ::open(dir_path.empty() ? "." : dir_path.c_str(),
+                      O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // directory durability is best-effort
+    ::close(dir_fd);
+  }
+#else
+  (void)file_path;
+  (void)dir_path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SnapshotFileInfo> SaveSnapshotToFile(
+    const service::RepositorySnapshot& snapshot, const std::string& path) {
+  std::string bytes = SerializeSnapshot(snapshot);
+  // Unique tmp name (pid + in-process counter): concurrent saves to the
+  // same final path — from other threads or other processes — must not
+  // interleave into one tmp file (last rename wins whole, never mixed).
+  static std::atomic<uint64_t> save_counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::string tmp =
+      path + ".tmp." + std::to_string(pid) + "." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failure on " + tmp);
+    }
+  }
+  const size_t slash = path.find_last_of('/');
+  Status synced = SyncFileToDisk(
+      tmp, slash == std::string::npos ? "." : path.substr(0, slash));
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  SnapshotFileInfo info;
+  info.format_version = kFormatVersion;
+  info.generation = snapshot.generation();
+  info.fingerprint = snapshot.fingerprint();
+  info.trees = snapshot.num_trees();
+  info.total_nodes = snapshot.total_nodes();
+  info.total_bytes = bytes.size();
+  return info;
+}
+
+namespace {
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(bytes.data(), size);
+  if (!in || in.gcount() != size) {
+    return Status::IOError("read failure on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const service::RepositorySnapshot>>
+LoadSnapshotFromFile(const std::string& path) {
+  XSM_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return DeserializeSnapshot(bytes);
+}
+
+Result<SnapshotFileInfo> ProbeSnapshotFile(const std::string& path) {
+  XSM_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return ProbeSnapshot(bytes);
+}
+
+}  // namespace xsm::store

@@ -1,0 +1,104 @@
+// xsm::store — versioned on-disk persistence for RepositorySnapshots.
+//
+// The paper's economics rest on amortizing repository preprocessing (parse
+// → TreeIndex labeling → NameDictionary folds/signatures/posting lists →
+// content fingerprints) across many personal-schema queries. Without a
+// store, every process restart forfeits that investment and rebuilds from
+// raw schema text. This module turns restart into a single load: a saved
+// snapshot file carries every derived structure verbatim, so a warm boot
+// deserializes instead of re-indexing, and a warm-started generation chain
+// continues delta ingestion from the persisted generation number.
+//
+// File format (magic "XSMSNAP\0", little-endian, format version 1):
+//
+//   header   magic[8] | u32 version | u32 section_count | u64 generation
+//            | u64 forest_fingerprint | u64 trees | u64 total_nodes
+//            | u32 crc32(header fields)
+//   section  u32 id | u32 crc32(payload) | u64 payload_size | payload
+//
+// Version-1 sections, in order: kForest (trees + sources), kIndex
+// (TreeIndex labelings), kDictionary (NameDictionary), kFingerprints
+// (per-tree content hashes). Every section is individually CRC-protected.
+//
+// Failure taxonomy (typed, never UB):
+//   - kIOError        file missing / unreadable / unwritable
+//   - kParseError     not a snapshot file at all (bad magic)
+//   - kUnimplemented  format version newer than this build reads
+//   - kCorruption     truncation, CRC mismatch, or any internal
+//                     inconsistency a CRC-clean but damaged/crafted file
+//                     could carry (out-of-range ids, bad counts, ...)
+//
+// Beyond the CRCs, a load recomputes the content fingerprints from the
+// deserialized forest and demands they equal the saved ones — a loaded
+// snapshot provably holds the content that was saved.
+//
+// Versioning policy: the reader accepts format versions <= kFormatVersion
+// and rejects newer ones with kUnimplemented (forward compatibility is
+// explicitly refused rather than guessed at). Any layout change bumps
+// kFormatVersion; old readers then fail typed instead of misreading.
+#ifndef XSM_STORE_SNAPSHOT_STORE_H_
+#define XSM_STORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "service/repository_snapshot.h"
+#include "util/status.h"
+
+namespace xsm::store {
+
+/// Format version this build writes (and the newest it reads).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Section identifiers of format version 1.
+enum class Section : uint32_t {
+  kForest = 1,
+  kIndex = 2,
+  kDictionary = 3,
+  kFingerprints = 4,
+};
+
+/// Header facts of one serialized snapshot (cheap to obtain: Probe* reads
+/// only the fixed-size header, not the sections).
+struct SnapshotFileInfo {
+  uint32_t format_version = 0;
+  uint64_t generation = 0;
+  uint64_t fingerprint = 0;
+  uint64_t trees = 0;
+  uint64_t total_nodes = 0;
+  /// Whole-file size in bytes (header + all sections).
+  uint64_t total_bytes = 0;
+};
+
+/// Serializes `snapshot` into the binary format above.
+std::string SerializeSnapshot(const service::RepositorySnapshot& snapshot);
+
+/// Reconstructs a snapshot from SerializeSnapshot output without
+/// re-parsing, re-labeling, or re-folding anything. See the failure
+/// taxonomy above for what damaged input returns.
+Result<std::shared_ptr<const service::RepositorySnapshot>>
+DeserializeSnapshot(std::string_view bytes);
+
+/// Validates the header only: magic, version, and that the section table
+/// fits the byte count. Does not verify CRCs or decode sections.
+Result<SnapshotFileInfo> ProbeSnapshot(std::string_view bytes);
+
+/// Saves atomically: writes `path`.tmp, then renames over `path`, so a
+/// crash mid-save can never leave a half-written file under the final
+/// name. Returns what was written.
+Result<SnapshotFileInfo> SaveSnapshotToFile(
+    const service::RepositorySnapshot& snapshot, const std::string& path);
+
+/// Loads a file produced by SaveSnapshotToFile.
+Result<std::shared_ptr<const service::RepositorySnapshot>>
+LoadSnapshotFromFile(const std::string& path);
+
+/// Header peek of a snapshot file (reads the whole file, validates only
+/// the header).
+Result<SnapshotFileInfo> ProbeSnapshotFile(const std::string& path);
+
+}  // namespace xsm::store
+
+#endif  // XSM_STORE_SNAPSHOT_STORE_H_

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -24,6 +24,10 @@ enum class StatusCode : int {
   kUnimplemented = 8,
   kCancelled = 9,
   kDeadlineExceeded = 10,
+  /// Stored data failed an integrity check (truncation, CRC mismatch,
+  /// internally inconsistent sections). Distinct from kParseError — the
+  /// input claimed to be ours and is damaged, rather than malformed text.
+  kCorruption = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -69,6 +73,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

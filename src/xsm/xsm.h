@@ -48,6 +48,7 @@
 #include "service/repository_snapshot.h"  // IWYU pragma: export
 #include "sim/string_similarity.h"       // IWYU pragma: export
 #include "sim/synonym_dictionary.h"      // IWYU pragma: export
+#include "store/snapshot_store.h"        // IWYU pragma: export
 #include "util/histogram.h"              // IWYU pragma: export
 #include "util/random.h"                 // IWYU pragma: export
 #include "util/status.h"                 // IWYU pragma: export

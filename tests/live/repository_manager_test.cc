@@ -283,7 +283,9 @@ TEST(RepositoryManagerTest, RandomizedDeltasStayEquivalentToScratch) {
       builder.ReplaceTree(replace_target,
                           MutateTree(current->forest().tree(replace_target),
                                      &rng));
-      if (trees >= 4) {
+      // The back-half window [trees/2 + 1, trees - 1) is empty below five
+      // trees (Uniform would get a zero bound); skip the removal then.
+      if (trees >= 5) {
         schema::TreeId remove_target = static_cast<schema::TreeId>(
             trees / 2 + 1 + rng.Uniform(trees - trees / 2 - 2));
         builder.RemoveTree(remove_target);

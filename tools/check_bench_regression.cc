@@ -1,0 +1,208 @@
+// check_bench_regression — CI gate comparing a fresh BENCH_*.json smoke
+// datapoint against the committed full-mode baseline.
+//
+// Smoke runs use smaller corpora and shared CI machines, so absolute
+// timings are not comparable across the two files. What is comparable are
+// the scale-free headline ratios each harness emits (pruned-vs-seed
+// speedup, incremental-vs-scratch publish speedup, warm-vs-cold boot
+// speedup) and the boolean correctness verdicts. This tool fails when
+//   - the current headline ratio collapses below baseline / tolerance
+//     (default tolerance 10 — an order-of-magnitude regression), or
+//   - any correctness boolean that is true in the baseline is false now.
+// Generous by design: it is a tripwire for catastrophic regressions, not
+// a perf tracker (the committed full-mode JSONs are the tracker).
+//
+// Usage:
+//   check_bench_regression --baseline BENCH_x.json --current /tmp/BENCH_x.json
+//                          [--tolerance X]
+//
+// The JSON reader is deliberately minimal: it scans for `"key": value`
+// pairs in the flat machine-generated files our harnesses emit (no
+// nesting-aware parsing needed, keys are unique or uniformly aggregated).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Extracted {
+  bool found = false;
+  double max_value = 0;
+};
+
+/// Largest numeric value of `key` anywhere in `json` (benches repeat some
+/// keys per config row; the best row is the headline).
+Extracted MaxOfKey(const std::string& json, const std::string& key) {
+  Extracted out;
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    size_t colon = json.find(':', pos);
+    if (colon == std::string::npos) break;
+    const double value = std::strtod(json.c_str() + colon + 1, nullptr);
+    if (!out.found || value > out.max_value) out.max_value = value;
+    out.found = true;
+  }
+  return out;
+}
+
+/// True if every occurrence of boolean `key` is `true`.
+bool AllTrue(const std::string& json, const std::string& key,
+             bool* present) {
+  const std::string needle = "\"" + key + "\"";
+  *present = false;
+  size_t pos = 0;
+  bool all = true;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    size_t colon = json.find(':', pos);
+    if (colon == std::string::npos) break;
+    size_t value = json.find_first_not_of(" \t\n", colon + 1);
+    *present = true;
+    // A truncated file can end right after the colon; that's "not true".
+    all = all && value != std::string::npos &&
+          json.compare(value, 4, "true") == 0;
+  }
+  return all;
+}
+
+std::string FirstString(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  size_t open = json.find('"', json.find(':', pos + needle.size()) + 1);
+  if (open == std::string::npos) return "";
+  size_t close = json.find('"', open + 1);
+  return json.substr(open + 1, close - open - 1);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return !in.bad();
+}
+
+struct BenchProfile {
+  const char* bench;          ///< "bench" field value
+  const char* headline;       ///< scale-free ratio key to compare
+  /// Correctness booleans; each must stay all-true if the baseline has it.
+  std::vector<const char*> correctness;
+};
+
+const BenchProfile kProfiles[] = {
+    {"element_matching",
+     "speedup_pruned_vs_seed",
+     {"results_identical_to_seed"}},
+    {"live_ingestion",
+     "speedup_vs_scratch",
+     {"cow_verified", "fingerprints_verified"}},
+    {"store",
+     "speedup_warm_vs_cold_xsd",
+     {"fingerprint_roundtrip", "probe_consistent", "queries_identical"}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double tolerance = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: check_bench_regression --baseline FILE "
+                   "--current FILE [--tolerance X]\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || tolerance <= 0) {
+    std::fprintf(stderr,
+                 "usage: check_bench_regression --baseline FILE "
+                 "--current FILE [--tolerance X]\n");
+    return 2;
+  }
+
+  std::string baseline, current;
+  if (!ReadFile(baseline_path, &baseline)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(current_path, &current)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path.c_str());
+    return 2;
+  }
+
+  const std::string bench = FirstString(baseline, "bench");
+  if (bench.empty() || bench != FirstString(current, "bench")) {
+    std::fprintf(stderr,
+                 "baseline and current disagree about which bench this is "
+                 "('%s' vs '%s')\n",
+                 bench.c_str(), FirstString(current, "bench").c_str());
+    return 2;
+  }
+  const BenchProfile* profile = nullptr;
+  for (const BenchProfile& p : kProfiles) {
+    if (bench == p.bench) profile = &p;
+  }
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown bench '%s'\n", bench.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+
+  // Correctness booleans regress only downward.
+  for (const char* key : profile->correctness) {
+    bool base_present = false, cur_present = false;
+    const bool base_ok = AllTrue(baseline, key, &base_present);
+    const bool cur_ok = AllTrue(current, key, &cur_present);
+    if (!base_present || !base_ok) continue;  // never enforced in baseline
+    if (!cur_present || !cur_ok) {
+      std::printf("FAIL %s: correctness flag \"%s\" is no longer true\n",
+                  bench.c_str(), key);
+      ++failures;
+    }
+  }
+
+  // Headline ratio: current must stay within tolerance of the baseline.
+  Extracted base = MaxOfKey(baseline, profile->headline);
+  Extracted cur = MaxOfKey(current, profile->headline);
+  if (!base.found) {
+    std::fprintf(stderr, "baseline %s lacks \"%s\"\n", baseline_path.c_str(),
+                 profile->headline);
+    return 2;
+  }
+  if (!cur.found) {
+    std::printf("FAIL %s: current output lacks \"%s\"\n", bench.c_str(),
+                profile->headline);
+    ++failures;
+  } else {
+    const double floor = base.max_value / tolerance;
+    std::printf("%s: %s = %.3f (baseline %.3f, floor %.3f at tolerance "
+                "%.1fx)\n",
+                bench.c_str(), profile->headline, cur.max_value,
+                base.max_value, floor, tolerance);
+    if (cur.max_value < floor) {
+      std::printf("FAIL %s: \"%s\" collapsed by more than %.1fx\n",
+                  bench.c_str(), profile->headline, tolerance);
+      ++failures;
+    }
+  }
+
+  if (failures > 0) return 1;
+  std::printf("%s: no order-of-magnitude regression\n", bench.c_str());
+  return 0;
+}

@@ -5,7 +5,13 @@
 //            Generate a synthetic repository and save it.
 //   convert  --repo-dir DIR --out FILE
 //            Import .dtd/.xsd files and save the forest snapshot.
-//   stats    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
+//   save     (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
+//            --out FILE.snap
+//            Build the full repository snapshot (index, dictionary,
+//            fingerprints) and persist it as a versioned, checksummed
+//            binary (xsm::store) for --warm-start boots.
+//   stats    (--forest FILE | --repo-dir DIR | --synthetic N[:seed]
+//            | --warm-start FILE.snap)
 //            Print corpus statistics.
 //   match    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
 //            --personal SPEC [--delta D] [--alpha A] [--threshold T]
@@ -34,10 +40,18 @@
 //              !replace ID SPEC [source=NAME]  swap tree ID's payload
 //              !remove ID                      retire tree ID
 //              !reload (FILE|DIR)              replace the whole repository
+//              !save PATH                      persist the current snapshot
 //              !generation                     report the current generation
 //              !stats                          cache/generation counters
 //            Each successful mutation emits one "generation" NDJSON event;
 //            EOF prints a session summary with the cluster-cache counters.
+//
+// Warm starts: every command that loads a repository also accepts
+//   --warm-start FILE.snap
+// instead of --forest/--repo-dir/--synthetic. The snapshot written by
+// `save` (or serve-mode `!save`) is loaded whole — no re-parsing, no
+// re-indexing — and serve/batch continue delta ingestion from the
+// persisted generation.
 //
 // Streaming flags (match/batch/serve):
 //   --deadline-ms MS   per-query wall-clock deadline; an expired query
@@ -118,9 +132,12 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xsm_cli <gen|convert|stats|match|batch|serve> [options]\n"
+      "usage: xsm_cli <gen|convert|save|stats|match|batch|serve> "
+      "[options]\n"
       "  gen      --elements N [--seed S] --out FILE\n"
       "  convert  --repo-dir DIR --out FILE\n"
+      "  save     (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
+      "           --out FILE.snap\n"
       "  stats    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "  match    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "           --personal SPEC [--delta D] [--alpha A] [--threshold T]\n"
@@ -137,9 +154,13 @@ int Usage() {
       "batch/serve stream NDJSON events (mapping / cluster / done / error)\n"
       "to stdout; match honors --deadline-ms / --first-n too.\n"
       "serve also accepts repository commands on stdin: !ingest SPEC,\n"
-      "!replace ID SPEC, !remove ID, !reload FILE|DIR, !generation, !stats\n"
-      "(each mutation publishes a new generation and emits a "
-      "\"generation\" event).\n");
+      "!replace ID SPEC, !remove ID, !reload FILE|DIR, !save PATH,\n"
+      "!generation, !stats (each mutation publishes a new generation and\n"
+      "emits a \"generation\" event).\n"
+      "stats/match/batch/serve also accept --warm-start FILE.snap (a file\n"
+      "written by `save` or `!save`) as the repository source: the\n"
+      "snapshot loads whole, nothing is re-parsed or re-indexed, and the\n"
+      "generation chain continues where it was persisted.\n");
   return 2;
 }
 
@@ -180,7 +201,29 @@ Result<schema::SchemaForest> LoadRepository(const Args& args) {
     return repo::GenerateSyntheticRepository(options);
   }
   return Status::InvalidArgument(
-      "need one of --forest / --repo-dir / --synthetic");
+      "need one of --forest / --repo-dir / --synthetic / --warm-start");
+}
+
+/// The snapshot a command should serve: loaded whole from a persisted
+/// snapshot file under --warm-start, otherwise built (validate + index +
+/// dictionary + fingerprints) from whichever repository source flag is
+/// present.
+Result<std::shared_ptr<const service::RepositorySnapshot>> LoadSnapshot(
+    const Args& args) {
+  if (args.Has("warm-start")) {
+    XSM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const service::RepositorySnapshot> snapshot,
+        store::LoadSnapshotFromFile(args.Get("warm-start")));
+    std::fprintf(stderr,
+                 "warm start: %zu trees / %zu elements at generation %llu "
+                 "(fingerprint %016llx)\n",
+                 snapshot->num_trees(), snapshot->total_nodes(),
+                 static_cast<unsigned long long>(snapshot->generation()),
+                 static_cast<unsigned long long>(snapshot->fingerprint()));
+    return snapshot;
+  }
+  XSM_ASSIGN_OR_RETURN(schema::SchemaForest forest, LoadRepository(args));
+  return service::RepositorySnapshot::Create(std::move(forest));
 }
 
 int RunGen(const Args& args) {
@@ -228,11 +271,55 @@ int RunConvert(const Args& args) {
   return 0;
 }
 
-int RunStats(const Args& args) {
-  auto forest = LoadRepository(args);
-  if (!forest.ok()) {
-    std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+int RunSave(const Args& args) {
+  if (!args.Has("out")) {
+    std::fprintf(stderr, "save requires --out FILE.snap\n");
+    return 2;
+  }
+  auto snapshot = LoadSnapshot(args);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
     return 1;
+  }
+  auto info = store::SaveSnapshotToFile(**snapshot, args.Get("out"));
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: format v%u, generation %llu, %zu trees / %zu "
+              "elements, %llu bytes (fingerprint %016llx)\n",
+              args.Get("out").c_str(), info->format_version,
+              static_cast<unsigned long long>(info->generation),
+              (*snapshot)->num_trees(), (*snapshot)->total_nodes(),
+              static_cast<unsigned long long>(info->total_bytes),
+              static_cast<unsigned long long>(info->fingerprint));
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  // Stats only needs the forest; building the full snapshot (index,
+  // dictionary, fingerprints) would be pure waste — except under
+  // --warm-start, where the snapshot file is the source and already
+  // carries everything.
+  std::shared_ptr<const service::RepositorySnapshot> snapshot;
+  schema::SchemaForest loaded;
+  const schema::SchemaForest* forest = nullptr;
+  if (args.Has("warm-start")) {
+    auto result = LoadSnapshot(args);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    snapshot = std::move(*result);
+    forest = &snapshot->forest();
+  } else {
+    auto result = LoadRepository(args);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    loaded = std::move(*result);
+    forest = &loaded;
   }
   repo::RepositoryStats stats = repo::ComputeStats(*forest);
   std::printf("trees:          %zu\n", stats.trees);
@@ -245,11 +332,12 @@ int RunStats(const Args& args) {
 }
 
 int RunMatch(const Args& args) {
-  auto forest = LoadRepository(args);
-  if (!forest.ok()) {
-    std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+  auto snapshot = LoadSnapshot(args);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
     return 1;
   }
+  const schema::SchemaForest& forest = (*snapshot)->forest();
   if (!args.Has("personal")) {
     std::fprintf(stderr, "match requires --personal SPEC\n");
     return 2;
@@ -296,7 +384,7 @@ int RunMatch(const Args& args) {
     control.stop_after_n_mappings = static_cast<uint64_t>(first_n);
   }
 
-  core::Bellflower system(&*forest);
+  const core::Bellflower& system = (*snapshot)->matcher();
   auto result = system.Match(*personal, options, control);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -324,7 +412,7 @@ int RunMatch(const Args& args) {
   int rank = 1;
   for (const auto& mapping : result->mappings) {
     std::printf("%3d. %s\n", rank++,
-                generate::MappingToString(mapping, *personal, *forest)
+                generate::MappingToString(mapping, *personal, forest)
                     .c_str());
   }
   if (options.include_partial_mappings) {
@@ -350,7 +438,7 @@ int RunMatch(const Args& args) {
     for (const auto& mapping : result->mappings) {
       if (qrank > 5) break;
       auto rewritten =
-          query::RewriteQuery(*query, *personal, mapping, *forest);
+          query::RewriteQuery(*query, *personal, mapping, forest);
       std::printf("%3d. %s\n", qrank++,
                   rewritten.ok()
                       ? rewritten->ToString().c_str()
@@ -440,13 +528,18 @@ Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
   if (threads < 0) {
     return Status::InvalidArgument("--threads must be >= 0");
   }
-  XSM_ASSIGN_OR_RETURN(schema::SchemaForest forest, LoadRepository(args));
   service::MatchServiceOptions options;
   options.num_threads = static_cast<size_t>(threads);
   // --deadline-ms becomes the service's default per-query deadline; the
   // clock starts at SubmitMatch, so pool queue wait counts against it.
   options.default_deadline_seconds = args.GetDouble("deadline-ms", 0) / 1e3;
-  return service::MatchService::Create(std::move(forest), options);
+  // Warm start included: LoadSnapshot dispatches on --warm-start, and the
+  // service then continues delta ingestion from the loaded generation.
+  XSM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const service::RepositorySnapshot> snapshot,
+      LoadSnapshot(args));
+  return std::make_unique<service::MatchService>(std::move(snapshot),
+                                                 options);
 }
 
 // --- NDJSON event streaming (batch / serve) --------------------------------
@@ -816,6 +909,30 @@ void RunServeCommand(service::MatchService* service,
       builder.AddTree(loaded->tree_ptr(t), loaded->source(t));
     }
     apply(std::move(builder));
+  } else if (command == "!save") {
+    std::string path;
+    if (!(stream >> path)) {
+      std::fprintf(stderr, "usage: !save PATH\n");
+      return;
+    }
+    auto info = service->SaveSnapshot(path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return;
+    }
+    char nums[384];
+    std::snprintf(nums, sizeof(nums),
+                  "\",\"format\":%u,\"generation\":%llu,"
+                  "\"fingerprint\":\"%016llx\",\"trees\":%llu,"
+                  "\"elements\":%llu,\"bytes\":%llu}",
+                  info->format_version,
+                  static_cast<unsigned long long>(info->generation),
+                  static_cast<unsigned long long>(info->fingerprint),
+                  static_cast<unsigned long long>(info->trees),
+                  static_cast<unsigned long long>(info->total_nodes),
+                  static_cast<unsigned long long>(info->total_bytes));
+    EmitEventLine("{\"type\":\"saved\",\"path\":\"" + JsonEscape(path) +
+                  nums);
   } else if (command == "!generation") {
     std::shared_ptr<const service::RepositorySnapshot> snapshot =
         service->CurrentSnapshot();
@@ -844,7 +961,7 @@ void RunServeCommand(service::MatchService* service,
         stats.cache.entries, stats.cache_namespaces);
   } else {
     std::fprintf(stderr,
-                 "unknown command %s (try !ingest, !replace, !remove, "
+                 "unknown command %s (try !ingest, !replace, !remove, !save, "
                  "!reload, !generation, !stats)\n",
                  command.c_str());
   }
@@ -867,8 +984,8 @@ int RunServe(const Args& args) {
     std::fprintf(stderr,
                  "ready: %zu elements / %zu trees (generation %llu); enter "
                  "queries (SPEC [key=value ...]) or !commands (!ingest, "
-                 "!replace, !remove, !reload, !generation, !stats), EOF to "
-                 "quit; NDJSON events on stdout\n",
+                 "!replace, !remove, !reload, !save, !generation, !stats), "
+                 "EOF to quit; NDJSON events on stdout\n",
                  snapshot->total_nodes(), snapshot->num_trees(),
                  static_cast<unsigned long long>(snapshot->generation()));
   }
@@ -937,6 +1054,7 @@ int main(int argc, char** argv) {
   if (!args.ok()) return Usage();
   std::string command = argv[1];
   if (command == "gen") return RunGen(args);
+  if (command == "save") return RunSave(args);
   if (command == "convert") return RunConvert(args);
   if (command == "stats") return RunStats(args);
   if (command == "match") return RunMatch(args);
