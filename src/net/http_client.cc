@@ -1,0 +1,188 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace xsm::net {
+
+std::string BuildRequest(std::string_view method, std::string_view target,
+                         std::string_view body,
+                         std::string_view content_type, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += method;
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\nHost: localhost\r\n";
+  if (!body.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive"
+                    : "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_), leftover_(std::move(other.leftover_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    leftover_ = std::move(other.leftover_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("unparseable host '" + host + "'");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return Status::IOError("connect(" + host + ":" + std::to_string(port) +
+                           ") failed: " + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send() failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status HttpClient::SendRequest(std::string_view method,
+                               std::string_view target,
+                               std::string_view body,
+                               std::string_view content_type,
+                               bool keep_alive) {
+  return SendRaw(BuildRequest(method, target, body, content_type,
+                              keep_alive));
+}
+
+Result<HttpMessage> HttpClient::ReadResponse(const HttpLimits& limits) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  HttpParser parser(HttpParser::Mode::kResponse, limits);
+  if (!leftover_.empty()) {
+    parser.Feed(leftover_);
+    leftover_.clear();
+  }
+  char buf[16 * 1024];
+  while (!parser.done() && !parser.failed()) {
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    parser.Finish();  // EOF completes until-EOF bodies, fails truncation
+    break;
+  }
+  if (parser.failed()) {
+    Close();
+    return parser.status();
+  }
+  if (!parser.done()) {
+    Close();
+    return Status::IOError("connection closed before a complete response");
+  }
+  // Keep any bytes past this response (a pipelined successor) for the
+  // next ReadResponse; dropping them would hang that read forever.
+  leftover_ = parser.lookahead();
+  HttpMessage message = std::move(parser.message());
+  if (!message.keep_alive) Close();
+  return message;
+}
+
+Result<HttpMessage> HttpClient::Fetch(std::string_view method,
+                                      std::string_view target,
+                                      std::string_view body,
+                                      std::string_view content_type,
+                                      bool keep_alive) {
+  Status status = SendRequest(method, target, body, content_type, keep_alive);
+  if (!status.ok()) return status;
+  return ReadResponse();
+}
+
+Result<std::string> HttpClient::ReadUntil(std::string_view marker,
+                                          size_t max_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string seen = std::move(leftover_);
+  leftover_.clear();
+  char buf[4096];
+  while (seen.find(marker) == std::string::npos) {
+    if (seen.size() > max_bytes) {
+      return Status::OutOfRange("marker not found in " +
+                                std::to_string(max_bytes) + " bytes");
+    }
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      seen.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("connection closed before marker");
+  }
+  return seen;
+}
+
+void HttpClient::CloseWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  leftover_.clear();
+}
+
+Result<HttpMessage> FetchOnce(const std::string& host, uint16_t port,
+                              std::string_view method,
+                              std::string_view target,
+                              std::string_view body,
+                              std::string_view content_type) {
+  HttpClient client;
+  Status status = client.Connect(host, port);
+  if (!status.ok()) return status;
+  return client.Fetch(method, target, body, content_type,
+                      /*keep_alive=*/false);
+}
+
+}  // namespace xsm::net

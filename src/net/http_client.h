@@ -1,0 +1,86 @@
+// Minimal blocking HTTP/1.1 client over one TCP connection — the test and
+// benchmark harness counterpart of HttpServer. Reuses HttpParser in
+// response mode, so response framing (Content-Length, chunked, until-EOF)
+// is decoded by the same hardened state machine the server trusts for
+// requests. Also exposes the raw socket, which the hostile-input and
+// disconnect tests use to send malformed bytes and hang up mid-response.
+#ifndef XSM_NET_HTTP_CLIENT_H_
+#define XSM_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace xsm::net {
+
+/// Serializes one request with a Content-Length body.
+std::string BuildRequest(std::string_view method, std::string_view target,
+                         std::string_view body,
+                         std::string_view content_type = "text/plain",
+                         bool keep_alive = true);
+
+/// One blocking client connection. Not thread-safe; use one per thread.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends raw bytes verbatim (hostile-input tests build their own).
+  Status SendRaw(std::string_view bytes);
+
+  /// BuildRequest + SendRaw.
+  Status SendRequest(std::string_view method, std::string_view target,
+                     std::string_view body,
+                     std::string_view content_type = "text/plain",
+                     bool keep_alive = true);
+
+  /// Blocks until one complete response is parsed (or the peer closes /
+  /// errors). Keep-alive responses leave the connection usable for the
+  /// next SendRequest; Connection: close responses (and EOF-framed
+  /// bodies) close it.
+  Result<HttpMessage> ReadResponse(const HttpLimits& limits = HttpLimits());
+
+  /// SendRequest + ReadResponse.
+  Result<HttpMessage> Fetch(std::string_view method, std::string_view target,
+                            std::string_view body = "",
+                            std::string_view content_type = "text/plain",
+                            bool keep_alive = true);
+
+  /// Reads until `marker` appears in the accumulated raw bytes or the
+  /// peer closes; returns what was read. The mid-stream-disconnect test
+  /// uses this to leave with a response half-consumed.
+  Result<std::string> ReadUntil(std::string_view marker,
+                                size_t max_bytes = 1 << 20);
+
+  /// Half-close: no more request bytes, responses still readable.
+  void CloseWrite();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  /// Bytes read past the previous response (keep-alive lookahead).
+  std::string leftover_;
+};
+
+/// Connect + Fetch + Close in one call.
+Result<HttpMessage> FetchOnce(const std::string& host, uint16_t port,
+                              std::string_view method,
+                              std::string_view target,
+                              std::string_view body = "",
+                              std::string_view content_type = "text/plain");
+
+}  // namespace xsm::net
+
+#endif  // XSM_NET_HTTP_CLIENT_H_

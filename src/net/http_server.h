@@ -1,0 +1,224 @@
+// HttpServer: the xsm::net socket front end. A single poll()-based event
+// loop owns every file descriptor — it accepts connections, reads request
+// bytes into per-connection HttpParsers, and writes queued response bytes.
+// Completed requests are handed to a worker pool; workers never touch a
+// socket: they run the request against the tenant's ServeSession and
+// append framed response bytes to the connection's locked output buffer,
+// waking the loop through its self-pipe. That split keeps the loop
+// non-blocking (a slow query can never stall accepts or other
+// connections) and makes client disconnects observable mid-query: when
+// the loop reads EOF on a connection whose request is still running, it
+// cancels the request's CancelToken — the query winds down cooperatively
+// and the partial response is discarded.
+//
+// Admission control reuses the engine's deadline machinery rather than
+// inventing a queue: up to `soft_inflight` concurrent match/batch
+// requests run with the tenant's full default deadline; between soft and
+// `max_inflight` the deadline scales linearly down to
+// `min_deadline_fraction` of the default (the engine's anytime contract
+// turns the tighter budget into smaller result sets, not errors); at
+// `max_inflight` requests are shed immediately with a typed NDJSON 503.
+//
+// Graceful drain: RequestShutdown() (async-signal-safe; wired to
+// SIGINT/SIGTERM by InstallShutdownSignalHandlers) stops the listener,
+// lets in-flight requests finish — cancelling stragglers after
+// `drain_cancel_seconds` — flushes and closes every connection, then
+// saves every tenant to the registry's state directory, so a warm
+// restart resumes each tenant at its pre-drain generation.
+#ifndef XSM_NET_HTTP_SERVER_H_
+#define XSM_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "net/tenant_registry.h"
+#include "util/histogram.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace xsm::net {
+
+struct AdmissionOptions {
+  /// Hard cap on concurrently executing match/batch requests; the
+  /// (max_inflight+1)-th is shed with a typed 503. 0 disables shedding.
+  size_t max_inflight = 256;
+  /// Below this many in-flight requests, queries run with the tenant's
+  /// full default deadline; from here to max_inflight the deadline
+  /// tightens linearly. 0 means max_inflight (no scaling band).
+  size_t soft_inflight = 0;
+  /// Deadline fraction applied at the hard cap (0.25 = a request admitted
+  /// at the last slot gets a quarter of the default deadline). Only
+  /// meaningful when the tenant service has a default deadline.
+  double min_deadline_fraction = 0.25;
+};
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; port() reports the bound one.
+  uint16_t port = 0;
+  /// Request-handling workers; 0 means ThreadPool::DefaultThreadCount().
+  size_t num_workers = 0;
+  /// Maximum accepted connections; accepts beyond it are closed
+  /// immediately (backpressure at the socket layer).
+  size_t max_connections = 4096;
+  HttpLimits limits;
+  AdmissionOptions admission;
+  /// Seconds a drain waits for in-flight requests before cancelling them.
+  double drain_cancel_seconds = 5.0;
+  /// Seconds a drain waits in total before force-closing connections.
+  double drain_hard_seconds = 10.0;
+};
+
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< over max_connections
+  uint64_t requests = 0;              ///< routed requests, any endpoint
+  uint64_t requests_shed = 0;         ///< 503s from admission control
+  uint64_t parse_failures = 0;        ///< connections killed by bad HTTP
+  uint64_t disconnect_cancels = 0;    ///< queries cancelled by client EOF
+  size_t inflight = 0;                ///< match/batch executing right now
+  /// Wall-clock latency of finished match/batch requests, milliseconds.
+  QuantileAccumulator latency_ms;
+};
+
+/// Serves the registry's tenants over HTTP/1.1. Endpoints (all responses
+/// NDJSON; streaming ones chunked):
+///   GET  /healthz                      liveness + tenant count
+///   GET  /v1/tenants                   one {"type":"tenant",...} per line
+///   PUT  /v1/tenants/{t}               create tenant; body = tree-spec
+///                                      lines ('#' comments allowed)
+///   POST /v1/tenants/{t}/match         body = one query line (serve
+///                                      grammar); streams mapping events
+///   POST /v1/tenants/{t}/batch         body = query lines; interleaved
+///                                      mapping events, done in order
+///   POST /v1/tenants/{t}/ingest        body = '!' command lines
+///                                      (!ingest / !replace / !remove)
+///   POST /v1/tenants/{t}/save          persist tenant to the state dir
+///   GET  /v1/tenants/{t}/stats         the tenant's stats event
+///   GET  /v1/stats                     server-wide stats event
+class HttpServer {
+ public:
+  /// `registry` must outlive the server.
+  HttpServer(TenantRegistry* registry, HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and listens. After Ok, port() is the bound port.
+  Status Start();
+
+  /// Runs the event loop on the calling thread until a shutdown request
+  /// drains the server. Requires Start().
+  void Serve();
+
+  /// Start() + Serve() on an internal thread; returns once the socket
+  /// is accepting. The destructor (or RequestShutdown + destructor)
+  /// joins it.
+  Status StartBackground();
+
+  /// Initiates graceful drain. Async-signal-safe (one pipe write) and
+  /// idempotent; callable from any thread or signal handler.
+  void RequestShutdown();
+
+  /// Routes SIGINT/SIGTERM to RequestShutdown() on this server. At most
+  /// one server per process may install; returns false if taken.
+  bool InstallShutdownSignalHandlers();
+
+  uint16_t port() const { return port_; }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  HttpServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void AcceptNew();
+  /// Reads available bytes; returns false when the connection is done
+  /// for (EOF or error) and should be torn down after flushing.
+  bool ReadInto(Connection& conn);
+  /// Flushes queued output bytes; false on write error.
+  bool WriteFrom(Connection& conn);
+  /// Dispatches the parser's completed request to the worker pool.
+  void DispatchRequest(std::shared_ptr<Connection> conn);
+  /// Runs on a worker: routes and answers one request.
+  void HandleRequest(std::shared_ptr<Connection> conn, HttpMessage request);
+  /// Marks the in-loop teardown of one connection.
+  void CloseConnection(uint64_t id);
+  void WakeLoop();
+
+  // --- endpoint handlers (worker threads) ---
+  void RouteRequest(const std::shared_ptr<Connection>& conn,
+                    const HttpMessage& request);
+  void HandleMatch(const std::shared_ptr<Connection>& conn,
+                   const HttpMessage& request, Tenant& tenant, bool batch);
+  void HandleIngest(const std::shared_ptr<Connection>& conn,
+                    const HttpMessage& request, Tenant& tenant);
+  void HandleCreateTenant(const std::shared_ptr<Connection>& conn,
+                          const HttpMessage& request,
+                          const std::string& name);
+  void HandleSave(const std::shared_ptr<Connection>& conn,
+                  const HttpMessage& request, Tenant& tenant);
+
+  /// Admission decision for one match/batch request. Returns false when
+  /// shed (the 503 is already queued); on true the caller runs under
+  /// `control` and must call FinishWork() when done.
+  bool AdmitWork(const std::shared_ptr<Connection>& conn,
+                 const service::MatchService& service,
+                 core::ExecutionControl* control);
+  void FinishWork(double latency_ms);
+
+  /// Appends bytes to the connection's output buffer and wakes the loop.
+  void QueueOutput(const std::shared_ptr<Connection>& conn,
+                   std::string bytes);
+  /// Queues a complete non-streaming response.
+  void QueueSimple(const std::shared_ptr<Connection>& conn, int code,
+                   const std::string& ndjson_body, bool keep_alive);
+  /// Marks the worker's request finished so the loop resumes the
+  /// connection (pipelined next request or close).
+  void CompleteRequest(const std::shared_ptr<Connection>& conn);
+
+  TenantRegistry* registry_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread background_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Loop-owned; workers only reach connections through the shared_ptrs
+  /// captured at dispatch.
+  std::map<uint64_t, std::shared_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 1;
+
+  /// Connections whose worker finished its request; drained by the loop.
+  std::mutex completed_mu_;
+  std::vector<uint64_t> completed_;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> parse_failures_{0};
+  std::atomic<uint64_t> disconnect_cancels_{0};
+  mutable std::mutex latency_mu_;
+  QuantileAccumulator latency_ms_;
+};
+
+}  // namespace xsm::net
+
+#endif  // XSM_NET_HTTP_SERVER_H_

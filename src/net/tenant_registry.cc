@@ -1,0 +1,158 @@
+#include "net/tenant_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace xsm::net {
+
+namespace fs = std::filesystem;
+
+bool TenantRegistry::ValidTenantName(std::string_view name) {
+  if (name.empty() || name.size() > 64 || name.front() == '.') return false;
+  return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '.' || c == '-';
+  });
+}
+
+TenantRegistry::TenantRegistry(TenantRegistryOptions options)
+    : options_(std::move(options)) {
+  // Remote clients must never reach the server's filesystem through the
+  // session surface, whatever the caller configured.
+  options_.session.allow_filesystem = false;
+}
+
+std::string TenantRegistry::SnapshotPathFor(const std::string& name) const {
+  if (options_.state_dir.empty()) return std::string();
+  return (fs::path(options_.state_dir) / (name + ".snap")).string();
+}
+
+Result<Tenant*> TenantRegistry::Insert(
+    const std::string& name,
+    std::unique_ptr<service::MatchService> service) {
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  tenant->service = std::move(service);
+  tenant->session = std::make_unique<service::ServeSession>(
+      tenant->service.get(), options_.session);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.emplace(name, std::move(tenant));
+  if (!inserted) {
+    return Status::FailedPrecondition("tenant '" + name +
+                                      "' already exists");
+  }
+  return it->second.get();
+}
+
+Result<Tenant*> TenantRegistry::Create(const std::string& name,
+                                       schema::SchemaForest forest) {
+  if (!ValidTenantName(name)) {
+    return Status::InvalidArgument("invalid tenant name '" + name +
+                                   "' (want 1-64 of [A-Za-z0-9_.-], not "
+                                   "starting with '.')");
+  }
+  XSM_ASSIGN_OR_RETURN(
+      auto service,
+      service::MatchService::Create(std::move(forest), options_.service));
+  return Insert(name, std::move(service));
+}
+
+Result<Tenant*> TenantRegistry::WarmStart(const std::string& name) {
+  if (!ValidTenantName(name)) {
+    return Status::InvalidArgument("invalid tenant name '" + name + "'");
+  }
+  std::string path = SnapshotPathFor(name);
+  if (path.empty()) {
+    return Status::FailedPrecondition(
+        "tenant persistence disabled (no state directory)");
+  }
+  XSM_ASSIGN_OR_RETURN(auto service,
+                       service::MatchService::WarmStart(path, options_.service));
+  return Insert(name, std::move(service));
+}
+
+Tenant* TenantRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TenantRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+Result<store::SnapshotFileInfo> TenantRegistry::Save(
+    const std::string& name) const {
+  std::string path = SnapshotPathFor(name);
+  if (path.empty()) {
+    return Status::FailedPrecondition(
+        "tenant persistence disabled (no state directory)");
+  }
+  Tenant* tenant = Find(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("no tenant named '" + name + "'");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.state_dir, ec);  // best effort; save reports
+  return tenant->service->SaveSnapshot(path);
+}
+
+Status TenantRegistry::SaveAll(size_t* saved) const {
+  Status first_error = Status::OK();
+  size_t ok = 0;
+  for (const std::string& name : Names()) {
+    auto info = Save(name);
+    if (info.ok()) {
+      ++ok;
+    } else if (first_error.ok()) {
+      first_error = info.status();
+    }
+  }
+  if (saved != nullptr) *saved = ok;
+  return first_error;
+}
+
+size_t TenantRegistry::WarmStartAll() {
+  if (options_.state_dir.empty()) return 0;
+  std::error_code ec;
+  fs::directory_iterator it(options_.state_dir, ec);
+  if (ec) return 0;
+  // Deterministic boot order regardless of directory enumeration.
+  std::vector<std::string> stems;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".snap") continue;
+    stems.push_back(path.stem().string());
+  }
+  std::sort(stems.begin(), stems.end());
+  size_t booted = 0;
+  for (const std::string& stem : stems) {
+    if (!ValidTenantName(stem)) {
+      std::fprintf(stderr, "xsm::net: skipping snapshot with invalid tenant "
+                           "name '%s'\n", stem.c_str());
+      continue;
+    }
+    auto tenant = WarmStart(stem);
+    if (!tenant.ok()) {
+      std::fprintf(stderr, "xsm::net: warm start of tenant '%s' failed: %s\n",
+                   stem.c_str(), tenant.status().ToString().c_str());
+      continue;
+    }
+    ++booted;
+  }
+  return booted;
+}
+
+}  // namespace xsm::net

@@ -1,0 +1,113 @@
+// TenantRegistry: the multi-tenant heart of the xsm::net front end. Each
+// named tenant owns a full serving stack — its own MatchService (and with
+// it a live::RepositoryManager generation chain and cluster-cache
+// namespaces) plus a ServeSession exposing the NDJSON surface — so tenants
+// evolve, cache and persist independently: a delta ingested into one
+// tenant can never touch another's snapshots or warm caches.
+//
+// Persistence: when constructed with a state directory, each tenant maps
+// to `<state_dir>/<name>.snap` via xsm::store. SaveAll() persists every
+// tenant (the drain path), WarmStartAll() boots every *.snap found (the
+// restart path), and because warm starts continue the generation chain,
+// a kill + warm restart resumes each tenant at its pre-drain generation.
+//
+// Thread-safety: all methods are safe to call concurrently. Tenants are
+// created and never destroyed while the registry lives, so the pointers
+// handed out stay valid for the registry's lifetime — request handlers
+// may hold them across a streaming response without a lock.
+#ifndef XSM_NET_TENANT_REGISTRY_H_
+#define XSM_NET_TENANT_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema_forest.h"
+#include "service/match_service.h"
+#include "service/serve_session.h"
+#include "store/snapshot_store.h"
+#include "util/status.h"
+
+namespace xsm::net {
+
+struct TenantRegistryOptions {
+  /// Applied to every tenant's MatchService.
+  service::MatchServiceOptions service;
+  /// Applied to every tenant's ServeSession. allow_filesystem is forced
+  /// off regardless — remote clients must never name server paths; tenant
+  /// persistence goes through Save*/WarmStart* and the state directory.
+  service::ServeSessionOptions session;
+  /// Directory for `<name>.snap` tenant snapshots; empty disables
+  /// persistence (Save*/WarmStart* fail with FailedPrecondition).
+  std::string state_dir;
+};
+
+/// One tenant's serving stack.
+struct Tenant {
+  std::string name;
+  std::unique_ptr<service::MatchService> service;
+  std::unique_ptr<service::ServeSession> session;
+};
+
+class TenantRegistry {
+ public:
+  /// Valid tenant names are 1..64 chars of [A-Za-z0-9_.-], not starting
+  /// with '.' — names double as snapshot file stems, so this shuts out
+  /// path traversal ("../../etc"), separators and hidden files.
+  static bool ValidTenantName(std::string_view name);
+
+  explicit TenantRegistry(TenantRegistryOptions options);
+
+  /// Creates tenant `name` over `forest` (validated + indexed once).
+  /// FailedPrecondition if the name is taken, InvalidArgument if
+  /// malformed.
+  Result<Tenant*> Create(const std::string& name,
+                         schema::SchemaForest forest);
+
+  /// Boots tenant `name` from its state-dir snapshot, resuming its
+  /// generation chain where the last save left it.
+  Result<Tenant*> WarmStart(const std::string& name);
+
+  /// The named tenant, or nullptr. The pointer stays valid for the
+  /// registry's lifetime.
+  Tenant* Find(const std::string& name) const;
+
+  /// Tenant names in sorted order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+  /// Persists one tenant to `<state_dir>/<name>.snap`; returns what was
+  /// written.
+  Result<store::SnapshotFileInfo> Save(const std::string& name) const;
+
+  /// Persists every tenant (the graceful-drain path). All tenants are
+  /// attempted even after a failure; the first error (if any) is
+  /// returned, `saved` (optional) receives the success count either way.
+  Status SaveAll(size_t* saved = nullptr) const;
+
+  /// Boots every `*.snap` in the state directory as a tenant (the warm
+  /// restart path). Files whose stem is not a valid tenant name, or that
+  /// fail to load, are skipped with a note to stderr; returns the number
+  /// booted. A missing or empty state directory boots zero tenants.
+  size_t WarmStartAll();
+
+  /// `<state_dir>/<name>.snap`; empty when persistence is disabled.
+  std::string SnapshotPathFor(const std::string& name) const;
+
+ private:
+  Result<Tenant*> Insert(const std::string& name,
+                         std::unique_ptr<service::MatchService> service);
+
+  TenantRegistryOptions options_;
+  mutable std::mutex mu_;
+  /// Values are never erased; map node stability keeps Tenant* valid.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace xsm::net
+
+#endif  // XSM_NET_TENANT_REGISTRY_H_

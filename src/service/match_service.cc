@@ -238,12 +238,18 @@ Result<core::MatchResult> MatchService::MatchStreaming(
 MatchHandle MatchService::SubmitMatch(MatchQuery query,
                                       core::ExecutionControl control,
                                       core::MatchObserver* observer) {
-  // Resolve the default deadline now: time spent queued counts against it.
-  control = ResolveControl(std::move(control));
   // Pin the snapshot at submission, not execution: the caller reasoned
   // about the repository that existed when it submitted, so a delta landing
   // while the query waits in the pool queue must not retarget it.
-  std::shared_ptr<const RepositorySnapshot> snapshot = manager_->Current();
+  return SubmitMatchOn(manager_->Current(), std::move(query),
+                       std::move(control), observer);
+}
+
+MatchHandle MatchService::SubmitMatchOn(
+    std::shared_ptr<const RepositorySnapshot> snapshot, MatchQuery query,
+    core::ExecutionControl control, core::MatchObserver* observer) {
+  // Resolve the default deadline now: time spent queued counts against it.
+  control = ResolveControl(std::move(control));
   MatchHandle handle;
   handle.token_ = control.cancel;
   handle.future_ =

@@ -218,6 +218,17 @@ class MatchService {
                               core::ExecutionControl(),
                           core::MatchObserver* observer = nullptr);
 
+  /// SubmitMatch against an explicit snapshot pin instead of the current
+  /// one. Callers that format results against a snapshot they already hold
+  /// (ServeSession's NDJSON observers name mapped trees through the
+  /// forest) pass that snapshot here, so query and formatter provably see
+  /// the same generation even when deltas land between the caller's pin
+  /// and the submission. `pinned` must come from this service's chain.
+  MatchHandle SubmitMatchOn(
+      std::shared_ptr<const RepositorySnapshot> pinned, MatchQuery query,
+      core::ExecutionControl control = core::ExecutionControl(),
+      core::MatchObserver* observer = nullptr);
+
   /// Executes all queries on the pool and returns their results in input
   /// order. The whole batch is pinned to one snapshot — the generation
   /// current at the call — so its results are mutually consistent even

@@ -1,0 +1,495 @@
+#include "service/serve_session.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "generate/schema_mapping.h"
+#include "live/repository_delta.h"
+#include "schema/serialization.h"
+#include "util/string_util.h"
+
+namespace xsm::service {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Result<schema::SchemaForest> LoadForestFromPath(const std::string& path,
+                                                repo::LoadReport* report) {
+  if (std::filesystem::is_directory(path)) {
+    schema::SchemaForest forest;
+    XSM_ASSIGN_OR_RETURN(repo::LoadReport loaded,
+                         repo::LoadRepositoryFromDirectory(path, &forest));
+    if (report != nullptr) *report = loaded;
+    return forest;
+  }
+  return schema::LoadForestFromFile(path);
+}
+
+// --- NdjsonEventObserver ---------------------------------------------------
+
+NdjsonEventObserver::NdjsonEventObserver(
+    const std::string& id, const schema::SchemaTree* personal,
+    std::shared_ptr<const RepositorySnapshot> snapshot, const EventSink& sink,
+    bool cluster_events)
+    : id_(JsonEscape(id)),
+      personal_(personal),
+      snapshot_(std::move(snapshot)),
+      sink_(sink),
+      cluster_events_(cluster_events) {}
+
+void NdjsonEventObserver::OnMapping(const generate::SchemaMapping& mapping,
+                                    size_t running_rank) {
+  char nums[224];
+  std::snprintf(nums, sizeof(nums),
+                "\",\"rank\":%zu,\"tree\":%d,\"delta\":%.6f,"
+                "\"delta_sim\":%.6f,\"delta_path\":%.6f,\"ms\":%.3f,"
+                "\"map\":\"",
+                running_rank, mapping.tree, mapping.delta, mapping.delta_sim,
+                mapping.delta_path, ElapsedMs());
+  std::string line = "{\"type\":\"mapping\",\"id\":\"" + id_ + nums;
+  line += JsonEscape(
+      generate::MappingToString(mapping, *personal_, snapshot_->forest()));
+  line += "\"}";
+  sink_(line);
+}
+
+void NdjsonEventObserver::OnClusterFinish(size_t sequence, size_t total,
+                                          const core::ClusterSummary& summary,
+                                          const core::MatchStats& so_far) {
+  if (!cluster_events_) return;
+  char nums[224];
+  std::snprintf(nums, sizeof(nums),
+                "\",\"seq\":%zu,\"total\":%zu,\"tree\":%d,"
+                "\"mappings\":%zu,\"partials_generated\":%llu,"
+                "\"ms\":%.3f}",
+                sequence, total, summary.tree, so_far.num_mappings,
+                static_cast<unsigned long long>(
+                    so_far.generator.partial_mappings),
+                ElapsedMs());
+  sink_("{\"type\":\"cluster\",\"id\":\"" + id_ + nums);
+}
+
+void NdjsonEventObserver::OnFinish(const core::MatchResult& result) {
+  (void)result;
+  // Completion time measured on the worker, not when the submitting thread
+  // gets around to emitting the done event.
+  finished_ms_ = ElapsedMs();
+}
+
+// --- ServeSession ----------------------------------------------------------
+
+ServeSession::ServeSession(MatchService* service, ServeSessionOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Result<MatchQuery> ServeSession::ParseQuery(const std::string& line,
+                                            size_t index) const {
+  std::istringstream stream(line);
+  std::string spec;
+  stream >> spec;
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty query line");
+  }
+
+  MatchQuery query;
+  query.id = "q" + std::to_string(index);
+  query.options = options_.defaults;
+  XSM_ASSIGN_OR_RETURN(query.personal, schema::ParseTreeSpec(spec));
+
+  std::string token;
+  while (stream >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got: " + token);
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "id") {
+      query.id = value;
+    } else if (key == "delta") {
+      query.options.delta = std::atof(value.c_str());
+    } else if (key == "top") {
+      query.options.top_n = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (key == "join") {
+      query.options.kmeans.join_distance =
+          static_cast<int>(std::atol(value.c_str()));
+    } else if (key == "threshold") {
+      query.options.element.threshold = std::atof(value.c_str());
+    } else if (key == "alpha") {
+      query.options.objective.alpha = std::atof(value.c_str());
+    } else if (key == "cluster") {
+      if (value == "tree") {
+        query.options.clustering = core::ClusteringMode::kTreeClusters;
+      } else if (value == "kmeans") {
+        query.options.clustering = core::ClusteringMode::kKMeans;
+      } else {
+        return Status::InvalidArgument("cluster must be tree or kmeans");
+      }
+    } else {
+      return Status::InvalidArgument("unknown query key: " + key);
+    }
+  }
+  return query;
+}
+
+Result<core::MatchResult> ServeSession::RunQuery(
+    const MatchQuery& query, const EventSink& sink,
+    core::ExecutionControl control) {
+  if (options_.first_n > 0 && control.stop_after_n_mappings == 0) {
+    control.stop_after_n_mappings = options_.first_n;
+  }
+  // One pin shared by the query and its observer: the observer formats
+  // mapping text against the exact forest the query ran on, even when a
+  // delta publishes between this call and the pool picking the task up.
+  std::shared_ptr<const RepositorySnapshot> snapshot =
+      service_->CurrentSnapshot();
+  NdjsonEventObserver observer(query.id, &query.personal, snapshot, sink,
+                               options_.cluster_events);
+  MatchHandle handle = service_->SubmitMatchOn(std::move(snapshot), query,
+                                               std::move(control), &observer);
+  Result<core::MatchResult> result = handle.Get();
+  EmitDoneEvent(query.id, result, observer.DoneMs(), sink);
+  return result;
+}
+
+size_t ServeSession::RunBatch(const std::vector<MatchQuery>& queries,
+                              const EventSink& sink,
+                              core::ExecutionControl control) {
+  std::vector<std::unique_ptr<NdjsonEventObserver>> observers;
+  std::vector<MatchHandle> handles;
+  observers.reserve(queries.size());
+  handles.reserve(queries.size());
+  for (const MatchQuery& query : queries) {
+    core::ExecutionControl query_control = control;
+    // Each member needs its own cancel token: the caller's `control` is a
+    // template, not one shared handle (sharing would make the first
+    // member's cancellation stop the whole batch — the transports cancel
+    // via the token copy they keep).
+    if (options_.first_n > 0 && query_control.stop_after_n_mappings == 0) {
+      query_control.stop_after_n_mappings = options_.first_n;
+    }
+    std::shared_ptr<const RepositorySnapshot> snapshot =
+        service_->CurrentSnapshot();
+    observers.push_back(std::make_unique<NdjsonEventObserver>(
+        query.id, &query.personal, snapshot, sink, options_.cluster_events));
+    handles.push_back(service_->SubmitMatchOn(std::move(snapshot), query,
+                                              std::move(query_control),
+                                              observers.back().get()));
+  }
+
+  size_t failed = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<core::MatchResult> result = handles[i].Get();
+    EmitDoneEvent(queries[i].id, result, observers[i]->DoneMs(), sink);
+    if (!result.ok()) ++failed;
+  }
+  return failed;
+}
+
+Status ServeSession::RunCommand(const std::string& line,
+                                const EventSink& sink) {
+  std::istringstream stream(line);
+  std::string command;
+  stream >> command;
+
+  auto apply = [this, &sink](live::DeltaBuilder builder) {
+    auto delta = builder.Build();
+    if (!delta.ok()) {
+      EmitErrorEvent("", delta.status(), sink);
+      return delta.status();
+    }
+    auto report = service_->ApplyDelta(*delta);
+    if (!report.ok()) {
+      EmitErrorEvent("", report.status(), sink);
+      return report.status();
+    }
+    EmitGenerationEvent(*report, sink);
+    return Status::OK();
+  };
+
+  auto parse_source = [&stream]() {
+    std::string token, source;
+    while (stream >> token) {
+      if (token.rfind("source=", 0) == 0) source = token.substr(7);
+    }
+    return source;
+  };
+
+  // Parses a tree id, rejecting values a TreeId cannot hold — a silently
+  // wrapped id would target the wrong tree.
+  auto parse_target = [&stream](long* target) {
+    return static_cast<bool>(stream >> *target) && *target >= 0 &&
+           *target <= std::numeric_limits<schema::TreeId>::max();
+  };
+
+  auto usage = [&sink](const std::string& message) {
+    Status status = Status::InvalidArgument(message);
+    EmitErrorEvent("", status, sink);
+    return status;
+  };
+
+  if (command == "!ingest" || command == "!replace") {
+    long target = -1;
+    if (command == "!replace" && !parse_target(&target)) {
+      return usage("usage: !replace ID SPEC [source=NAME]");
+    }
+    std::string spec;
+    if (!(stream >> spec)) {
+      return usage("usage: " + command + " SPEC [source=NAME]");
+    }
+    auto tree = schema::ParseTreeSpec(spec);
+    if (!tree.ok()) {
+      EmitErrorEvent("", tree.status(), sink);
+      return tree.status();
+    }
+    std::string source = parse_source();
+    if (source.empty()) source = "serve:" + command.substr(1);
+    live::DeltaBuilder builder;
+    if (command == "!ingest") {
+      builder.AddTree(std::move(*tree), std::move(source));
+    } else {
+      builder.ReplaceTree(static_cast<schema::TreeId>(target),
+                          std::move(*tree), std::move(source));
+    }
+    return apply(std::move(builder));
+  }
+  if (command == "!remove") {
+    long target = -1;
+    if (!parse_target(&target)) {
+      return usage("usage: !remove ID");
+    }
+    live::DeltaBuilder builder;
+    builder.RemoveTree(static_cast<schema::TreeId>(target));
+    return apply(std::move(builder));
+  }
+  if (command == "!reload") {
+    if (!options_.allow_filesystem) {
+      Status status = Status::FailedPrecondition(
+          "!reload is disabled on this transport");
+      EmitErrorEvent("", status, sink);
+      return status;
+    }
+    std::string path;
+    if (!(stream >> path)) {
+      return usage("usage: !reload (FILE|DIR)");
+    }
+    auto loaded = LoadForestFromPath(path);
+    if (!loaded.ok()) {
+      EmitErrorEvent("", loaded.status(), sink);
+      return loaded.status();
+    }
+    if (loaded->num_trees() == 0) {
+      return usage("!reload: " + path + " holds no trees");
+    }
+    // Whole-repository swap as one delta: retire every current tree, add
+    // every loaded one (payloads shared from the loaded forest, not
+    // copied). Published atomically like any other delta.
+    std::shared_ptr<const RepositorySnapshot> snapshot =
+        service_->CurrentSnapshot();
+    live::DeltaBuilder builder;
+    for (schema::TreeId t = 0;
+         t < static_cast<schema::TreeId>(snapshot->num_trees()); ++t) {
+      builder.RemoveTree(t);
+    }
+    for (schema::TreeId t = 0;
+         t < static_cast<schema::TreeId>(loaded->num_trees()); ++t) {
+      builder.AddTree(loaded->tree_ptr(t), loaded->source(t));
+    }
+    return apply(std::move(builder));
+  }
+  if (command == "!save") {
+    if (!options_.allow_filesystem) {
+      Status status =
+          Status::FailedPrecondition("!save is disabled on this transport");
+      EmitErrorEvent("", status, sink);
+      return status;
+    }
+    std::string path;
+    if (!(stream >> path)) {
+      return usage("usage: !save PATH");
+    }
+    auto info = service_->SaveSnapshot(path);
+    if (!info.ok()) {
+      EmitErrorEvent("", info.status(), sink);
+      return info.status();
+    }
+    char nums[384];
+    std::snprintf(nums, sizeof(nums),
+                  "\",\"format\":%u,\"generation\":%llu,"
+                  "\"fingerprint\":\"%016llx\",\"trees\":%llu,"
+                  "\"elements\":%llu,\"bytes\":%llu}",
+                  info->format_version,
+                  static_cast<unsigned long long>(info->generation),
+                  static_cast<unsigned long long>(info->fingerprint),
+                  static_cast<unsigned long long>(info->trees),
+                  static_cast<unsigned long long>(info->total_nodes),
+                  static_cast<unsigned long long>(info->total_bytes));
+    sink("{\"type\":\"saved\",\"path\":\"" + JsonEscape(path) + nums);
+    return Status::OK();
+  }
+  if (command == "!generation") {
+    std::shared_ptr<const RepositorySnapshot> snapshot =
+        service_->CurrentSnapshot();
+    char nums[160];
+    std::snprintf(nums, sizeof(nums),
+                  "{\"type\":\"generation\",\"generation\":%llu,"
+                  "\"fingerprint\":\"%016llx\",\"trees\":%zu}",
+                  static_cast<unsigned long long>(snapshot->generation()),
+                  static_cast<unsigned long long>(snapshot->fingerprint()),
+                  snapshot->num_trees());
+    sink(nums);
+    return Status::OK();
+  }
+  if (command == "!stats") {
+    EmitStatsEvent(sink);
+    return Status::OK();
+  }
+  return usage("unknown command " + command +
+               " (try !ingest, !replace, !remove, !save, !reload, "
+               "!generation, !stats)");
+}
+
+void ServeSession::HandleLine(const std::string& raw, const EventSink& sink,
+                              core::ExecutionControl control) {
+  std::string line = raw;
+  size_t hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return;
+  if (line[first] == '!') {
+    RunCommand(line.substr(first), sink);
+    return;
+  }
+  size_t index = next_query_index_.fetch_add(1, std::memory_order_relaxed);
+  auto query = ParseQuery(line, index);
+  if (!query.ok()) {
+    EmitErrorEvent("q" + std::to_string(index), query.status(), sink);
+    return;
+  }
+  RunQuery(*query, sink, std::move(control));
+}
+
+void ServeSession::EmitDoneEvent(const std::string& id,
+                                 const Result<core::MatchResult>& result,
+                                 double elapsed_ms, const EventSink& sink) {
+  if (!result.ok()) {
+    EmitErrorEvent(id, result.status(), sink);
+    return;
+  }
+  const core::MatchStats& stats = result->stats;
+  char nums[256];
+  // "mappings" counts everything with Δ ≥ δ found by the run — it matches
+  // the `match` command's count and the number of mapping event lines;
+  // "kept" is the returned list after top-N trimming.
+  std::snprintf(
+      nums, sizeof(nums),
+      "\",\"mappings\":%zu,\"kept\":%zu,\"partial_mappings\":%zu,"
+      "\"clusters\":%zu,\"useful\":%zu,\"ms\":%.3f}",
+      stats.num_mappings, result->mappings.size(),
+      result->partial_mappings.size(), stats.num_clusters,
+      stats.num_useful_clusters, elapsed_ms);
+  sink("{\"type\":\"done\",\"id\":\"" + JsonEscape(id) + "\",\"status\":\"" +
+       std::string(core::ExecutionStatusName(result->execution)) + nums);
+}
+
+void ServeSession::EmitGenerationEvent(const live::ApplyReport& report,
+                                       const EventSink& sink) {
+  char nums[320];
+  std::snprintf(
+      nums, sizeof(nums),
+      "{\"type\":\"generation\",\"generation\":%llu,"
+      "\"fingerprint\":\"%016llx\",\"trees\":%zu,\"trees_reused\":%zu,"
+      "\"trees_rebuilt\":%zu,\"names_copied\":%zu,\"names_computed\":%zu,"
+      "\"build_ms\":%.3f}",
+      static_cast<unsigned long long>(report.generation),
+      static_cast<unsigned long long>(report.fingerprint), report.trees_total,
+      report.trees_reused, report.trees_rebuilt, report.name_entries_copied,
+      report.name_entries_computed, 1e3 * report.build_seconds);
+  sink(nums);
+}
+
+void ServeSession::EmitErrorEvent(const std::string& id, const Status& status,
+                                  const EventSink& sink) {
+  // lower_snake_case code names ("not_found", "io_error") — a stable
+  // machine-readable vocabulary, unlike the human ToString prefix.
+  std::string_view camel = StatusCodeToString(status.code());
+  std::string code;
+  for (size_t i = 0; i < camel.size(); ++i) {
+    unsigned char c = camel[i];
+    bool boundary =
+        i > 0 && std::isupper(c) &&
+        (std::islower(static_cast<unsigned char>(camel[i - 1])) ||
+         (i + 1 < camel.size() &&
+          std::islower(static_cast<unsigned char>(camel[i + 1]))));
+    if (boundary) code += '_';
+    code += static_cast<char>(std::tolower(c));
+  }
+  std::string line = "{\"type\":\"error\"";
+  if (!id.empty()) line += ",\"id\":\"" + JsonEscape(id) + "\"";
+  line += ",\"code\":\"" + code + "\",\"message\":\"" +
+          JsonEscape(status.ToString()) + "\"}";
+  sink(line);
+}
+
+void ServeSession::EmitStatsEvent(const EventSink& sink) const {
+  ServiceStats stats = service_->stats();
+  char nums[512];
+  std::snprintf(
+      nums, sizeof(nums),
+      "{\"type\":\"stats\",\"generation\":%llu,\"deltas_applied\":%llu,"
+      "\"queries\":%llu,\"batches\":%llu,\"cancelled\":%llu,"
+      "\"deadline_exceeded\":%llu,\"early_stopped\":%llu,"
+      "\"cache_hits\":%llu,\"cache_shared\":%llu,\"cache_misses\":%llu,"
+      "\"cache_evictions\":%llu,\"cache_entries\":%zu,"
+      "\"cache_namespaces\":%zu}",
+      static_cast<unsigned long long>(stats.generation),
+      static_cast<unsigned long long>(stats.deltas_applied),
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.early_stopped),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.shared),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions),
+      stats.cache.entries, stats.cache_namespaces);
+  sink(nums);
+}
+
+}  // namespace xsm::service

@@ -1,0 +1,182 @@
+// ServeSession: the transport-independent serving core shared by the CLI's
+// stdin serve mode and the xsm::net HTTP front end. One session wraps one
+// MatchService and exposes exactly the serve-mode surface — query lines
+// ("SPEC [key=value ...]"), repository commands ("!ingest SPEC", "!remove
+// ID", ...) and the NDJSON event vocabulary (mapping / cluster / done /
+// error / generation / saved / stats) — as plain functions over an
+// EventSink, so the two transports cannot drift: stdin serve prints the
+// sink's lines to stdout, the HTTP server frames them as response chunks,
+// and both emit byte-identical events for the same input.
+//
+// Thread-safety: a session holds no mutable query state besides an id
+// counter; RunQuery / RunCommand may be called from any number of threads
+// concurrently (the HTTP server runs one call per worker). Each call's
+// events go only to the sink passed to that call — per-connection sinks
+// never interleave. HandleLine's automatic query numbering is the only
+// cross-call state and is atomic.
+#ifndef XSM_SERVICE_SERVE_SESSION_H_
+#define XSM_SERVICE_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/execution_control.h"
+#include "core/match_observer.h"
+#include "repo/loader.h"
+#include "service/match_service.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace xsm::service {
+
+/// Receives one complete NDJSON event line (no trailing newline) per call.
+/// Called from the thread executing the query or command — for submitted
+/// queries that is a service pool thread.
+using EventSink = std::function<void(const std::string& line)>;
+
+/// JSON string escaping for event payloads (quotes, backslashes, control
+/// characters as \uXXXX).
+std::string JsonEscape(const std::string& s);
+
+/// Loads a forest from either a saved forest file or a directory of
+/// .dtd/.xsd schemas (serve-mode !reload; CLI --repo-dir startup).
+/// `report` (optional) receives the directory-load counters.
+Result<schema::SchemaForest> LoadForestFromPath(const std::string& path,
+                                                repo::LoadReport* report =
+                                                    nullptr);
+
+struct ServeSessionOptions {
+  /// Defaults each query line's key=value pairs override.
+  core::MatchOptions defaults;
+  /// stop_after_n_mappings applied to every query whose control has none.
+  uint64_t first_n = 0;
+  /// Also emit one "cluster" event per generated cluster.
+  bool cluster_events = false;
+  /// Allow commands that touch the server's filesystem (!reload, !save).
+  /// The HTTP front end turns this off: remote clients must not name
+  /// arbitrary server paths; saving goes through the state-dir endpoint.
+  bool allow_filesystem = true;
+};
+
+/// Streams one query's run as NDJSON events into a sink. Event lines are
+/// composed as strings — unbounded fields (query ids, mapping text) can
+/// never truncate the JSON; fixed snprintf buffers only ever hold numeric
+/// fields. Callbacks fire on the thread executing the query.
+class NdjsonEventObserver : public core::MatchObserver {
+ public:
+  /// `personal` and `snapshot` must outlive the observer; `snapshot` is the
+  /// generation the query is pinned to (its forest names the mapped trees).
+  NdjsonEventObserver(
+      const std::string& id, const schema::SchemaTree* personal,
+      std::shared_ptr<const RepositorySnapshot> snapshot,
+      const EventSink& sink, bool cluster_events);
+
+  void OnMapping(const generate::SchemaMapping& mapping,
+                 size_t running_rank) override;
+  void OnClusterFinish(size_t sequence, size_t total,
+                       const core::ClusterSummary& summary,
+                       const core::MatchStats& so_far) override;
+  void OnFinish(const core::MatchResult& result) override;
+
+  double ElapsedMs() const { return timer_.ElapsedSeconds() * 1e3; }
+  /// Submission-to-completion latency; falls back to the current elapsed
+  /// time for runs that failed before finishing.
+  double DoneMs() const {
+    return finished_ms_ >= 0 ? finished_ms_ : ElapsedMs();
+  }
+
+ private:
+  std::string id_;  // pre-escaped
+  const schema::SchemaTree* personal_;
+  std::shared_ptr<const RepositorySnapshot> snapshot_;
+  const EventSink& sink_;
+  bool cluster_events_;
+  Timer timer_;
+  double finished_ms_ = -1;
+};
+
+class ServeSession {
+ public:
+  /// `service` must outlive the session.
+  ServeSession(MatchService* service, ServeSessionOptions options);
+
+  MatchService* service() const { return service_; }
+  const ServeSessionOptions& options() const { return options_; }
+
+  /// Parses one query line of the serve/batch grammar:
+  ///   SPEC [id=NAME] [delta=D] [top=N] [cluster=tree|kmeans] [join=J]
+  ///        [threshold=T] [alpha=A]
+  /// against the session defaults. `index` numbers the fallback id "q<i>".
+  Result<MatchQuery> ParseQuery(const std::string& line, size_t index) const;
+
+  /// Runs one query to completion, streaming mapping/cluster events to
+  /// `sink` the moment they are found and finishing with one "done" (or
+  /// "error") event. The query executes on the service pool; this call
+  /// blocks until it resolves. `control`'s cancel token is honored
+  /// throughout (the HTTP server wires client disconnect to it); the
+  /// session first_n and the service default deadline fill in when
+  /// `control` carries none.
+  Result<core::MatchResult> RunQuery(
+      const MatchQuery& query, const EventSink& sink,
+      core::ExecutionControl control = core::ExecutionControl());
+
+  /// Submits every query on the service pool, streams interleaved mapping
+  /// events, then emits the done events in input order (the batch-mode
+  /// contract). Returns the number of queries that failed with an error
+  /// Status (interrupted runs — cancelled / deadline — are not errors).
+  size_t RunBatch(const std::vector<MatchQuery>& queries,
+                  const EventSink& sink,
+                  core::ExecutionControl control = core::ExecutionControl());
+
+  /// Handles one serve-mode '!' command line. Grammar:
+  ///   !ingest SPEC [source=NAME]      add one tree
+  ///   !replace ID SPEC [source=NAME]  swap tree ID's payload
+  ///   !remove ID                      retire tree ID
+  ///   !reload (FILE|DIR)              replace the whole repository
+  ///   !save PATH                      persist the current snapshot
+  ///   !generation                     report the current generation
+  ///   !stats                          service counters as one event
+  /// Every successful mutation emits one "generation" event; failures emit
+  /// typed "error" events. Returns the command's status (already reported
+  /// to the sink — callers only need it for transport-level mapping, e.g.
+  /// the HTTP response code).
+  Status RunCommand(const std::string& line, const EventSink& sink);
+
+  /// One stdin-serve iteration: strips '#' comments and whitespace, ignores
+  /// blank lines, dispatches '!' lines to RunCommand and everything else
+  /// through ParseQuery + RunQuery with an auto-incremented query index.
+  void HandleLine(const std::string& line, const EventSink& sink,
+                  core::ExecutionControl control = core::ExecutionControl());
+
+  /// Emits the "done"/"error" terminal event for one finished query.
+  /// Exposed for transports that submit queries themselves.
+  static void EmitDoneEvent(const std::string& id,
+                            const Result<core::MatchResult>& result,
+                            double elapsed_ms, const EventSink& sink);
+
+  /// Emits one "generation" event describing a published delta.
+  static void EmitGenerationEvent(const live::ApplyReport& report,
+                                  const EventSink& sink);
+
+  /// Emits one typed "error" event: {"type":"error","code":...,
+  /// "message":...} (+ "id" when non-empty). `code` is the lowercase
+  /// StatusCode name, so transports can map it (e.g. to an HTTP status).
+  static void EmitErrorEvent(const std::string& id, const Status& status,
+                             const EventSink& sink);
+
+  /// Emits the "stats" event RunCommand("!stats") produces; also used by
+  /// the HTTP /stats endpoint so the two surfaces report identical fields.
+  void EmitStatsEvent(const EventSink& sink) const;
+
+ private:
+  MatchService* service_;
+  ServeSessionOptions options_;
+  std::atomic<size_t> next_query_index_{0};
+};
+
+}  // namespace xsm::service
+
+#endif  // XSM_SERVICE_SERVE_SESSION_H_

@@ -1,5 +1,6 @@
 #include "util/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/string_util.h"
@@ -58,6 +59,64 @@ double StatsAccumulator::StdDev() const {
   double m = mean();
   double var = sum_sq_ / static_cast<double>(count_) - m * m;
   return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void QuantileAccumulator::Add(double v) {
+  // Appending in already-sorted order (monotone input) keeps the sorted
+  // flag, so Quantile never re-sorts a stream that arrives ordered.
+  if (sorted_ && !samples_.empty() && v < samples_.back()) sorted_ = false;
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+void QuantileAccumulator::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double QuantileAccumulator::min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double QuantileAccumulator::max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double QuantileAccumulator::mean() const {
+  return samples_.empty() ? 0.0
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+double QuantileAccumulator::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  // Nearest-rank: 1-based rank ceil(q * N), clamped into [1, N].
+  const double n = static_cast<double>(samples_.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
+}
+
+void QuantileAccumulator::Merge(const QuantileAccumulator& other) {
+  if (other.samples_.empty()) return;
+  if (samples_.empty()) {
+    samples_ = other.samples_;
+    sorted_ = other.sorted_;
+    sum_ = other.sum_;
+    return;
+  }
+  sorted_ = false;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
 }
 
 }  // namespace xsm

@@ -1,5 +1,7 @@
 // Power-of-two bucketed histogram, used to reproduce the cluster-size
-// distribution of Fig. 4 and for summary statistics in the harnesses.
+// distribution of Fig. 4 and for summary statistics in the harnesses, plus
+// an exact-quantile accumulator for latency reporting (bench_service_load,
+// the HTTP server's /stats endpoint).
 #ifndef XSM_UTIL_HISTOGRAM_H_
 #define XSM_UTIL_HISTOGRAM_H_
 
@@ -66,6 +68,42 @@ class StatsAccumulator {
   double sum_sq_ = 0;
   double min_ = 0;
   double max_ = 0;
+};
+
+/// Exact quantile queries over every recorded sample. Unlike
+/// StatsAccumulator this keeps the samples (8 bytes each), so it answers
+/// Quantile(q) exactly — nearest-rank, no sketching error — which is what
+/// a latency gate wants: a p99 that is *the* 99th-percentile sample.
+/// Not thread-safe; callers serialize Add/Quantile externally.
+class QuantileAccumulator {
+ public:
+  void Add(double v);
+
+  uint64_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Nearest-rank quantile of the recorded samples: the smallest sample x
+  /// such that at least ceil(q * count) samples are <= x. q is clamped to
+  /// [0, 1]; q = 0 returns the minimum, q = 1 the maximum. Returns 0 when
+  /// empty. Amortized: the first query after an Add sorts once.
+  double Quantile(double q) const;
+
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  /// Folds another accumulator's samples into this one (per-thread
+  /// recorders merged at the end of a load run).
+  void Merge(const QuantileAccumulator& other);
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
 };
 
 }  // namespace xsm

@@ -37,6 +37,10 @@
 #include "match/element_matcher.h"       // IWYU pragma: export
 #include "match/element_matching.h"      // IWYU pragma: export
 #include "match/name_dictionary.h"       // IWYU pragma: export
+#include "net/http.h"                    // IWYU pragma: export
+#include "net/http_client.h"             // IWYU pragma: export
+#include "net/http_server.h"             // IWYU pragma: export
+#include "net/tenant_registry.h"         // IWYU pragma: export
 #include "objective/objective.h"         // IWYU pragma: export
 #include "query/xpath.h"                 // IWYU pragma: export
 #include "repo/loader.h"                 // IWYU pragma: export
@@ -46,6 +50,7 @@
 #include "service/cluster_index_cache.h"  // IWYU pragma: export
 #include "service/match_service.h"        // IWYU pragma: export
 #include "service/repository_snapshot.h"  // IWYU pragma: export
+#include "service/serve_session.h"        // IWYU pragma: export
 #include "sim/string_similarity.h"       // IWYU pragma: export
 #include "sim/synonym_dictionary.h"      // IWYU pragma: export
 #include "store/snapshot_store.h"        // IWYU pragma: export

@@ -1,0 +1,313 @@
+// ServeSession is the transport-shared serving core; these tests pin down
+// its query grammar, event stream shapes, command surface, and the
+// filesystem gate the HTTP front end depends on.
+#include "service/serve_session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/execution_control.h"
+#include "repo/synthetic.h"
+#include "schema/schema_tree.h"
+
+namespace xsm::service {
+namespace {
+
+class ServeSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo::SyntheticRepoOptions options;
+    options.target_elements = 800;
+    options.seed = 7;
+    auto forest = repo::GenerateSyntheticRepository(options);
+    ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+    forest_ = new schema::SchemaForest(std::move(*forest));
+  }
+
+  static void TearDownTestSuite() {
+    delete forest_;
+    forest_ = nullptr;
+  }
+
+  void SetUp() override {
+    MatchServiceOptions options;
+    options.num_threads = 2;
+    auto service = MatchService::Create(*forest_, options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(*service);
+  }
+
+  std::unique_ptr<ServeSession> MakeSession(
+      ServeSessionOptions options = ServeSessionOptions()) {
+    return std::make_unique<ServeSession>(service_.get(), options);
+  }
+
+  static EventSink Collect(std::vector<std::string>* events) {
+    return [events](const std::string& line) { events->push_back(line); };
+  }
+
+  std::unique_ptr<MatchService> service_;
+  static schema::SchemaForest* forest_;
+};
+
+schema::SchemaForest* ServeSessionTest::forest_ = nullptr;
+
+// --- ParseQuery ------------------------------------------------------------
+
+TEST_F(ServeSessionTest, ParseQueryDefaultsAndOverrides) {
+  ServeSessionOptions options;
+  options.defaults.delta = 0.5;
+  options.defaults.top_n = 7;
+  auto session = MakeSession(options);
+
+  auto plain = session->ParseQuery("person(name,phone)", 3);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->id, "q3");  // fallback id numbers from the index
+  EXPECT_EQ(plain->options.delta, 0.5);
+  EXPECT_EQ(plain->options.top_n, 7u);
+
+  auto tuned = session->ParseQuery(
+      "book(title,author) id=mine delta=0.9 top=2 cluster=kmeans join=3 "
+      "threshold=0.4 alpha=0.7",
+      0);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_EQ(tuned->id, "mine");
+  EXPECT_EQ(tuned->options.delta, 0.9);
+  EXPECT_EQ(tuned->options.top_n, 2u);
+  EXPECT_EQ(tuned->options.clustering, core::ClusteringMode::kKMeans);
+  EXPECT_EQ(tuned->options.kmeans.join_distance, 3);
+  EXPECT_EQ(tuned->options.element.threshold, 0.4);
+  EXPECT_EQ(tuned->options.objective.alpha, 0.7);
+}
+
+TEST_F(ServeSessionTest, ParseQueryRejectsBadInput) {
+  auto session = MakeSession();
+  for (const char* bad :
+       {"", "   ", "person( id=x", "person(name) top",
+        "person(name) nonsense=1", "person(name) cluster=blob"}) {
+    auto query = session->ParseQuery(bad, 0);
+    EXPECT_FALSE(query.ok()) << "'" << bad << "'";
+  }
+}
+
+// --- RunQuery / RunBatch ---------------------------------------------------
+
+TEST_F(ServeSessionTest, RunQueryStreamsMappingsThenDone) {
+  auto session = MakeSession();
+  auto query = session->ParseQuery("person(name,phone) id=s1 delta=0.8 top=4",
+                                   0);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  std::vector<std::string> events;
+  auto result = session->RunQuery(*query, Collect(&events));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_NE(events[i].find("\"type\":\"mapping\""), std::string::npos)
+        << events[i];
+    EXPECT_NE(events[i].find("\"id\":\"s1\""), std::string::npos);
+  }
+  EXPECT_NE(events.back().find("\"type\":\"done\""), std::string::npos);
+  EXPECT_NE(events.back().find("\"status\":\"completed\""),
+            std::string::npos);
+  // Streaming reports every mapping found; top=4 trims the final result.
+  EXPECT_EQ(result->mappings.size(), 4u);
+  EXPECT_GE(events.size() - 1, result->mappings.size());
+}
+
+TEST_F(ServeSessionTest, FirstNStopsEarlyWithTypedStatus) {
+  // The streaming test above observes >10 mappings for this query shape,
+  // so a budget of one must stop the run early.
+  const char* line = "person(name,phone) id=s2 delta=0.8 top=50";
+
+  ServeSessionOptions options;
+  options.first_n = 1;
+  auto session = MakeSession(options);
+  auto query = session->ParseQuery(line, 0);
+  ASSERT_TRUE(query.ok());
+
+  std::vector<std::string> events;
+  auto result = session->RunQuery(*query, Collect(&events));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kEarlyStopped);
+  EXPECT_NE(events.back().find("\"status\":\"early_stopped\""),
+            std::string::npos);
+}
+
+TEST_F(ServeSessionTest, CancelledQueryEmitsCancelledDone) {
+  auto session = MakeSession();
+  auto query = session->ParseQuery("person(name,phone) id=c1 delta=0.0",
+                                   0);
+  ASSERT_TRUE(query.ok());
+
+  core::ExecutionControl control;
+  control.cancel = core::CancelToken();
+  control.cancel.Cancel();  // already cancelled at submission
+  std::vector<std::string> events;
+  auto result = session->RunQuery(*query, Collect(&events), control);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->execution, core::ExecutionStatus::kCancelled);
+  EXPECT_NE(events.back().find("\"status\":\"cancelled\""),
+            std::string::npos);
+}
+
+TEST_F(ServeSessionTest, RunBatchEmitsDoneEventsInInputOrder) {
+  auto session = MakeSession();
+  std::vector<MatchQuery> queries;
+  const char* lines[] = {
+      "person(name,phone) id=b1 delta=0.6 top=3",
+      "book(title,author) id=b2 delta=0.6 top=3",
+      "customer(name) id=b3 delta=0.6 top=3",
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    auto query = session->ParseQuery(lines[i], i);
+    ASSERT_TRUE(query.ok());
+    queries.push_back(std::move(*query));
+  }
+
+  std::vector<std::string> events;
+  size_t failed = session->RunBatch(queries, Collect(&events));
+  EXPECT_EQ(failed, 0u);
+
+  std::vector<std::string> done_ids;
+  for (const std::string& line : events) {
+    if (line.find("\"type\":\"done\"") == std::string::npos) continue;
+    size_t at = line.find("\"id\":\"");
+    ASSERT_NE(at, std::string::npos);
+    at += 6;
+    done_ids.push_back(line.substr(at, line.find('"', at) - at));
+  }
+  EXPECT_EQ(done_ids, (std::vector<std::string>{"b1", "b2", "b3"}));
+}
+
+// --- RunCommand ------------------------------------------------------------
+
+TEST_F(ServeSessionTest, IngestReplaceRemoveAdvanceGenerations) {
+  auto session = MakeSession();
+  std::vector<std::string> events;
+
+  EXPECT_TRUE(session
+                  ->RunCommand("!ingest invoice(number,total) source=erp",
+                               Collect(&events))
+                  .ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"type\":\"generation\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"generation\":1"), std::string::npos);
+
+  events.clear();
+  EXPECT_TRUE(
+      session->RunCommand("!replace 0 person(name,email)", Collect(&events))
+          .ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"generation\":2"), std::string::npos);
+
+  events.clear();
+  EXPECT_TRUE(session->RunCommand("!remove 1", Collect(&events)).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"generation\":3"), std::string::npos);
+
+  events.clear();
+  EXPECT_TRUE(session->RunCommand("!generation", Collect(&events)).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"generation\":3"), std::string::npos);
+  EXPECT_NE(events[0].find("\"fingerprint\":\""), std::string::npos);
+
+  events.clear();
+  EXPECT_TRUE(session->RunCommand("!stats", Collect(&events)).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"type\":\"stats\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"deltas_applied\":3"), std::string::npos);
+}
+
+TEST_F(ServeSessionTest, CommandErrorsAreTypedEvents) {
+  auto session = MakeSession();
+  struct Case {
+    const char* line;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {"!remove", StatusCode::kInvalidArgument},
+      {"!remove notanumber", StatusCode::kInvalidArgument},
+      {"!remove 1000000", StatusCode::kInvalidArgument},  // no such tree
+      {"!replace xyz person(name)", StatusCode::kInvalidArgument},
+      {"!ingest", StatusCode::kInvalidArgument},
+      {"!ingest bad((spec", StatusCode::kParseError},
+      {"!frobnicate", StatusCode::kInvalidArgument},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::string> events;
+    Status status = session->RunCommand(c.line, Collect(&events));
+    EXPECT_EQ(status.code(), c.code) << c.line << ": " << status.ToString();
+    ASSERT_EQ(events.size(), 1u) << c.line;
+    EXPECT_NE(events[0].find("\"type\":\"error\""), std::string::npos)
+        << events[0];
+  }
+}
+
+TEST_F(ServeSessionTest, FilesystemCommandsGatedByOption) {
+  ServeSessionOptions options;
+  options.allow_filesystem = false;  // the HTTP front end's configuration
+  auto session = MakeSession(options);
+  for (const char* line : {"!save /tmp/x.snap", "!reload /tmp/nowhere"}) {
+    std::vector<std::string> events;
+    Status status = session->RunCommand(line, Collect(&events));
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << line;
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NE(events[0].find("\"code\":\"failed_precondition\""),
+              std::string::npos)
+        << events[0];
+  }
+}
+
+// --- HandleLine ------------------------------------------------------------
+
+TEST_F(ServeSessionTest, HandleLineSkipsCommentsAndNumbersQueries) {
+  auto session = MakeSession();
+  std::vector<std::string> events;
+
+  session->HandleLine("# a comment", Collect(&events));
+  session->HandleLine("   ", Collect(&events));
+  session->HandleLine("", Collect(&events));
+  EXPECT_TRUE(events.empty());
+
+  session->HandleLine("person(name,phone) delta=0.8 top=1  # inline",
+                      Collect(&events));
+  ASSERT_FALSE(events.empty());
+  EXPECT_NE(events.back().find("\"id\":\"q0\""), std::string::npos);
+
+  events.clear();
+  session->HandleLine("does not parse", Collect(&events));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"id\":\"q1\""), std::string::npos);
+
+  events.clear();
+  session->HandleLine("  !generation  ", Collect(&events));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"type\":\"generation\""), std::string::npos);
+}
+
+// --- static emitters -------------------------------------------------------
+
+TEST_F(ServeSessionTest, EmitErrorEventShape) {
+  std::vector<std::string> events;
+  ServeSession::EmitErrorEvent("qx", Status::NotFound("no \"such\" tree"),
+                               Collect(&events));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0],
+            "{\"type\":\"error\",\"id\":\"qx\",\"code\":\"not_found\","
+            "\"message\":\"NotFound: no \\\"such\\\" tree\"}");
+}
+
+TEST_F(ServeSessionTest, JsonEscapeControlsAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace xsm::service

@@ -78,5 +78,83 @@ TEST(StatsAccumulatorTest, MeanMinMaxStd) {
   EXPECT_DOUBLE_EQ(a.StdDev(), 2.0);  // classic example dataset
 }
 
+TEST(QuantileAccumulatorTest, Empty) {
+  QuantileAccumulator q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(q.min(), 0.0);
+  EXPECT_DOUBLE_EQ(q.max(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean(), 0.0);
+}
+
+TEST(QuantileAccumulatorTest, SingleSampleIsEveryQuantile) {
+  QuantileAccumulator q;
+  q.Add(7.5);
+  for (double p : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(q.Quantile(p), 7.5) << "p=" << p;
+  }
+}
+
+TEST(QuantileAccumulatorTest, NearestRankExactOnKnownData) {
+  // 1..100 inserted shuffled: nearest-rank pK is exactly the sample K.
+  QuantileAccumulator q;
+  for (int i = 0; i < 100; ++i) q.Add(static_cast<double>((i * 37) % 100 + 1));
+  EXPECT_EQ(q.count(), 100u);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(q.P50(), 50.0);
+  EXPECT_DOUBLE_EQ(q.P95(), 95.0);
+  EXPECT_DOUBLE_EQ(q.P99(), 99.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(q.min(), 1.0);
+  EXPECT_DOUBLE_EQ(q.max(), 100.0);
+  EXPECT_DOUBLE_EQ(q.mean(), 50.5);
+}
+
+TEST(QuantileAccumulatorTest, NearestRankRoundsUpBetweenSamples) {
+  QuantileAccumulator q;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) q.Add(v);
+  // ceil(0.5 * 4) = rank 2 -> 20; ceil(0.51 * 4) = rank 3 -> 30.
+  EXPECT_DOUBLE_EQ(q.Quantile(0.50), 20.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.51), 30.0);
+  // ceil(0.25 * 4) = rank 1 -> 10; anything above goes to rank 2.
+  EXPECT_DOUBLE_EQ(q.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.26), 20.0);
+}
+
+TEST(QuantileAccumulatorTest, InterleavedAddAndQuery) {
+  // Queries between Adds must see the samples recorded so far.
+  QuantileAccumulator q;
+  q.Add(5.0);
+  q.Add(1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 5.0);
+  q.Add(9.0);  // arrives after a query already sorted the buffer
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 5.0);
+  q.Add(0.5);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 0.5);
+  EXPECT_EQ(q.count(), 4u);
+}
+
+TEST(QuantileAccumulatorTest, MergeFoldsSamples) {
+  QuantileAccumulator a, b;
+  for (double v : {1.0, 3.0, 5.0}) a.Add(v);
+  for (double v : {2.0, 4.0, 6.0}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 6u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+
+  QuantileAccumulator empty;
+  empty.Merge(a);  // merge into empty adopts
+  EXPECT_EQ(empty.count(), 6u);
+  EXPECT_DOUBLE_EQ(empty.P50(), 3.0);
+  a.Merge(QuantileAccumulator());  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 6u);
+}
+
 }  // namespace
 }  // namespace xsm

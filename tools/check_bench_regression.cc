@@ -107,6 +107,9 @@ const BenchProfile kProfiles[] = {
     {"store",
      "speedup_warm_vs_cold_xsd",
      {"fingerprint_roundtrip", "probe_consistent", "queries_identical"}},
+    {"service_load",
+     "sustained_qps",
+     {"zero_failed", "shed_all_typed"}},
 };
 
 }  // namespace

@@ -32,6 +32,7 @@
 //   serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
 //            [--threads N] [--delta D] [--top N] ...
 //            [--deadline-ms MS] [--first-n N] [--cluster-events]
+//            [--save-on-shutdown FILE.snap]
 //            Interactive loop: read one query line (same format as batch)
 //            from stdin per request, stream its NDJSON mapping events.
 //            Lines starting with '!' evolve the repository while serving
@@ -45,6 +46,23 @@
 //              !stats                          cache/generation counters
 //            Each successful mutation emits one "generation" NDJSON event;
 //            EOF prints a session summary with the cluster-cache counters.
+//            SIGINT/SIGTERM drain gracefully: the in-flight query is
+//            cancelled (it resolves with its partial results), the session
+//            summary prints, and --save-on-shutdown persists the final
+//            snapshot before exit.
+//   http     [--forest FILE | --repo-dir DIR | --synthetic N[:seed]
+//            | --warm-start FILE.snap] [--port P] [--bind ADDR]
+//            [--state-dir DIR] [--tenant NAME] [--workers N] [--threads N]
+//            [--deadline-ms MS] [--first-n N] [--cluster-events]
+//            [--max-inflight N] [--soft-inflight N]
+//            [--min-deadline-fraction F] [--delta D] [--top N] ...
+//            Serve the multi-tenant HTTP/1.1 + NDJSON API (see
+//            net::HttpServer). A repository source flag seeds the tenant
+//            named by --tenant (default "default"); --state-dir both
+//            warm-starts every previously saved tenant at boot and
+//            receives every tenant's snapshot on graceful drain
+//            (SIGINT/SIGTERM), so kill + restart resumes each tenant's
+//            generation chain.
 //
 // Warm starts: every command that loads a repository also accepts
 //   --warm-start FILE.snap
@@ -82,9 +100,15 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <csignal>
+
 #include "xsm/xsm.h"
 #include "match/structural_matcher.h"
+#include "net/http_server.h"
+#include "net/tenant_registry.h"
 #include "schema/serialization.h"
+#include "service/serve_session.h"
 
 namespace {
 
@@ -132,7 +156,7 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xsm_cli <gen|convert|save|stats|match|batch|serve> "
+      "usage: xsm_cli <gen|convert|save|stats|match|batch|serve|http> "
       "[options]\n"
       "  gen      --elements N [--seed S] --out FILE\n"
       "  convert  --repo-dir DIR --out FILE\n"
@@ -151,6 +175,13 @@ int Usage() {
       "  serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "           [--threads N] [--delta D] [--top N] [--cluster ...]\n"
       "           [--deadline-ms MS] [--first-n N] [--cluster-events]\n"
+      "           [--save-on-shutdown FILE.snap]\n"
+      "  http     [--forest FILE | --repo-dir DIR | --synthetic N[:seed]\n"
+      "           | --warm-start FILE.snap] [--port P] [--bind ADDR]\n"
+      "           [--state-dir DIR] [--tenant NAME] [--workers N]\n"
+      "           [--threads N] [--deadline-ms MS] [--first-n N]\n"
+      "           [--max-inflight N] [--soft-inflight N]\n"
+      "           [--min-deadline-fraction F] [--cluster-events]\n"
       "batch/serve stream NDJSON events (mapping / cluster / done / error)\n"
       "to stdout; match honors --deadline-ms / --first-n too.\n"
       "serve also accepts repository commands on stdin: !ingest SPEC,\n"
@@ -164,20 +195,18 @@ int Usage() {
   return 2;
 }
 
-/// Loads a forest from either a saved forest file or a directory of
-/// .dtd/.xsd schemas (used by --forest/--repo-dir at startup and by the
-/// serve-mode `!reload` command).
+/// service::LoadForestFromPath with the directory-load counters echoed to
+/// stderr (used by --forest/--repo-dir at startup).
 Result<schema::SchemaForest> LoadForestFromPath(const std::string& path) {
+  repo::LoadReport report;
+  XSM_ASSIGN_OR_RETURN(schema::SchemaForest forest,
+                       service::LoadForestFromPath(path, &report));
   if (std::filesystem::is_directory(path)) {
-    schema::SchemaForest forest;
-    XSM_ASSIGN_OR_RETURN(repo::LoadReport report,
-                         repo::LoadRepositoryFromDirectory(path, &forest));
     std::fprintf(stderr, "loaded %zu files (%zu failed), %zu trees\n",
                  report.files_loaded, report.files_failed,
                  report.trees_added);
-    return forest;
   }
-  return schema::LoadForestFromFile(path);
+  return forest;
 }
 
 // Loads the repository from whichever source flag is present.
@@ -542,42 +571,9 @@ Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
                                                  options);
 }
 
-// --- NDJSON event streaming (batch / serve) --------------------------------
+// --- NDJSON event streaming (batch / serve / http) -------------------------
 
 std::mutex g_stdout_mu;  // one complete event line at a time
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
 
 void EmitEventLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(g_stdout_mu);
@@ -586,109 +582,15 @@ void EmitEventLine(const std::string& line) {
   std::fflush(stdout);  // streaming: every event visible immediately
 }
 
-/// Streams one query's run as NDJSON events. Event lines are composed as
-/// strings — unbounded fields (query ids, mapping text) can never truncate
-/// the JSON; fixed snprintf buffers only ever hold numeric fields.
-/// Callbacks fire on the pool thread executing the query; EmitEventLine
-/// keeps lines atomic under concurrent batch output.
-class NdjsonObserver : public core::MatchObserver {
- public:
-  NdjsonObserver(std::string id, const schema::SchemaTree* personal,
-                 const schema::SchemaForest* forest, bool cluster_events)
-      : id_(JsonEscape(id)),
-        personal_(personal),
-        forest_(forest),
-        cluster_events_(cluster_events) {}
-
-  void OnMapping(const generate::SchemaMapping& mapping,
-                 size_t running_rank) override {
-    char nums[224];
-    std::snprintf(nums, sizeof(nums),
-                  "\",\"rank\":%zu,\"tree\":%d,\"delta\":%.6f,"
-                  "\"delta_sim\":%.6f,\"delta_path\":%.6f,\"ms\":%.3f,"
-                  "\"map\":\"",
-                  running_rank, mapping.tree, mapping.delta,
-                  mapping.delta_sim, mapping.delta_path, ElapsedMs());
-    std::string line = "{\"type\":\"mapping\",\"id\":\"" + id_ + nums;
-    line +=
-        JsonEscape(generate::MappingToString(mapping, *personal_, *forest_));
-    line += "\"}";
-    EmitEventLine(line);
-  }
-
-  void OnClusterFinish(size_t sequence, size_t total,
-                       const core::ClusterSummary& summary,
-                       const core::MatchStats& so_far) override {
-    if (!cluster_events_) return;
-    char nums[224];
-    std::snprintf(nums, sizeof(nums),
-                  "\",\"seq\":%zu,\"total\":%zu,\"tree\":%d,"
-                  "\"mappings\":%zu,\"partials_generated\":%llu,"
-                  "\"ms\":%.3f}",
-                  sequence, total, summary.tree, so_far.num_mappings,
-                  static_cast<unsigned long long>(
-                      so_far.generator.partial_mappings),
-                  ElapsedMs());
-    EmitEventLine("{\"type\":\"cluster\",\"id\":\"" + id_ + nums);
-  }
-
-  void OnFinish(const core::MatchResult& result) override {
-    (void)result;
-    // Completion time measured on the worker, not when the main thread
-    // gets around to printing the done event.
-    finished_ms_ = ElapsedMs();
-  }
-
-  double ElapsedMs() const { return timer_.ElapsedSeconds() * 1e3; }
-  /// Submission-to-completion latency; falls back to the current elapsed
-  /// time for runs that failed before finishing.
-  double DoneMs() const { return finished_ms_ >= 0 ? finished_ms_ : ElapsedMs(); }
-
- private:
-  std::string id_;  // pre-escaped
-  const schema::SchemaTree* personal_;
-  const schema::SchemaForest* forest_;
-  bool cluster_events_;
-  Timer timer_;
-  double finished_ms_ = -1;
-};
-
-void EmitDoneEvent(const service::MatchQuery& query,
-                   const Result<core::MatchResult>& result,
-                   double elapsed_ms) {
-  if (!result.ok()) {
-    EmitEventLine("{\"type\":\"error\",\"id\":\"" + JsonEscape(query.id) +
-                  "\",\"message\":\"" +
-                  JsonEscape(result.status().ToString()) + "\"}");
-    return;
-  }
-  const core::MatchStats& stats = result->stats;
-  char nums[256];
-  // "mappings" counts everything with Δ ≥ δ found by the run — it matches
-  // the `match` command's count and the number of mapping event lines;
-  // "kept" is the returned list after top-N trimming.
-  std::snprintf(
-      nums, sizeof(nums),
-      "\",\"mappings\":%zu,\"kept\":%zu,\"partial_mappings\":%zu,"
-      "\"clusters\":%zu,\"useful\":%zu,\"ms\":%.3f}",
-      stats.num_mappings, result->mappings.size(),
-      result->partial_mappings.size(), stats.num_clusters,
-      stats.num_useful_clusters, elapsed_ms);
-  EmitEventLine("{\"type\":\"done\",\"id\":\"" + JsonEscape(query.id) +
-                "\",\"status\":\"" +
-                std::string(core::ExecutionStatusName(result->execution)) +
-                nums);
-}
-
-/// --first-n as a per-query ExecutionControl (fresh cancel token per call;
-/// the deadline comes from the service default, see MakeService).
-core::ExecutionControl ControlFromArgs(const Args& args) {
-  core::ExecutionControl control;
+/// Session options shared by batch and serve, from the command line.
+service::ServeSessionOptions SessionOptionsFromArgs(const Args& args,
+                                                    bool* ok) {
+  service::ServeSessionOptions options;
+  options.defaults = DefaultServiceOptions(args, ok);
   long first_n = args.GetInt("first-n", 0);
-  if (first_n > 0) {
-    control.stop_after_n_mappings = static_cast<uint64_t>(first_n);
-  }
-  return control;
+  if (first_n > 0) options.first_n = static_cast<uint64_t>(first_n);
+  options.cluster_events = args.Has("cluster-events");
+  return options;
 }
 
 int RunBatch(const Args& args) {
@@ -697,8 +599,16 @@ int RunBatch(const Args& args) {
     return 2;
   }
   bool ok = true;
-  core::MatchOptions defaults = DefaultServiceOptions(args, &ok);
+  service::ServeSessionOptions session_options =
+      SessionOptionsFromArgs(args, &ok);
   if (!ok) return 2;
+
+  auto service = MakeService(args);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  service::ServeSession session(service->get(), session_options);
 
   std::ifstream file(args.Get("queries"));
   if (!file) {
@@ -713,7 +623,7 @@ int RunBatch(const Args& args) {
     size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    auto query = ParseQueryLine(line, defaults, queries.size());
+    auto query = session.ParseQuery(line, queries.size());
     if (!query.ok()) {
       std::fprintf(stderr, "%s:%zu: %s\n", args.Get("queries").c_str(),
                    lineno, query.status().ToString().c_str());
@@ -726,44 +636,18 @@ int RunBatch(const Args& args) {
     return 1;
   }
 
-  auto service = MakeService(args);
-  if (!service.ok()) {
-    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
-    return 1;
+  {
+    std::shared_ptr<const service::RepositorySnapshot> snapshot =
+        (*service)->CurrentSnapshot();
+    std::fprintf(stderr,
+                 "serving %zu queries over %zu elements / %zu trees on %zu "
+                 "threads\n",
+                 queries.size(), snapshot->total_nodes(),
+                 snapshot->num_trees(), (*service)->pool().num_threads());
   }
-  // Batch mode never applies deltas, so the snapshot held here is the one
-  // every query runs against; holding it also keeps the forest the
-  // observers format mappings with alive.
-  std::shared_ptr<const service::RepositorySnapshot> snapshot =
-      (*service)->CurrentSnapshot();
-  const schema::SchemaForest& forest = snapshot->forest();
-  std::fprintf(stderr,
-               "serving %zu queries over %zu elements / %zu trees on %zu "
-               "threads\n",
-               queries.size(), forest.total_nodes(), forest.num_trees(),
-               (*service)->pool().num_threads());
 
-  // Stream every query: mapping events interleave across pool threads (each
-  // carries its query id); done events follow in input order.
-  const bool cluster_events = args.Has("cluster-events");
-  std::vector<std::unique_ptr<NdjsonObserver>> observers;
-  std::vector<service::MatchHandle> handles;
-  observers.reserve(queries.size());
-  handles.reserve(queries.size());
   Timer timer;
-  for (service::MatchQuery& query : queries) {
-    observers.push_back(std::make_unique<NdjsonObserver>(
-        query.id, &query.personal, &forest, cluster_events));
-    handles.push_back((*service)->SubmitMatch(query, ControlFromArgs(args),
-                                              observers.back().get()));
-  }
-
-  int failed = 0;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    auto result = handles[i].Get();
-    EmitDoneEvent(queries[i], result, observers[i]->DoneMs());
-    if (!result.ok()) ++failed;
-  }
+  size_t failed = session.RunBatch(queries, EmitEventLine);
   double elapsed = timer.ElapsedSeconds();
   service::ServiceStats stats = (*service)->stats();
   std::fprintf(
@@ -784,192 +668,32 @@ int RunBatch(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
-void EmitGenerationEvent(const live::ApplyReport& report) {
-  char nums[320];
-  std::snprintf(
-      nums, sizeof(nums),
-      "{\"type\":\"generation\",\"generation\":%llu,"
-      "\"fingerprint\":\"%016llx\",\"trees\":%zu,\"trees_reused\":%zu,"
-      "\"trees_rebuilt\":%zu,\"names_copied\":%zu,\"names_computed\":%zu,"
-      "\"build_ms\":%.3f}",
-      static_cast<unsigned long long>(report.generation),
-      static_cast<unsigned long long>(report.fingerprint),
-      report.trees_total, report.trees_reused, report.trees_rebuilt,
-      report.name_entries_copied, report.name_entries_computed,
-      1e3 * report.build_seconds);
-  EmitEventLine(nums);
+// --- serve-mode signal handling --------------------------------------------
+
+std::atomic<bool> g_serve_shutdown{false};
+/// Shared by every serve-mode query; the signal handler cancels it once,
+/// and stickiness makes any queries after the signal resolve immediately.
+core::CancelToken g_serve_cancel;
+
+void OnServeSignal(int) {
+  if (g_serve_shutdown.exchange(true)) _exit(130);  // second signal: force
+  // Cancel() is one relaxed atomic store — async-signal-safe in effect.
+  g_serve_cancel.Cancel();
 }
 
-/// Handles one serve-mode '!' command line. Grammar:
-///   !ingest SPEC [source=NAME]      add one tree
-///   !replace ID SPEC [source=NAME]  swap tree ID's payload
-///   !remove ID                      retire tree ID
-///   !reload (FILE|DIR)              replace the whole repository
-///   !generation                     report the current generation
-///   !stats                          print service stats to stderr
-/// Every successful mutation emits one "generation" NDJSON event.
-void RunServeCommand(service::MatchService* service,
-                     const std::string& line) {
-  std::istringstream stream(line);
-  std::string command;
-  stream >> command;
-
-  auto apply = [service](live::DeltaBuilder builder) {
-    auto delta = builder.Build();
-    if (!delta.ok()) {
-      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
-      return;
-    }
-    auto report = service->ApplyDelta(*delta);
-    if (!report.ok()) {
-      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-      return;
-    }
-    EmitGenerationEvent(*report);
-  };
-
-  auto parse_source = [&stream]() {
-    std::string token, source;
-    while (stream >> token) {
-      if (token.rfind("source=", 0) == 0) source = token.substr(7);
-    }
-    return source;
-  };
-
-  // Parses a tree id, rejecting values a TreeId cannot hold — a silently
-  // wrapped id would target the wrong tree.
-  auto parse_target = [&stream](long* target) {
-    return static_cast<bool>(stream >> *target) && *target >= 0 &&
-           *target <= std::numeric_limits<schema::TreeId>::max();
-  };
-
-  if (command == "!ingest" || command == "!replace") {
-    long target = -1;
-    if (command == "!replace" && !parse_target(&target)) {
-      std::fprintf(stderr, "usage: !replace ID SPEC [source=NAME]\n");
-      return;
-    }
-    std::string spec;
-    if (!(stream >> spec)) {
-      std::fprintf(stderr, "usage: %s SPEC [source=NAME]\n", command.c_str());
-      return;
-    }
-    auto tree = schema::ParseTreeSpec(spec);
-    if (!tree.ok()) {
-      std::fprintf(stderr, "bad spec: %s\n",
-                   tree.status().ToString().c_str());
-      return;
-    }
-    std::string source = parse_source();
-    if (source.empty()) source = "serve:" + command.substr(1);
-    live::DeltaBuilder builder;
-    if (command == "!ingest") {
-      builder.AddTree(std::move(*tree), std::move(source));
-    } else {
-      builder.ReplaceTree(static_cast<schema::TreeId>(target),
-                          std::move(*tree), std::move(source));
-    }
-    apply(std::move(builder));
-  } else if (command == "!remove") {
-    long target = -1;
-    if (!parse_target(&target)) {
-      std::fprintf(stderr, "usage: !remove ID\n");
-      return;
-    }
-    live::DeltaBuilder builder;
-    builder.RemoveTree(static_cast<schema::TreeId>(target));
-    apply(std::move(builder));
-  } else if (command == "!reload") {
-    std::string path;
-    if (!(stream >> path)) {
-      std::fprintf(stderr, "usage: !reload (FILE|DIR)\n");
-      return;
-    }
-    auto loaded = LoadForestFromPath(path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return;
-    }
-    if (loaded->num_trees() == 0) {
-      std::fprintf(stderr, "!reload: %s holds no trees\n", path.c_str());
-      return;
-    }
-    // Whole-repository swap as one delta: retire every current tree, add
-    // every loaded one (payloads shared from the loaded forest, not
-    // copied). Published atomically like any other delta.
-    std::shared_ptr<const service::RepositorySnapshot> snapshot =
-        service->CurrentSnapshot();
-    live::DeltaBuilder builder;
-    for (schema::TreeId t = 0;
-         t < static_cast<schema::TreeId>(snapshot->num_trees()); ++t) {
-      builder.RemoveTree(t);
-    }
-    for (schema::TreeId t = 0;
-         t < static_cast<schema::TreeId>(loaded->num_trees()); ++t) {
-      builder.AddTree(loaded->tree_ptr(t), loaded->source(t));
-    }
-    apply(std::move(builder));
-  } else if (command == "!save") {
-    std::string path;
-    if (!(stream >> path)) {
-      std::fprintf(stderr, "usage: !save PATH\n");
-      return;
-    }
-    auto info = service->SaveSnapshot(path);
-    if (!info.ok()) {
-      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
-      return;
-    }
-    char nums[384];
-    std::snprintf(nums, sizeof(nums),
-                  "\",\"format\":%u,\"generation\":%llu,"
-                  "\"fingerprint\":\"%016llx\",\"trees\":%llu,"
-                  "\"elements\":%llu,\"bytes\":%llu}",
-                  info->format_version,
-                  static_cast<unsigned long long>(info->generation),
-                  static_cast<unsigned long long>(info->fingerprint),
-                  static_cast<unsigned long long>(info->trees),
-                  static_cast<unsigned long long>(info->total_nodes),
-                  static_cast<unsigned long long>(info->total_bytes));
-    EmitEventLine("{\"type\":\"saved\",\"path\":\"" + JsonEscape(path) +
-                  nums);
-  } else if (command == "!generation") {
-    std::shared_ptr<const service::RepositorySnapshot> snapshot =
-        service->CurrentSnapshot();
-    char nums[160];
-    std::snprintf(nums, sizeof(nums),
-                  "{\"type\":\"generation\",\"generation\":%llu,"
-                  "\"fingerprint\":\"%016llx\",\"trees\":%zu}",
-                  static_cast<unsigned long long>(snapshot->generation()),
-                  static_cast<unsigned long long>(snapshot->fingerprint()),
-                  snapshot->num_trees());
-    EmitEventLine(nums);
-  } else if (command == "!stats") {
-    service::ServiceStats stats = service->stats();
-    std::fprintf(
-        stderr,
-        "generation %llu (%llu deltas) | %llu queries | cluster cache: "
-        "%llu hits, %llu shared, %llu misses, %llu evictions, %zu resident "
-        "in %zu namespaces\n",
-        static_cast<unsigned long long>(stats.generation),
-        static_cast<unsigned long long>(stats.deltas_applied),
-        static_cast<unsigned long long>(stats.queries),
-        static_cast<unsigned long long>(stats.cache.hits),
-        static_cast<unsigned long long>(stats.cache.shared),
-        static_cast<unsigned long long>(stats.cache.misses),
-        static_cast<unsigned long long>(stats.cache.evictions),
-        stats.cache.entries, stats.cache_namespaces);
-  } else {
-    std::fprintf(stderr,
-                 "unknown command %s (try !ingest, !replace, !remove, !save, "
-                 "!reload, !generation, !stats)\n",
-                 command.c_str());
-  }
+void InstallServeSignalHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = OnServeSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: the blocking stdin read returns EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 }
 
 int RunServe(const Args& args) {
   bool ok = true;
-  core::MatchOptions defaults = DefaultServiceOptions(args, &ok);
+  service::ServeSessionOptions session_options =
+      SessionOptionsFromArgs(args, &ok);
   if (!ok) return 2;
 
   auto service = MakeService(args);
@@ -977,7 +701,8 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
     return 1;
   }
-  const bool cluster_events = args.Has("cluster-events");
+  service::ServeSession session(service->get(), session_options);
+  InstallServeSignalHandlers();
   {
     std::shared_ptr<const service::RepositorySnapshot> snapshot =
         (*service)->CurrentSnapshot();
@@ -985,42 +710,17 @@ int RunServe(const Args& args) {
                  "ready: %zu elements / %zu trees (generation %llu); enter "
                  "queries (SPEC [key=value ...]) or !commands (!ingest, "
                  "!replace, !remove, !reload, !save, !generation, !stats), "
-                 "EOF to quit; NDJSON events on stdout\n",
+                 "EOF or SIGINT/SIGTERM to quit; NDJSON events on stdout\n",
                  snapshot->total_nodes(), snapshot->num_trees(),
                  static_cast<unsigned long long>(snapshot->generation()));
   }
 
   std::string line;
-  size_t index = 0;
-  while (std::getline(std::cin, line)) {
-    size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '!') {
-      RunServeCommand(service->get(), line.substr(first));
-      continue;
-    }
-    auto query = ParseQueryLine(line, defaults, index++);
-    if (!query.ok()) {
-      std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
-      continue;
-    }
-    // Pin the snapshot the observer formats against. Commands and queries
-    // are processed by this one thread, so the submit below pins the same
-    // snapshot; holding the shared_ptr keeps the forest alive even if a
-    // later !command retires the generation while the result prints.
-    std::shared_ptr<const service::RepositorySnapshot> snapshot =
-        (*service)->CurrentSnapshot();
-    // Through the pool (not the calling thread) so --threads is honest.
-    // Mapping events stream while the query runs; the done event carries
-    // the typed terminal status (completed / deadline_exceeded / ...).
-    NdjsonObserver observer(query->id, &query->personal, &snapshot->forest(),
-                            cluster_events);
-    service::MatchHandle handle =
-        (*service)->SubmitMatch(*query, ControlFromArgs(args), &observer);
-    auto result = handle.Get();
-    EmitDoneEvent(*query, result, observer.DoneMs());
+  while (!g_serve_shutdown.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
+    core::ExecutionControl control;
+    control.cancel = g_serve_cancel;
+    session.HandleLine(line, EmitEventLine, control);
   }
 
   // Session summary (the serve-mode analogue of the batch footer): cache
@@ -1028,10 +728,11 @@ int RunServe(const Args& args) {
   service::ServiceStats stats = (*service)->stats();
   std::fprintf(
       stderr,
-      "served %llu queries over %llu generations (%llu deltas) | cluster "
+      "%sserved %llu queries over %llu generations (%llu deltas) | cluster "
       "cache: %llu hits, %llu shared, %llu misses, %llu evictions, %zu "
       "resident in %zu namespaces | cancelled %llu, deadline_exceeded %llu, "
       "early_stopped %llu\n",
+      g_serve_shutdown.load() ? "shutdown signal received; " : "",
       static_cast<unsigned long long>(stats.queries),
       static_cast<unsigned long long>(stats.generation + 1),
       static_cast<unsigned long long>(stats.deltas_applied),
@@ -1043,6 +744,117 @@ int RunServe(const Args& args) {
       static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.deadline_exceeded),
       static_cast<unsigned long long>(stats.early_stopped));
+
+  if (args.Has("save-on-shutdown")) {
+    const std::string path = args.Get("save-on-shutdown");
+    auto info = (*service)->SaveSnapshot(path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "save-on-shutdown failed: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "saved %s: generation %llu, %llu trees, %llu bytes\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(info->generation),
+                 static_cast<unsigned long long>(info->trees),
+                 static_cast<unsigned long long>(info->total_bytes));
+  }
+  return 0;
+}
+
+int RunHttp(const Args& args) {
+  bool ok = true;
+  net::TenantRegistryOptions registry_options;
+  registry_options.session = SessionOptionsFromArgs(args, &ok);
+  if (!ok) return 2;
+  long threads = args.GetInt("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  registry_options.service.num_threads = static_cast<size_t>(threads);
+  registry_options.service.default_deadline_seconds =
+      args.GetDouble("deadline-ms", 0) / 1e3;
+  registry_options.state_dir = args.Get("state-dir");
+  net::TenantRegistry registry(std::move(registry_options));
+
+  // Warm restart: every tenant saved by a previous drain resumes its
+  // generation chain.
+  if (args.Has("state-dir")) {
+    size_t booted = registry.WarmStartAll();
+    if (booted > 0) {
+      std::fprintf(stderr, "warm-started %zu tenants from %s\n", booted,
+                   args.Get("state-dir").c_str());
+    }
+  }
+
+  // A repository source flag seeds the named tenant (skipped when a warm
+  // start already brought it back).
+  const std::string tenant_name = args.Get("tenant", "default");
+  if (args.Has("forest") || args.Has("repo-dir") || args.Has("synthetic") ||
+      args.Has("warm-start")) {
+    if (registry.Find(tenant_name) != nullptr) {
+      std::fprintf(stderr,
+                   "tenant '%s' already warm-started; ignoring repository "
+                   "source flags\n",
+                   tenant_name.c_str());
+    } else if (args.Has("warm-start")) {
+      // Boot from an explicit snapshot file (not the state dir).
+      auto service = MakeService(args);
+      if (!service.ok()) {
+        std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "note: --warm-start FILE seeds tenant '%s' via its "
+                   "forest; generation restarts at 0 unless --state-dir "
+                   "holds a drain snapshot\n",
+                   tenant_name.c_str());
+      schema::SchemaForest forest = (*service)->CurrentSnapshot()->forest();
+      auto tenant = registry.Create(tenant_name, std::move(forest));
+      if (!tenant.ok()) {
+        std::fprintf(stderr, "%s\n", tenant.status().ToString().c_str());
+        return 1;
+      }
+    } else {
+      auto forest = LoadRepository(args);
+      if (!forest.ok()) {
+        std::fprintf(stderr, "%s\n", forest.status().ToString().c_str());
+        return 1;
+      }
+      auto tenant = registry.Create(tenant_name, std::move(*forest));
+      if (!tenant.ok()) {
+        std::fprintf(stderr, "%s\n", tenant.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  net::HttpServerOptions server_options;
+  server_options.bind_address = args.Get("bind", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(args.GetInt("port", 8080));
+  server_options.num_workers =
+      static_cast<size_t>(args.GetInt("workers", 0));
+  server_options.admission.max_inflight =
+      static_cast<size_t>(args.GetInt("max-inflight", 256));
+  server_options.admission.soft_inflight =
+      static_cast<size_t>(args.GetInt("soft-inflight", 0));
+  server_options.admission.min_deadline_fraction =
+      args.GetDouble("min-deadline-fraction", 0.25);
+  net::HttpServer server(&registry, server_options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  server.InstallShutdownSignalHandlers();
+  std::fprintf(stderr,
+               "listening on %s:%u (%zu tenants); SIGINT/SIGTERM drains%s\n",
+               server_options.bind_address.c_str(), server.port(),
+               registry.size(),
+               args.Has("state-dir") ? " and saves every tenant" : "");
+  server.Serve();
   return 0;
 }
 
@@ -1060,5 +872,6 @@ int main(int argc, char** argv) {
   if (command == "match") return RunMatch(args);
   if (command == "batch") return RunBatch(args);
   if (command == "serve") return RunServe(args);
+  if (command == "http") return RunHttp(args);
   return Usage();
 }
