@@ -56,7 +56,7 @@ double MeasureBatches(service::MatchService* service,
                       int repeat) {
   Timer timer;
   for (int r = 0; r < repeat; ++r) {
-    auto results = service->MatchBatch(queries);
+    auto results = service->MatchBatch(queries).results;
     for (const auto& result : results) {
       if (!result.ok()) {
         std::fprintf(stderr, "query failed: %s\n",

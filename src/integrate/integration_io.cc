@@ -1,0 +1,348 @@
+#include "integrate/integration_io.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "util/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace xsm::integrate {
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'S', 'M', 'I', 'N', 'T', 'G', '\0'};
+
+void WriteNodeRef(wire::Writer* w, const schema::NodeRef& ref) {
+  w->I32(ref.tree);
+  w->I32(ref.node);
+}
+
+schema::NodeRef ReadNodeRef(wire::Reader* r) {
+  schema::NodeRef ref;
+  ref.tree = r->I32();
+  ref.node = r->I32();
+  return ref;
+}
+
+/// Doubles travel as IEEE-754 bit patterns: bit-exact round trips, so the
+/// determinism suites can byte-compare serializations.
+void WriteDouble(wire::Writer* w, double v) {
+  w->U64(std::bit_cast<uint64_t>(v));
+}
+
+double ReadDouble(wire::Reader* r) {
+  return std::bit_cast<double>(r->U64());
+}
+
+/// Validates a NodeRef against the decoded universe (tree must index the
+/// serialized tree_fingerprints, node must be non-negative).
+bool ValidRef(const schema::NodeRef& ref, size_t num_trees) {
+  return ref.tree >= 0 && static_cast<size_t>(ref.tree) < num_trees &&
+         ref.node >= 0;
+}
+
+}  // namespace
+
+std::string SerializeIntegration(const IntegrationResult& result) {
+  std::string payload;
+  wire::Writer w(&payload);
+  w.U64(result.generation);
+  w.U64(result.fingerprint);
+  w.U64(result.seed);
+  w.U8(static_cast<uint8_t>(result.execution));
+  w.U64Vec(result.tree_fingerprints);
+
+  w.U64(result.stats.trees);
+  w.U64(result.stats.slices);
+  w.U64(result.stats.pairs_total);
+  w.U64(result.stats.pairs_linked);
+  w.U64(result.stats.correspondences);
+  w.U64(result.stats.nodes_linked);
+
+  w.U32(static_cast<uint32_t>(result.clusters.size()));
+  for (const CorrespondenceCluster& cluster : result.clusters) {
+    w.Str(cluster.name);
+    WriteNodeRef(&w, cluster.representative);
+    w.U64(cluster.links);
+    w.U64(cluster.schemas);
+    WriteDouble(&w, cluster.confidence);
+    w.U8(static_cast<uint8_t>(cluster.severity));
+    w.U32(static_cast<uint32_t>(cluster.members.size()));
+    for (const schema::NodeRef& member : cluster.members) {
+      WriteNodeRef(&w, member);
+    }
+  }
+  // Mediated elements reference their cluster; name and representative are
+  // reconstructed from it, so file and in-memory forms cannot disagree.
+  w.U32(static_cast<uint32_t>(result.mediated.elements.size()));
+  for (const MediatedElement& element : result.mediated.elements) {
+    w.U32(static_cast<uint32_t>(element.cluster));
+  }
+
+  std::string out;
+  out.reserve(payload.size() + 16);
+  out.append(kMagic, sizeof(kMagic));
+  wire::Writer header(&out);
+  header.U32(kIntegrationFormatVersion);
+  header.U32(wire::Crc32c(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<IntegrationResult> DeserializeIntegration(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 8 ||
+      bytes.compare(0, sizeof(kMagic),
+                    std::string_view(kMagic, sizeof(kMagic))) != 0) {
+    return Status::ParseError("not an integration file (bad magic)");
+  }
+  wire::Reader head(bytes.substr(sizeof(kMagic), 8));
+  const uint32_t version = head.U32();
+  const uint32_t crc = head.U32();
+  if (version > kIntegrationFormatVersion) {
+    return Status::Unimplemented(
+        "integration file format " + std::to_string(version) +
+        " is newer than supported " +
+        std::to_string(kIntegrationFormatVersion));
+  }
+  std::string_view payload = bytes.substr(sizeof(kMagic) + 8);
+  if (wire::Crc32c(payload) != crc) {
+    return Status::Corruption("integration payload CRC mismatch");
+  }
+
+  wire::Reader r(payload);
+  IntegrationResult result;
+  result.generation = r.U64();
+  result.fingerprint = r.U64();
+  result.seed = r.U64();
+  const uint8_t execution = r.U8();
+  if (execution > static_cast<uint8_t>(
+                      core::ExecutionStatus::kEarlyStopped)) {
+    r.Fail("invalid execution status " + std::to_string(execution));
+  } else {
+    result.execution = static_cast<core::ExecutionStatus>(execution);
+  }
+  r.U64Vec(&result.tree_fingerprints);
+
+  result.stats.trees = r.U64();
+  result.stats.slices = r.U64();
+  result.stats.pairs_total = r.U64();
+  result.stats.pairs_linked = r.U64();
+  result.stats.correspondences = r.U64();
+  result.stats.nodes_linked = r.U64();
+  if (result.stats.trees != result.tree_fingerprints.size()) {
+    r.Fail("stats.trees disagrees with tree fingerprint count");
+  }
+
+  const uint32_t num_clusters = r.U32();
+  for (uint32_t i = 0; i < num_clusters && r.ok(); ++i) {
+    CorrespondenceCluster cluster;
+    cluster.name = r.Str();
+    cluster.representative = ReadNodeRef(&r);
+    cluster.links = r.U64();
+    cluster.schemas = r.U64();
+    cluster.confidence = ReadDouble(&r);
+    const uint8_t severity = r.U8();
+    if (severity > static_cast<uint8_t>(Severity::kStrong)) {
+      r.Fail("invalid severity " + std::to_string(severity));
+      break;
+    }
+    cluster.severity = static_cast<Severity>(severity);
+    const uint32_t num_members = r.U32();
+    // A hostile count cannot balloon memory: every member costs 8 bytes of
+    // remaining payload, checked before reserving.
+    if (static_cast<uint64_t>(num_members) * 8 > r.remaining()) {
+      r.Fail("member count exceeds payload");
+      break;
+    }
+    cluster.members.reserve(num_members);
+    for (uint32_t m = 0; m < num_members; ++m) {
+      cluster.members.push_back(ReadNodeRef(&r));
+    }
+    if (!r.ok()) break;
+    bool members_valid = !cluster.members.empty() &&
+                         ValidRef(cluster.representative,
+                                  result.tree_fingerprints.size());
+    for (size_t m = 0; m < cluster.members.size() && members_valid; ++m) {
+      members_valid =
+          ValidRef(cluster.members[m], result.tree_fingerprints.size()) &&
+          (m == 0 || cluster.members[m - 1] < cluster.members[m]);
+    }
+    if (!members_valid) {
+      r.Fail("cluster " + std::to_string(i) + " has invalid members");
+      break;
+    }
+    result.clusters.push_back(std::move(cluster));
+  }
+
+  const uint32_t num_elements = r.U32();
+  for (uint32_t i = 0; i < num_elements && r.ok(); ++i) {
+    const uint32_t cluster_index = r.U32();
+    if (cluster_index >= result.clusters.size()) {
+      r.Fail("mediated element references cluster " +
+             std::to_string(cluster_index) + " of " +
+             std::to_string(result.clusters.size()));
+      break;
+    }
+    const CorrespondenceCluster& cluster = result.clusters[cluster_index];
+    MediatedElement element;
+    element.name = cluster.name;
+    element.representative = cluster.representative;
+    element.cluster = cluster_index;
+    result.mediated.elements.push_back(std::move(element));
+  }
+
+  XSM_RETURN_NOT_OK(r.status());
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after integration payload");
+  }
+  return result;
+}
+
+namespace {
+
+Status SyncToDisk(const std::string& file_path, const std::string& dir_path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(file_path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::IOError("cannot reopen " + file_path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failure on " + file_path);
+  int dir_fd = ::open(dir_path.empty() ? "." : dir_path.c_str(),
+                      O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // directory durability is best-effort
+    ::close(dir_fd);
+  }
+#else
+  (void)file_path;
+  (void)dir_path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<size_t> SaveIntegrationToFile(const IntegrationResult& result,
+                                     const std::string& path) {
+  std::string bytes = SerializeIntegration(result);
+  static std::atomic<uint64_t> save_counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::string tmp =
+      path + ".tmp." + std::to_string(pid) + "." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failure on " + tmp);
+    }
+  }
+  const size_t slash = path.find_last_of('/');
+  Status synced = SyncToDisk(
+      tmp, slash == std::string::npos ? "." : path.substr(0, slash));
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return bytes.size();
+}
+
+Result<IntegrationResult> LoadIntegrationFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(bytes.data(), size);
+  if (!in || in.gcount() != size) {
+    return Status::IOError("read failure on " + path);
+  }
+  return DeserializeIntegration(bytes);
+}
+
+namespace {
+
+/// Order-independent identity of one cluster across generations: its member
+/// set as sorted (tree content fingerprint, node) pairs, packed into a byte
+/// key. Unknown tree ids (possible only in hand-built results) key on the
+/// raw TreeId with a distinguishing tag so they can never collide with a
+/// fingerprint.
+std::string MembershipKey(const CorrespondenceCluster& cluster,
+                          const std::vector<uint64_t>& tree_fingerprints) {
+  std::vector<std::pair<uint64_t, int32_t>> identity;
+  identity.reserve(cluster.members.size());
+  for (const schema::NodeRef& member : cluster.members) {
+    const bool known =
+        member.tree >= 0 &&
+        static_cast<size_t>(member.tree) < tree_fingerprints.size();
+    identity.emplace_back(
+        known ? tree_fingerprints[static_cast<size_t>(member.tree)]
+              : static_cast<uint64_t>(member.tree),
+        known ? member.node : ~member.node);
+  }
+  std::sort(identity.begin(), identity.end());
+  std::string key;
+  wire::Writer w(&key);
+  for (const auto& [fingerprint, node] : identity) {
+    w.U64(fingerprint);
+    w.I32(node);
+  }
+  return key;
+}
+
+}  // namespace
+
+IntegrationDiff DiffIntegrations(const IntegrationResult& before,
+                                 const IntegrationResult& after) {
+  IntegrationDiff diff;
+  diff.before_clusters = before.clusters.size();
+  diff.after_clusters = after.clusters.size();
+
+  std::set<std::string> before_keys;
+  for (const CorrespondenceCluster& cluster : before.clusters) {
+    before_keys.insert(MembershipKey(cluster, before.tree_fingerprints));
+  }
+  std::set<std::string> after_keys;
+  for (const CorrespondenceCluster& cluster : after.clusters) {
+    after_keys.insert(MembershipKey(cluster, after.tree_fingerprints));
+  }
+
+  for (const CorrespondenceCluster& cluster : after.clusters) {
+    if (before_keys.count(MembershipKey(cluster, after.tree_fingerprints))) {
+      ++diff.kept;
+    } else {
+      ++diff.added;
+      diff.added_names.push_back(cluster.name);
+    }
+  }
+  for (const CorrespondenceCluster& cluster : before.clusters) {
+    if (!after_keys.count(MembershipKey(cluster, before.tree_fingerprints))) {
+      ++diff.removed;
+      diff.removed_names.push_back(cluster.name);
+    }
+  }
+  return diff;
+}
+
+}  // namespace xsm::integrate

@@ -1,0 +1,69 @@
+// Persistence and diffing for integration results.
+//
+// An IntegrationResult serializes through util::wire with the store's
+// framing idiom: 8-byte magic, format version (readers accept <= theirs,
+// newer fails typed kUnimplemented), and a CRC-32C over the whole payload —
+// any flipped byte or truncation is rejected with a typed Corruption /
+// ParseError, never UB (the reader is bounds-checked and sticky). Wall-clock
+// timings are deliberately NOT serialized: two runs over the same snapshot
+// fingerprint + seed serialize byte-identically, which is how the
+// determinism suites compare results.
+//
+// Cross-generation diffing: cluster identity is keyed on the *member set*
+// expressed as (tree content fingerprint, node id) pairs — TreeIds renumber
+// when xsm::live removals compact the forest, but content fingerprints
+// follow the tree — so "same cluster" survives generation churn, and
+// DiffIntegrations reports which mediated concepts appeared, disappeared,
+// or kept their exact membership between two saved integrations.
+#ifndef XSM_INTEGRATE_INTEGRATION_IO_H_
+#define XSM_INTEGRATE_INTEGRATION_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "integrate/integration_engine.h"
+#include "util/status.h"
+
+namespace xsm::integrate {
+
+/// Current file format version ("XSMINTG\0" files).
+inline constexpr uint32_t kIntegrationFormatVersion = 1;
+
+/// Serializes everything deterministic about `result` (no timings).
+std::string SerializeIntegration(const IntegrationResult& result);
+
+/// Decodes a SerializeIntegration byte string, verifying magic, version and
+/// CRC and validating every index/enum against the decoded universe.
+Result<IntegrationResult> DeserializeIntegration(std::string_view bytes);
+
+/// Atomic save (unique tmp + fsync + rename): readers of `path` see the old
+/// file or the new one, never a torn mix. Returns the byte size written.
+Result<size_t> SaveIntegrationToFile(const IntegrationResult& result,
+                                     const std::string& path);
+
+Result<IntegrationResult> LoadIntegrationFromFile(const std::string& path);
+
+/// Membership-level comparison of two integrations (typically of two
+/// xsm::live generations of one repository).
+struct IntegrationDiff {
+  size_t before_clusters = 0;
+  size_t after_clusters = 0;
+  /// Clusters whose member sets — as (tree fingerprint, node) pairs — are
+  /// identical in both runs.
+  size_t kept = 0;
+  size_t added = 0;    ///< member sets only in `after`
+  size_t removed = 0;  ///< member sets only in `before`
+  /// Representative names of the added/removed clusters, in the owning
+  /// run's rank order.
+  std::vector<std::string> added_names;
+  std::vector<std::string> removed_names;
+};
+
+IntegrationDiff DiffIntegrations(const IntegrationResult& before,
+                                 const IntegrationResult& after);
+
+}  // namespace xsm::integrate
+
+#endif  // XSM_INTEGRATE_INTEGRATION_IO_H_

@@ -728,6 +728,10 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
           HandleIngest(conn, request, *tenant);
           return;
         }
+        if (verb == "integrate" && request.method == "POST") {
+          HandleIntegrate(conn, request, *tenant);
+          return;
+        }
         if (verb == "save" && request.method == "POST") {
           HandleSave(conn, request, *tenant);
           return;
@@ -740,8 +744,8 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
           return;
         }
         QueueSimple(conn, verb == "match" || verb == "batch" ||
-                              verb == "ingest" || verb == "save" ||
-                              verb == "stats"
+                              verb == "ingest" || verb == "integrate" ||
+                              verb == "save" || verb == "stats"
                           ? 405
                           : 404,
                     ErrorBodyLine(Status::NotFound(
@@ -806,6 +810,37 @@ void HttpServer::HandleMatch(const std::shared_ptr<Connection>& conn,
   } else {
     tenant.session->RunQuery(queries.front(), sink, control);
   }
+  QueueOutput(conn, std::string(kChunkedFinal));
+  FinishWork(timer.ElapsedSeconds() * 1e3);
+}
+
+void HttpServer::HandleIntegrate(const std::shared_ptr<Connection>& conn,
+                                 const HttpMessage& request,
+                                 Tenant& tenant) {
+  bool keep_alive;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    keep_alive = !conn->close_after_response;
+  }
+  std::vector<std::string> lines = BodyLines(request.body);
+  if (lines.size() > 1) {
+    QueueSimple(conn, 400,
+                ErrorBodyLine(Status::InvalidArgument(
+                    "POST .../integrate takes at most one option line "
+                    "(!integrate grammar)")), keep_alive);
+    return;
+  }
+  const std::string args = lines.empty() ? std::string() : lines.front();
+
+  core::ExecutionControl control;
+  if (!AdmitWork(conn, *tenant.service, &control)) return;
+
+  Timer timer;
+  QueueOutput(conn, ChunkedResponseHead(200, kNdjson, keep_alive));
+  service::EventSink sink = [this, &conn](const std::string& line) {
+    QueueOutput(conn, EncodeChunk(line + "\n"));
+  };
+  tenant.session->RunIntegrate(args, sink, control);
   QueueOutput(conn, std::string(kChunkedFinal));
   FinishWork(timer.ElapsedSeconds() * 1e3);
 }

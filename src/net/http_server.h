@@ -100,6 +100,9 @@ struct HttpServerStats {
 ///                                      mapping events, done in order
 ///   POST /v1/tenants/{t}/ingest        body = '!' command lines
 ///                                      (!ingest / !replace / !remove)
+///   POST /v1/tenants/{t}/integrate     body = at most one option line
+///                                      (!integrate grammar); streams
+///                                      pair / cluster / mediated events
 ///   POST /v1/tenants/{t}/save          persist tenant to the state dir
 ///   GET  /v1/tenants/{t}/stats         the tenant's stats event
 ///   GET  /v1/stats                     server-wide stats event
@@ -161,6 +164,8 @@ class HttpServer {
                    const HttpMessage& request, Tenant& tenant, bool batch);
   void HandleIngest(const std::shared_ptr<Connection>& conn,
                     const HttpMessage& request, Tenant& tenant);
+  void HandleIntegrate(const std::shared_ptr<Connection>& conn,
+                       const HttpMessage& request, Tenant& tenant);
   void HandleCreateTenant(const std::shared_ptr<Connection>& conn,
                           const HttpMessage& request,
                           const std::string& name);

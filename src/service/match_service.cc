@@ -261,13 +261,16 @@ MatchHandle MatchService::SubmitMatchOn(
   return handle;
 }
 
-std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
-    std::vector<MatchQuery> queries) {
+BatchMatchResult MatchService::MatchBatch(std::vector<MatchQuery> queries) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   // One pin for the whole batch: all members run against the same
   // generation, so the result set is internally consistent even when
-  // deltas land mid-batch.
+  // deltas land mid-batch — and the result records which generation that
+  // was, so provenance never has to race CurrentGeneration().
   std::shared_ptr<const RepositorySnapshot> snapshot = manager_->Current();
+  BatchMatchResult batch;
+  batch.generation = snapshot->generation();
+  batch.fingerprint = snapshot->fingerprint();
   std::vector<std::future<Result<core::MatchResult>>> futures;
   futures.reserve(queries.size());
   for (MatchQuery& query : queries) {
@@ -277,12 +280,25 @@ std::vector<Result<core::MatchResult>> MatchService::MatchBatch(
                                  nullptr);
         }));
   }
-  std::vector<Result<core::MatchResult>> results;
-  results.reserve(futures.size());
+  batch.results.reserve(futures.size());
   for (auto& future : futures) {
-    results.push_back(future.get());
+    batch.results.push_back(future.get());
   }
-  return results;
+  return batch;
+}
+
+Result<ClusterStatePtr> MatchService::ClusterStateOn(
+    const std::shared_ptr<const RepositorySnapshot>& snapshot,
+    const MatchQuery& query) {
+  core::MatchOptions effective = EffectiveOptionsFor(query, *snapshot);
+  core::ClusterStateOptions state_options =
+      core::ClusterStateOptions::From(effective);
+  std::shared_ptr<ClusterIndexCache> cache = CacheFor(snapshot->fingerprint());
+  const core::Bellflower& matcher = snapshot->matcher();
+  return cache->GetOrCompute(
+      BuildClusterStateKey(query.personal, state_options), [&]() {
+        return matcher.BuildClusterState(query.personal, state_options);
+      });
 }
 
 Result<live::ApplyReport> MatchService::ApplyDelta(

@@ -17,7 +17,9 @@
 //   auto handle = (*service)->SubmitMatch(query);         // async, cancellable
 //   handle.Cancel();                                      // cooperative stop
 //   auto partial = handle.Get();                          // mappings so far
-//   auto results = (*service)->MatchBatch(queries);       // parallel batch
+//   auto batch = (*service)->MatchBatch(queries);         // parallel batch
+//   // batch.results in input order; batch.generation / batch.fingerprint
+//   // name the snapshot that served every member.
 //
 //   live::DeltaBuilder builder;                           // evolve the repo
 //   builder.AddTree(*schema::ParseTreeSpec("invoice(total,customer)"));
@@ -114,6 +116,20 @@ struct MatchServiceOptions {
   /// against it. An expired query returns the mappings found so far with
   /// MatchResult::execution == kDeadlineExceeded.
   double default_deadline_seconds = 0;
+};
+
+/// Result of one MatchBatch call: the per-query results in input order plus
+/// the provenance of the snapshot the whole batch was pinned to. Callers
+/// recording where results came from (integration provenance, scatter-gather
+/// merges) read the generation/fingerprint instead of racing
+/// CurrentGeneration() against concurrent deltas.
+struct BatchMatchResult {
+  /// Generation number of the snapshot that served every batch member.
+  uint64_t generation = 0;
+  /// Content fingerprint of that snapshot.
+  uint64_t fingerprint = 0;
+  /// Per-query results, in input order.
+  std::vector<Result<core::MatchResult>> results;
 };
 
 struct ServiceStats {
@@ -232,11 +248,25 @@ class MatchService {
   /// Executes all queries on the pool and returns their results in input
   /// order. The whole batch is pinned to one snapshot — the generation
   /// current at the call — so its results are mutually consistent even
-  /// when deltas land mid-batch. Blocks until the batch is done. Call from
+  /// when deltas land mid-batch, and the result names that snapshot
+  /// (generation + fingerprint) so callers can record which repository
+  /// content served them. Blocks until the batch is done. Call from
   /// outside the pool (a batch inside a pool task would wait on its own
   /// workers).
-  std::vector<Result<core::MatchResult>> MatchBatch(
-      std::vector<MatchQuery> queries);
+  BatchMatchResult MatchBatch(std::vector<MatchQuery> queries);
+
+  /// The cached cluster state (element matching + clustering) for `query`
+  /// against an explicit snapshot pin: consults the snapshot fingerprint's
+  /// cache namespace and computes-once on miss, exactly like the query
+  /// path. The build always runs to completion (query-supplied
+  /// element.control is stripped), so the cache can never hold a partial
+  /// state. This is the integration engine's bulk-preprocessing hook: N
+  /// schemas sliced into personal-schema queries share every state with
+  /// interactive traffic and with later integration runs on the same
+  /// content. `snapshot` must come from this service's chain.
+  Result<ClusterStatePtr> ClusterStateOn(
+      const std::shared_ptr<const RepositorySnapshot>& snapshot,
+      const MatchQuery& query);
 
   /// Applies a validated delta to the repository and atomically publishes
   /// the successor generation. In-flight queries finish against their

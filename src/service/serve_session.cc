@@ -1,5 +1,6 @@
 #include "service/serve_session.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -112,6 +113,68 @@ void NdjsonEventObserver::OnFinish(const core::MatchResult& result) {
   finished_ms_ = ElapsedMs();
 }
 
+// --- NdjsonIntegrationObserver ---------------------------------------------
+
+void NdjsonIntegrationObserver::OnPair(
+    const integrate::PairProgress& progress) {
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "{\"type\":\"pair\",\"a\":%d,\"b\":%d,\"links\":%zu,"
+                "\"score\":%.6f,\"done\":%zu,\"of\":%zu}",
+                progress.a, progress.b, progress.links, progress.best_score,
+                progress.sources_done, progress.sources_total);
+  sink_(line);
+}
+
+void NdjsonIntegrationObserver::OnMediatedElement(
+    size_t rank, const integrate::MediatedElement& element,
+    const integrate::CorrespondenceCluster& cluster) {
+  char nums[288];
+  std::snprintf(nums, sizeof(nums),
+                "\",\"tree\":%d,\"node\":%d,\"size\":%zu,\"schemas\":%zu,"
+                "\"links\":%zu,\"confidence\":%.6f,\"severity\":\"",
+                element.representative.tree, element.representative.node,
+                cluster.members.size(), cluster.schemas, cluster.links,
+                cluster.confidence);
+  std::string line = "{\"type\":\"cluster\",\"rank\":" + std::to_string(rank) +
+                     ",\"name\":\"" + JsonEscape(element.name) + nums;
+  line += SeverityName(cluster.severity);
+  line += "\",\"members\":[";
+  const size_t listed = std::min(cluster.members.size(), kMaxMemberRefs);
+  for (size_t i = 0; i < listed; ++i) {
+    if (i > 0) line += ',';
+    line += "\"" + std::to_string(cluster.members[i].tree) + ":" +
+            std::to_string(cluster.members[i].node) + "\"";
+  }
+  line += "]";
+  if (listed < cluster.members.size()) {
+    line += ",\"members_truncated\":" +
+            std::to_string(cluster.members.size() - listed);
+  }
+  line += "}";
+  sink_(line);
+}
+
+void NdjsonIntegrationObserver::OnFinish(
+    const integrate::IntegrationResult& result) {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"type\":\"mediated\",\"status\":\"%s\",\"generation\":%llu,"
+      "\"fingerprint\":\"%016llx\",\"seed\":%llu,\"trees\":%zu,"
+      "\"slices\":%zu,\"pairs\":%zu,\"pairs_linked\":%zu,"
+      "\"correspondences\":%zu,\"clusters\":%zu,\"elements\":%zu,"
+      "\"ms\":%.3f}",
+      std::string(core::ExecutionStatusName(result.execution)).c_str(),
+      static_cast<unsigned long long>(result.generation),
+      static_cast<unsigned long long>(result.fingerprint),
+      static_cast<unsigned long long>(result.seed), result.stats.trees,
+      result.stats.slices, result.stats.pairs_total,
+      result.stats.pairs_linked, result.stats.correspondences,
+      result.clusters.size(), result.mediated.elements.size(), ElapsedMs());
+  sink_(line);
+}
+
 // --- ServeSession ----------------------------------------------------------
 
 ServeSession::ServeSession(MatchService* service, ServeSessionOptions options)
@@ -222,10 +285,17 @@ size_t ServeSession::RunBatch(const std::vector<MatchQuery>& queries,
 }
 
 Status ServeSession::RunCommand(const std::string& line,
-                                const EventSink& sink) {
+                                const EventSink& sink,
+                                core::ExecutionControl control) {
   std::istringstream stream(line);
   std::string command;
   stream >> command;
+
+  if (command == "!integrate") {
+    std::string args;
+    std::getline(stream, args);
+    return RunIntegrate(args, sink, std::move(control));
+  }
 
   auto apply = [this, &sink](live::DeltaBuilder builder) {
     auto delta = builder.Build();
@@ -381,7 +451,60 @@ Status ServeSession::RunCommand(const std::string& line,
   }
   return usage("unknown command " + command +
                " (try !ingest, !replace, !remove, !save, !reload, "
-               "!generation, !stats)");
+               "!integrate, !generation, !stats)");
+}
+
+Status ServeSession::RunIntegrate(const std::string& args,
+                                  const EventSink& sink,
+                                  core::ExecutionControl control) {
+  integrate::IntegrationOptions options;
+  std::istringstream stream(args);
+  std::string token;
+  while (stream >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      Status status = Status::InvalidArgument(
+          "expected key=value, got: " + token);
+      EmitErrorEvent("integrate", status, sink);
+      return status;
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "threshold") {
+      options.threshold = std::atof(value.c_str());
+    } else if (key == "min_linkage") {
+      options.min_linkage = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (key == "severity") {
+      auto severity = integrate::ParseSeverity(value);
+      if (!severity.ok()) {
+        EmitErrorEvent("integrate", severity.status(), sink);
+        return severity.status();
+      }
+      options.min_severity = *severity;
+    } else if (key == "strong") {
+      options.strong_confidence = std::atof(value.c_str());
+    } else if (key == "probable") {
+      options.probable_confidence = std::atof(value.c_str());
+    } else if (key == "seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      Status status = Status::InvalidArgument("unknown integrate key: " + key);
+      EmitErrorEvent("integrate", status, sink);
+      return status;
+    }
+  }
+  options.control = std::move(control);
+
+  NdjsonIntegrationObserver observer(sink);
+  integrate::IntegrationEngine engine(service_);
+  auto result = engine.Integrate(options, &observer);
+  if (!result.ok()) {
+    EmitErrorEvent("integrate", result.status(), sink);
+    return result.status();
+  }
+  // Interrupted runs already reported their typed partial through the
+  // "mediated" event's status field; they are not transport errors.
+  return Status::OK();
 }
 
 void ServeSession::HandleLine(const std::string& raw, const EventSink& sink,
@@ -392,7 +515,7 @@ void ServeSession::HandleLine(const std::string& raw, const EventSink& sink,
   size_t first = line.find_first_not_of(" \t\r");
   if (first == std::string::npos) return;
   if (line[first] == '!') {
-    RunCommand(line.substr(first), sink);
+    RunCommand(line.substr(first), sink, std::move(control));
     return;
   }
   size_t index = next_query_index_.fetch_add(1, std::memory_order_relaxed);

@@ -3,7 +3,8 @@
 // MatchService and exposes exactly the serve-mode surface — query lines
 // ("SPEC [key=value ...]"), repository commands ("!ingest SPEC", "!remove
 // ID", ...) and the NDJSON event vocabulary (mapping / cluster / done /
-// error / generation / saved / stats) — as plain functions over an
+// error / generation / saved / stats / pair / mediated) — as plain
+// functions over an
 // EventSink, so the two transports cannot drift: stdin serve prints the
 // sink's lines to stdout, the HTTP server frames them as response chunks,
 // and both emit byte-identical events for the same input.
@@ -25,6 +26,7 @@
 
 #include "core/execution_control.h"
 #include "core/match_observer.h"
+#include "integrate/integration_engine.h"
 #include "repo/loader.h"
 #include "service/match_service.h"
 #include "util/status.h"
@@ -98,6 +100,32 @@ class NdjsonEventObserver : public core::MatchObserver {
   double finished_ms_ = -1;
 };
 
+/// Streams an integration run as NDJSON events: one "pair" event per linked
+/// schema pair, one "cluster" event per mediated element (rank order), and a
+/// terminal "mediated" summary. Shared by the stdin serve, HTTP and CLI
+/// surfaces, so their event streams are byte-identical for the same run
+/// (modulo the "ms" field of the terminal event).
+class NdjsonIntegrationObserver : public integrate::IntegrationObserver {
+ public:
+  explicit NdjsonIntegrationObserver(const EventSink& sink) : sink_(sink) {}
+
+  void OnPair(const integrate::PairProgress& progress) override;
+  void OnMediatedElement(
+      size_t rank, const integrate::MediatedElement& element,
+      const integrate::CorrespondenceCluster& cluster) override;
+  void OnFinish(const integrate::IntegrationResult& result) override;
+
+  double ElapsedMs() const { return timer_.ElapsedSeconds() * 1e3; }
+
+  /// Member refs listed per cluster event before truncating to a count
+  /// field — bounds event size against pathological chained clusters.
+  static constexpr size_t kMaxMemberRefs = 64;
+
+ private:
+  const EventSink& sink_;
+  Timer timer_;
+};
+
 class ServeSession {
  public:
   /// `service` must outlive the session.
@@ -137,13 +165,31 @@ class ServeSession {
   ///   !remove ID                      retire tree ID
   ///   !reload (FILE|DIR)              replace the whole repository
   ///   !save PATH                      persist the current snapshot
+  ///   !integrate [key=value ...]      N-way integration (see RunIntegrate)
   ///   !generation                     report the current generation
   ///   !stats                          service counters as one event
   /// Every successful mutation emits one "generation" event; failures emit
   /// typed "error" events. Returns the command's status (already reported
   /// to the sink — callers only need it for transport-level mapping, e.g.
-  /// the HTTP response code).
-  Status RunCommand(const std::string& line, const EventSink& sink);
+  /// the HTTP response code). `control` bounds long-running commands
+  /// (currently !integrate); the default is unlimited.
+  Status RunCommand(const std::string& line, const EventSink& sink,
+                    core::ExecutionControl control = core::ExecutionControl());
+
+  /// Runs a holistic N-way integration of the current snapshot (see
+  /// integrate::IntegrationEngine), streaming pair / cluster events and a
+  /// terminal "mediated" summary to `sink`. `args` is the option grammar
+  ///   [threshold=T] [min_linkage=N] [severity=weak|probable|strong]
+  ///   [strong=C] [probable=C] [seed=S]
+  /// over integrate::IntegrationOptions defaults. `control`'s cancel token
+  /// and deadline are honored between slices (the HTTP server wires client
+  /// disconnect and admission deadlines to it); an interrupted run still
+  /// emits its typed partial "mediated" event and returns OK — only option
+  /// parse failures and engine errors are error Statuses (already reported
+  /// to the sink as typed "error" events).
+  Status RunIntegrate(const std::string& args, const EventSink& sink,
+                      core::ExecutionControl control =
+                          core::ExecutionControl());
 
   /// One stdin-serve iteration: strips '#' comments and whitespace, ignores
   /// blank lines, dispatches '!' lines to RunCommand and everything else

@@ -1,0 +1,49 @@
+#include "util/union_find.h"
+
+namespace xsm {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), min_(n), num_components_(n) {
+  for (size_t i = 0; i < n; ++i) {
+    parent_[i] = i;
+    min_[i] = i;
+  }
+}
+
+size_t UnionFind::Add() {
+  size_t i = parent_.size();
+  parent_.push_back(i);
+  size_.push_back(1);
+  min_.push_back(i);
+  ++num_components_;
+  return i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  // Path halving: every other node on the walk re-points to its
+  // grandparent, flattening the tree without a second pass.
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  // Union by size; ties attach the larger root index under the smaller so
+  // the internal shape (never the Canonical value, which is order-free by
+  // construction) is at least stable for a fixed operation sequence.
+  if (size_[ra] < size_[rb] || (size_[ra] == size_[rb] && rb < ra)) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (min_[rb] < min_[ra]) min_[ra] = min_[rb];
+  --num_components_;
+  return true;
+}
+
+}  // namespace xsm

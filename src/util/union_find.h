@@ -1,0 +1,69 @@
+// Disjoint-set union (union-find) with path halving and union by size.
+//
+// Extracted for the integration engine's correspondence-cluster fold
+// (connected components over cross-schema match edges), but generic: any
+// incremental connected-components problem over dense indices fits.
+//
+// Determinism: the *internal* root of a component depends on the union
+// sequence, so callers that need a canonical representative independent of
+// operation order use Canonical(), which always returns the smallest member
+// index of the component. Two runs that union the same edge set — in any
+// order, with any interleaving — therefore agree on every Canonical() and
+// on the component partition.
+//
+// Not thread-safe: Find() compresses paths (mutates), so even read-style
+// calls need external synchronization under concurrency.
+#ifndef XSM_UTIL_UNION_FIND_H_
+#define XSM_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xsm {
+
+class UnionFind {
+ public:
+  UnionFind() = default;
+  /// `n` singleton elements [0, n).
+  explicit UnionFind(size_t n);
+
+  /// Appends one new singleton element and returns its index.
+  size_t Add();
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint components.
+  size_t num_components() const { return num_components_; }
+
+  /// Internal root of x's component (path-halving on the way). Stable
+  /// between unions but dependent on union order — prefer Canonical() for
+  /// order-independent identity.
+  size_t Find(size_t x);
+
+  /// Smallest member index of x's component; independent of the order the
+  /// component's edges were unioned in.
+  size_t Canonical(size_t x) { return min_[Find(x)]; }
+
+  /// Members in x's component.
+  size_t ComponentSize(size_t x) { return size_[Find(x)]; }
+
+  /// Joins the components of a and b; returns true if they were distinct
+  /// (i.e. the edge reduced the component count).
+  bool Union(size_t a, size_t b);
+
+  /// True if a and b are in one component.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+  /// Members under each root (valid at roots only).
+  std::vector<size_t> size_;
+  /// Smallest member index under each root (valid at roots only).
+  std::vector<size_t> min_;
+  size_t num_components_ = 0;
+};
+
+}  // namespace xsm
+
+#endif  // XSM_UTIL_UNION_FIND_H_

@@ -31,6 +31,8 @@
 #include "core/preservation.h"           // IWYU pragma: export
 #include "generate/mapping_generator.h"  // IWYU pragma: export
 #include "generate/schema_mapping.h"     // IWYU pragma: export
+#include "integrate/integration_engine.h"  // IWYU pragma: export
+#include "integrate/integration_io.h"      // IWYU pragma: export
 #include "label/tree_index.h"            // IWYU pragma: export
 #include "live/repository_delta.h"       // IWYU pragma: export
 #include "live/repository_manager.h"     // IWYU pragma: export
@@ -59,6 +61,7 @@
 #include "util/status.h"                 // IWYU pragma: export
 #include "util/thread_pool.h"            // IWYU pragma: export
 #include "util/timer.h"                  // IWYU pragma: export
+#include "util/union_find.h"             // IWYU pragma: export
 #include "xml/dtd_parser.h"              // IWYU pragma: export
 #include "xml/xml_parser.h"              // IWYU pragma: export
 #include "xml/xsd_parser.h"              // IWYU pragma: export

@@ -535,6 +535,53 @@ TEST_F(HttpServerTest, PipelinedRequestsAnswerInOrder) {
   running.server->RequestShutdown();
 }
 
+// --- holistic integration --------------------------------------------------
+
+TEST_F(HttpServerTest, IntegrateStreamIsEventIdenticalToInProcessRun) {
+  auto running = StartServer(MakeRegistry());
+
+  auto response = FetchOnce(kHost, running.server->port(), "POST",
+                            "/v1/tenants/t1/integrate", "min_linkage=2\n");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  ASSERT_NE(response->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*response->FindHeader("content-type"), "application/x-ndjson");
+  std::vector<std::string> http_events = SplitLines(response->body);
+  ASSERT_FALSE(http_events.empty());
+
+  // The same integration against a fresh in-process service + session:
+  // identical forest, options, and seeds — events must be byte-identical
+  // modulo wall-clock "ms" fields.
+  TenantRegistryOptions options = RegistryOptions();
+  auto service = service::MatchService::Create(*forest_, options.service);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  service::ServeSession session(service->get(), options.session);
+  std::vector<std::string> direct_events;
+  Status status = session.RunIntegrate(
+      "min_linkage=2",
+      [&](const std::string& line) { direct_events.push_back(line); });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(NormalizeAll(http_events), NormalizeAll(direct_events));
+  EXPECT_NE(http_events.back().find("\"type\":\"mediated\""),
+            std::string::npos);
+  EXPECT_NE(http_events.back().find("\"status\":\"completed\""),
+            std::string::npos);
+
+  // More than one option line is a malformed request, caught pre-stream.
+  auto malformed = FetchOnce(kHost, running.server->port(), "POST",
+                             "/v1/tenants/t1/integrate", "a=1\nb=2\n");
+  ASSERT_TRUE(malformed.ok()) << malformed.status().ToString();
+  EXPECT_EQ(malformed->status_code, 400);
+
+  auto wrong_method = FetchOnce(kHost, running.server->port(), "GET",
+                                "/v1/tenants/t1/integrate", "");
+  ASSERT_TRUE(wrong_method.ok()) << wrong_method.status().ToString();
+  EXPECT_EQ(wrong_method->status_code, 405);
+
+  running.server->RequestShutdown();
+}
+
 TEST_F(HttpServerTest, DrainStopsAcceptingNewConnections) {
   auto running = StartServer(MakeRegistry());
   uint16_t port = running.server->port();

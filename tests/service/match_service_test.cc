@@ -118,7 +118,8 @@ TEST_F(MatchServiceTest, BatchOnFourThreadsIsByteIdenticalAndInOrder) {
   }
   ASSERT_GE(queries.size(), 8u);
 
-  std::vector<Result<core::MatchResult>> batch = service->MatchBatch(queries);
+  std::vector<Result<core::MatchResult>> batch =
+      service->MatchBatch(queries).results;
   ASSERT_EQ(batch.size(), queries.size());
 
   size_t nonempty = 0;
@@ -209,7 +210,7 @@ TEST_F(MatchServiceTest, IdenticalQueriesInBatchComputeStateOnce) {
   for (int i = 0; i < 16; ++i) {
     queries.push_back(MakeQuery("same-" + std::to_string(i), kSpecs[5]));
   }
-  auto results = service->MatchBatch(std::move(queries));
+  auto results = service->MatchBatch(std::move(queries)).results;
 
   ASSERT_TRUE(results[0].ok());
   for (size_t i = 1; i < results.size(); ++i) {
@@ -315,8 +316,8 @@ TEST_F(MatchServiceTest, InjectsSnapshotDictionaryAndMatchingPool) {
   for (size_t s = 0; s < kNumSpecs; ++s) {
     queries.push_back(MakeQuery("plumb-" + std::to_string(s), kSpecs[s]));
   }
-  auto parallel_results = service->MatchBatch(queries);
-  auto serial_results = serial_service->MatchBatch(queries);
+  auto parallel_results = service->MatchBatch(queries).results;
+  auto serial_results = serial_service->MatchBatch(queries).results;
   ASSERT_EQ(parallel_results.size(), serial_results.size());
   for (size_t i = 0; i < parallel_results.size(); ++i) {
     ASSERT_TRUE(parallel_results[i].ok());
@@ -405,6 +406,31 @@ TEST_F(MatchServiceTest, ApplyDeltaPublishesNewGeneration) {
   ServiceStats stats = service->stats();
   EXPECT_EQ(stats.generation, 1u);
   EXPECT_EQ(stats.deltas_applied, 1u);
+}
+
+// A batch records which snapshot served it: generation + fingerprint of the
+// one pin all members ran against (integration provenance reads these
+// instead of racing CurrentGeneration() against concurrent deltas).
+TEST_F(MatchServiceTest, MatchBatchSurfacesPinnedGeneration) {
+  auto service = MakeService();
+
+  std::vector<MatchQuery> queries;
+  queries.push_back(MakeQuery("pin-0", kSpecs[0]));
+  queries.push_back(MakeQuery("pin-1", kSpecs[1]));
+  BatchMatchResult before = service->MatchBatch(queries);
+  EXPECT_EQ(before.generation, 0u);
+  EXPECT_EQ(before.fingerprint, service->CurrentSnapshot()->fingerprint());
+  ASSERT_EQ(before.results.size(), queries.size());
+
+  live::DeltaBuilder builder;
+  builder.AddTree(*schema::ParseTreeSpec("invoice(total,customer)"),
+                  "feed:pin");
+  ASSERT_TRUE(service->ApplyDelta(*builder.Build()).ok());
+
+  BatchMatchResult after = service->MatchBatch(queries);
+  EXPECT_EQ(after.generation, 1u);
+  EXPECT_EQ(after.fingerprint, service->CurrentSnapshot()->fingerprint());
+  EXPECT_NE(after.fingerprint, before.fingerprint);
 }
 
 TEST_F(MatchServiceTest, DeltaInvalidatesCacheByNamespaceNotByKey) {

@@ -292,6 +292,94 @@ TEST_F(ServeSessionTest, HandleLineSkipsCommentsAndNumbersQueries) {
   EXPECT_NE(events[0].find("\"type\":\"generation\""), std::string::npos);
 }
 
+// --- !integrate ------------------------------------------------------------
+
+TEST_F(ServeSessionTest, IntegrateStreamsPairsThenClustersThenMediated) {
+  auto session = MakeSession();
+  std::vector<std::string> events;
+  Status status = session->RunCommand("!integrate", Collect(&events));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().rfind(
+                "{\"type\":\"mediated\",\"status\":\"completed\"", 0),
+            0u)
+      << events.back();
+  size_t pairs = 0;
+  size_t clusters = 0;
+  bool seen_cluster = false;
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    if (events[i].rfind("{\"type\":\"pair\"", 0) == 0) {
+      EXPECT_FALSE(seen_cluster) << "pair event after cluster events";
+      ++pairs;
+    } else if (events[i].rfind("{\"type\":\"cluster\"", 0) == 0) {
+      seen_cluster = true;
+      ++clusters;
+    } else {
+      ADD_FAILURE() << "unexpected event: " << events[i];
+    }
+  }
+  EXPECT_GT(pairs, 0u);
+  EXPECT_GT(clusters, 0u);
+}
+
+TEST_F(ServeSessionTest, IntegrateArgsReachTheEngine) {
+  auto session = MakeSession();
+  std::vector<std::string> events;
+  // A linkage floor no cluster passes: pair events still stream, no
+  // cluster events, and the terminal summary records the seed and the
+  // empty mediated schema.
+  Status status = session->RunCommand("!integrate min_linkage=999999 seed=5",
+                                      Collect(&events));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_EQ(events[i].rfind("{\"type\":\"pair\"", 0), 0u) << events[i];
+  }
+  EXPECT_NE(events.back().find("\"seed\":5"), std::string::npos);
+  EXPECT_NE(events.back().find("\"elements\":0"), std::string::npos);
+}
+
+TEST_F(ServeSessionTest, IntegrateBadArgsEmitTypedErrors) {
+  auto session = MakeSession();
+  for (const char* bad :
+       {"!integrate bogus=1", "!integrate threshold",
+        "!integrate severity=medium", "!integrate threshold=2"}) {
+    std::vector<std::string> events;
+    Status status = session->RunCommand(bad, Collect(&events));
+    EXPECT_FALSE(status.ok()) << bad;
+    ASSERT_EQ(events.size(), 1u) << bad;
+    EXPECT_NE(events[0].find("\"type\":\"error\""), std::string::npos)
+        << bad;
+    EXPECT_NE(events[0].find("\"id\":\"integrate\""), std::string::npos)
+        << bad;
+  }
+}
+
+// An interrupted integration is not a transport error: the command returns
+// OK and the terminal mediated event carries the typed partial status.
+TEST_F(ServeSessionTest, IntegrateHonorsControlWithTypedPartial) {
+  auto session = MakeSession();
+  core::ExecutionControl control;
+  control.cancel.Cancel();
+  std::vector<std::string> events;
+  Status status =
+      session->RunCommand("!integrate", Collect(&events), control);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  ASSERT_FALSE(events.empty());
+  EXPECT_NE(events.back().find("\"type\":\"mediated\""), std::string::npos);
+  EXPECT_NE(events.back().find("\"status\":\"cancelled\""),
+            std::string::npos);
+}
+
+TEST_F(ServeSessionTest, UnknownCommandUsageMentionsIntegrate) {
+  auto session = MakeSession();
+  std::vector<std::string> events;
+  Status status = session->RunCommand("!nope", Collect(&events));
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("!integrate"), std::string::npos);
+}
+
 // --- static emitters -------------------------------------------------------
 
 TEST_F(ServeSessionTest, EmitErrorEventShape) {

@@ -1,0 +1,125 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace xsm {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.Canonical(i), i);
+    EXPECT_EQ(uf.ComponentSize(i), 1u);
+  }
+  EXPECT_FALSE(uf.Connected(0, 4));
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already joined
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(1, 2));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.ComponentSize(3), 4u);
+  EXPECT_EQ(uf.num_components(), 3u);
+}
+
+TEST(UnionFindTest, SelfUnionIsNoOp) {
+  UnionFind uf(3);
+  EXPECT_FALSE(uf.Union(1, 1));
+  EXPECT_EQ(uf.num_components(), 3u);
+}
+
+TEST(UnionFindTest, AddGrowsWithSingletons) {
+  UnionFind uf;
+  EXPECT_EQ(uf.size(), 0u);
+  EXPECT_EQ(uf.Add(), 0u);
+  EXPECT_EQ(uf.Add(), 1u);
+  EXPECT_EQ(uf.Add(), 2u);
+  EXPECT_EQ(uf.num_components(), 3u);
+  uf.Union(0, 2);
+  EXPECT_EQ(uf.Add(), 3u);
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_EQ(uf.Canonical(3), 3u);
+}
+
+TEST(UnionFindTest, CanonicalIsSmallestMember) {
+  UnionFind uf(10);
+  // Attach in an order engineered so the internal root is NOT the minimum:
+  // union by size makes {8,9,7}'s root one of the higher indices first.
+  uf.Union(8, 9);
+  uf.Union(8, 7);
+  uf.Union(7, 2);
+  for (size_t x : {2u, 7u, 8u, 9u}) {
+    EXPECT_EQ(uf.Canonical(x), 2u) << x;
+  }
+  EXPECT_EQ(uf.Canonical(5), 5u);
+}
+
+/// Canonical partitions must be identical across any permutation of the same
+/// edge set — the property the integration fold's determinism rests on.
+TEST(UnionFindTest, CanonicalIsUnionOrderIndependent) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 5 + rng.Uniform(60);
+    std::vector<std::pair<size_t, size_t>> edges;
+    size_t num_edges = rng.Uniform(2 * n + 1);
+    for (size_t e = 0; e < num_edges; ++e) {
+      edges.emplace_back(rng.Uniform(n), rng.Uniform(n));
+    }
+
+    auto partition = [&](const std::vector<std::pair<size_t, size_t>>& order) {
+      UnionFind uf(n);
+      for (const auto& [a, b] : order) uf.Union(a, b);
+      std::vector<size_t> canon(n);
+      for (size_t i = 0; i < n; ++i) canon[i] = uf.Canonical(i);
+      return canon;
+    };
+
+    std::vector<size_t> reference = partition(edges);
+    // Every canonical value is the smallest index mapping to it.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_LE(reference[i], i);
+      EXPECT_EQ(reference[reference[i]], reference[i]);
+    }
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      std::vector<std::pair<size_t, size_t>> reordered = edges;
+      rng.Shuffle(&reordered);
+      EXPECT_EQ(partition(reordered), reference);
+    }
+  }
+}
+
+TEST(UnionFindTest, ComponentCountMatchesDistinctCanonicals) {
+  Rng rng(7);
+  UnionFind uf(50);
+  for (int e = 0; e < 40; ++e) {
+    uf.Union(rng.Uniform(50), rng.Uniform(50));
+  }
+  std::set<size_t> canonicals;
+  std::map<size_t, size_t> sizes;
+  for (size_t i = 0; i < 50; ++i) {
+    canonicals.insert(uf.Canonical(i));
+    ++sizes[uf.Canonical(i)];
+  }
+  EXPECT_EQ(canonicals.size(), uf.num_components());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(uf.ComponentSize(i), sizes[uf.Canonical(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace xsm

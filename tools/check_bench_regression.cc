@@ -110,6 +110,9 @@ const BenchProfile kProfiles[] = {
     {"service_load",
      "sustained_qps",
      {"zero_failed", "shed_all_typed"}},
+    {"integration",
+     "speedup_warm_vs_cold",
+     {"determinism_verified", "planted_recall_ok"}},
 };
 
 }  // namespace

@@ -29,6 +29,24 @@
 //            as NDJSON events: one "mapping" line per emitted mapping the
 //            moment it is found, then one "done" line per query (input
 //            order) with the typed terminal status.
+//   integrate (--forest FILE | --repo-dir DIR | --synthetic N[:seed]
+//            | --warm-start FILE.snap) [--threshold T] [--min-linkage N]
+//            [--severity weak|probable|strong] [--seed S] [--threads N]
+//            [--matching-threads N] [--cache-capacity N] [--deadline-ms MS]
+//            [--out FILE.intg] [--diff FILE.intg]
+//            Holistic N-way integration of the whole repository (see
+//            integrate::IntegrationEngine): all-pairs matching,
+//            correspondence clustering, ranked mediated schema. Streams
+//            the same NDJSON events as serve-mode `!integrate` — one
+//            "pair" event per linked schema pair, one "cluster" event per
+//            mediated element, a terminal "mediated" summary. --out saves
+//            the result (versioned, checksummed; see integrate_io);
+//            --diff loads a previously saved integration and appends one
+//            "diff" event comparing cluster membership across the two
+//            runs (membership is keyed on tree content fingerprints, so
+//            the diff survives generation renumbering). SIGINT/SIGTERM
+//            cancel cooperatively: the run ends with a typed partial
+//            mediated event.
 //   serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])
 //            [--threads N] [--delta D] [--top N] ...
 //            [--deadline-ms MS] [--first-n N] [--cluster-events]
@@ -104,6 +122,7 @@
 #include <csignal>
 
 #include "xsm/xsm.h"
+#include "integrate/integration_io.h"
 #include "match/structural_matcher.h"
 #include "net/http_server.h"
 #include "net/tenant_registry.h"
@@ -156,7 +175,8 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xsm_cli <gen|convert|save|stats|match|batch|serve|http> "
+      "usage: xsm_cli "
+      "<gen|convert|save|stats|match|batch|integrate|serve|http> "
       "[options]\n"
       "  gen      --elements N [--seed S] --out FILE\n"
       "  convert  --repo-dir DIR --out FILE\n"
@@ -172,6 +192,12 @@ int Usage() {
       "           [--cluster tree|kmeans] [--join J] [--threshold T]\n"
       "           [--alpha A] [--deadline-ms MS] [--first-n N]\n"
       "           [--cluster-events]\n"
+      "  integrate (--forest FILE | --repo-dir DIR | --synthetic N[:seed]\n"
+      "           | --warm-start FILE.snap) [--threshold T]\n"
+      "           [--min-linkage N] [--severity weak|probable|strong]\n"
+      "           [--seed S] [--threads N] [--matching-threads N]\n"
+      "           [--cache-capacity N] [--deadline-ms MS]\n"
+      "           [--out FILE.intg] [--diff FILE.intg]\n"
       "  serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "           [--threads N] [--delta D] [--top N] [--cluster ...]\n"
       "           [--deadline-ms MS] [--first-n N] [--cluster-events]\n"
@@ -763,6 +789,126 @@ int RunServe(const Args& args) {
   return 0;
 }
 
+int RunIntegrate(const Args& args) {
+  long threads = args.GetInt("threads", 0);
+  long matching_threads = args.GetInt("matching-threads", 0);
+  long cache_capacity = args.GetInt("cache-capacity", 4096);
+  if (threads < 0 || matching_threads < 0 || cache_capacity < 0) {
+    std::fprintf(stderr,
+                 "--threads / --matching-threads / --cache-capacity must "
+                 "be >= 0\n");
+    return 2;
+  }
+  service::MatchServiceOptions service_options;
+  service_options.num_threads = static_cast<size_t>(threads);
+  service_options.matching_threads = static_cast<size_t>(matching_threads);
+  // One cache entry per ~32-element slice: the default comfortably warms
+  // repositories up to ~128k elements (see IntegrationEngine's sizing note).
+  service_options.cluster_cache_capacity =
+      static_cast<size_t>(cache_capacity);
+
+  auto snapshot = LoadSnapshot(args);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  service::MatchService service(std::move(*snapshot), service_options);
+
+  integrate::IntegrationOptions options;
+  options.threshold = args.GetDouble("threshold", options.threshold);
+  long min_linkage = args.GetInt("min-linkage", 1);
+  if (min_linkage < 0) {
+    std::fprintf(stderr, "--min-linkage must be >= 0\n");
+    return 2;
+  }
+  options.min_linkage = static_cast<size_t>(min_linkage);
+  if (args.Has("severity")) {
+    auto severity = integrate::ParseSeverity(args.Get("severity"));
+    if (!severity.ok()) {
+      std::fprintf(stderr, "bad --severity: %s\n",
+                   severity.status().ToString().c_str());
+      return 2;
+    }
+    options.min_severity = *severity;
+  }
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  if (args.Has("deadline-ms")) {
+    options.control = core::ExecutionControl::WithDeadline(
+        args.GetDouble("deadline-ms", 0) / 1e3);
+  }
+  // Ctrl-C cancels cooperatively: the run resolves with a typed partial
+  // mediated event instead of dying mid-grid.
+  InstallServeSignalHandlers();
+  options.control.cancel = g_serve_cancel;
+
+  integrate::IntegrationEngine engine(&service);
+  // Named sink: the observer keeps a reference, a temporary would dangle.
+  service::EventSink sink = EmitEventLine;
+  service::NdjsonIntegrationObserver observer(sink);
+  auto result = engine.Integrate(options, &observer);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.Has("out")) {
+    auto bytes = integrate::SaveIntegrationToFile(*result, args.Get("out"));
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "saved %s: %zu clusters / %zu mediated elements, %zu "
+                 "bytes\n",
+                 args.Get("out").c_str(), result->clusters.size(),
+                 result->mediated.elements.size(), *bytes);
+  }
+
+  if (args.Has("diff")) {
+    auto before = integrate::LoadIntegrationFromFile(args.Get("diff"));
+    if (!before.ok()) {
+      std::fprintf(stderr, "%s\n", before.status().ToString().c_str());
+      return 1;
+    }
+    integrate::IntegrationDiff diff =
+        integrate::DiffIntegrations(*before, *result);
+    std::string line = "{\"type\":\"diff\"";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"before\":%zu,\"after\":%zu,\"kept\":%zu,"
+                  "\"added\":%zu,\"removed\":%zu",
+                  diff.before_clusters, diff.after_clusters, diff.kept,
+                  diff.added, diff.removed);
+    line += buf;
+    line += ",\"added_names\":[";
+    for (size_t i = 0; i < diff.added_names.size(); ++i) {
+      if (i > 0) line += ',';
+      line += '"' + service::JsonEscape(diff.added_names[i]) + '"';
+    }
+    line += "],\"removed_names\":[";
+    for (size_t i = 0; i < diff.removed_names.size(); ++i) {
+      if (i > 0) line += ',';
+      line += '"' + service::JsonEscape(diff.removed_names[i]) + '"';
+    }
+    line += "]}";
+    EmitEventLine(line);
+  }
+
+  service::ServiceStats stats = service.stats();
+  std::fprintf(
+      stderr,
+      "integrated %zu trees: %zu clusters, %zu mediated elements "
+      "(execution %s) | cluster cache: %llu hits, %llu shared, %llu "
+      "misses\n",
+      result->stats.trees, result->clusters.size(),
+      result->mediated.elements.size(),
+      std::string(core::ExecutionStatusName(result->execution)).c_str(),
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.shared),
+      static_cast<unsigned long long>(stats.cache.misses));
+  return 0;
+}
+
 int RunHttp(const Args& args) {
   bool ok = true;
   net::TenantRegistryOptions registry_options;
@@ -871,6 +1017,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return RunStats(args);
   if (command == "match") return RunMatch(args);
   if (command == "batch") return RunBatch(args);
+  if (command == "integrate") return RunIntegrate(args);
   if (command == "serve") return RunServe(args);
   if (command == "http") return RunHttp(args);
   return Usage();
