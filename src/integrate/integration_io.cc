@@ -1,19 +1,12 @@
 #include "integrate/integration_io.h"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
-#include <cstdio>
-#include <fstream>
 #include <set>
 #include <utility>
 
+#include "util/io.h"
 #include "util/wire.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 namespace xsm::integrate {
 
@@ -207,77 +200,22 @@ Result<IntegrationResult> DeserializeIntegration(std::string_view bytes) {
   return result;
 }
 
-namespace {
-
-Status SyncToDisk(const std::string& file_path, const std::string& dir_path) {
-#if defined(__unix__) || defined(__APPLE__)
-  int fd = ::open(file_path.c_str(), O_WRONLY);
-  if (fd < 0) return Status::IOError("cannot reopen " + file_path);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IOError("fsync failure on " + file_path);
-  int dir_fd = ::open(dir_path.empty() ? "." : dir_path.c_str(),
-                      O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);  // directory durability is best-effort
-    ::close(dir_fd);
-  }
-#else
-  (void)file_path;
-  (void)dir_path;
-#endif
-  return Status::OK();
-}
-
-}  // namespace
-
 Result<size_t> SaveIntegrationToFile(const IntegrationResult& result,
-                                     const std::string& path) {
+                                     const std::string& path,
+                                     util::io::Env* env) {
+  if (env == nullptr) env = util::io::Env::Default();
   std::string bytes = SerializeIntegration(result);
-  static std::atomic<uint64_t> save_counter{0};
-#if defined(__unix__) || defined(__APPLE__)
-  const long pid = static_cast<long>(::getpid());
-#else
-  const long pid = 0;
-#endif
-  const std::string tmp =
-      path + ".tmp." + std::to_string(pid) + "." +
-      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return Status::IOError("write failure on " + tmp);
-    }
-  }
-  const size_t slash = path.find_last_of('/');
-  Status synced = SyncToDisk(
-      tmp, slash == std::string::npos ? "." : path.substr(0, slash));
-  if (!synced.ok()) {
-    std::remove(tmp.c_str());
-    return synced;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
-  }
+  // Atomic publication (unique tmp + fsync + rename + dir fsync) and
+  // strerror-detailed failures both live in AtomicFileWriter now.
+  XSM_RETURN_NOT_OK(
+      util::io::AtomicFileWriter::WriteFileAtomic(env, path, bytes));
   return bytes.size();
 }
 
-Result<IntegrationResult> LoadIntegrationFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open " + path);
-  const std::streamoff size = in.tellg();
-  if (size < 0) return Status::IOError("cannot stat " + path);
-  std::string bytes(static_cast<size_t>(size), '\0');
-  in.seekg(0);
-  in.read(bytes.data(), size);
-  if (!in || in.gcount() != size) {
-    return Status::IOError("read failure on " + path);
-  }
+Result<IntegrationResult> LoadIntegrationFromFile(const std::string& path,
+                                                  util::io::Env* env) {
+  if (env == nullptr) env = util::io::Env::Default();
+  XSM_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
   return DeserializeIntegration(bytes);
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "integrate/integration_engine.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace xsm::integrate {
@@ -38,12 +39,16 @@ std::string SerializeIntegration(const IntegrationResult& result);
 /// CRC and validating every index/enum against the decoded universe.
 Result<IntegrationResult> DeserializeIntegration(std::string_view bytes);
 
-/// Atomic save (unique tmp + fsync + rename): readers of `path` see the old
-/// file or the new one, never a torn mix. Returns the byte size written.
+/// Atomic save (util::AtomicFileWriter: unique tmp + fsync + rename +
+/// directory fsync): readers of `path` see the old file or the new one,
+/// never a torn mix. I/O goes through `env` (nullptr = real filesystem).
+/// Returns the byte size written.
 Result<size_t> SaveIntegrationToFile(const IntegrationResult& result,
-                                     const std::string& path);
+                                     const std::string& path,
+                                     util::io::Env* env = nullptr);
 
-Result<IntegrationResult> LoadIntegrationFromFile(const std::string& path);
+Result<IntegrationResult> LoadIntegrationFromFile(
+    const std::string& path, util::io::Env* env = nullptr);
 
 /// Membership-level comparison of two integrations (typically of two
 /// xsm::live generations of one repository).

@@ -1,0 +1,91 @@
+#include "live/delta_codec.h"
+
+#include <memory>
+#include <utility>
+
+#include "schema/schema_tree.h"
+#include "util/wire.h"
+
+namespace xsm::live {
+
+std::string SerializeJournaledDelta(const RepositoryDelta& delta,
+                                    uint64_t resulting_generation,
+                                    uint64_t resulting_fingerprint) {
+  std::string out;
+  wire::Writer w(&out);
+  w.U64(resulting_generation);
+  w.U64(resulting_fingerprint);
+  w.U32(static_cast<uint32_t>(delta.ops().size()));
+  for (const DeltaOp& op : delta.ops()) {
+    w.U8(static_cast<uint8_t>(op.kind));
+    w.I32(op.target);
+    w.Str(op.source);
+    w.U8(op.tree != nullptr ? 1 : 0);
+    if (op.tree != nullptr) op.tree->SerializeTo(&w);
+  }
+  return out;
+}
+
+Result<JournaledDelta> DeserializeJournaledDelta(std::string_view bytes) {
+  wire::Reader r(bytes);
+  JournaledDelta out;
+  out.resulting_generation = r.U64();
+  out.resulting_fingerprint = r.U64();
+  const uint32_t num_ops = r.U32();
+  // Ops replay through DeltaBuilder in journal order, re-running every
+  // validation a live ingest would have faced.
+  DeltaBuilder builder;
+  for (uint32_t i = 0; i < num_ops && r.ok(); ++i) {
+    const uint8_t kind = r.U8();
+    const schema::TreeId target = r.I32();
+    std::string source = r.Str();
+    const uint8_t has_tree = r.U8();
+    std::shared_ptr<const schema::SchemaTree> tree;
+    if (has_tree == 1) {
+      XSM_ASSIGN_OR_RETURN(schema::SchemaTree decoded,
+                           schema::SchemaTree::DeserializeBinary(&r));
+      tree = std::make_shared<const schema::SchemaTree>(std::move(decoded));
+    } else if (has_tree != 0) {
+      return Status::Corruption("journaled delta op " + std::to_string(i) +
+                                " has an invalid tree marker");
+    }
+    switch (static_cast<DeltaOpKind>(kind)) {
+      case DeltaOpKind::kAdd:
+        if (tree == nullptr) {
+          return Status::Corruption("journaled add op " + std::to_string(i) +
+                                    " lacks a tree");
+        }
+        builder.AddTree(std::move(tree), std::move(source));
+        break;
+      case DeltaOpKind::kReplace:
+        if (tree == nullptr) {
+          return Status::Corruption("journaled replace op " +
+                                    std::to_string(i) + " lacks a tree");
+        }
+        builder.ReplaceTree(target, std::move(tree), std::move(source));
+        break;
+      case DeltaOpKind::kRemove:
+        builder.RemoveTree(target);
+        break;
+      default:
+        return Status::Corruption("journaled delta op " + std::to_string(i) +
+                                  " has unknown kind " +
+                                  std::to_string(kind));
+    }
+  }
+  if (!r.ok()) return r.status();
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after journaled delta");
+  }
+  auto delta = builder.Build();
+  if (!delta.ok()) {
+    // Only validated deltas are journaled, so a build failure here means
+    // the bytes do not describe any delta that was ever acknowledged.
+    return Status::Corruption("journaled delta fails re-validation: " +
+                              delta.status().message());
+  }
+  out.delta = std::move(*delta);
+  return out;
+}
+
+}  // namespace xsm::live

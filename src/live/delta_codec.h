@@ -1,0 +1,46 @@
+// Binary codec for journaled RepositoryDeltas — the payload format of
+// wal::RecordType::kDelta records.
+//
+// A journaled delta carries the delta's operations (trees serialized via
+// SchemaTree::SerializeTo) plus the generation number and content
+// fingerprint its application produced on the writer's chain. Replay
+// re-applies the delta through the normal validation pipeline and then
+// *verifies* the resulting fingerprint against the journaled one, so a
+// replayed chain is provably the chain that was acknowledged — any
+// divergence (bit rot the CRC missed, a journal paired with the wrong
+// snapshot) is refused typed as kCorruption rather than silently served.
+//
+// Deserialization rebuilds the delta through DeltaBuilder, re-running
+// every structural validation; journal bytes can never smuggle an invalid
+// delta past the checks a live ingest would have faced.
+#ifndef XSM_LIVE_DELTA_CODEC_H_
+#define XSM_LIVE_DELTA_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "live/repository_delta.h"
+#include "util/status.h"
+
+namespace xsm::live {
+
+/// A delta plus the chain position its application produced.
+struct JournaledDelta {
+  uint64_t resulting_generation = 0;
+  uint64_t resulting_fingerprint = 0;
+  RepositoryDelta delta;
+};
+
+/// Serializes `delta` with its application outcome.
+std::string SerializeJournaledDelta(const RepositoryDelta& delta,
+                                    uint64_t resulting_generation,
+                                    uint64_t resulting_fingerprint);
+
+/// Inverse of SerializeJournaledDelta; kCorruption on any damage or on a
+/// delta that fails re-validation.
+Result<JournaledDelta> DeserializeJournaledDelta(std::string_view bytes);
+
+}  // namespace xsm::live
+
+#endif  // XSM_LIVE_DELTA_CODEC_H_

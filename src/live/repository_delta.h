@@ -61,6 +61,9 @@ class RepositoryDelta {
 
  private:
   friend class DeltaBuilder;
+  /// delta_codec rebuilds journaled deltas through DeltaBuilder but needs
+  /// an empty value to deserialize into.
+  friend struct JournaledDelta;
   RepositoryDelta() = default;
 
   std::vector<DeltaOp> ops_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "live/delta_codec.h"
 #include "util/timer.h"
 
 namespace xsm::live {
@@ -26,6 +27,26 @@ RepositoryManager::RepositoryManager(
     std::shared_ptr<const service::RepositorySnapshot> initial)
     : current_(std::move(initial)) {}
 
+Status RepositoryManager::AttachWal(util::io::Env* env,
+                                    const std::string& wal_path) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  std::shared_ptr<const service::RepositorySnapshot> current =
+      current_.load(std::memory_order_acquire);
+  XSM_ASSIGN_OR_RETURN(
+      std::unique_ptr<wal::WalWriter> writer,
+      wal::WalWriter::Create(env, wal_path, current->generation(),
+                             current->fingerprint()));
+  env_ = env;
+  wal_path_ = wal_path;
+  wal_ = std::move(writer);
+  return Status::OK();
+}
+
+bool RepositoryManager::wal_attached() const {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  return wal_ != nullptr;
+}
+
 Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
   std::lock_guard<std::mutex> lock(apply_mu_);
   // Writers are serialized, so the snapshot read here is the one the
@@ -41,6 +62,18 @@ Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
       std::shared_ptr<const service::RepositorySnapshot> successor,
       service::RepositorySnapshot::CreateSuccessor(
           base, std::move(applied.forest), applied.reuse_map));
+
+  // Write-ahead: the delta must be durable before the generation becomes
+  // visible. If the journal append fails (disk full, fsync failure,
+  // crash), nothing is published and the caller sees the typed error —
+  // an unacknowledged delta may be retried or abandoned, but never
+  // silently half-applied.
+  if (wal_ != nullptr) {
+    XSM_RETURN_NOT_OK(wal_->Append(
+        wal::RecordType::kDelta,
+        SerializeJournaledDelta(delta, successor->generation(),
+                                successor->fingerprint())));
+  }
 
   ApplyReport report;
   report.generation = successor->generation();
@@ -59,6 +92,109 @@ Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
   // readers keep the base until they drop their shared_ptr.
   current_.store(std::move(successor), std::memory_order_release);
   return report;
+}
+
+Result<store::SnapshotFileInfo> RepositoryManager::SaveSnapshot(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  std::shared_ptr<const service::RepositorySnapshot> snapshot =
+      current_.load(std::memory_order_acquire);
+  XSM_ASSIGN_OR_RETURN(
+      store::SnapshotFileInfo info,
+      store::SaveSnapshotToFile(*snapshot, path,
+                                env_ != nullptr ? env_
+                                                : util::io::Env::Default()));
+  if (wal_ != nullptr) {
+    // Checkpoint compaction: the snapshot at generation G is durable, so
+    // the journal restarts empty, based at G. Create is atomic (tmp +
+    // rename); a crash mid-compaction leaves the old journal, whose
+    // records are all <= G and get skipped on recovery. A compaction
+    // failure keeps journaling into the old file for the same reason.
+    auto writer = wal::WalWriter::Create(env_, wal_path_,
+                                         snapshot->generation(),
+                                         snapshot->fingerprint());
+    if (!writer.ok()) return writer.status();
+    wal_ = std::move(*writer);
+  }
+  return info;
+}
+
+Result<std::unique_ptr<RepositoryManager>> RepositoryManager::Recover(
+    util::io::Env* env, const std::string& snapshot_path,
+    const std::string& wal_path, RecoveryReport* report) {
+  XSM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const service::RepositorySnapshot> snapshot,
+      store::LoadSnapshotFromFile(snapshot_path, env));
+  auto manager = std::make_unique<RepositoryManager>(std::move(snapshot));
+
+  RecoveryReport local;
+  local.snapshot_generation = manager->CurrentGeneration();
+
+  auto read = wal::ReadWal(env, wal_path);
+  if (!read.ok() && read.status().code() == StatusCode::kNotFound) {
+    // No journal (first boot, or it was never attached): start one fresh.
+    XSM_RETURN_NOT_OK(manager->AttachWal(env, wal_path));
+    local.recovered_generation = manager->CurrentGeneration();
+    if (report != nullptr) *report = local;
+    return manager;
+  }
+  XSM_RETURN_NOT_OK(read.status());
+  local.torn_tail = read->torn_tail;
+  local.dropped_bytes = read->dropped_bytes;
+
+  if (read->info.base_generation > local.snapshot_generation) {
+    // The journal's first record would chain onto a generation newer than
+    // the checkpoint we have — deltas between them are unrecoverable.
+    return Status::Corruption(
+        "journal " + wal_path + " begins at generation " +
+        std::to_string(read->info.base_generation) +
+        " but snapshot " + snapshot_path + " is at generation " +
+        std::to_string(local.snapshot_generation));
+  }
+
+  for (const wal::WalRecord& record : read->records) {
+    XSM_ASSIGN_OR_RETURN(JournaledDelta journaled,
+                         DeserializeJournaledDelta(record.payload));
+    const uint64_t current = manager->CurrentGeneration();
+    if (journaled.resulting_generation <= current) {
+      // Pre-checkpoint record (a compaction crashed before rewriting the
+      // journal): the snapshot already contains it.
+      ++local.records_skipped;
+      continue;
+    }
+    if (journaled.resulting_generation != current + 1) {
+      return Status::Corruption(
+          "journal gap: record yields generation " +
+          std::to_string(journaled.resulting_generation) +
+          " but the chain is at " + std::to_string(current));
+    }
+    XSM_ASSIGN_OR_RETURN(ApplyReport applied,
+                         manager->Apply(journaled.delta));
+    if (applied.fingerprint != journaled.resulting_fingerprint) {
+      return Status::Corruption(
+          "journal replay diverged at generation " +
+          std::to_string(applied.generation) + ": fingerprint " +
+          std::to_string(applied.fingerprint) + " vs acknowledged " +
+          std::to_string(journaled.resulting_fingerprint));
+    }
+    ++local.records_replayed;
+  }
+  local.recovered_generation = manager->CurrentGeneration();
+
+  // Re-attach in append mode: the replayed records stay (the checkpoint
+  // on disk is still the old generation; a second crash must find them),
+  // and any torn tail is truncated to put the next append on a frame
+  // boundary.
+  XSM_ASSIGN_OR_RETURN(std::unique_ptr<wal::WalWriter> writer,
+                       wal::WalWriter::Open(env, wal_path, *read));
+  {
+    std::lock_guard<std::mutex> lock(manager->apply_mu_);
+    manager->env_ = env;
+    manager->wal_path_ = wal_path;
+    manager->wal_ = std::move(writer);
+  }
+  if (report != nullptr) *report = local;
+  return manager;
 }
 
 }  // namespace xsm::live

@@ -20,12 +20,15 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "live/repository_delta.h"
 #include "schema/schema_forest.h"
 #include "service/repository_snapshot.h"
 #include "store/snapshot_store.h"
+#include "util/io.h"
 #include "util/status.h"
+#include "wal/wal.h"
 
 namespace xsm::live {
 
@@ -42,6 +45,16 @@ struct ApplyReport {
   /// The published snapshot (same object Current() now returns, until the
   /// next delta lands).
   std::shared_ptr<const service::RepositorySnapshot> snapshot;
+};
+
+/// What a Recover rebuilt from disk.
+struct RecoveryReport {
+  uint64_t snapshot_generation = 0;   ///< checkpoint the chain resumed from
+  uint64_t recovered_generation = 0;  ///< generation after journal replay
+  size_t records_replayed = 0;        ///< deltas re-applied from the journal
+  size_t records_skipped = 0;         ///< journal records <= the checkpoint
+  bool torn_tail = false;             ///< a crash-torn record was dropped
+  uint64_t dropped_bytes = 0;         ///< bytes of that torn record
 };
 
 /// Thread-safe. Readers call Current() from any thread at any time;
@@ -77,24 +90,53 @@ class RepositoryManager {
 
   uint64_t CurrentGeneration() const { return Current()->generation(); }
 
+  /// Boots from a checkpoint + journal pair: loads the snapshot, replays
+  /// every journal record past its generation (each re-validated and
+  /// fingerprint-verified against what was acknowledged), truncates any
+  /// crash-torn tail, and re-attaches the journal so the chain keeps
+  /// journaling. A missing journal file starts a fresh one at the
+  /// snapshot's generation. Damage — a CRC-failing complete record, a
+  /// generation gap, a fingerprint divergence, a journal that begins
+  /// after the snapshot — is kCorruption; a torn tail is not damage.
+  static Result<std::unique_ptr<RepositoryManager>> Recover(
+      util::io::Env* env, const std::string& snapshot_path,
+      const std::string& wal_path, RecoveryReport* report = nullptr);
+
+  /// Attaches a write-ahead journal at `wal_path` (created fresh, based
+  /// at the current generation): every subsequent successful Apply
+  /// appends its delta — fsync'd — *before* publication, so acknowledged
+  /// deltas survive a kill. The caller should persist (or have persisted)
+  /// a checkpoint at or before the current generation; Recover needs one
+  /// to replay onto.
+  Status AttachWal(util::io::Env* env, const std::string& wal_path);
+
+  bool wal_attached() const;
+
   /// Applies `delta` to the current generation and atomically publishes
-  /// the successor. On error (invalid target, failed validation) nothing
-  /// is published and the current generation is unchanged. In-flight
+  /// the successor. On error (invalid target, failed validation, journal
+  /// append failure) nothing is published and the current generation is
+  /// unchanged — an unjournaled delta is never acknowledged. In-flight
   /// readers of the previous generation are never disturbed.
   Result<ApplyReport> Apply(const RepositoryDelta& delta);
 
   /// Persists the current snapshot (atomic write; see
-  /// store::SaveSnapshotToFile). Concurrent Apply calls are fine: the
-  /// snapshot pinned at entry is saved, whole and consistent.
-  Result<store::SnapshotFileInfo> SaveSnapshot(
-      const std::string& path) const {
-    return store::SaveSnapshotToFile(*Current(), path);
-  }
+  /// store::SaveSnapshotToFile). With a journal attached this is the
+  /// checkpoint: once the snapshot is durable, the journal is compacted
+  /// to a fresh one based at the saved generation (writers are held out
+  /// for the duration, so no acknowledged delta can fall between the
+  /// checkpoint and the new journal). If compaction itself fails the old
+  /// journal stays — recovery then skips its pre-checkpoint records.
+  Result<store::SnapshotFileInfo> SaveSnapshot(const std::string& path);
 
  private:
-  /// Serializes writers so generations form a chain, never a fork.
-  std::mutex apply_mu_;
+  /// Serializes writers so generations form a chain, never a fork, and
+  /// guards the journal writer.
+  mutable std::mutex apply_mu_;
   std::atomic<std::shared_ptr<const service::RepositorySnapshot>> current_;
+  // Journal state (all under apply_mu_; null when journaling is off).
+  util::io::Env* env_ = nullptr;
+  std::string wal_path_;
+  std::unique_ptr<wal::WalWriter> wal_;
 };
 
 }  // namespace xsm::live

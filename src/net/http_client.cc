@@ -1,15 +1,34 @@
 #include "net/http_client.h"
 
 #include <arpa/inet.h>
-#include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
 #include <utility>
 
+#include "util/timer.h"
+
 namespace xsm::net {
+
+namespace {
+
+/// Remaining milliseconds of a deadline for poll(), at least 1 while any
+/// fraction is left so a deadline can never spin at zero.
+int RemainingPollMs(double timeout_seconds, const Timer& since) {
+  double left = timeout_seconds - since.ElapsedSeconds();
+  if (left <= 0) return 0;
+  return std::max(1, static_cast<int>(std::ceil(left * 1000.0)));
+}
+
+}  // namespace
 
 std::string BuildRequest(std::string_view method, std::string_view target,
                          std::string_view body,
@@ -49,7 +68,8 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
   return *this;
 }
 
-Status HttpClient::Connect(const std::string& host, uint16_t port) {
+Status HttpClient::Connect(const std::string& host, uint16_t port,
+                           double timeout_seconds) {
   Close();
   fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::IOError("socket() failed");
@@ -60,10 +80,57 @@ Status HttpClient::Connect(const std::string& host, uint16_t port) {
     Close();
     return Status::InvalidArgument("unparseable host '" + host + "'");
   }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Close();
-    return Status::IOError("connect(" + host + ":" + std::to_string(port) +
-                           ") failed: " + std::strerror(errno));
+  const std::string peer = host + ":" + std::to_string(port);
+  if (timeout_seconds <= 0) {
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Status status = Status::IOError("connect(" + peer +
+                                      ") failed: " + std::strerror(errno));
+      Close();
+      return status;
+    }
+  } else {
+    // Bounded handshake: connect non-blocking, poll for writability until
+    // the deadline, then read SO_ERROR for the verdict.
+    int flags = fcntl(fd_, F_GETFL, 0);
+    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      Status status = Status::IOError("connect(" + peer +
+                                      ") failed: " + std::strerror(errno));
+      Close();
+      return status;
+    }
+    if (rc != 0) {
+      Timer since;
+      pollfd pfd{fd_, POLLOUT, 0};
+      while (true) {
+        int ms = RemainingPollMs(timeout_seconds, since);
+        if (ms == 0) {
+          Close();
+          return Status::DeadlineExceeded("connect(" + peer +
+                                          ") timed out after " +
+                                          std::to_string(timeout_seconds) +
+                                          "s");
+        }
+        int ready = poll(&pfd, 1, ms);
+        if (ready > 0) break;
+        if (ready < 0 && errno != EINTR) {
+          Status status = Status::IOError(std::string("poll() failed: ") +
+                                          std::strerror(errno));
+          Close();
+          return status;
+        }
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        Close();
+        return Status::IOError("connect(" + peer +
+                               ") failed: " + std::strerror(err));
+      }
+    }
+    fcntl(fd_, F_SETFL, flags);
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -95,22 +162,57 @@ Status HttpClient::SendRequest(std::string_view method,
                               keep_alive));
 }
 
-Result<HttpMessage> HttpClient::ReadResponse(const HttpLimits& limits) {
+Result<HttpMessage> HttpClient::ReadResponse(const HttpLimits& limits,
+                                             double timeout_seconds) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   HttpParser parser(HttpParser::Mode::kResponse, limits);
   if (!leftover_.empty()) {
     parser.Feed(leftover_);
     leftover_.clear();
   }
+  Timer since;
   char buf[16 * 1024];
   while (!parser.done() && !parser.failed()) {
+    if (timeout_seconds > 0) {
+      // One wall-clock deadline over the whole response: a hung *or
+      // trickling* server cannot stretch it by keeping each read short.
+      pollfd pfd{fd_, POLLIN, 0};
+      int ms = RemainingPollMs(timeout_seconds, since);
+      int ready = ms == 0 ? 0 : poll(&pfd, 1, ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        Close();
+        return Status::IOError(std::string("poll() failed: ") +
+                               std::strerror(errno));
+      }
+      if (ready == 0) {
+        Close();
+        return Status::DeadlineExceeded(
+            "response deadline (" + std::to_string(timeout_seconds) +
+            "s) exceeded with the response incomplete");
+      }
+    }
     ssize_t n = read(fd_, buf, sizeof(buf));
     if (n > 0) {
       parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      // A reset peer is a transport fault the retry layer treats like any
+      // other dropped connection; carry the errno for the log line.
+      Close();
+      return Status::IOError(std::string("read() failed: ") +
+                             std::strerror(errno));
+    }
+    bool was_midstream = parser.midstream();
     parser.Finish();  // EOF completes until-EOF bodies, fails truncation
+    if (parser.failed() && was_midstream) {
+      // A half-close that truncates a response in flight is a transport
+      // fault (the retry layer's "reset"), not a malformed response.
+      Close();
+      return Status::IOError("connection closed before a complete response");
+    }
     break;
   }
   if (parser.failed()) {

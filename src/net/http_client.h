@@ -33,7 +33,11 @@ class HttpClient {
   HttpClient(HttpClient&& other) noexcept;
   HttpClient& operator=(HttpClient&& other) noexcept;
 
-  Status Connect(const std::string& host, uint16_t port);
+  /// `timeout_seconds` > 0 bounds the TCP handshake: a peer that accepts
+  /// nothing within it yields a typed kDeadlineExceeded (a refused or
+  /// unreachable peer stays kIOError with the errno detail).
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_seconds = 0);
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
@@ -49,8 +53,14 @@ class HttpClient {
   /// Blocks until one complete response is parsed (or the peer closes /
   /// errors). Keep-alive responses leave the connection usable for the
   /// next SendRequest; Connection: close responses (and EOF-framed
-  /// bodies) close it.
-  Result<HttpMessage> ReadResponse(const HttpLimits& limits = HttpLimits());
+  /// bodies) close it. `timeout_seconds` > 0 is a wall-clock deadline on
+  /// the whole response: a server that hangs (or trickles bytes) past it
+  /// yields a typed kDeadlineExceeded instead of blocking forever. A peer
+  /// that half-closes mid-response yields kIOError ("connection closed
+  /// before a complete response") — a transport fault, distinct from a
+  /// malformed response, which keeps the parser's typed parse failure.
+  Result<HttpMessage> ReadResponse(const HttpLimits& limits = HttpLimits(),
+                                   double timeout_seconds = 0);
 
   /// SendRequest + ReadResponse.
   Result<HttpMessage> Fetch(std::string_view method, std::string_view target,

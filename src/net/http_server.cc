@@ -202,6 +202,8 @@ HttpServerStats HttpServer::stats() const {
   stats.disconnect_cancels =
       disconnect_cancels_.load(std::memory_order_relaxed);
   stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.drain_save_failures =
+      drain_save_failures_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mu_);
   stats.latency_ms = latency_ms_;
   return stats;
@@ -217,10 +219,23 @@ void HttpServer::Serve() {
   if (workers_ != nullptr) workers_->Wait();
   if (!registry_->SnapshotPathFor("x").empty()) {
     size_t saved = 0;
-    Status status = registry_->SaveAll(&saved);
-    std::fprintf(stderr, "xsm::net: drain saved %zu/%zu tenants%s%s\n", saved,
-                 registry_->size(), status.ok() ? "" : ": ",
-                 status.ok() ? "" : status.ToString().c_str());
+    std::vector<TenantRegistry::TenantSaveFailure> failures;
+    registry_->SaveAll(&saved, &failures);
+    // One tenant's failed save never aborts the drain: SaveAll attempts
+    // every tenant, and each failure surfaces as a typed NDJSON event
+    // plus a nonzero drain_save_failures counter for the supervisor.
+    for (const TenantRegistry::TenantSaveFailure& failure : failures) {
+      drain_save_failures_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "{\"type\":\"error\",\"code\":\"save_failed\","
+                   "\"tenant\":\"%s\",\"status\":\"%s\",\"message\":\"%s\"}\n",
+                   service::JsonEscape(failure.tenant).c_str(),
+                   std::string(StatusCodeToString(failure.status.code()))
+                       .c_str(),
+                   service::JsonEscape(failure.status.ToString()).c_str());
+    }
+    std::fprintf(stderr, "xsm::net: drain saved %zu/%zu tenants (%zu failed)\n",
+                 saved, registry_->size(), failures.size());
   }
 }
 

@@ -83,6 +83,7 @@ struct HttpServerStats {
   uint64_t requests_shed = 0;         ///< 503s from admission control
   uint64_t parse_failures = 0;        ///< connections killed by bad HTTP
   uint64_t disconnect_cancels = 0;    ///< queries cancelled by client EOF
+  uint64_t drain_save_failures = 0;   ///< tenants the drain failed to save
   size_t inflight = 0;                ///< match/batch executing right now
   /// Wall-clock latency of finished match/batch requests, milliseconds.
   QuantileAccumulator latency_ms;
@@ -220,6 +221,7 @@ class HttpServer {
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> parse_failures_{0};
   std::atomic<uint64_t> disconnect_cancels_{0};
+  std::atomic<uint64_t> drain_save_failures_{0};
   mutable std::mutex latency_mu_;
   QuantileAccumulator latency_ms_;
 };

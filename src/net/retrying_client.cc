@@ -1,0 +1,132 @@
+#include "net/retrying_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace xsm::net {
+
+std::string_view FailureClassToString(FailureClass failure) {
+  switch (failure) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kConnectRefused:
+      return "connect-refused";
+    case FailureClass::kConnectTimeout:
+      return "connect-timeout";
+    case FailureClass::kReset:
+      return "reset";
+    case FailureClass::kResponseTimeout:
+      return "response-timeout";
+    case FailureClass::kShed503:
+      return "shed-503";
+  }
+  return "unknown";
+}
+
+RetryingHttpClient::RetryingHttpClient(std::string host, uint16_t port,
+                                       RetryOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+bool RetryingHttpClient::RetryableResponse(const HttpMessage& response) {
+  return response.status_code == 503 &&
+         response.body.find("\"retryable\":true") != std::string::npos;
+}
+
+double RetryingHttpClient::NextBackoffSeconds(int retry) {
+  double base = options_.initial_backoff_seconds;
+  for (int i = 0; i < retry && base < options_.max_backoff_seconds; ++i) {
+    base *= options_.backoff_multiplier;
+  }
+  base = std::min(base, options_.max_backoff_seconds);
+  // One draw per backoff whatever the jitter setting, so schedules with
+  // different jitter fractions stay aligned draw-for-draw.
+  double u = rng_.NextDouble();
+  double jitter = options_.jitter_fraction * (2.0 * u - 1.0);
+  return std::max(0.0, base * (1.0 + jitter));
+}
+
+Result<HttpMessage> RetryingHttpClient::Fetch(std::string_view method,
+                                              std::string_view target,
+                                              std::string_view body,
+                                              std::string_view content_type) {
+  stats_ = RetryStats();
+  Status last_status = Status::OK();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double delay = NextBackoffSeconds(attempt - 1);
+      stats_.backoff_seconds += delay;
+      if (options_.sleeper) {
+        options_.sleeper(delay);
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+    }
+    ++stats_.attempts;
+
+    HttpClient client;
+    Status status =
+        client.Connect(host_, port_, options_.connect_timeout_seconds);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.connect_timeouts;
+        stats_.last_failure = FailureClass::kConnectTimeout;
+      } else {
+        ++stats_.connect_refused;
+        stats_.last_failure = FailureClass::kConnectRefused;
+      }
+      last_status = std::move(status);
+      continue;
+    }
+
+    status = client.SendRequest(method, target, body, content_type,
+                                /*keep_alive=*/false);
+    if (!status.ok()) {
+      ++stats_.resets;
+      stats_.last_failure = FailureClass::kReset;
+      last_status = std::move(status);
+      continue;
+    }
+
+    auto response =
+        client.ReadResponse(HttpLimits(), options_.read_timeout_seconds);
+    if (!response.ok()) {
+      if (response.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.response_timeouts;
+        stats_.last_failure = FailureClass::kResponseTimeout;
+      } else if (response.status().code() == StatusCode::kIOError) {
+        ++stats_.resets;
+        stats_.last_failure = FailureClass::kReset;
+      } else {
+        // A malformed response (parse failure, oversize) is the server
+        // misbehaving, not a transient — retrying would just replay it.
+        return response.status();
+      }
+      last_status = response.status();
+      continue;
+    }
+
+    if (RetryableResponse(*response)) {
+      ++stats_.shed_503s;
+      stats_.last_failure = FailureClass::kShed503;
+      last_status = Status::Unavailable(
+          "server shed the request (503, retryable)");
+      continue;
+    }
+    stats_.last_failure = FailureClass::kNone;
+    return response;
+  }
+  return Status::Unavailable(
+      "retry budget exhausted after " + std::to_string(stats_.attempts) +
+      " attempts (last failure: " +
+      std::string(FailureClassToString(stats_.last_failure)) +
+      "): " + last_status.ToString());
+}
+
+}  // namespace xsm::net

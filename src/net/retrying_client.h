@@ -1,0 +1,124 @@
+// RetryingHttpClient: the client-side half of the server's overload
+// contract. HttpServer sheds excess load with a typed 503 NDJSON body
+// carrying "retryable":true (net/http_server.h, admission control); a
+// well-behaved client treats that — and transient transport faults — as
+// "come back shortly", not as an error. This wrapper classifies every
+// failure of a one-shot fetch:
+//
+//   kConnectRefused   connect() failed outright (server down / port wrong)
+//   kConnectTimeout   TCP handshake exceeded its deadline
+//   kReset            connection dropped / half-closed mid-response
+//   kResponseTimeout  server accepted but hung past the read deadline
+//   kShed503          typed 503 with "retryable":true (admission shed)
+//
+// and retries the retryable ones under capped exponential backoff with
+// deterministic seeded jitter: delays are a pure function of
+// (RetryOptions::seed, retry index), so a retry schedule replays exactly
+// in tests and a fleet of clients with distinct seeds decorrelates instead
+// of stampeding in lockstep. A 503 *without* the retryable flag, or any
+// malformed response, is returned as-is — retrying can't fix those. When
+// the budget runs out the caller gets a typed kUnavailable naming the
+// attempts made and the last failure.
+#ifndef XSM_NET_RETRYING_CLIENT_H_
+#define XSM_NET_RETRYING_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "net/http_client.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace xsm::net {
+
+struct RetryOptions {
+  /// Total tries including the first (1 = no retries). Must be >= 1.
+  int max_attempts = 4;
+  /// Backoff before retry k is
+  ///   min(initial * multiplier^k, max) * (1 + jitter_fraction * (2u-1))
+  /// with u drawn from the seeded RNG — capped exponential growth, spread
+  /// over +-jitter_fraction.
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  double jitter_fraction = 0.2;
+  /// Seeds the jitter stream; the whole backoff schedule is deterministic
+  /// given the seed.
+  uint64_t seed = 1;
+
+  /// Deadline on the TCP handshake of each attempt; 0 blocks.
+  double connect_timeout_seconds = 2.0;
+  /// Deadline on each attempt's whole response; 0 blocks.
+  double read_timeout_seconds = 10.0;
+
+  /// How backoff waits. Defaults to really sleeping; tests inject a
+  /// recorder so retry schedules are asserted, not slept through.
+  std::function<void(double seconds)> sleeper;
+};
+
+/// Why an attempt failed (kNone for the attempt that succeeded).
+enum class FailureClass {
+  kNone,
+  kConnectRefused,
+  kConnectTimeout,
+  kReset,
+  kResponseTimeout,
+  kShed503,
+};
+
+std::string_view FailureClassToString(FailureClass failure);
+
+/// Accounting across one Fetch call (reset at its start).
+struct RetryStats {
+  int attempts = 0;          ///< connections tried
+  int connect_refused = 0;
+  int connect_timeouts = 0;
+  int resets = 0;
+  int response_timeouts = 0;
+  int shed_503s = 0;
+  double backoff_seconds = 0;  ///< total requested backoff
+  FailureClass last_failure = FailureClass::kNone;
+};
+
+/// One-shot fetches with retry. Each attempt opens a fresh connection
+/// (Connection: close) so a poisoned keep-alive stream can never leak
+/// into the next attempt. Not thread-safe; use one per thread.
+class RetryingHttpClient {
+ public:
+  RetryingHttpClient(std::string host, uint16_t port,
+                     RetryOptions options = RetryOptions());
+
+  /// Fetches until a non-retryable outcome or the attempt budget runs
+  /// out. Returns the response (any status code) on success, the
+  /// original typed error for non-retryable failures, and a typed
+  /// kUnavailable naming the attempts and last failure class when the
+  /// budget is exhausted.
+  Result<HttpMessage> Fetch(std::string_view method, std::string_view target,
+                            std::string_view body = "",
+                            std::string_view content_type = "text/plain");
+
+  /// Accounting for the most recent Fetch.
+  const RetryStats& stats() const { return stats_; }
+
+  /// Whether `response` is the server's typed retryable shed: status 503
+  /// and an NDJSON body carrying "retryable":true.
+  static bool RetryableResponse(const HttpMessage& response);
+
+  /// The jittered backoff before 0-based retry `k`. Consumes one RNG
+  /// draw — calling it in sequence reproduces a Fetch's exact schedule.
+  double NextBackoffSeconds(int retry);
+
+ private:
+  std::string host_;
+  uint16_t port_;
+  RetryOptions options_;
+  Rng rng_;
+  RetryStats stats_;
+};
+
+}  // namespace xsm::net
+
+#endif  // XSM_NET_RETRYING_CLIENT_H_

@@ -29,6 +29,17 @@ std::string TenantRegistry::SnapshotPathFor(const std::string& name) const {
   return (fs::path(options_.state_dir) / (name + ".snap")).string();
 }
 
+std::string TenantRegistry::WalPathFor(const std::string& name) const {
+  if (options_.state_dir.empty() || !options_.enable_wal) {
+    return std::string();
+  }
+  return (fs::path(options_.state_dir) / (name + ".wal")).string();
+}
+
+util::io::Env* TenantRegistry::env() const {
+  return options_.env != nullptr ? options_.env : util::io::Env::Default();
+}
+
 Result<Tenant*> TenantRegistry::Insert(
     const std::string& name,
     std::unique_ptr<service::MatchService> service) {
@@ -53,13 +64,30 @@ Result<Tenant*> TenantRegistry::Create(const std::string& name,
                                    "' (want 1-64 of [A-Za-z0-9_.-], not "
                                    "starting with '.')");
   }
+  std::string wal_path = WalPathFor(name);
+  if (!wal_path.empty() && Find(name) != nullptr) {
+    // Refuse before touching the state dir: the checkpoint below must
+    // never clobber an existing tenant's snapshot with a newborn one.
+    return Status::FailedPrecondition("tenant '" + name +
+                                      "' already exists");
+  }
   XSM_ASSIGN_OR_RETURN(
       auto service,
       service::MatchService::Create(std::move(forest), options_.service));
+  if (!wal_path.empty()) {
+    // Checkpoint-then-journal, in that order: Recover replays the journal
+    // onto a base snapshot, so a journaled tenant without one would be
+    // unrecoverable. Both are durable before the tenant serves traffic.
+    std::error_code ec;
+    fs::create_directories(options_.state_dir, ec);  // best effort
+    XSM_RETURN_NOT_OK(service->SaveSnapshot(SnapshotPathFor(name)).status());
+    XSM_RETURN_NOT_OK(service->AttachWal(env(), wal_path));
+  }
   return Insert(name, std::move(service));
 }
 
-Result<Tenant*> TenantRegistry::WarmStart(const std::string& name) {
+Result<Tenant*> TenantRegistry::WarmStart(const std::string& name,
+                                          live::RecoveryReport* report) {
   if (!ValidTenantName(name)) {
     return Status::InvalidArgument("invalid tenant name '" + name + "'");
   }
@@ -67,6 +95,13 @@ Result<Tenant*> TenantRegistry::WarmStart(const std::string& name) {
   if (path.empty()) {
     return Status::FailedPrecondition(
         "tenant persistence disabled (no state directory)");
+  }
+  std::string wal_path = WalPathFor(name);
+  if (!wal_path.empty()) {
+    XSM_ASSIGN_OR_RETURN(
+        auto service, service::MatchService::Recover(env(), path, wal_path,
+                                                     options_.service, report));
+    return Insert(name, std::move(service));
   }
   XSM_ASSIGN_OR_RETURN(auto service,
                        service::MatchService::WarmStart(path, options_.service));
@@ -108,16 +143,20 @@ Result<store::SnapshotFileInfo> TenantRegistry::Save(
   return tenant->service->SaveSnapshot(path);
 }
 
-Status TenantRegistry::SaveAll(size_t* saved) const {
+Status TenantRegistry::SaveAll(
+    size_t* saved, std::vector<TenantSaveFailure>* failures) const {
   Status first_error = Status::OK();
   size_t ok = 0;
   for (const std::string& name : Names()) {
     auto info = Save(name);
     if (info.ok()) {
       ++ok;
-    } else if (first_error.ok()) {
-      first_error = info.status();
+      continue;
     }
+    if (failures != nullptr) {
+      failures->push_back(TenantSaveFailure{name, info.status()});
+    }
+    if (first_error.ok()) first_error = info.status();
   }
   if (saved != nullptr) *saved = ok;
   return first_error;
@@ -144,11 +183,24 @@ size_t TenantRegistry::WarmStartAll() {
                            "name '%s'\n", stem.c_str());
       continue;
     }
-    auto tenant = WarmStart(stem);
+    live::RecoveryReport report;
+    auto tenant = WarmStart(stem, &report);
     if (!tenant.ok()) {
       std::fprintf(stderr, "xsm::net: warm start of tenant '%s' failed: %s\n",
                    stem.c_str(), tenant.status().ToString().c_str());
       continue;
+    }
+    if (report.records_replayed > 0 || report.torn_tail) {
+      std::fprintf(stderr,
+                   "xsm::net: tenant '%s' recovered to generation %llu "
+                   "(checkpoint %llu + %zu journal records%s)\n",
+                   stem.c_str(),
+                   static_cast<unsigned long long>(
+                       report.recovered_generation),
+                   static_cast<unsigned long long>(
+                       report.snapshot_generation),
+                   report.records_replayed,
+                   report.torn_tail ? ", torn tail dropped" : "");
     }
     ++booted;
   }

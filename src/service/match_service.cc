@@ -92,9 +92,25 @@ Result<std::unique_ptr<MatchService>> MatchService::WarmStart(
   return std::make_unique<MatchService>(std::move(snapshot), options);
 }
 
+Result<std::unique_ptr<MatchService>> MatchService::Recover(
+    util::io::Env* env, const std::string& snapshot_path,
+    const std::string& wal_path, const MatchServiceOptions& options,
+    live::RecoveryReport* report) {
+  XSM_ASSIGN_OR_RETURN(
+      std::unique_ptr<live::RepositoryManager> manager,
+      live::RepositoryManager::Recover(env, snapshot_path, wal_path, report));
+  return std::make_unique<MatchService>(std::move(manager), options);
+}
+
 MatchService::MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
                            const MatchServiceOptions& options)
-    : manager_(std::make_unique<live::RepositoryManager>(std::move(snapshot))),
+    : MatchService(
+          std::make_unique<live::RepositoryManager>(std::move(snapshot)),
+          options) {}
+
+MatchService::MatchService(std::unique_ptr<live::RepositoryManager> manager,
+                           const MatchServiceOptions& options)
+    : manager_(std::move(manager)),
       options_(options),
       pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                      : options.num_threads) {

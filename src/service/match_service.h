@@ -196,7 +196,23 @@ class MatchService {
       const std::string& path, const MatchServiceOptions& options =
                                    MatchServiceOptions());
 
+  /// Crash-safe boot: loads the snapshot, replays the delta journal's
+  /// post-checkpoint suffix (live::RepositoryManager::Recover), and keeps
+  /// journaling into the same WAL — the recovered chain is fingerprint-
+  /// identical to the uninterrupted one. `report` (may be null) receives
+  /// the replay accounting.
+  static Result<std::unique_ptr<MatchService>> Recover(
+      util::io::Env* env, const std::string& snapshot_path,
+      const std::string& wal_path,
+      const MatchServiceOptions& options = MatchServiceOptions(),
+      live::RecoveryReport* report = nullptr);
+
   MatchService(std::shared_ptr<const RepositorySnapshot> snapshot,
+               const MatchServiceOptions& options = MatchServiceOptions());
+
+  /// Adopts an already-built generation chain (e.g. one produced by
+  /// live::RepositoryManager::Recover, WAL attached and all).
+  MatchService(std::unique_ptr<live::RepositoryManager> manager,
                const MatchServiceOptions& options = MatchServiceOptions());
 
   MatchService(const MatchService&) = delete;
@@ -299,6 +315,18 @@ class MatchService {
   Result<store::SnapshotFileInfo> SaveSnapshot(const std::string& path) const {
     return manager_->SaveSnapshot(path);
   }
+
+  /// Write-ahead journals every subsequent ApplyDelta into `wal_path`
+  /// (created fresh, based at the current generation): appended + fsync'd
+  /// before the new generation is published, so an acknowledged delta
+  /// survives a crash. SaveSnapshot then compacts the journal. See
+  /// live::RepositoryManager::AttachWal.
+  Status AttachWal(util::io::Env* env, const std::string& wal_path) {
+    return manager_->AttachWal(env, wal_path);
+  }
+
+  /// Whether deltas are currently being journaled.
+  bool wal_attached() const { return manager_->wal_attached(); }
 
   /// The options Match() actually runs for `query` against the *current*
   /// snapshot, after per-query seed derivation and element-matching

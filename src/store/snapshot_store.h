@@ -45,6 +45,7 @@
 #include <string_view>
 
 #include "service/repository_snapshot.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace xsm::store {
@@ -85,19 +86,23 @@ DeserializeSnapshot(std::string_view bytes);
 /// fits the byte count. Does not verify CRCs or decode sections.
 Result<SnapshotFileInfo> ProbeSnapshot(std::string_view bytes);
 
-/// Saves atomically: writes `path`.tmp, then renames over `path`, so a
-/// crash mid-save can never leave a half-written file under the final
-/// name. Returns what was written.
+/// Saves atomically (util::AtomicFileWriter: unique tmp + fsync + rename
+/// + directory fsync), so a crash mid-save can never leave a half-written
+/// file under the final name. All I/O goes through `env` (nullptr = the
+/// real filesystem); the fault-injection suites substitute a scheduled
+/// one. Returns what was written.
 Result<SnapshotFileInfo> SaveSnapshotToFile(
-    const service::RepositorySnapshot& snapshot, const std::string& path);
+    const service::RepositorySnapshot& snapshot, const std::string& path,
+    util::io::Env* env = nullptr);
 
 /// Loads a file produced by SaveSnapshotToFile.
 Result<std::shared_ptr<const service::RepositorySnapshot>>
-LoadSnapshotFromFile(const std::string& path);
+LoadSnapshotFromFile(const std::string& path, util::io::Env* env = nullptr);
 
 /// Header peek of a snapshot file (reads the whole file, validates only
 /// the header).
-Result<SnapshotFileInfo> ProbeSnapshotFile(const std::string& path);
+Result<SnapshotFileInfo> ProbeSnapshotFile(const std::string& path,
+                                           util::io::Env* env = nullptr);
 
 }  // namespace xsm::store
 

@@ -28,6 +28,10 @@ enum class StatusCode : int {
   /// internally inconsistent sections). Distinct from kParseError — the
   /// input claimed to be ours and is damaged, rather than malformed text.
   kCorruption = 11,
+  /// The peer is temporarily unable to serve (admission shed, overload,
+  /// retry budget exhausted). Retrying later may succeed; distinct from
+  /// kIOError, which reports a transport-level failure.
+  kUnavailable = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +77,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));

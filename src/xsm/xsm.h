@@ -34,6 +34,7 @@
 #include "integrate/integration_engine.h"  // IWYU pragma: export
 #include "integrate/integration_io.h"      // IWYU pragma: export
 #include "label/tree_index.h"            // IWYU pragma: export
+#include "live/delta_codec.h"            // IWYU pragma: export
 #include "live/repository_delta.h"       // IWYU pragma: export
 #include "live/repository_manager.h"     // IWYU pragma: export
 #include "match/element_matcher.h"       // IWYU pragma: export
@@ -42,6 +43,7 @@
 #include "net/http.h"                    // IWYU pragma: export
 #include "net/http_client.h"             // IWYU pragma: export
 #include "net/http_server.h"             // IWYU pragma: export
+#include "net/retrying_client.h"         // IWYU pragma: export
 #include "net/tenant_registry.h"         // IWYU pragma: export
 #include "objective/objective.h"         // IWYU pragma: export
 #include "query/xpath.h"                 // IWYU pragma: export
@@ -57,11 +59,13 @@
 #include "sim/synonym_dictionary.h"      // IWYU pragma: export
 #include "store/snapshot_store.h"        // IWYU pragma: export
 #include "util/histogram.h"              // IWYU pragma: export
+#include "util/io.h"                     // IWYU pragma: export
 #include "util/random.h"                 // IWYU pragma: export
 #include "util/status.h"                 // IWYU pragma: export
 #include "util/thread_pool.h"            // IWYU pragma: export
 #include "util/timer.h"                  // IWYU pragma: export
 #include "util/union_find.h"             // IWYU pragma: export
+#include "wal/wal.h"                     // IWYU pragma: export
 #include "xml/dtd_parser.h"              // IWYU pragma: export
 #include "xml/xml_parser.h"              // IWYU pragma: export
 #include "xml/xsd_parser.h"              // IWYU pragma: export

@@ -1,0 +1,320 @@
+// util::io — the filesystem seam: RealEnv round trips with strerror
+// detail in every error, AtomicFileWriter's all-or-nothing publication,
+// and the FaultInjectionEnv schedules (short writes, ENOSPC, EINTR
+// splits, fsync/rename failures, crash-at-byte, crash-after-ops) the
+// crash-point sweep suites are built on.
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+namespace xsm::util::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("xsm_io_test_" + tag + "_" +
+              std::to_string(static_cast<unsigned>(getpid()))))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string File(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string MustRead(Env* env, const std::string& path) {
+  auto bytes = env->ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? *bytes : std::string();
+}
+
+// --- RealEnv ---------------------------------------------------------------
+
+TEST(RealEnvTest, WriteReadRenameRemoveRoundTrip) {
+  TempDir dir("real");
+  Env* env = Env::Default();
+  const std::string path = dir.File("a.txt");
+
+  auto file = env->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_EQ(MustRead(env, path), "hello world");
+  auto size = env->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+
+  // Append mode extends; truncate mode restarts.
+  auto again = env->NewWritableFile(path, /*truncate=*/false);
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE((*again)->Append("!").ok());
+  ASSERT_TRUE((*again)->Close().ok());
+  EXPECT_EQ(MustRead(env, path), "hello world!");
+
+  ASSERT_TRUE(env->TruncateFile(path, 5).ok());
+  EXPECT_EQ(MustRead(env, path), "hello");
+
+  const std::string moved = dir.File("b.txt");
+  ASSERT_TRUE(env->RenameFile(path, moved).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_EQ(MustRead(env, moved), "hello");
+
+  ASSERT_TRUE(env->RemoveFile(moved).ok());
+  EXPECT_FALSE(env->FileExists(moved));
+}
+
+TEST(RealEnvTest, ErrorsCarryStrerrorDetail) {
+  TempDir dir("errors");
+  Env* env = Env::Default();
+  const std::string missing = dir.File("no/such/dir/file");
+
+  auto bytes = env->ReadFileToString(missing);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kIOError);
+  EXPECT_NE(bytes.status().message().find("No such file"), std::string::npos)
+      << bytes.status().ToString();
+
+  Status rename = env->RenameFile(missing, dir.File("elsewhere"));
+  ASSERT_FALSE(rename.ok());
+  EXPECT_NE(rename.message().find("No such file"), std::string::npos)
+      << rename.ToString();
+
+  auto open = env->NewWritableFile(missing, /*truncate=*/true);
+  ASSERT_FALSE(open.ok());
+  EXPECT_NE(open.status().message().find("No such file"), std::string::npos)
+      << open.status().ToString();
+}
+
+TEST(RealEnvTest, DirnameOf) {
+  EXPECT_EQ(DirnameOf("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(DirnameOf("c.txt"), ".");
+  EXPECT_EQ(DirnameOf("a/b"), "a");
+}
+
+// --- AtomicFileWriter ------------------------------------------------------
+
+TEST(AtomicFileWriterTest, CommitPublishesExactBytes) {
+  TempDir dir("atomic");
+  Env* env = Env::Default();
+  const std::string path = dir.File("out.bin");
+
+  AtomicFileWriter writer(env, path);
+  ASSERT_TRUE(writer.Append("part one ").ok());
+  ASSERT_TRUE(writer.Append("part two").ok());
+  EXPECT_FALSE(env->FileExists(path)) << "visible before Commit";
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_EQ(MustRead(env, path), "part one part two");
+  EXPECT_FALSE(env->FileExists(writer.tmp_path())) << "tmp left behind";
+}
+
+TEST(AtomicFileWriterTest, AbortLeavesFinalNameUntouched) {
+  TempDir dir("abort");
+  Env* env = Env::Default();
+  const std::string path = dir.File("out.bin");
+  ASSERT_TRUE(AtomicFileWriter::WriteFileAtomic(env, path, "old").ok());
+
+  {
+    AtomicFileWriter writer(env, path);
+    ASSERT_TRUE(writer.Append("new content, never committed").ok());
+    // Destructor aborts.
+  }
+  EXPECT_EQ(MustRead(env, path), "old");
+  // No stray tmp files either.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicFileWriterTest, FailedRenameKeepsOldFileAndCleansTmp) {
+  TempDir dir("failrename");
+  const std::string path = dir.File("out.bin");
+  ASSERT_TRUE(
+      AtomicFileWriter::WriteFileAtomic(Env::Default(), path, "old").ok());
+
+  FaultPlan plan;
+  plan.fail_rename_at = 0;
+  FaultInjectionEnv env(plan);
+  Status status = AtomicFileWriter::WriteFileAtomic(&env, path, "new");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("injected rename failure"),
+            std::string::npos);
+  EXPECT_EQ(MustRead(Env::Default(), path), "old");
+}
+
+TEST(AtomicFileWriterTest, FailedSyncKeepsOldFile) {
+  TempDir dir("failsync");
+  const std::string path = dir.File("out.bin");
+  ASSERT_TRUE(
+      AtomicFileWriter::WriteFileAtomic(Env::Default(), path, "old").ok());
+
+  FaultPlan plan;
+  plan.fail_sync_at = 0;
+  FaultInjectionEnv env(plan);
+  Status status = AtomicFileWriter::WriteFileAtomic(&env, path, "new");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("injected fsync failure"),
+            std::string::npos);
+  EXPECT_EQ(MustRead(Env::Default(), path), "old");
+}
+
+// --- FaultInjectionEnv -----------------------------------------------------
+
+TEST(FaultInjectionTest, NthAppendFailsWithTornPrefix) {
+  TempDir dir("shortwrite");
+  const std::string path = dir.File("torn.bin");
+
+  FaultPlan plan;
+  plan.fail_append_at = 1;        // second append
+  plan.append_persist_bytes = 3;  // leaves a 3-byte torn prefix of it
+  FaultInjectionEnv env(plan);
+
+  auto file = env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("AAAA").ok());
+  Status second = (*file)->Append("BBBB");
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.message().find("injected write failure"),
+            std::string::npos);
+  ASSERT_TRUE((*file)->Close().ok());
+
+  EXPECT_EQ(MustRead(Env::Default(), path), "AAAABBB");
+  EXPECT_EQ(env.stats().appends, 2);
+  EXPECT_EQ(env.stats().bytes_appended, 7);
+}
+
+TEST(FaultInjectionTest, EnospcDetailPropagates) {
+  TempDir dir("enospc");
+  FaultPlan plan;
+  plan.fail_append_at = 0;
+  plan.append_detail = "No space left on device";
+  FaultInjectionEnv env(plan);
+
+  Status status = AtomicFileWriter::WriteFileAtomic(
+      &env, dir.File("full.bin"), "does not fit");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("No space left on device"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(FaultInjectionTest, EintrSplitsPreserveBytes) {
+  TempDir dir("eintr");
+  const std::string path = dir.File("split.bin");
+  FaultPlan plan;
+  plan.eintr_splits = true;
+  FaultInjectionEnv env(plan);
+
+  auto file = env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Append("abcdef").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  EXPECT_EQ(MustRead(Env::Default(), path), "0123456789abcdef");
+  EXPECT_EQ(env.stats().eintr_injected, 2);
+}
+
+TEST(FaultInjectionTest, CrashAtByteLeavesExactPrefixAndKillsEverything) {
+  TempDir dir("crashbyte");
+  const std::string path = dir.File("crash.bin");
+  FaultPlan plan;
+  plan.crash_at_byte = 6;  // dies 2 bytes into the second append
+  FaultInjectionEnv env(plan);
+
+  auto file = env.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("AAAA").ok());
+  Status crash = (*file)->Append("BBBB");
+  ASSERT_FALSE(crash.ok());
+  EXPECT_NE(crash.message().find("simulated crash"), std::string::npos);
+  EXPECT_TRUE(env.crashed());
+
+  // The process is "dead": every further mutation fails...
+  EXPECT_FALSE((*file)->Append("CCCC").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env.RenameFile(path, dir.File("x")).ok());
+  EXPECT_FALSE(env.NewWritableFile(dir.File("y"), true).ok());
+  // ...but what's on disk is exactly the pre-crash prefix.
+  EXPECT_EQ(MustRead(Env::Default(), path), "AAAABB");
+}
+
+TEST(FaultInjectionTest, CrashAfterOpsCatchesBetweenOperationBoundaries) {
+  TempDir dir("crashops");
+  const std::string path = dir.File("ops.bin");
+
+  // Discover the op universe of one atomic write with a counting env.
+  FaultInjectionEnv counter(FaultPlan{});
+  ASSERT_TRUE(
+      AtomicFileWriter::WriteFileAtomic(&counter, dir.File("probe"), "x")
+          .ok());
+  const int64_t total_ops = counter.stats().ops;
+  ASSERT_GE(total_ops, 4);  // open, append, sync, rename, dir-sync
+
+  // Crashing at every boundary leaves either no file or the whole file —
+  // never a torn published one.
+  for (int64_t k = 0; k < total_ops; ++k) {
+    FaultPlan plan;
+    plan.crash_after_ops = k;
+    FaultInjectionEnv env(plan);
+    const std::string out = dir.File("out_" + std::to_string(k));
+    Status status = AtomicFileWriter::WriteFileAtomic(&env, out, "payload");
+    if (status.ok()) {
+      // Crash hit only the best-effort directory sync after publication.
+      EXPECT_EQ(MustRead(Env::Default(), out), "payload");
+      continue;
+    }
+    EXPECT_TRUE(env.crashed());
+    if (Env::Default()->FileExists(out)) {
+      EXPECT_EQ(MustRead(Env::Default(), out), "payload") << "k=" << k;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, ReadsPassThroughUnscathed) {
+  TempDir dir("reads");
+  const std::string path = dir.File("data.bin");
+  ASSERT_TRUE(
+      AtomicFileWriter::WriteFileAtomic(Env::Default(), path, "bytes").ok());
+
+  FaultPlan plan;
+  plan.crash_after_ops = 0;  // every mutation dead on arrival
+  FaultInjectionEnv env(plan);
+  EXPECT_FALSE(env.NewWritableFile(dir.File("w"), true).ok());
+  // Reads still see the real filesystem: recovery code under test must
+  // read actual bytes even after the simulated kill.
+  EXPECT_EQ(MustRead(&env, path), "bytes");
+  EXPECT_TRUE(env.FileExists(path));
+  auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+}
+
+}  // namespace
+}  // namespace xsm::util::io

@@ -113,6 +113,9 @@ const BenchProfile kProfiles[] = {
     {"integration",
      "speedup_warm_vs_cold",
      {"determinism_verified", "planted_recall_ok"}},
+    {"recovery",
+     "speedup_recover_vs_cold_rebuild",
+     {"zero_loss", "fingerprints_identical", "queries_identical"}},
 };
 
 }  // namespace

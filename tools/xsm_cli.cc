@@ -70,9 +70,9 @@
 //            snapshot before exit.
 //   http     [--forest FILE | --repo-dir DIR | --synthetic N[:seed]
 //            | --warm-start FILE.snap] [--port P] [--bind ADDR]
-//            [--state-dir DIR] [--tenant NAME] [--workers N] [--threads N]
-//            [--deadline-ms MS] [--first-n N] [--cluster-events]
-//            [--max-inflight N] [--soft-inflight N]
+//            [--state-dir DIR] [--no-wal] [--tenant NAME] [--workers N]
+//            [--threads N] [--deadline-ms MS] [--first-n N]
+//            [--cluster-events] [--max-inflight N] [--soft-inflight N]
 //            [--min-deadline-fraction F] [--delta D] [--top N] ...
 //            Serve the multi-tenant HTTP/1.1 + NDJSON API (see
 //            net::HttpServer). A repository source flag seeds the tenant
@@ -80,7 +80,10 @@
 //            warm-starts every previously saved tenant at boot and
 //            receives every tenant's snapshot on graceful drain
 //            (SIGINT/SIGTERM), so kill + restart resumes each tenant's
-//            generation chain.
+//            generation chain. With a state dir each tenant also
+//            write-ahead journals its deltas (<name>.wal): acknowledged
+//            deltas survive even a SIGKILL, replayed onto the last
+//            checkpoint at boot. --no-wal turns journaling off.
 //
 // Warm starts: every command that loads a repository also accepts
 //   --warm-start FILE.snap
@@ -204,7 +207,7 @@ int Usage() {
       "           [--save-on-shutdown FILE.snap]\n"
       "  http     [--forest FILE | --repo-dir DIR | --synthetic N[:seed]\n"
       "           | --warm-start FILE.snap] [--port P] [--bind ADDR]\n"
-      "           [--state-dir DIR] [--tenant NAME] [--workers N]\n"
+      "           [--state-dir DIR] [--no-wal] [--tenant NAME] [--workers N]\n"
       "           [--threads N] [--deadline-ms MS] [--first-n N]\n"
       "           [--max-inflight N] [--soft-inflight N]\n"
       "           [--min-deadline-fraction F] [--cluster-events]\n"
@@ -923,6 +926,12 @@ int RunHttp(const Args& args) {
   registry_options.service.default_deadline_seconds =
       args.GetDouble("deadline-ms", 0) / 1e3;
   registry_options.state_dir = args.Get("state-dir");
+  // With a state dir, every tenant write-ahead journals its deltas
+  // (checkpoint at creation, fsync'd append per delta, replay on boot) so
+  // even a SIGKILL loses no acknowledged delta; --no-wal reverts to
+  // save-points-only durability.
+  registry_options.enable_wal = !args.Has("no-wal");
+  const bool journaling = args.Has("state-dir") && registry_options.enable_wal;
   net::TenantRegistry registry(std::move(registry_options));
 
   // Warm restart: every tenant saved by a previous drain resumes its
@@ -996,9 +1005,10 @@ int RunHttp(const Args& args) {
   }
   server.InstallShutdownSignalHandlers();
   std::fprintf(stderr,
-               "listening on %s:%u (%zu tenants); SIGINT/SIGTERM drains%s\n",
+               "listening on %s:%u (%zu tenants%s); SIGINT/SIGTERM drains%s\n",
                server_options.bind_address.c_str(), server.port(),
                registry.size(),
+               journaling ? ", delta journaling on" : "",
                args.Has("state-dir") ? " and saves every tenant" : "");
   server.Serve();
   return 0;
