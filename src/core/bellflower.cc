@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "core/match_observer.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace xsm::core {
@@ -98,9 +99,14 @@ Result<ClusterState> Bellflower::BuildClusterState(
   Timer timer;
   match::ElementMatchingOptions element = options.element;
   if (element.control == nullptr) element.control = control;
-  XSM_ASSIGN_OR_RETURN(
-      state.matching,
-      match::MatchElements(personal, *repository_, element));
+  obs::TraceContext* trace =
+      element.control != nullptr ? element.control->trace : nullptr;
+  {
+    obs::ScopedSpan span(trace, "element_match");
+    XSM_ASSIGN_OR_RETURN(
+        state.matching,
+        match::MatchElements(personal, *repository_, element));
+  }
   state.time_matching_seconds = timer.ElapsedSeconds();
 
   if (state.matching.distinct_nodes.empty()) {
@@ -119,6 +125,7 @@ Result<ClusterState> Bellflower::BuildClusterState(
 
   // --- Stage ⓒ: clustering. ----------------------------------------------
   timer.Restart();
+  obs::ScopedSpan cluster_span(trace, "clustering");
   if (options.clustering == ClusteringMode::kTreeClusters) {
     state.clustering = cluster::TreeClusters(state.points);
   } else {
@@ -242,6 +249,9 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
 
   // --- Stage ④: per-cluster mapping generation. --------------------------
   Timer timer;
+  obs::TraceContext* trace = control != nullptr ? control->trace : nullptr;
+  std::optional<obs::ScopedSpan> generate_span;
+  generate_span.emplace(trace, "generate");
   const uint32_t full_mask = matching->FullMask();
   double k_resolved = ResolveK(options.objective);
   objective::BellflowerObjective objective(
@@ -457,6 +467,8 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
                 static_cast<double>(stats.num_useful_clusters);
 
   // --- Stage ⑤: one ranked list. ------------------------------------------
+  generate_span.reset();
+  obs::ScopedSpan merge_span(trace, "topk_merge");
   std::sort(result.mappings.begin(), result.mappings.end(),
             generate::MappingOrder());
   stats.num_mappings = result.mappings.size();

@@ -21,6 +21,10 @@
 #include <optional>
 #include <string_view>
 
+namespace xsm::obs {
+class TraceContext;  // obs/trace.h — forward-declared to stay std-only
+}  // namespace xsm::obs
+
 namespace xsm::core {
 
 /// Why a matching run stopped.
@@ -65,6 +69,11 @@ struct ExecutionControl {
   /// The run keeps the mappings found and reports kEarlyStopped only if the
   /// budget actually cut the search short.
   uint64_t stop_after_n_mappings = 0;
+
+  /// Per-query span collector (obs/trace.h); nullptr = tracing off. Not
+  /// part of any cache key — purely observational. Instrumented stages
+  /// are null-safe, so the untraced path pays one pointer test.
+  obs::TraceContext* trace = nullptr;
 
   /// Convenience: a control whose deadline is `seconds` from now.
   static ExecutionControl WithDeadline(double seconds);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <future>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "core/bellflower.h"
 #include "match/element_matching.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 #include "util/union_find.h"
 
@@ -135,7 +137,10 @@ Result<IntegrationResult> IntegrationEngine::IntegrateOn(
   }
   result.stats.slices = slices.size();
 
+  obs::TraceContext* trace = options.control.trace;
   Timer matching_timer;
+  std::optional<obs::ScopedSpan> match_span;
+  match_span.emplace(trace, "integrate_match");
   std::vector<std::future<Result<std::vector<Correspondence>>>> futures;
   futures.reserve(slices.size());
   for (const Slice& slice : slices) {
@@ -255,8 +260,10 @@ Result<IntegrationResult> IntegrationEngine::IntegrateOn(
   result.stats.correspondences = edges.size();
   result.stats.nodes_linked = nodes.size();
   result.stats.time_matching_seconds = matching_timer.ElapsedSeconds();
+  match_span.reset();
 
   // --- Stage 3: components -> graded clusters -> ranked mediated schema.
+  obs::ScopedSpan fold_span(trace, "integrate_fold");
   Timer fold_timer;
   std::map<size_t, std::vector<size_t>> components;  // canonical -> members
   for (size_t i = 0; i < nodes.size(); ++i) {

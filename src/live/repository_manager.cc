@@ -47,7 +47,8 @@ bool RepositoryManager::wal_attached() const {
   return wal_ != nullptr;
 }
 
-Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
+Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta,
+                                             obs::TraceContext* trace) {
   std::lock_guard<std::mutex> lock(apply_mu_);
   // Writers are serialized, so the snapshot read here is the one the
   // successor chains from — readers may fetch it concurrently, which is
@@ -56,12 +57,19 @@ Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
       current_.load(std::memory_order_acquire);
 
   Timer timer;
-  XSM_ASSIGN_OR_RETURN(AppliedDelta applied,
-                       ApplyDeltaToForest(base->forest(), delta));
-  XSM_ASSIGN_OR_RETURN(
-      std::shared_ptr<const service::RepositorySnapshot> successor,
-      service::RepositorySnapshot::CreateSuccessor(
-          base, std::move(applied.forest), applied.reuse_map));
+  AppliedDelta applied;
+  {
+    obs::ScopedSpan span(trace, "delta_validate");
+    XSM_ASSIGN_OR_RETURN(applied, ApplyDeltaToForest(base->forest(), delta));
+  }
+  std::shared_ptr<const service::RepositorySnapshot> successor;
+  {
+    obs::ScopedSpan span(trace, "snapshot_build");
+    XSM_ASSIGN_OR_RETURN(
+        successor,
+        service::RepositorySnapshot::CreateSuccessor(
+            base, std::move(applied.forest), applied.reuse_map));
+  }
 
   // Write-ahead: the delta must be durable before the generation becomes
   // visible. If the journal append fails (disk full, fsync failure,
@@ -69,10 +77,12 @@ Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
   // an unacknowledged delta may be retried or abandoned, but never
   // silently half-applied.
   if (wal_ != nullptr) {
+    obs::ScopedSpan span(trace, "wal_fsync");
     XSM_RETURN_NOT_OK(wal_->Append(
         wal::RecordType::kDelta,
         SerializeJournaledDelta(delta, successor->generation(),
                                 successor->fingerprint())));
+    if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Increment();
   }
 
   ApplyReport report;
@@ -90,33 +100,53 @@ Result<ApplyReport> RepositoryManager::Apply(const RepositoryDelta& delta) {
 
   // The swap is the publication: new readers see the successor, in-flight
   // readers keep the base until they drop their shared_ptr.
-  current_.store(std::move(successor), std::memory_order_release);
+  {
+    obs::ScopedSpan span(trace, "publish");
+    current_.store(std::move(successor), std::memory_order_release);
+  }
   return report;
 }
 
 Result<store::SnapshotFileInfo> RepositoryManager::SaveSnapshot(
-    const std::string& path) {
+    const std::string& path, obs::TraceContext* trace) {
   std::lock_guard<std::mutex> lock(apply_mu_);
   std::shared_ptr<const service::RepositorySnapshot> snapshot =
       current_.load(std::memory_order_acquire);
-  XSM_ASSIGN_OR_RETURN(
-      store::SnapshotFileInfo info,
-      store::SaveSnapshotToFile(*snapshot, path,
-                                env_ != nullptr ? env_
-                                                : util::io::Env::Default()));
+  store::SnapshotFileInfo info;
+  {
+    obs::ScopedSpan span(trace, "store_save");
+    XSM_ASSIGN_OR_RETURN(
+        info,
+        store::SaveSnapshotToFile(*snapshot, path,
+                                  env_ != nullptr
+                                      ? env_
+                                      : util::io::Env::Default()));
+  }
+  if (metrics_.snapshot_saves != nullptr) {
+    metrics_.snapshot_saves->Increment();
+  }
   if (wal_ != nullptr) {
     // Checkpoint compaction: the snapshot at generation G is durable, so
     // the journal restarts empty, based at G. Create is atomic (tmp +
     // rename); a crash mid-compaction leaves the old journal, whose
     // records are all <= G and get skipped on recovery. A compaction
     // failure keeps journaling into the old file for the same reason.
+    obs::ScopedSpan span(trace, "wal_compact");
     auto writer = wal::WalWriter::Create(env_, wal_path_,
                                          snapshot->generation(),
                                          snapshot->fingerprint());
     if (!writer.ok()) return writer.status();
     wal_ = std::move(*writer);
+    if (metrics_.wal_compactions != nullptr) {
+      metrics_.wal_compactions->Increment();
+    }
   }
   return info;
+}
+
+void RepositoryManager::SetMetrics(const ManagerMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  metrics_ = metrics;
 }
 
 Result<std::unique_ptr<RepositoryManager>> RepositoryManager::Recover(

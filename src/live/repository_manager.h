@@ -23,6 +23,8 @@
 #include <string>
 
 #include "live/repository_delta.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/schema_forest.h"
 #include "service/repository_snapshot.h"
 #include "store/snapshot_store.h"
@@ -45,6 +47,16 @@ struct ApplyReport {
   /// The published snapshot (same object Current() now returns, until the
   /// next delta lands).
   std::shared_ptr<const service::RepositorySnapshot> snapshot;
+};
+
+/// Registry counter handles the manager bumps on durability events; any
+/// member may be null (not collected). The owner (MatchService) registers
+/// the series and hands the handles down via SetMetrics, so WAL and
+/// checkpoint activity shows up on the same scrape surface as queries.
+struct ManagerMetrics {
+  obs::Counter* wal_appends = nullptr;      ///< journaled+fsynced deltas
+  obs::Counter* wal_compactions = nullptr;  ///< checkpoint compactions
+  obs::Counter* snapshot_saves = nullptr;   ///< successful SaveSnapshot calls
 };
 
 /// What a Recover rebuilt from disk.
@@ -116,8 +128,11 @@ class RepositoryManager {
   /// the successor. On error (invalid target, failed validation, journal
   /// append failure) nothing is published and the current generation is
   /// unchanged — an unjournaled delta is never acknowledged. In-flight
-  /// readers of the previous generation are never disturbed.
-  Result<ApplyReport> Apply(const RepositoryDelta& delta);
+  /// readers of the previous generation are never disturbed. `trace`
+  /// (may be null) receives per-stage spans: delta_validate,
+  /// snapshot_build, wal_fsync, publish.
+  Result<ApplyReport> Apply(const RepositoryDelta& delta,
+                            obs::TraceContext* trace = nullptr);
 
   /// Persists the current snapshot (atomic write; see
   /// store::SaveSnapshotToFile). With a journal attached this is the
@@ -126,7 +141,14 @@ class RepositoryManager {
   /// for the duration, so no acknowledged delta can fall between the
   /// checkpoint and the new journal). If compaction itself fails the old
   /// journal stays — recovery then skips its pre-checkpoint records.
-  Result<store::SnapshotFileInfo> SaveSnapshot(const std::string& path);
+  /// `trace` (may be null) receives store_save / wal_compact spans.
+  Result<store::SnapshotFileInfo> SaveSnapshot(
+      const std::string& path, obs::TraceContext* trace = nullptr);
+
+  /// Installs registry counter handles for durability events (see
+  /// ManagerMetrics); pass {} to detach. Handles must outlive the manager
+  /// (registry series do — they live as long as the registry).
+  void SetMetrics(const ManagerMetrics& metrics);
 
  private:
   /// Serializes writers so generations form a chain, never a fork, and
@@ -137,6 +159,8 @@ class RepositoryManager {
   util::io::Env* env_ = nullptr;
   std::string wal_path_;
   std::unique_ptr<wal::WalWriter> wal_;
+  /// Durability-event counter handles (under apply_mu_; null = off).
+  ManagerMetrics metrics_;
 };
 
 }  // namespace xsm::live

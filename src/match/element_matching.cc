@@ -5,11 +5,13 @@
 #include <bit>
 #include <future>
 #include <limits>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "match/name_dictionary.h"
+#include "obs/trace.h"
 #include "sim/string_similarity.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -164,6 +166,10 @@ Result<ElementMatchingResult> MatchElements(
   // --- Stage 1: score the m × D (personal node, distinct name) matrix. ----
   // Shards write disjoint ranges of these, so no synchronization is needed
   // beyond joining the futures.
+  obs::TraceContext* trace =
+      options.control != nullptr ? options.control->trace : nullptr;
+  std::optional<obs::ScopedSpan> score_span;
+  score_span.emplace(trace, "dict_score");
   const bool fast = matcher.has_name_fast_path();
   std::vector<double> scores(num_entries * m, 0.0);
   std::vector<uint32_t> entry_masks(num_entries, 0);
@@ -236,6 +242,8 @@ Result<ElementMatchingResult> MatchElements(
 
   // --- Stage 2: broadcast qualifying scores via the posting lists. --------
   // Exact output sizes first, so every vector is built with one allocation.
+  score_span.reset();
+  obs::ScopedSpan broadcast_span(trace, "dict_broadcast");
   size_t total_nodes = 0;
   std::vector<size_t> per_set(m, 0);
   for (size_t d = 0; d < num_entries; ++d) {

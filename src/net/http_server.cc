@@ -102,11 +102,43 @@ HttpServer::HttpServer(TenantRegistry* registry, HttpServerOptions options)
       options_.admission.soft_inflight > options_.admission.max_inflight) {
     options_.admission.soft_inflight = options_.admission.max_inflight;
   }
+  obs::MetricsRegistry& metrics = registry_->metrics();
+  accepted_ = metrics.RegisterCounter(
+      "xsm_http_connections_accepted_total", "Connections accepted");
+  rejected_ = metrics.RegisterCounter(
+      "xsm_http_connections_rejected_total",
+      "Connections closed immediately over max_connections");
+  requests_ = metrics.RegisterCounter(
+      "xsm_http_requests_total", "Routed HTTP requests, any endpoint");
+  shed_capacity_ = metrics.RegisterCounter(
+      "xsm_http_requests_shed_total",
+      "Requests shed with a typed 503, by reason",
+      {{"reason", "capacity"}});
+  parse_failures_ = metrics.RegisterCounter(
+      "xsm_http_parse_failures_total",
+      "Connections killed by malformed HTTP");
+  disconnect_cancels_ = metrics.RegisterCounter(
+      "xsm_http_disconnect_cancels_total",
+      "In-flight queries cancelled by client disconnect");
+  drain_save_failures_ = metrics.RegisterCounter(
+      "xsm_http_drain_save_failures_total",
+      "Tenants the graceful drain failed to persist");
+  inflight_gauge_ = metrics.RegisterGauge(
+      "xsm_http_inflight", "Match/batch requests executing right now");
+  request_latency_ms_ = metrics.RegisterHistogram(
+      "xsm_http_request_duration_ms",
+      "Wall-clock latency of finished match/batch requests (ms)",
+      obs::DefaultLatencyBoundsMs());
+  scrape_hook_id_ = metrics.AddScrapeHook([this] {
+    inflight_gauge_->Set(
+        static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  });
 }
 
 HttpServer::~HttpServer() {
   RequestShutdown();
   if (background_.joinable()) background_.join();
+  registry_->metrics().RemoveScrapeHook(scrape_hook_id_);
   HttpServer* self = this;
   g_signal_server.compare_exchange_strong(self, nullptr);
   if (listen_fd_ >= 0) close(listen_fd_);
@@ -194,16 +226,14 @@ void HttpServer::WakeLoop() {
 
 HttpServerStats HttpServer::stats() const {
   HttpServerStats stats;
-  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  stats.connections_rejected = rejected_.load(std::memory_order_relaxed);
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.requests_shed = shed_.load(std::memory_order_relaxed);
-  stats.parse_failures = parse_failures_.load(std::memory_order_relaxed);
-  stats.disconnect_cancels =
-      disconnect_cancels_.load(std::memory_order_relaxed);
+  stats.connections_accepted = accepted_->value();
+  stats.connections_rejected = rejected_->value();
+  stats.requests = requests_->value();
+  stats.requests_shed = shed_capacity_->value();
+  stats.parse_failures = parse_failures_->value();
+  stats.disconnect_cancels = disconnect_cancels_->value();
   stats.inflight = inflight_.load(std::memory_order_relaxed);
-  stats.drain_save_failures =
-      drain_save_failures_.load(std::memory_order_relaxed);
+  stats.drain_save_failures = drain_save_failures_->value();
   std::lock_guard<std::mutex> lock(latency_mu_);
   stats.latency_ms = latency_ms_;
   return stats;
@@ -225,7 +255,7 @@ void HttpServer::Serve() {
     // every tenant, and each failure surfaces as a typed NDJSON event
     // plus a nonzero drain_save_failures counter for the supervisor.
     for (const TenantRegistry::TenantSaveFailure& failure : failures) {
-      drain_save_failures_.fetch_add(1, std::memory_order_relaxed);
+      drain_save_failures_->Increment();
       std::fprintf(stderr,
                    "{\"type\":\"error\",\"code\":\"save_failed\","
                    "\"tenant\":\"%s\",\"status\":\"%s\",\"message\":\"%s\"}\n",
@@ -390,7 +420,7 @@ void HttpServer::AcceptNew() {
       return;  // EAGAIN or transient error: poll again
     }
     if (connections_.size() >= options_.max_connections) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->Increment();
       close(fd);
       continue;
     }
@@ -400,7 +430,7 @@ void HttpServer::AcceptNew() {
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_->Increment();
     uint64_t id = next_connection_id_++;
     connections_.emplace(
         id, std::make_shared<Connection>(id, fd, options_.limits));
@@ -417,7 +447,7 @@ bool HttpServer::ReadInto(Connection& conn) {
     if (n > 0) {
       conn.parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
       if (conn.parser.failed()) {
-        parse_failures_.fetch_add(1, std::memory_order_relaxed);
+        parse_failures_->Increment();
         if (!conn.processing) {
           const Status& status = conn.parser.status();
           std::string response = SimpleResponse(
@@ -444,7 +474,7 @@ bool HttpServer::ReadInto(Connection& conn) {
     // so it earns its typed error before the close.
     if (n == 0 && !conn.processing && conn.parser.midstream()) {
       conn.parser.Finish();
-      parse_failures_.fetch_add(1, std::memory_order_relaxed);
+      parse_failures_->Increment();
       const Status& status = conn.parser.status();
       std::string response =
           SimpleResponse(HttpCodeForStatus(status), kNdjson,
@@ -463,7 +493,7 @@ bool HttpServer::ReadInto(Connection& conn) {
       conn.client_gone = true;
       if (conn.has_active_token) {
         conn.active_token.Cancel();
-        disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+        disconnect_cancels_->Increment();
       }
     }
     // A processing connection must outlive its worker's completion
@@ -486,7 +516,7 @@ bool HttpServer::WriteFrom(Connection& conn) {
     conn.client_gone = true;
     if (conn.has_active_token) {
       conn.active_token.Cancel();
-      disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+      disconnect_cancels_->Increment();
     }
     return conn.processing;  // see ReadInto: wait for the worker
   }
@@ -509,7 +539,7 @@ void HttpServer::DispatchRequest(std::shared_ptr<Connection> conn) {
 
 void HttpServer::HandleRequest(std::shared_ptr<Connection> conn,
                                HttpMessage request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->Increment();
   bool keep_alive = request.keep_alive && !draining();
   if (!keep_alive) {
     std::lock_guard<std::mutex> lock(conn->mu);
@@ -571,7 +601,7 @@ bool HttpServer::AdmitWork(const std::shared_ptr<Connection>& conn,
   size_t before = inflight_.fetch_add(1, std::memory_order_acq_rel);
   if (admission.max_inflight > 0 && before >= admission.max_inflight) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_capacity_->Increment();
     std::string body =
         "{\"type\":\"error\",\"code\":\"unavailable\",\"message\":"
         "\"admission capacity reached (" +
@@ -621,6 +651,7 @@ bool HttpServer::AdmitWork(const std::shared_ptr<Connection>& conn,
 
 void HttpServer::FinishWork(double latency_ms) {
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  request_latency_ms_->Observe(latency_ms);
   std::lock_guard<std::mutex> lock(latency_mu_);
   latency_ms_.Add(latency_ms);
 }
@@ -651,6 +682,27 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  if (segments.size() == 1 && segments[0] == "metrics") {
+    if (request.method != "GET") {
+      QueueSimple(conn, 405,
+                  ErrorBodyLine(Status::InvalidArgument(
+                      "use GET /metrics")), keep_alive);
+      return;
+    }
+    // The one non-NDJSON endpoint: Prometheus text exposition v0.0.4 of
+    // the shared registry (every tenant's service series plus the server
+    // and WAL families).
+    if (!keep_alive) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->close_after_response = true;
+    }
+    QueueOutput(conn,
+                SimpleResponse(200, "text/plain; version=0.0.4",
+                               registry_->metrics().RenderPrometheusText(),
+                               keep_alive));
+    return;
+  }
+
   if (segments.size() >= 2 && segments[0] == "v1") {
     if (segments[1] == "stats" && segments.size() == 2) {
       if (request.method != "GET") {
@@ -660,23 +712,39 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
         return;
       }
       HttpServerStats stats = this->stats();
-      char buf[512];
+      const obs::MetricsRegistry& metrics = registry_->metrics();
+      char buf[1024];
       std::snprintf(
           buf, sizeof(buf),
           "{\"type\":\"server_stats\",\"connections_accepted\":%llu,"
           "\"connections_rejected\":%llu,\"requests\":%llu,"
-          "\"requests_shed\":%llu,\"parse_failures\":%llu,"
-          "\"disconnect_cancels\":%llu,\"inflight\":%zu,"
+          "\"requests_shed\":%llu,"
+          "\"sheds\":{\"capacity\":%llu},"
+          "\"parse_failures\":%llu,"
+          "\"disconnect_cancels\":%llu,\"drain_save_failures\":%llu,"
+          "\"inflight\":%zu,"
           "\"tenants\":%zu,\"draining\":%s,"
+          "\"wal\":{\"recoveries\":%llu,\"records_replayed\":%llu,"
+          "\"records_skipped\":%llu,\"torn_tail_truncations\":%llu},"
           "\"latency_ms\":{\"count\":%zu,\"p50\":%.3f,\"p95\":%.3f,"
           "\"p99\":%.3f}}",
           static_cast<unsigned long long>(stats.connections_accepted),
           static_cast<unsigned long long>(stats.connections_rejected),
           static_cast<unsigned long long>(stats.requests),
           static_cast<unsigned long long>(stats.requests_shed),
+          static_cast<unsigned long long>(stats.requests_shed),
           static_cast<unsigned long long>(stats.parse_failures),
           static_cast<unsigned long long>(stats.disconnect_cancels),
+          static_cast<unsigned long long>(stats.drain_save_failures),
           stats.inflight, registry_->size(), draining() ? "true" : "false",
+          static_cast<unsigned long long>(
+              metrics.CounterValue("xsm_wal_recoveries_total")),
+          static_cast<unsigned long long>(
+              metrics.CounterValue("xsm_wal_records_replayed_total")),
+          static_cast<unsigned long long>(
+              metrics.CounterValue("xsm_wal_records_skipped_total")),
+          static_cast<unsigned long long>(
+              metrics.CounterValue("xsm_wal_torn_tail_truncations_total")),
           stats.latency_ms.count(), stats.latency_ms.P50(),
           stats.latency_ms.P95(), stats.latency_ms.P99());
       QueueSimple(conn, 200, std::string(buf) + "\n", keep_alive);

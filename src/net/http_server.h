@@ -39,6 +39,7 @@
 
 #include "net/http.h"
 #include "net/tenant_registry.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -76,6 +77,9 @@ struct HttpServerOptions {
   double drain_hard_seconds = 10.0;
 };
 
+/// Point-in-time server counters. Every value is read back from the
+/// shared metrics registry (the server's counters live there), so this
+/// struct, `/v1/stats` and `GET /metrics` can never disagree.
 struct HttpServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;  ///< over max_connections
@@ -107,6 +111,9 @@ struct HttpServerStats {
 ///   POST /v1/tenants/{t}/save          persist tenant to the state dir
 ///   GET  /v1/tenants/{t}/stats         the tenant's stats event
 ///   GET  /v1/stats                     server-wide stats event
+///   GET  /metrics                      Prometheus text exposition of the
+///                                      shared registry (all tenants +
+///                                      server + WAL series; text/plain)
 class HttpServer {
  public:
   /// `registry` must outlive the server.
@@ -214,14 +221,27 @@ class HttpServer {
   std::mutex completed_mu_;
   std::vector<uint64_t> completed_;
 
+  /// Admission bookkeeping stays a plain atomic: AdmitWork's shed/scale
+  /// decisions key off fetch_add's return value. A scrape hook mirrors it
+  /// into the xsm_http_inflight gauge at render time.
   std::atomic<size_t> inflight_{0};
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> parse_failures_{0};
-  std::atomic<uint64_t> disconnect_cancels_{0};
-  std::atomic<uint64_t> drain_save_failures_{0};
+
+  /// Registry counter handles (registered in the constructor against the
+  /// registry's shared obs::MetricsRegistry) — the single source of truth
+  /// behind stats(), /v1/stats and /metrics.
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* shed_capacity_ = nullptr;  ///< {reason="capacity"}
+  obs::Counter* parse_failures_ = nullptr;
+  obs::Counter* disconnect_cancels_ = nullptr;
+  obs::Counter* drain_save_failures_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* request_latency_ms_ = nullptr;
+  uint64_t scrape_hook_id_ = 0;
+
+  /// Exact-quantile mirror of request_latency_ms_ (same Adds), kept so
+  /// HttpServerStats::latency_ms preserves its QuantileAccumulator shape.
   mutable std::mutex latency_mu_;
   QuantileAccumulator latency_ms_;
 };

@@ -22,6 +22,34 @@ TenantRegistry::TenantRegistry(TenantRegistryOptions options)
   // Remote clients must never reach the server's filesystem through the
   // session surface, whatever the caller configured.
   options_.session.allow_filesystem = false;
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tenants_gauge_ = metrics_->RegisterGauge(
+      "xsm_tenants", "Tenants currently registered");
+  wal_recoveries_ = metrics_->RegisterCounter(
+      "xsm_wal_recoveries_total",
+      "Warm starts that replayed a journal onto a checkpoint");
+  wal_records_replayed_ = metrics_->RegisterCounter(
+      "xsm_wal_records_replayed_total",
+      "Journal records re-applied during recovery");
+  wal_records_skipped_ = metrics_->RegisterCounter(
+      "xsm_wal_records_skipped_total",
+      "Pre-checkpoint journal records skipped during recovery");
+  wal_torn_tail_truncations_ = metrics_->RegisterCounter(
+      "xsm_wal_torn_tail_truncations_total",
+      "Crash-torn journal tails truncated during recovery");
+}
+
+service::MatchServiceOptions TenantRegistry::ServiceOptionsFor(
+    const std::string& name) const {
+  service::MatchServiceOptions service_options = options_.service;
+  service_options.metrics = metrics_;
+  service_options.metrics_tenant = name;
+  return service_options;
 }
 
 std::string TenantRegistry::SnapshotPathFor(const std::string& name) const {
@@ -54,6 +82,7 @@ Result<Tenant*> TenantRegistry::Insert(
     return Status::FailedPrecondition("tenant '" + name +
                                       "' already exists");
   }
+  tenants_gauge_->Set(static_cast<double>(tenants_.size()));
   return it->second.get();
 }
 
@@ -73,7 +102,8 @@ Result<Tenant*> TenantRegistry::Create(const std::string& name,
   }
   XSM_ASSIGN_OR_RETURN(
       auto service,
-      service::MatchService::Create(std::move(forest), options_.service));
+      service::MatchService::Create(std::move(forest),
+                                    ServiceOptionsFor(name)));
   if (!wal_path.empty()) {
     // Checkpoint-then-journal, in that order: Recover replays the journal
     // onto a base snapshot, so a journaled tenant without one would be
@@ -98,13 +128,21 @@ Result<Tenant*> TenantRegistry::WarmStart(const std::string& name,
   }
   std::string wal_path = WalPathFor(name);
   if (!wal_path.empty()) {
+    live::RecoveryReport local;
     XSM_ASSIGN_OR_RETURN(
-        auto service, service::MatchService::Recover(env(), path, wal_path,
-                                                     options_.service, report));
+        auto service,
+        service::MatchService::Recover(env(), path, wal_path,
+                                       ServiceOptionsFor(name), &local));
+    wal_recoveries_->Increment();
+    wal_records_replayed_->Increment(local.records_replayed);
+    wal_records_skipped_->Increment(local.records_skipped);
+    if (local.torn_tail) wal_torn_tail_truncations_->Increment();
+    if (report != nullptr) *report = local;
     return Insert(name, std::move(service));
   }
-  XSM_ASSIGN_OR_RETURN(auto service,
-                       service::MatchService::WarmStart(path, options_.service));
+  XSM_ASSIGN_OR_RETURN(
+      auto service,
+      service::MatchService::WarmStart(path, ServiceOptionsFor(name)));
   return Insert(name, std::move(service));
 }
 

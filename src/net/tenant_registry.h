@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "schema/schema_forest.h"
 #include "service/match_service.h"
 #include "service/serve_session.h"
@@ -60,6 +61,11 @@ struct TenantRegistryOptions {
   /// util::io::Env::Default(). Tests inject a FaultInjectionEnv here to
   /// script save/journal failures.
   util::io::Env* env = nullptr;
+  /// Shared metrics registry every tenant's service records into (each
+  /// under its own {tenant="<name>"} label); null means the registry owns
+  /// a private one. The HTTP server scrapes this for GET /metrics, so all
+  /// tenants land on one exposition surface.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One tenant's serving stack.
@@ -136,11 +142,30 @@ class TenantRegistry {
   /// The effective filesystem seam (never null).
   util::io::Env* env() const;
 
+  /// The shared metrics registry (owned or borrowed; never null). All
+  /// tenant services, the HTTP server and the WAL-recovery counters below
+  /// record here, so one scrape covers the whole process.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   Result<Tenant*> Insert(const std::string& name,
                          std::unique_ptr<service::MatchService> service);
 
+  /// A copy of options_.service stamped with the shared registry and the
+  /// tenant label — what every tenant's MatchService is constructed with.
+  service::MatchServiceOptions ServiceOptionsFor(
+      const std::string& name) const;
+
   TenantRegistryOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Registry handles (process-wide, unlabeled): tenant count and the
+  /// journal-recovery tallies WarmStart accumulates across boots.
+  obs::Gauge* tenants_gauge_ = nullptr;
+  obs::Counter* wal_recoveries_ = nullptr;
+  obs::Counter* wal_records_replayed_ = nullptr;
+  obs::Counter* wal_records_skipped_ = nullptr;
+  obs::Counter* wal_torn_tail_truncations_ = nullptr;
   mutable std::mutex mu_;
   /// Values are never erased; map node stability keeps Tenant* valid.
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;

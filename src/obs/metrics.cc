@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xsm::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Canonical `{k="v",k2="v2"}` signature (keys sorted), "" when empty.
+std::string LabelSignature(LabelSet labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Deterministic number formatting: integers (the overwhelmingly common
+/// case for counters and bucket bounds) render without a decimal point
+/// or exponent; everything else uses shortest-ish %g.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+/// Splices a suffix (_bucket/_sum/_count) and a `le` label into a
+/// rendered histogram sample line.
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& suffix, const std::string& signature,
+                  const std::string& extra_label, double value) {
+  *out += name;
+  *out += suffix;
+  if (signature.empty()) {
+    if (!extra_label.empty()) {
+      *out += "{" + extra_label + "}";
+    }
+  } else {
+    if (extra_label.empty()) {
+      *out += signature;
+    } else {
+      // signature is `{...}`; splice the extra label before the brace.
+      *out += signature.substr(0, signature.size() - 1);
+      *out += ",";
+      *out += extra_label;
+      *out += "}";
+    }
+  }
+  *out += " ";
+  *out += FormatValue(value);
+  *out += "\n";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value: Prometheus `le` buckets are upper-inclusive.
+  const size_t slot =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  std::lock_guard<std::mutex> lock(quantile_mu_);
+  exact_.Add(value);
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(quantile_mu_);
+  return exact_.Quantile(q);
+}
+
+std::vector<double> DefaultLatencyBoundsMs() {
+  return {0.25, 0.5, 1, 2.5, 5,  10,  25,   50,   100,
+          250,  500, 1000, 2500, 5000, 10000};
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindOrCreateSeries(
+    const std::string& name, const std::string& help, Type type,
+    const LabelSet& labels) {
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    std::fprintf(stderr,
+                 "MetricsRegistry: metric '%s' re-registered with a "
+                 "different type\n",
+                 name.c_str());
+    std::abort();
+  }
+  const std::string signature = LabelSignature(labels);
+  Series& series = family.series[signature];
+  series.label_signature = signature;
+  return &series;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      FindOrCreateSeries(name, help, Type::kCounter, labels);
+  if (series->counter == nullptr) series->counter.reset(new Counter());
+  return series->counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = FindOrCreateSeries(name, help, Type::kGauge, labels);
+  if (series->gauge == nullptr) series->gauge.reset(new Gauge());
+  return series->gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              std::vector<double> bounds,
+                                              LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      FindOrCreateSeries(name, help, Type::kHistogram, labels);
+  if (series->histogram == nullptr) {
+    series->histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return series->histogram.get();
+}
+
+uint64_t MetricsRegistry::AddScrapeHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_hook_id_++;
+  hooks_[id] = std::move(hook);
+  return id;
+}
+
+void MetricsRegistry::RemoveScrapeHook(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.erase(id);
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto family = families_.find(name);
+  if (family == families_.end()) return 0;
+  auto series = family->second.series.find(LabelSignature(labels));
+  if (series == family->second.series.end() ||
+      series->second.counter == nullptr) {
+    return 0;
+  }
+  return series->second.counter->value();
+}
+
+std::string MetricsRegistry::RenderPrometheusText() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Mirror component-internal tallies into their registered series.
+  // Hooks only call Set on handles (no registration, no re-render), so
+  // running them under mu_ is re-entrancy-safe by contract.
+  for (const auto& [id, hook] : hooks_) {
+    (void)id;
+    hook();
+  }
+
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter\n";
+        break;
+      case Type::kGauge:
+        out += "gauge\n";
+        break;
+      case Type::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [signature, series] : family.series) {
+      if (series.counter != nullptr) {
+        out += name + signature + " " +
+               FormatValue(static_cast<double>(series.counter->value())) +
+               "\n";
+      } else if (series.gauge != nullptr) {
+        out += name + signature + " " + FormatValue(series.gauge->value()) +
+               "\n";
+      } else if (series.histogram != nullptr) {
+        const Histogram& h = *series.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          AppendSample(&out, name, "_bucket", signature,
+                       "le=\"" + FormatValue(h.bounds()[i]) + "\"",
+                       static_cast<double>(cumulative));
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        AppendSample(&out, name, "_bucket", signature, "le=\"+Inf\"",
+                     static_cast<double>(cumulative));
+        AppendSample(&out, name, "_sum", signature, "", h.sum());
+        AppendSample(&out, name, "_count", signature, "",
+                     static_cast<double>(h.count()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xsm::obs

@@ -1,0 +1,104 @@
+// Per-query trace spans — the "where did the time go" layer.
+//
+// A TraceContext is an append-only list of named spans, carried through
+// the stack as a raw pointer on ExecutionControl (nullptr = tracing off,
+// and every instrumentation site is null-safe, so the untraced hot path
+// pays one pointer test). Spans record wall-clock offsets against the
+// context's own steady-clock epoch, so a serialized trace is
+// self-consistent even when spans were produced on worker threads.
+//
+// Deliberately std-only: core/execution_control.h forward-declares
+// TraceContext, and the core layer keeps its no-project-deps contract.
+#ifndef XSM_OBS_TRACE_H_
+#define XSM_OBS_TRACE_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xsm::obs {
+
+/// One completed, named interval inside a query.
+struct TraceSpan {
+  std::string name;     ///< stage name, e.g. "cluster_cache"
+  std::string note;     ///< optional detail, e.g. "hit" / "miss"
+  double start_ms = 0;  ///< offset from the context epoch
+  double duration_ms = 0;
+};
+
+/// Thread-safe span collector for one query (or one command). Cheap to
+/// create; spans are appended in completion order, which is
+/// deterministic for the single-coordinator stages we instrument.
+class TraceContext {
+ public:
+  TraceContext() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Milliseconds elapsed since this context was created.
+  double NowMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void AddSpan(std::string name, std::string note, double start_ms,
+               double duration_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(TraceSpan{std::move(name), std::move(note), start_ms,
+                               duration_ms});
+  }
+
+  /// Snapshot of the spans recorded so far, in append order.
+  std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  size_t span_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span: records [construction, destruction) into `context`, or
+/// does nothing at all when `context` is nullptr — instrumentation
+/// sites never need their own null checks.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* context, const char* name)
+      : context_(context), name_(name) {
+    if (context_ != nullptr) start_ms_ = context_->NowMs();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a detail string (e.g. cache outcome) to the span.
+  void set_note(std::string note) { note_ = std::move(note); }
+
+  ~ScopedSpan() {
+    if (context_ == nullptr) return;
+    const double end_ms = context_->NowMs();
+    context_->AddSpan(name_, std::move(note_), start_ms_,
+                      end_ms - start_ms_);
+  }
+
+ private:
+  TraceContext* context_;
+  const char* name_;
+  std::string note_;
+  double start_ms_ = 0;
+};
+
+}  // namespace xsm::obs
+
+#endif  // XSM_OBS_TRACE_H_

@@ -5,12 +5,13 @@
 namespace xsm::service {
 
 Result<ClusterStatePtr> ClusterIndexCache::GetOrCompute(
-    const std::string& key, const Factory& factory) {
+    const std::string& key, const Factory& factory, Fetch* fetch) {
   if (capacity_ == 0) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       ++stats_.misses;
     }
+    if (fetch != nullptr) *fetch = Fetch::kMiss;
     XSM_ASSIGN_OR_RETURN(core::ClusterState state, factory());
     return std::make_shared<const core::ClusterState>(std::move(state));
   }
@@ -24,9 +25,11 @@ Result<ClusterStatePtr> ClusterIndexCache::GetOrCompute(
       std::shared_future<Outcome> future = slot.future;
       if (slot.ready) {
         ++stats_.hits;
+        if (fetch != nullptr) *fetch = Fetch::kHit;
         lru_.splice(lru_.begin(), lru_, slot.lru_it);  // mark recently used
       } else {
         ++stats_.shared;
+        if (fetch != nullptr) *fetch = Fetch::kShared;
       }
       lock.unlock();
       Outcome outcome = future.get();
@@ -34,6 +37,7 @@ Result<ClusterStatePtr> ClusterIndexCache::GetOrCompute(
       return outcome.state;
     }
     ++stats_.misses;
+    if (fetch != nullptr) *fetch = Fetch::kMiss;
     Slot slot;
     slot.future = promise.get_future().share();
     slots_.emplace(key, std::move(slot));

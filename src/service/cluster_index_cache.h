@@ -38,6 +38,13 @@ class ClusterIndexCache {
 
   using Factory = std::function<Result<core::ClusterState>()>;
 
+  /// How one GetOrCompute was served (trace-span note material).
+  enum class Fetch {
+    kHit,     ///< ready entry
+    kShared,  ///< waited on another thread's in-flight build
+    kMiss,    ///< ran the factory
+  };
+
   /// `capacity` is the maximum number of ready entries; 0 disables caching
   /// entirely (every GetOrCompute runs the factory).
   explicit ClusterIndexCache(size_t capacity) : capacity_(capacity) {}
@@ -49,9 +56,10 @@ class ClusterIndexCache {
   /// Concurrent calls with the same missing key run the factory exactly
   /// once; the others block until it finishes. A failed factory propagates
   /// its Status to every waiter and leaves no entry behind (the next call
-  /// retries).
+  /// retries). `fetch` (optional) reports how this call was served.
   Result<ClusterStatePtr> GetOrCompute(const std::string& key,
-                                       const Factory& factory);
+                                       const Factory& factory,
+                                       Fetch* fetch = nullptr);
 
   Stats stats() const;
   size_t capacity() const { return capacity_; }

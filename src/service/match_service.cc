@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/trace.h"
 #include "store/snapshot_store.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace xsm::service {
 
@@ -117,9 +119,98 @@ MatchService::MatchService(std::unique_ptr<live::RepositoryManager> manager,
   if (options.matching_threads > 0) {
     matching_pool_ = std::make_unique<ThreadPool>(options.matching_threads);
   }
+
+  // Metric series: registered once, incremented lock-free ever after.
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::LabelSet labels;
+  if (!options_.metrics_tenant.empty()) {
+    labels.push_back({"tenant", options_.metrics_tenant});
+  }
+  queries_ = metrics_->RegisterCounter(
+      "xsm_queries_total", "Match() calls (batch members included)", labels);
+  batches_ = metrics_->RegisterCounter("xsm_batches_total",
+                                       "MatchBatch() calls", labels);
+  cancelled_ = metrics_->RegisterCounter(
+      "xsm_queries_cancelled_total", "queries stopped by cancellation",
+      labels);
+  deadline_exceeded_ = metrics_->RegisterCounter(
+      "xsm_queries_deadline_exceeded_total",
+      "queries stopped by their wall-clock deadline", labels);
+  early_stopped_ = metrics_->RegisterCounter(
+      "xsm_queries_early_stopped_total",
+      "queries stopped by their mapping budget", labels);
+  deltas_applied_ = metrics_->RegisterCounter(
+      "xsm_deltas_applied_total", "successful ApplyDelta publications",
+      labels);
+  slow_queries_ = metrics_->RegisterCounter(
+      "xsm_slow_queries_total",
+      "queries slower than the configured slow-query threshold", labels);
+  query_latency_ms_ = metrics_->RegisterHistogram(
+      "xsm_query_duration_ms", "wall-clock query latency in milliseconds",
+      obs::DefaultLatencyBoundsMs(), labels);
+
+  // Cache and generation tallies live in their own structures (per-
+  // namespace counters, the manager's chain); this hook mirrors them into
+  // registry series at scrape time, so `/metrics` and stats() read the
+  // same numbers by construction.
+  obs::Counter* cache_hits = metrics_->RegisterCounter(
+      "xsm_cluster_cache_hits_total", "cluster-state cache hits", labels);
+  obs::Counter* cache_shared = metrics_->RegisterCounter(
+      "xsm_cluster_cache_shared_total",
+      "cluster-state builds shared with a concurrent query", labels);
+  obs::Counter* cache_misses = metrics_->RegisterCounter(
+      "xsm_cluster_cache_misses_total", "cluster-state cache misses",
+      labels);
+  obs::Counter* cache_evictions = metrics_->RegisterCounter(
+      "xsm_cluster_cache_evictions_total",
+      "cluster states dropped by the LRU policy", labels);
+  obs::Gauge* cache_entries = metrics_->RegisterGauge(
+      "xsm_cluster_cache_entries", "resident cluster states", labels);
+  obs::Gauge* cache_namespaces = metrics_->RegisterGauge(
+      "xsm_cluster_cache_namespaces",
+      "retained per-fingerprint cache namespaces", labels);
+  obs::Gauge* generation = metrics_->RegisterGauge(
+      "xsm_repository_generation", "current repository generation", labels);
+  // Durability events (WAL appends, checkpoint compactions, snapshot
+  // saves) are counted by the manager itself via these handles.
+  live::ManagerMetrics manager_metrics;
+  manager_metrics.wal_appends = metrics_->RegisterCounter(
+      "xsm_wal_appends_total", "deltas journaled and fsynced before publish",
+      labels);
+  manager_metrics.wal_compactions = metrics_->RegisterCounter(
+      "xsm_wal_compactions_total",
+      "journal compactions after a durable checkpoint", labels);
+  manager_metrics.snapshot_saves = metrics_->RegisterCounter(
+      "xsm_snapshot_saves_total", "snapshots persisted to disk", labels);
+  manager_->SetMetrics(manager_metrics);
+
+  scrape_hook_id_ = metrics_->AddScrapeHook([this, cache_hits, cache_shared,
+                                             cache_misses, cache_evictions,
+                                             cache_entries, cache_namespaces,
+                                             generation]() {
+    ServiceStats s = stats();
+    cache_hits->Set(s.cache.hits);
+    cache_shared->Set(s.cache.shared);
+    cache_misses->Set(s.cache.misses);
+    cache_evictions->Set(s.cache.evictions);
+    cache_entries->Set(static_cast<double>(s.cache.entries));
+    cache_namespaces->Set(static_cast<double>(s.cache_namespaces));
+    generation->Set(static_cast<double>(s.generation));
+  });
+
   // Materialize the initial generation's cache namespace so the first
   // queries don't race to create it.
   CacheFor(manager_->Current()->fingerprint(), /*enforce_retention=*/true);
+}
+
+MatchService::~MatchService() {
+  // The scrape hook captures `this`; detach it before members go away.
+  metrics_->RemoveScrapeHook(scrape_hook_id_);
 }
 
 core::MatchOptions MatchService::EffectiveOptions(
@@ -197,7 +288,20 @@ Result<core::MatchResult> MatchService::MatchOnSnapshot(
     const std::shared_ptr<const RepositorySnapshot>& snapshot,
     const MatchQuery& query, const core::ExecutionControl& control,
     core::MatchObserver* observer) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_->Increment();
+  // Latency instrumentation (histogram + slow-query accounting) is the
+  // per-query work enable_metrics == false strips, giving benchmarks an
+  // uninstrumented baseline.
+  const bool instrument = options_.enable_metrics;
+  Timer latency_timer;
+  auto record_latency = [&]() {
+    if (!instrument) return;
+    const double elapsed_ms = latency_timer.ElapsedSeconds() * 1e3;
+    query_latency_ms_->Observe(elapsed_ms);
+    if (options_.slow_query_ms > 0 && elapsed_ms >= options_.slow_query_ms) {
+      slow_queries_->Increment();
+    }
+  };
   core::MatchOptions effective = EffectiveOptionsFor(query, *snapshot);
   // Reject invalid generation options up front (mirroring Bellflower::Match)
   // so a bad query cannot pay for — or cache — a cluster-state build.
@@ -216,6 +320,7 @@ Result<core::MatchResult> MatchService::MatchOnSnapshot(
     result.execution = pre.status();
     CountTerminal(result.execution);
     if (observer != nullptr) observer->OnFinish(result);
+    record_latency();
     return result;
   }
 
@@ -233,15 +338,42 @@ Result<core::MatchResult> MatchService::MatchOnSnapshot(
   core::ClusterStateOptions state_options =
       core::ClusterStateOptions::From(effective);
   const core::Bellflower& matcher = snapshot->matcher();
-  XSM_ASSIGN_OR_RETURN(
-      ClusterStatePtr state,
-      cache->GetOrCompute(
-          BuildClusterStateKey(query.personal, state_options), [&]() {
-            return matcher.BuildClusterState(query.personal, state_options);
-          }));
+  // Trace-only control for the build: cancellation/deadline stay stripped
+  // (a started build must complete — see EffectiveOptionsFor), but spans
+  // from a build this query runs itself land in its trace.
+  core::ExecutionControl build_control;
+  build_control.trace = resolved.trace;
+  ClusterStatePtr state;
+  {
+    obs::ScopedSpan cache_span(resolved.trace, "cluster_cache");
+    ClusterIndexCache::Fetch fetch = ClusterIndexCache::Fetch::kMiss;
+    XSM_ASSIGN_OR_RETURN(
+        state,
+        cache->GetOrCompute(
+            BuildClusterStateKey(query.personal, state_options),
+            [&]() {
+              return matcher.BuildClusterState(query.personal, state_options,
+                                               &build_control);
+            },
+            &fetch));
+    if (resolved.trace != nullptr) {
+      switch (fetch) {
+        case ClusterIndexCache::Fetch::kHit:
+          cache_span.set_note("hit");
+          break;
+        case ClusterIndexCache::Fetch::kShared:
+          cache_span.set_note("shared");
+          break;
+        case ClusterIndexCache::Fetch::kMiss:
+          cache_span.set_note("miss");
+          break;
+      }
+    }
+  }
   Result<core::MatchResult> run = matcher.MatchWithState(
       query.personal, *state, effective, resolved, observer);
   if (run.ok()) CountTerminal(run->execution);
+  record_latency();
   return run;
 }
 
@@ -268,17 +400,25 @@ MatchHandle MatchService::SubmitMatchOn(
   control = ResolveControl(std::move(control));
   MatchHandle handle;
   handle.token_ = control.cancel;
+  // Pool queue wait is the admission-side span: it starts now and ends
+  // when a worker picks the query up.
+  const double submitted_ms =
+      control.trace != nullptr ? control.trace->NowMs() : 0;
   handle.future_ =
       pool_.Submit([this, snapshot = std::move(snapshot),
                     query = std::move(query), control = std::move(control),
-                    observer]() {
+                    submitted_ms, observer]() {
+        if (control.trace != nullptr) {
+          control.trace->AddSpan("queue_wait", "", submitted_ms,
+                                 control.trace->NowMs() - submitted_ms);
+        }
         return MatchOnSnapshot(snapshot, query, control, observer);
       });
   return handle;
 }
 
 BatchMatchResult MatchService::MatchBatch(std::vector<MatchQuery> queries) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  batches_->Increment();
   // One pin for the whole batch: all members run against the same
   // generation, so the result set is internally consistent even when
   // deltas land mid-batch — and the result records which generation that
@@ -318,15 +458,16 @@ Result<ClusterStatePtr> MatchService::ClusterStateOn(
 }
 
 Result<live::ApplyReport> MatchService::ApplyDelta(
-    const live::RepositoryDelta& delta) {
+    const live::RepositoryDelta& delta, obs::TraceContext* trace) {
   // One critical section across publication *and* cache registration:
   // the manager serializes concurrent Apply calls on its own, but without
   // this lock two ApplyDelta callers could register their namespaces in
   // the opposite order, leaving a superseded generation in the
   // most-recently-published slot and trimming the current one.
   std::lock_guard<std::mutex> lock(apply_mu_);
-  XSM_ASSIGN_OR_RETURN(live::ApplyReport report, manager_->Apply(delta));
-  deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+  XSM_ASSIGN_OR_RETURN(live::ApplyReport report,
+                       manager_->Apply(delta, trace));
+  deltas_applied_->Increment();
   // Materialize (or revive) the new generation's cache namespace and let
   // the retention policy retire the oldest ones.
   CacheFor(report.fingerprint, /*enforce_retention=*/true);
@@ -396,26 +537,27 @@ void MatchService::CountTerminal(core::ExecutionStatus status) {
     case core::ExecutionStatus::kCompleted:
       break;
     case core::ExecutionStatus::kCancelled:
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_->Increment();
       break;
     case core::ExecutionStatus::kDeadlineExceeded:
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_->Increment();
       break;
     case core::ExecutionStatus::kEarlyStopped:
-      early_stopped_.fetch_add(1, std::memory_order_relaxed);
+      early_stopped_->Increment();
       break;
   }
 }
 
 ServiceStats MatchService::stats() const {
   ServiceStats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  s.early_stopped = early_stopped_.load(std::memory_order_relaxed);
+  s.queries = queries_->value();
+  s.batches = batches_->value();
+  s.cancelled = cancelled_->value();
+  s.deadline_exceeded = deadline_exceeded_->value();
+  s.early_stopped = early_stopped_->value();
   s.generation = manager_->CurrentGeneration();
-  s.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  s.deltas_applied = deltas_applied_->value();
+  s.slow_queries = slow_queries_->value();
   std::lock_guard<std::mutex> lock(caches_mu_);
   s.cache_namespaces = caches_.size();
   s.cache = retired_cache_stats_;

@@ -59,6 +59,7 @@
 #include "core/match_observer.h"
 #include "live/repository_delta.h"
 #include "live/repository_manager.h"
+#include "obs/metrics.h"
 #include "schema/schema_forest.h"
 #include "schema/schema_tree.h"
 #include "service/cluster_index_cache.h"
@@ -116,6 +117,23 @@ struct MatchServiceOptions {
   /// against it. An expired query returns the mappings found so far with
   /// MatchResult::execution == kDeadlineExceeded.
   double default_deadline_seconds = 0;
+  /// Registry this service's metric series live in — shared across
+  /// components (the HTTP front-end passes one registry to every tenant's
+  /// service) so one `/metrics` scrape covers the process. nullptr: the
+  /// service creates a private registry (metrics() exposes it either way).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Value of the `tenant` label on this service's series; empty emits
+  /// unlabeled series (single-tenant processes).
+  std::string metrics_tenant;
+  /// false disables the per-query instrumentation added beyond the
+  /// historical counters — latency histogram, slow-query accounting —
+  /// giving benchmarks an uninstrumented baseline to measure overhead
+  /// against. Counters still work (they replaced equal-cost atomics).
+  bool enable_metrics = true;
+  /// Queries slower than this many wall-clock milliseconds count into
+  /// xsm_slow_queries_total, and serving layers log them (ServeSession
+  /// emits a "slow_query" NDJSON event). 0 disables.
+  double slow_query_ms = 0;
 };
 
 /// Result of one MatchBatch call: the per-query results in input order plus
@@ -142,6 +160,9 @@ struct ServiceStats {
   // Evolving-repository state.
   uint64_t generation = 0;       ///< current repository generation
   uint64_t deltas_applied = 0;   ///< successful ApplyDelta calls
+  /// Queries whose wall-clock time exceeded MatchServiceOptions::
+  /// slow_query_ms (0 while that threshold is disabled).
+  uint64_t slow_queries = 0;
   size_t cache_namespaces = 0;   ///< retained per-fingerprint caches
   /// Cluster-cache counters aggregated over every namespace this service
   /// ever held (dropped namespaces' counters are folded in, and their
@@ -218,6 +239,8 @@ class MatchService {
   MatchService(const MatchService&) = delete;
   MatchService& operator=(const MatchService&) = delete;
 
+  ~MatchService();
+
   /// Executes one query on the calling thread (consults / fills the
   /// cluster cache). Safe to call from any number of threads.
   Result<core::MatchResult> Match(const MatchQuery& query);
@@ -288,8 +311,10 @@ class MatchService {
   /// the successor generation. In-flight queries finish against their
   /// pinned snapshot; queries entering after this returns see the new one.
   /// Serialized with concurrent ApplyDelta calls; on error nothing
-  /// changes.
-  Result<live::ApplyReport> ApplyDelta(const live::RepositoryDelta& delta);
+  /// changes. `trace` (may be null) receives the per-stage spans
+  /// (delta_validate / snapshot_build / wal_fsync / publish).
+  Result<live::ApplyReport> ApplyDelta(const live::RepositoryDelta& delta,
+                                       obs::TraceContext* trace = nullptr);
 
   /// Generation number of the current snapshot (0 until the first delta).
   uint64_t CurrentGeneration() const { return manager_->CurrentGeneration(); }
@@ -305,6 +330,12 @@ class MatchService {
   ThreadPool& pool() { return pool_; }
   ServiceStats stats() const;
 
+  /// The registry this service's series live in — the shared one from
+  /// MatchServiceOptions::metrics or the private fallback. Every stats
+  /// surface (`!stats`, `/v1/stats`, `/metrics`) reads values that
+  /// originate here, so they can never disagree.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   /// Drops every cached cluster state in every retained namespace
   /// (measurement / repository tuning).
   void ClearCache();
@@ -312,8 +343,10 @@ class MatchService {
   /// Persists the current snapshot for a later WarmStart (atomic write;
   /// see store::SaveSnapshotToFile). Safe alongside concurrent queries and
   /// deltas: the snapshot pinned at entry is saved, whole and consistent.
-  Result<store::SnapshotFileInfo> SaveSnapshot(const std::string& path) const {
-    return manager_->SaveSnapshot(path);
+  /// `trace` (may be null) receives store_save / wal_compact spans.
+  Result<store::SnapshotFileInfo> SaveSnapshot(
+      const std::string& path, obs::TraceContext* trace = nullptr) const {
+    return manager_->SaveSnapshot(path, trace);
   }
 
   /// Write-ahead journals every subsequent ApplyDelta into `wal_path`
@@ -394,12 +427,23 @@ class MatchService {
   /// Counters folded in from dropped namespaces, so stats() is cumulative.
   ClusterIndexCache::Stats retired_cache_stats_;
 
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> cancelled_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
-  std::atomic<uint64_t> early_stopped_{0};
-  std::atomic<uint64_t> deltas_applied_{0};
+  /// Metric handles, pre-registered at construction (shared registry or
+  /// the private fallback). Increments are single relaxed fetch_adds —
+  /// the same cost as the raw atomics they replaced — and the registry is
+  /// now the single source of truth stats() reads back from.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* early_stopped_ = nullptr;
+  obs::Counter* deltas_applied_ = nullptr;
+  obs::Counter* slow_queries_ = nullptr;
+  obs::Histogram* query_latency_ms_ = nullptr;
+  /// Mirrors cache/generation tallies into registry series at scrape
+  /// time; removed in the destructor (the hook captures `this`).
+  uint64_t scrape_hook_id_ = 0;
 };
 
 }  // namespace xsm::service

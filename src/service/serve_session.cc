@@ -236,6 +236,12 @@ Result<core::MatchResult> ServeSession::RunQuery(
   if (options_.first_n > 0 && control.stop_after_n_mappings == 0) {
     control.stop_after_n_mappings = options_.first_n;
   }
+  // Span collection: the context lives on this frame and the call blocks
+  // on the handle, so worker-thread spans can never outlive it.
+  obs::TraceContext trace;
+  if (options_.trace_events && control.trace == nullptr) {
+    control.trace = &trace;
+  }
   // One pin shared by the query and its observer: the observer formats
   // mapping text against the exact forest the query ran on, even when a
   // delta publishes between this call and the pool picking the task up.
@@ -243,10 +249,20 @@ Result<core::MatchResult> ServeSession::RunQuery(
       service_->CurrentSnapshot();
   NdjsonEventObserver observer(query.id, &query.personal, snapshot, sink,
                                options_.cluster_events);
+  const bool traced = control.trace == &trace;
   MatchHandle handle = service_->SubmitMatchOn(std::move(snapshot), query,
                                                std::move(control), &observer);
   Result<core::MatchResult> result = handle.Get();
-  EmitDoneEvent(query.id, result, observer.DoneMs(), sink);
+  if (traced) EmitTraceEvent(query.id, trace, sink);
+  const double done_ms = observer.DoneMs();
+  const double slow_ms = service_->options().slow_query_ms;
+  if (slow_ms > 0 && done_ms >= slow_ms) {
+    char nums[128];
+    std::snprintf(nums, sizeof(nums),
+                  "\",\"ms\":%.3f,\"threshold_ms\":%.3f}", done_ms, slow_ms);
+    sink("{\"type\":\"slow_query\",\"id\":\"" + JsonEscape(query.id) + nums);
+  }
+  EmitDoneEvent(query.id, result, done_ms, sink);
   return result;
 }
 
@@ -297,16 +313,21 @@ Status ServeSession::RunCommand(const std::string& line,
     return RunIntegrate(args, sink, std::move(control));
   }
 
-  auto apply = [this, &sink](live::DeltaBuilder builder) {
+  auto apply = [this, &sink, &command](live::DeltaBuilder builder) {
     auto delta = builder.Build();
     if (!delta.ok()) {
       EmitErrorEvent("", delta.status(), sink);
       return delta.status();
     }
-    auto report = service_->ApplyDelta(*delta);
+    obs::TraceContext trace;
+    obs::TraceContext* trace_ptr = options_.trace_events ? &trace : nullptr;
+    auto report = service_->ApplyDelta(*delta, trace_ptr);
     if (!report.ok()) {
       EmitErrorEvent("", report.status(), sink);
       return report.status();
+    }
+    if (trace_ptr != nullptr) {
+      EmitTraceEvent(command.substr(1), trace, sink);
     }
     EmitGenerationEvent(*report, sink);
     return Status::OK();
@@ -413,11 +434,14 @@ Status ServeSession::RunCommand(const std::string& line,
     if (!(stream >> path)) {
       return usage("usage: !save PATH");
     }
-    auto info = service_->SaveSnapshot(path);
+    obs::TraceContext trace;
+    obs::TraceContext* trace_ptr = options_.trace_events ? &trace : nullptr;
+    auto info = service_->SaveSnapshot(path, trace_ptr);
     if (!info.ok()) {
       EmitErrorEvent("", info.status(), sink);
       return info.status();
     }
+    if (trace_ptr != nullptr) EmitTraceEvent("save", trace, sink);
     char nums[384];
     std::snprintf(nums, sizeof(nums),
                   "\",\"format\":%u,\"generation\":%llu,"
@@ -449,9 +473,16 @@ Status ServeSession::RunCommand(const std::string& line,
     EmitStatsEvent(sink);
     return Status::OK();
   }
+  if (command == "!metrics") {
+    // The full Prometheus exposition as one event — the same bytes
+    // GET /metrics serves, wrapped for the NDJSON transport.
+    sink("{\"type\":\"metrics\",\"exposition\":\"" +
+         JsonEscape(service_->metrics().RenderPrometheusText()) + "\"}");
+    return Status::OK();
+  }
   return usage("unknown command " + command +
                " (try !ingest, !replace, !remove, !save, !reload, "
-               "!integrate, !generation, !stats)");
+               "!integrate, !generation, !stats, !metrics)");
 }
 
 Status ServeSession::RunIntegrate(const std::string& args,
@@ -493,11 +524,15 @@ Status ServeSession::RunIntegrate(const std::string& args,
       return status;
     }
   }
+  obs::TraceContext trace;
+  const bool traced = options_.trace_events && control.trace == nullptr;
+  if (traced) control.trace = &trace;
   options.control = std::move(control);
 
   NdjsonIntegrationObserver observer(sink);
   integrate::IntegrationEngine engine(service_);
   auto result = engine.Integrate(options, &observer);
+  if (traced) EmitTraceEvent("integrate", trace, sink);
   if (!result.ok()) {
     EmitErrorEvent("integrate", result.status(), sink);
     return result.status();
@@ -591,15 +626,25 @@ void ServeSession::EmitErrorEvent(const std::string& id, const Status& status,
 
 void ServeSession::EmitStatsEvent(const EventSink& sink) const {
   ServiceStats stats = service_->stats();
-  char nums[512];
+  // Durability counters live in the registry (the manager increments the
+  // handles directly); reading them back here keeps every surface on the
+  // same numbers.
+  obs::LabelSet labels;
+  if (!service_->options().metrics_tenant.empty()) {
+    labels.push_back({"tenant", service_->options().metrics_tenant});
+  }
+  const obs::MetricsRegistry& metrics = service_->metrics();
+  char nums[768];
   std::snprintf(
       nums, sizeof(nums),
       "{\"type\":\"stats\",\"generation\":%llu,\"deltas_applied\":%llu,"
       "\"queries\":%llu,\"batches\":%llu,\"cancelled\":%llu,"
       "\"deadline_exceeded\":%llu,\"early_stopped\":%llu,"
+      "\"slow_queries\":%llu,"
       "\"cache_hits\":%llu,\"cache_shared\":%llu,\"cache_misses\":%llu,"
       "\"cache_evictions\":%llu,\"cache_entries\":%zu,"
-      "\"cache_namespaces\":%zu}",
+      "\"cache_namespaces\":%zu,\"wal_appends\":%llu,"
+      "\"wal_compactions\":%llu,\"snapshot_saves\":%llu}",
       static_cast<unsigned long long>(stats.generation),
       static_cast<unsigned long long>(stats.deltas_applied),
       static_cast<unsigned long long>(stats.queries),
@@ -607,12 +652,37 @@ void ServeSession::EmitStatsEvent(const EventSink& sink) const {
       static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.deadline_exceeded),
       static_cast<unsigned long long>(stats.early_stopped),
+      static_cast<unsigned long long>(stats.slow_queries),
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.shared),
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.cache.evictions),
-      stats.cache.entries, stats.cache_namespaces);
+      stats.cache.entries, stats.cache_namespaces,
+      static_cast<unsigned long long>(
+          metrics.CounterValue("xsm_wal_appends_total", labels)),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("xsm_wal_compactions_total", labels)),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("xsm_snapshot_saves_total", labels)));
   sink(nums);
+}
+
+void ServeSession::EmitTraceEvent(const std::string& id,
+                                  const obs::TraceContext& trace,
+                                  const EventSink& sink) {
+  std::string line = "{\"type\":\"trace\",\"id\":\"" + JsonEscape(id) +
+                     "\",\"spans\":[";
+  const std::vector<obs::TraceSpan> spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) line += ',';
+    char nums[96];
+    std::snprintf(nums, sizeof(nums), "\",\"start_ms\":%.3f,\"ms\":%.3f}",
+                  spans[i].start_ms, spans[i].duration_ms);
+    line += "{\"name\":\"" + JsonEscape(spans[i].name) + "\",\"note\":\"" +
+            JsonEscape(spans[i].note) + nums;
+  }
+  line += "]}";
+  sink(line);
 }
 
 }  // namespace xsm::service

@@ -3,8 +3,8 @@
 // MatchService and exposes exactly the serve-mode surface — query lines
 // ("SPEC [key=value ...]"), repository commands ("!ingest SPEC", "!remove
 // ID", ...) and the NDJSON event vocabulary (mapping / cluster / done /
-// error / generation / saved / stats / pair / mediated) — as plain
-// functions over an
+// error / generation / saved / stats / metrics / trace / slow_query /
+// pair / mediated) — as plain functions over an
 // EventSink, so the two transports cannot drift: stdin serve prints the
 // sink's lines to stdout, the HTTP server frames them as response chunks,
 // and both emit byte-identical events for the same input.
@@ -27,6 +27,7 @@
 #include "core/execution_control.h"
 #include "core/match_observer.h"
 #include "integrate/integration_engine.h"
+#include "obs/trace.h"
 #include "repo/loader.h"
 #include "service/match_service.h"
 #include "util/status.h"
@@ -61,6 +62,12 @@ struct ServeSessionOptions {
   /// The HTTP front end turns this off: remote clients must not name
   /// arbitrary server paths; saving goes through the state-dir endpoint.
   bool allow_filesystem = true;
+  /// Emit one "trace" event per query / mutation with the per-stage span
+  /// breakdown (queue wait, cache outcome, dictionary scoring, ...). Field
+  /// order is fixed, so suites can byte-compare modulo the timing values.
+  /// Batch members stay untraced (one shared context would interleave
+  /// their spans nondeterministically).
+  bool trace_events = false;
 };
 
 /// Streams one query's run as NDJSON events into a sink. Event lines are
@@ -168,6 +175,7 @@ class ServeSession {
   ///   !integrate [key=value ...]      N-way integration (see RunIntegrate)
   ///   !generation                     report the current generation
   ///   !stats                          service counters as one event
+  ///   !metrics                        Prometheus exposition as one event
   /// Every successful mutation emits one "generation" event; failures emit
   /// typed "error" events. Returns the command's status (already reported
   /// to the sink — callers only need it for transport-level mapping, e.g.
@@ -215,7 +223,16 @@ class ServeSession {
 
   /// Emits the "stats" event RunCommand("!stats") produces; also used by
   /// the HTTP /stats endpoint so the two surfaces report identical fields.
+  /// Every value is read back from the service (whose counters live in
+  /// the metrics registry), so `!stats`, `/v1/stats` and `/metrics` agree.
   void EmitStatsEvent(const EventSink& sink) const;
+
+  /// Emits one "trace" event: {"type":"trace","id":...,"spans":[{"name":
+  /// ...,"note":...,"start_ms":...,"ms":...},...]}. Deterministic field
+  /// order; only the two timing values vary between identical runs.
+  static void EmitTraceEvent(const std::string& id,
+                             const obs::TraceContext& trace,
+                             const EventSink& sink);
 
  private:
   MatchService* service_;

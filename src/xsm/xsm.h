@@ -46,6 +46,8 @@
 #include "net/retrying_client.h"         // IWYU pragma: export
 #include "net/tenant_registry.h"         // IWYU pragma: export
 #include "objective/objective.h"         // IWYU pragma: export
+#include "obs/metrics.h"                 // IWYU pragma: export
+#include "obs/trace.h"                   // IWYU pragma: export
 #include "query/xpath.h"                 // IWYU pragma: export
 #include "repo/loader.h"                 // IWYU pragma: export
 #include "repo/synthetic.h"              // IWYU pragma: export

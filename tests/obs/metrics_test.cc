@@ -1,0 +1,231 @@
+// MetricsRegistry contract tests: idempotent registration, lock-free
+// counters under concurrent increment + scrape, parseable Prometheus
+// exposition, and histogram bucket/count/sum invariants.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xsm::obs {
+namespace {
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.RegisterCounter("xsm_things_total", "Things");
+  Counter* b = registry.RegisterCounter("xsm_things_total", "Things");
+  EXPECT_EQ(a, b);
+
+  // Label order must not matter: the registry canonicalizes by key.
+  Counter* l1 = registry.RegisterCounter(
+      "xsm_labeled_total", "Labeled",
+      {{"tenant", "t1"}, {"reason", "capacity"}});
+  Counter* l2 = registry.RegisterCounter(
+      "xsm_labeled_total", "Labeled",
+      {{"reason", "capacity"}, {"tenant", "t1"}});
+  EXPECT_EQ(l1, l2);
+
+  // Distinct label values are distinct series of the same family.
+  Counter* other = registry.RegisterCounter(
+      "xsm_labeled_total", "Labeled",
+      {{"tenant", "t2"}, {"reason", "capacity"}});
+  EXPECT_NE(l1, other);
+
+  Gauge* g1 = registry.RegisterGauge("xsm_level", "Level");
+  Gauge* g2 = registry.RegisterGauge("xsm_level", "Level");
+  EXPECT_EQ(g1, g2);
+
+  Histogram* h1 = registry.RegisterHistogram("xsm_lat_ms", "Latency",
+                                             {1.0, 10.0, 100.0});
+  Histogram* h2 = registry.RegisterHistogram("xsm_lat_ms", "Latency",
+                                             {1.0, 10.0, 100.0});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, CounterValueLookup) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("xsm_hits_total", "Hits",
+                                        {{"tenant", "a"}});
+  c->Increment(7);
+  EXPECT_EQ(registry.CounterValue("xsm_hits_total", {{"tenant", "a"}}), 7u);
+  // Unknown series and unknown families read as zero, never crash.
+  EXPECT_EQ(registry.CounterValue("xsm_hits_total", {{"tenant", "b"}}), 0u);
+  EXPECT_EQ(registry.CounterValue("xsm_nope_total"), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementAndScrapeIsExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.RegisterCounter("xsm_ops_total", "Ops");
+  Histogram* histogram = registry.RegisterHistogram(
+      "xsm_op_ms", "Op latency", DefaultLatencyBoundsMs());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>((t * kPerThread + i) % 997));
+      }
+    });
+  }
+  // A scraper racing the writers: every render must be well-formed (the
+  // values it reads are torn-free snapshots of the atomics).
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      std::string text = registry.RenderPrometheusText();
+      EXPECT_NE(text.find("xsm_ops_total"), std::string::npos);
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketInvariants) {
+  Histogram histogram({1.0, 5.0, 25.0});
+  histogram.Observe(0.5);   // le=1
+  histogram.Observe(1.0);   // le=1 (bound is inclusive)
+  histogram.Observe(3.0);   // le=5
+  histogram.Observe(25.0);  // le=25
+  histogram.Observe(400.0);  // +Inf overflow slot
+
+  ASSERT_EQ(histogram.bounds().size(), 3u);
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 1u);
+  EXPECT_EQ(histogram.bucket_count(2), 1u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);  // overflow
+
+  // Slot counts total the observation count, and the sum is exact.
+  uint64_t total = 0;
+  for (size_t i = 0; i <= histogram.bounds().size(); ++i) {
+    total += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(total, histogram.count());
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 3.0 + 25.0 + 400.0);
+
+  // Exact nearest-rank quantiles from the backing accumulator.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 400.0);
+}
+
+// Minimal exposition parser: every non-comment line must be
+// `name{labels} value` or `name value`, every # line a HELP/TYPE for a
+// family that then appears, histogram buckets cumulative and capped by
+// the +Inf bucket == _count.
+TEST(MetricsRegistryTest, ExpositionIsParseable) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("xsm_queries_total", "Queries",
+                           {{"tenant", "a"}})->Increment(3);
+  registry.RegisterCounter("xsm_queries_total", "Queries",
+                           {{"tenant", "b"}})->Increment(5);
+  registry.RegisterGauge("xsm_inflight", "Inflight")->Set(2);
+  Histogram* histogram = registry.RegisterHistogram(
+      "xsm_latency_ms", "Latency", {1.0, 10.0});
+  histogram->Observe(0.3);
+  histogram->Observe(4.0);
+  histogram->Observe(40.0);
+  // Label values with every escape-worthy character.
+  registry.RegisterCounter("xsm_escaped_total", "Escaped",
+                           {{"v", "a\"b\\c\nd"}})->Increment();
+
+  std::string text = registry.RenderPrometheusText();
+  std::istringstream in(text);
+  std::string line;
+  size_t samples = 0;
+  uint64_t last_bucket = 0;
+  uint64_t inf_bucket = 0;
+  uint64_t histogram_count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample line: metric name, optional {labels}, space, numeric value.
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string value_text = line.substr(space + 1);
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(value_text.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    EXPECT_TRUE(std::isfinite(value) || value_text == "+Inf") << line;
+    ++samples;
+
+    if (line.rfind("xsm_latency_ms_bucket", 0) == 0) {
+      uint64_t cumulative = static_cast<uint64_t>(value);
+      EXPECT_GE(cumulative, last_bucket) << "non-cumulative: " << line;
+      last_bucket = cumulative;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket = cumulative;
+      }
+    }
+    if (line.rfind("xsm_latency_ms_count", 0) == 0) {
+      histogram_count = static_cast<uint64_t>(value);
+    }
+  }
+  EXPECT_GE(samples, 9u);  // 2 counters + gauge + escaped + 3 buckets
+                           // + Inf + sum + count
+  EXPECT_EQ(inf_bucket, 3u);
+  EXPECT_EQ(histogram_count, 3u);
+
+  // The escaped label survives round-trip-ably.
+  EXPECT_NE(text.find("v=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  // Series of one family are rendered under one HELP/TYPE header pair.
+  EXPECT_EQ(text.find("# TYPE xsm_queries_total counter"),
+            text.rfind("# TYPE xsm_queries_total counter"));
+  EXPECT_NE(text.find("xsm_queries_total{tenant=\"a\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsm_queries_total{tenant=\"b\"} 5"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ScrapeHooksMirrorExternalTallies) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.RegisterGauge("xsm_mirrored", "Mirrored");
+  uint64_t source = 0;
+  uint64_t id = registry.AddScrapeHook(
+      [&] { gauge->Set(static_cast<double>(source)); });
+
+  source = 41;
+  std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("xsm_mirrored 41"), std::string::npos);
+
+  registry.RemoveScrapeHook(id);
+  source = 99;
+  text = registry.RenderPrometheusText();
+  // Hook removed: the gauge keeps its last mirrored value.
+  EXPECT_NE(text.find("xsm_mirrored 41"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderIsDeterministic) {
+  MetricsRegistry registry;
+  // Registered out of order; rendered sorted by family then signature.
+  registry.RegisterCounter("xsm_z_total", "Z")->Increment(1);
+  registry.RegisterCounter("xsm_a_total", "A", {{"k", "2"}})->Increment(2);
+  registry.RegisterCounter("xsm_a_total", "A", {{"k", "1"}})->Increment(3);
+  std::string first = registry.RenderPrometheusText();
+  std::string second = registry.RenderPrometheusText();
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first.find("xsm_a_total{k=\"1\"}"),
+            first.find("xsm_a_total{k=\"2\"}"));
+  EXPECT_LT(first.find("xsm_a_total"), first.find("xsm_z_total"));
+}
+
+}  // namespace
+}  // namespace xsm::obs

@@ -1,0 +1,76 @@
+// TraceContext / ScopedSpan contract tests: span ordering, null-safety,
+// and notes.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xsm::obs {
+namespace {
+
+TEST(TraceContextTest, RecordsSpansInCompletionOrder) {
+  TraceContext trace;
+  {
+    ScopedSpan outer(&trace, "outer");
+    {
+      ScopedSpan inner(&trace, "inner");
+      inner.set_note("hit");
+    }
+  }
+  std::vector<TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first, so it lands first; both offsets are from the
+  // context epoch and durations are non-negative.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].note, "hit");
+  EXPECT_EQ(spans[1].name, "outer");
+  for (const TraceSpan& span : spans) {
+    EXPECT_GE(span.start_ms, 0.0);
+    EXPECT_GE(span.duration_ms, 0.0);
+  }
+  // The outer span encloses the inner one.
+  EXPECT_LE(spans[1].start_ms, spans[0].start_ms);
+  EXPECT_GE(spans[1].start_ms + spans[1].duration_ms,
+            spans[0].start_ms + spans[0].duration_ms);
+}
+
+TEST(TraceContextTest, NullContextIsANoOp) {
+  // The hot path passes nullptr when tracing is off; spans must cost
+  // nothing and never crash.
+  ScopedSpan span(nullptr, "ignored");
+  span.set_note("also ignored");
+}
+
+TEST(TraceContextTest, AddSpanDirectly) {
+  TraceContext trace;
+  trace.AddSpan("queue_wait", "", 1.0, 2.5);
+  ASSERT_EQ(trace.span_count(), 1u);
+  std::vector<TraceSpan> spans = trace.spans();
+  EXPECT_EQ(spans[0].name, "queue_wait");
+  EXPECT_DOUBLE_EQ(spans[0].start_ms, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].duration_ms, 2.5);
+}
+
+TEST(TraceContextTest, ConcurrentSpansAreAllRecorded) {
+  TraceContext trace;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span(&trace, "work");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trace.span_count(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace xsm::obs

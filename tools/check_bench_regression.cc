@@ -116,6 +116,10 @@ const BenchProfile kProfiles[] = {
     {"recovery",
      "speedup_recover_vs_cold_rebuild",
      {"zero_loss", "fingerprints_identical", "queries_identical"}},
+    {"observability",
+     "instrumented_qps_ratio",
+     {"overhead_ok", "exposition_valid", "counters_consistent",
+      "results_identical"}},
 };
 
 }  // namespace

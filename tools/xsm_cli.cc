@@ -204,6 +204,7 @@ int Usage() {
       "  serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
       "           [--threads N] [--delta D] [--top N] [--cluster ...]\n"
       "           [--deadline-ms MS] [--first-n N] [--cluster-events]\n"
+      "           [--trace] [--slow-query-ms MS]\n"
       "           [--save-on-shutdown FILE.snap]\n"
       "  http     [--forest FILE | --repo-dir DIR | --synthetic N[:seed]\n"
       "           | --warm-start FILE.snap] [--port P] [--bind ADDR]\n"
@@ -211,12 +212,16 @@ int Usage() {
       "           [--threads N] [--deadline-ms MS] [--first-n N]\n"
       "           [--max-inflight N] [--soft-inflight N]\n"
       "           [--min-deadline-fraction F] [--cluster-events]\n"
+      "           [--trace] [--slow-query-ms MS]\n"
       "batch/serve stream NDJSON events (mapping / cluster / done / error)\n"
       "to stdout; match honors --deadline-ms / --first-n too.\n"
       "serve also accepts repository commands on stdin: !ingest SPEC,\n"
       "!replace ID SPEC, !remove ID, !reload FILE|DIR, !save PATH,\n"
-      "!generation, !stats (each mutation publishes a new generation and\n"
-      "emits a \"generation\" event).\n"
+      "!generation, !stats, !metrics (each mutation publishes a new\n"
+      "generation and emits a \"generation\" event).\n"
+      "--trace adds one \"trace\" event per query/mutation with per-stage\n"
+      "spans; --slow-query-ms logs a \"slow_query\" event for queries at or\n"
+      "over the threshold. http also serves GET /metrics (Prometheus text).\n"
       "stats/match/batch/serve also accept --warm-start FILE.snap (a file\n"
       "written by `save` or `!save`) as the repository source: the\n"
       "snapshot loads whole, nothing is re-parsed or re-indexed, and the\n"
@@ -591,6 +596,7 @@ Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
   // --deadline-ms becomes the service's default per-query deadline; the
   // clock starts at SubmitMatch, so pool queue wait counts against it.
   options.default_deadline_seconds = args.GetDouble("deadline-ms", 0) / 1e3;
+  options.slow_query_ms = args.GetDouble("slow-query-ms", 0);
   // Warm start included: LoadSnapshot dispatches on --warm-start, and the
   // service then continues delta ingestion from the loaded generation.
   XSM_ASSIGN_OR_RETURN(
@@ -619,6 +625,7 @@ service::ServeSessionOptions SessionOptionsFromArgs(const Args& args,
   long first_n = args.GetInt("first-n", 0);
   if (first_n > 0) options.first_n = static_cast<uint64_t>(first_n);
   options.cluster_events = args.Has("cluster-events");
+  options.trace_events = args.Has("trace");
   return options;
 }
 
@@ -738,7 +745,8 @@ int RunServe(const Args& args) {
     std::fprintf(stderr,
                  "ready: %zu elements / %zu trees (generation %llu); enter "
                  "queries (SPEC [key=value ...]) or !commands (!ingest, "
-                 "!replace, !remove, !reload, !save, !generation, !stats), "
+                 "!replace, !remove, !reload, !save, !generation, !stats, "
+                 "!metrics), "
                  "EOF or SIGINT/SIGTERM to quit; NDJSON events on stdout\n",
                  snapshot->total_nodes(), snapshot->num_trees(),
                  static_cast<unsigned long long>(snapshot->generation()));
@@ -925,6 +933,8 @@ int RunHttp(const Args& args) {
   registry_options.service.num_threads = static_cast<size_t>(threads);
   registry_options.service.default_deadline_seconds =
       args.GetDouble("deadline-ms", 0) / 1e3;
+  registry_options.service.slow_query_ms =
+      args.GetDouble("slow-query-ms", 0);
   registry_options.state_dir = args.Get("state-dir");
   // With a state dir, every tenant write-ahead journals its deltas
   // (checkpoint at creation, fsync'd append per delta, replay on boot) so
