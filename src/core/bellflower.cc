@@ -107,7 +107,21 @@ Result<ClusterState> Bellflower::BuildClusterState(
         state.matching,
         match::MatchElements(personal, *repository_, element));
   }
-  state.time_matching_seconds = timer.ElapsedSeconds();
+  return ClusterFromMatching(personal, std::move(state.matching),
+                             timer.ElapsedSeconds(), options, control);
+}
+
+Result<ClusterState> Bellflower::ClusterFromMatching(
+    const schema::SchemaTree& personal, match::ElementMatchingResult matching,
+    double matching_seconds, const ClusterStateOptions& options,
+    const ExecutionControl* control) const {
+  ClusterState state;
+  state.matching = std::move(matching);
+  state.time_matching_seconds = matching_seconds;
+  obs::TraceContext* trace = control != nullptr ? control->trace : nullptr;
+  if (trace == nullptr && options.element.control != nullptr) {
+    trace = options.element.control->trace;
+  }
 
   if (state.matching.distinct_nodes.empty()) {
     return state;  // No mapping elements anywhere: nothing to cluster.
@@ -124,7 +138,7 @@ Result<ClusterState> Bellflower::BuildClusterState(
   }
 
   // --- Stage ⓒ: clustering. ----------------------------------------------
-  timer.Restart();
+  Timer timer;
   obs::ScopedSpan cluster_span(trace, "clustering");
   if (options.clustering == ClusteringMode::kTreeClusters) {
     state.clustering = cluster::TreeClusters(state.points);
@@ -151,14 +165,17 @@ Result<MatchResult> Bellflower::MatchWithState(
 Result<MatchResult> Bellflower::MatchWithState(
     const schema::SchemaTree& personal, const ClusterState& state,
     const MatchOptions& options, const ExecutionControl& control,
-    MatchObserver* observer) const {
-  return MatchWithStateImpl(personal, state, options, &control, observer);
+    MatchObserver* observer,
+    const std::vector<size_t>* cluster_subset) const {
+  return MatchWithStateImpl(personal, state, options, &control, observer,
+                            cluster_subset);
 }
 
 Result<MatchResult> Bellflower::MatchWithStateImpl(
     const schema::SchemaTree& personal, const ClusterState& state,
     const MatchOptions& options, const ExecutionControl* control,
-    MatchObserver* observer) const {
+    MatchObserver* observer,
+    const std::vector<size_t>* cluster_subset) const {
   XSM_RETURN_NOT_OK(options.objective.Validate());
   if (options.delta < 0.0 || options.delta > 1.0) {
     return Status::InvalidArgument("delta must be in [0,1]");
@@ -245,7 +262,19 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
   const cluster::ClusteringResult& clustering = state.clustering;
   stats.time_clustering_seconds = state.time_clustering_seconds;
   stats.kmeans = clustering.stats;
-  stats.num_clusters = clustering.clusters.size();
+  // With a cluster subset, run-level stats describe the subset's share of
+  // the work so per-shard stats sum to (roughly) the global run.
+  const size_t num_considered = cluster_subset != nullptr
+                                    ? cluster_subset->size()
+                                    : clustering.clusters.size();
+  stats.num_clusters = num_considered;
+  if (cluster_subset != nullptr) {
+    for (size_t ci : *cluster_subset) {
+      if (ci >= clustering.clusters.size()) {
+        return Status::InvalidArgument("cluster_subset index out of range");
+      }
+    }
+  }
 
   // --- Stage ④: per-cluster mapping generation. --------------------------
   Timer timer;
@@ -264,12 +293,16 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
   // First pass: per-cluster candidate sets and summaries.
   std::vector<generate::ClusterCandidates> all_candidates(
       clustering.clusters.size());
-  stats.cluster_summaries.reserve(clustering.clusters.size());
+  stats.cluster_summaries.reserve(num_considered);
   size_t useful_pairs = 0;
   std::vector<size_t> useful_order;
   std::vector<size_t> non_useful;
+  // Summaries are pushed in iteration order; under a subset that order is
+  // not the cluster index, so keep the ci → summary position map explicit.
+  std::vector<size_t> summary_index(clustering.clusters.size(), 0);
 
-  for (size_t ci = 0; ci < clustering.clusters.size(); ++ci) {
+  for (size_t pos = 0; pos < num_considered; ++pos) {
+    const size_t ci = cluster_subset != nullptr ? (*cluster_subset)[pos] : pos;
     // A stop during candidate building leaves later clusters out of
     // useful_order / non_useful, so the generation loops skip them too.
     if (monitor.ShouldStop()) break;
@@ -343,6 +376,7 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
       summary.useful = false;  // mask-useful but candidate-starved is rare
       non_useful.push_back(ci);
     }
+    summary_index[ci] = stats.cluster_summaries.size();
     stats.cluster_summaries.push_back(std::move(summary));
   }
 
@@ -404,7 +438,7 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
     if (monitor.ShouldStop()) break;
     if (observer != nullptr) {
       observer->OnClusterStart(sequence, total_useful,
-                               stats.cluster_summaries[ci]);
+                               stats.cluster_summaries[summary_index[ci]]);
     }
     generate::GeneratorOptions cluster_options = gen_options;
     if (adaptive && result.mappings.size() >= options.top_n) {
@@ -434,7 +468,8 @@ Result<MatchResult> Bellflower::MatchWithStateImpl(
     if (observer != nullptr) {
       stats.num_mappings = result.mappings.size();  // incremental snapshot
       observer->OnClusterFinish(sequence, total_useful,
-                                stats.cluster_summaries[ci], stats);
+                                stats.cluster_summaries[summary_index[ci]],
+                                stats);
     }
     ++sequence;
   }

@@ -252,6 +252,20 @@ class Bellflower {
       const schema::SchemaTree& personal, const ClusterStateOptions& options,
       const ExecutionControl* control = nullptr) const;
 
+  /// Clustering-only half of BuildClusterState: takes a completed
+  /// element-matching result (whose NodeRefs must be in *this* repository's
+  /// tree-id space) and runs point extraction + clustering on it. This is
+  /// the seam the sharded backend uses — it scatters MatchElements across
+  /// shard repositories, merges the per-shard results into the global
+  /// tree-id space, and clusters the merged result here so the clustering
+  /// stage sees exactly what the unsharded pipeline would have seen.
+  /// `matching_seconds` seeds ClusterState::time_matching_seconds.
+  Result<ClusterState> ClusterFromMatching(
+      const schema::SchemaTree& personal,
+      match::ElementMatchingResult matching, double matching_seconds,
+      const ClusterStateOptions& options,
+      const ExecutionControl* control = nullptr) const;
+
   /// Runs the generation stages (④⑤ plus the §2.3 extensions) against a
   /// previously built state. `state` must have been built for the same
   /// personal schema (and this repository); it is not mutated, so many
@@ -262,22 +276,29 @@ class Bellflower {
                                      const MatchOptions& options) const;
 
   /// Anytime variant of MatchWithState; see the streaming Match overload
-  /// for `control` / `observer` semantics.
-  Result<MatchResult> MatchWithState(const schema::SchemaTree& personal,
-                                     const ClusterState& state,
-                                     const MatchOptions& options,
-                                     const ExecutionControl& control,
-                                     MatchObserver* observer = nullptr) const;
+  /// for `control` / `observer` semantics. `cluster_subset` (may be null =
+  /// all clusters) restricts generation to the given indexes into
+  /// state.clustering.clusters — the sharded backend partitions the global
+  /// cluster list by owning shard and runs one restricted call per shard
+  /// against the *shared* state. The union of disjoint subset runs emits
+  /// exactly the mappings of one unrestricted run (each cluster's generator
+  /// call sees identical candidates either way); only run-level stats and
+  /// the adaptive-δ work savings differ.
+  Result<MatchResult> MatchWithState(
+      const schema::SchemaTree& personal, const ClusterState& state,
+      const MatchOptions& options, const ExecutionControl& control,
+      MatchObserver* observer = nullptr,
+      const std::vector<size_t>* cluster_subset = nullptr) const;
 
  private:
   /// Shared generation path; `control` == nullptr means unlimited (the
   /// monitor never stops) with zero per-expansion overhead beyond two
   /// branches.
-  Result<MatchResult> MatchWithStateImpl(const schema::SchemaTree& personal,
-                                         const ClusterState& state,
-                                         const MatchOptions& options,
-                                         const ExecutionControl* control,
-                                         MatchObserver* observer) const;
+  Result<MatchResult> MatchWithStateImpl(
+      const schema::SchemaTree& personal, const ClusterState& state,
+      const MatchOptions& options, const ExecutionControl* control,
+      MatchObserver* observer,
+      const std::vector<size_t>* cluster_subset = nullptr) const;
 
   const schema::SchemaForest* repository_;
   label::ForestIndex index_;

@@ -89,12 +89,12 @@ Result<Severity> ParseSeverity(std::string_view name) {
 
 Result<IntegrationResult> IntegrationEngine::Integrate(
     const IntegrationOptions& options, IntegrationObserver* observer) {
-  return IntegrateOn(service_->CurrentSnapshot(), options, observer);
+  return IntegrateOn(service_->Pin(), options, observer);
 }
 
 Result<IntegrationResult> IntegrationEngine::IntegrateOn(
-    std::shared_ptr<const service::RepositorySnapshot> snapshot,
-    const IntegrationOptions& options, IntegrationObserver* observer) {
+    service::RepositoryPinPtr snapshot, const IntegrationOptions& options,
+    IntegrationObserver* observer) {
   if (options.threshold < 0.0 || options.threshold > 1.0) {
     return Status::InvalidArgument("threshold must be in [0,1]");
   }
@@ -169,7 +169,7 @@ Result<IntegrationResult> IntegrationEngine::IntegrateOn(
           // knob, so identical slices share entries across queries and runs.
           query.options.clustering = core::ClusteringMode::kTreeClusters;
           XSM_ASSIGN_OR_RETURN(service::ClusterStatePtr state,
-                               service->ClusterStateOn(snapshot, query));
+                               service->ClusterStateFor(snapshot, query));
           std::vector<Correspondence> edges;
           for (const match::MappingElementSet& set : state->matching.sets) {
             const schema::NodeRef source{

@@ -9,7 +9,7 @@
 //      structure, so slicing changes nothing — and lifts the 32-node
 //      personal-schema limit for arbitrarily large sources). Each slice is
 //      one MatchQuery whose cluster state is built through
-//      MatchService::ClusterStateOn — i.e. through the service's
+//      Matcher::ClusterStateFor — i.e. through the backend's
 //      fingerprint-namespaced ClusterIndexCache and matching pool — so a
 //      second integration of the same content is cache-warm, and slices
 //      shared between trees (identical content) share one state. Slices run
@@ -57,7 +57,7 @@
 
 #include "core/execution_control.h"
 #include "schema/schema_forest.h"
-#include "service/match_service.h"
+#include "service/matcher.h"
 #include "util/status.h"
 
 namespace xsm::integrate {
@@ -212,22 +212,23 @@ class IntegrationObserver {
 class IntegrationEngine {
  public:
   /// `service` must outlive the engine; its pool, cluster cache and
-  /// matching pool do the heavy lifting.
-  explicit IntegrationEngine(service::MatchService* service)
+  /// matching pool do the heavy lifting. Any Matcher backend works —
+  /// sharded backends integrate through the same scattered cluster-state
+  /// path queries use.
+  explicit IntegrationEngine(service::Matcher* service)
       : service_(service) {}
 
-  /// Integrates the service's current snapshot.
+  /// Integrates the backend's current repository generation.
   Result<IntegrationResult> Integrate(const IntegrationOptions& options,
                                       IntegrationObserver* observer = nullptr);
 
-  /// Integrates an explicit snapshot pin from this service's chain.
+  /// Integrates an explicit pin from this backend's chain.
   Result<IntegrationResult> IntegrateOn(
-      std::shared_ptr<const service::RepositorySnapshot> snapshot,
-      const IntegrationOptions& options,
+      service::RepositoryPinPtr pin, const IntegrationOptions& options,
       IntegrationObserver* observer = nullptr);
 
  private:
-  service::MatchService* service_;
+  service::Matcher* service_;
 };
 
 }  // namespace xsm::integrate

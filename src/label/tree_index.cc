@@ -244,6 +244,16 @@ ForestIndex ForestIndex::Build(const schema::SchemaForest& forest) {
   return fi;
 }
 
+ForestIndex ForestIndex::FromParts(
+    std::vector<std::shared_ptr<const TreeIndex>> parts) {
+  ForestIndex fi;
+  fi.indexes_ = std::move(parts);
+  for (const auto& index : fi.indexes_) {
+    fi.max_diameter_ = std::max(fi.max_diameter_, index->diameter());
+  }
+  return fi;
+}
+
 ForestIndex ForestIndex::BuildIncremental(
     const schema::SchemaForest& forest, const ForestIndex& previous,
     const std::vector<schema::TreeId>& reuse_map, IncrementalStats* stats) {

@@ -114,6 +114,14 @@ class ForestIndex {
       const std::vector<schema::TreeId>& reuse_map,
       IncrementalStats* stats = nullptr);
 
+  /// Assembles a forest index from already-built per-tree indexes (in
+  /// TreeId order) without labeling anything. The sharded backend uses this
+  /// to federate K shard indexes into one global-view index: the per-tree
+  /// structures are shared, so the assembly is O(num_trees) pointer copies
+  /// and the result is equivalent to Build over the concatenated forest.
+  static ForestIndex FromParts(
+      std::vector<std::shared_ptr<const TreeIndex>> parts);
+
   const TreeIndex& tree(schema::TreeId id) const {
     return *indexes_[static_cast<size_t>(id)];
   }

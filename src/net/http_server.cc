@@ -595,7 +595,7 @@ void HttpServer::CompleteRequest(const std::shared_ptr<Connection>& conn) {
 // --- admission -------------------------------------------------------------
 
 bool HttpServer::AdmitWork(const std::shared_ptr<Connection>& conn,
-                           const service::MatchService& service,
+                           const service::Matcher& service,
                            core::ExecutionControl* control) {
   const AdmissionOptions& admission = options_.admission;
   size_t before = inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -668,10 +668,23 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
   std::vector<std::string> segments = SplitPathSegments(request.target);
 
   if (segments.size() == 1 && segments[0] == "healthz") {
+    // Retired pre-/v1 path: a typed 410 teaches old clients the versioned
+    // path from the error itself instead of a bare 404.
+    QueueSimple(conn, 410,
+                "{\"type\":\"error\",\"code\":\"gone\",\"message\":"
+                "\"/healthz moved under the versioned API; "
+                "use GET /v1/healthz\","
+                "\"migrate_to\":\"/v1/healthz\"}\n",
+                keep_alive);
+    return;
+  }
+
+  if (segments.size() == 2 && segments[0] == "v1" &&
+      segments[1] == "healthz") {
     if (request.method != "GET") {
       QueueSimple(conn, 405,
                   ErrorBodyLine(Status::InvalidArgument(
-                      "use GET /healthz")), keep_alive);
+                      "use GET /v1/healthz")), keep_alive);
       return;
     }
     std::string body = "{\"type\":\"health\",\"status\":\"" +
@@ -682,7 +695,11 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
     return;
   }
 
-  if (segments.size() == 1 && segments[0] == "metrics") {
+  // /metrics stays answerable unversioned — it is Prometheus's
+  // conventional scrape path — with /v1/metrics as the versioned name.
+  if ((segments.size() == 1 && segments[0] == "metrics") ||
+      (segments.size() == 2 && segments[0] == "v1" &&
+       segments[1] == "metrics")) {
     if (request.method != "GET") {
       QueueSimple(conn, 405,
                   ErrorBodyLine(Status::InvalidArgument(
@@ -763,13 +780,14 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
         for (const std::string& name : registry_->Names()) {
           Tenant* tenant = registry_->Find(name);
           if (tenant == nullptr) continue;
-          auto snapshot = tenant->service->CurrentSnapshot();
+          service::RepositoryPinPtr pin = tenant->service->Pin();
           char buf[160];
           std::snprintf(buf, sizeof(buf),
-                        "\",\"generation\":%llu,\"trees\":%zu}\n",
-                        static_cast<unsigned long long>(
-                            snapshot->generation()),
-                        snapshot->num_trees());
+                        "\",\"generation\":%llu,\"trees\":%zu,"
+                        "\"shards\":%zu}\n",
+                        static_cast<unsigned long long>(pin->generation()),
+                        pin->num_trees(),
+                        tenant->service->Shards().size());
           body += "{\"type\":\"tenant\",\"name\":\"" +
                   service::JsonEscape(name) + buf;
         }
@@ -826,9 +844,28 @@ void HttpServer::RouteRequest(const std::shared_ptr<Connection>& conn,
           QueueSimple(conn, 200, body, keep_alive);
           return;
         }
+        if (verb == "shards" && request.method == "GET") {
+          std::string body;
+          for (const service::ShardDescriptor& d :
+               tenant->service->Shards()) {
+            char buf[224];
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"type\":\"shard\",\"shard\":%zu,\"generation\":%llu,"
+                "\"fingerprint\":\"%016llx\",\"trees\":%zu,\"nodes\":%zu,"
+                "\"first_tree\":%lld}\n",
+                d.shard, static_cast<unsigned long long>(d.generation),
+                static_cast<unsigned long long>(d.fingerprint), d.trees,
+                d.nodes, static_cast<long long>(d.first_tree));
+            body += buf;
+          }
+          QueueSimple(conn, 200, body, keep_alive);
+          return;
+        }
         QueueSimple(conn, verb == "match" || verb == "batch" ||
                               verb == "ingest" || verb == "integrate" ||
-                              verb == "save" || verb == "stats"
+                              verb == "save" || verb == "stats" ||
+                              verb == "shards"
                           ? 405
                           : 404,
                     ErrorBodyLine(Status::NotFound(

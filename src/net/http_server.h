@@ -93,9 +93,9 @@ struct HttpServerStats {
   QuantileAccumulator latency_ms;
 };
 
-/// Serves the registry's tenants over HTTP/1.1. Endpoints (all responses
-/// NDJSON; streaming ones chunked):
-///   GET  /healthz                      liveness + tenant count
+/// Serves the registry's tenants over HTTP/1.1. The REST surface is
+/// versioned under /v1 (all responses NDJSON; streaming ones chunked):
+///   GET  /v1/healthz                   liveness + tenant count
 ///   GET  /v1/tenants                   one {"type":"tenant",...} per line
 ///   PUT  /v1/tenants/{t}               create tenant; body = tree-spec
 ///                                      lines ('#' comments allowed)
@@ -110,10 +110,17 @@ struct HttpServerStats {
 ///                                      pair / cluster / mediated events
 ///   POST /v1/tenants/{t}/save          persist tenant to the state dir
 ///   GET  /v1/tenants/{t}/stats         the tenant's stats event
+///   GET  /v1/tenants/{t}/shards        one {"type":"shard",...} line per
+///                                      shard of the tenant's backend
 ///   GET  /v1/stats                     server-wide stats event
-///   GET  /metrics                      Prometheus text exposition of the
+///   GET  /v1/metrics                   Prometheus text exposition of the
 ///                                      shared registry (all tenants +
 ///                                      server + WAL series; text/plain)
+///   GET  /metrics                      alias for /v1/metrics, kept
+///                                      unversioned for Prometheus's
+///                                      conventional scrape path
+/// The pre-versioning /healthz alias answers 410 Gone with a typed
+/// migration hint naming /v1/healthz.
 class HttpServer {
  public:
   /// `registry` must outlive the server.
@@ -184,7 +191,7 @@ class HttpServer {
   /// shed (the 503 is already queued); on true the caller runs under
   /// `control` and must call FinishWork() when done.
   bool AdmitWork(const std::shared_ptr<Connection>& conn,
-                 const service::MatchService& service,
+                 const service::Matcher& service,
                  core::ExecutionControl* control);
   void FinishWork(double latency_ms);
 

@@ -6,9 +6,31 @@
 #include <filesystem>
 #include <utility>
 
+#include "shard/sharded_match_service.h"
+
 namespace xsm::net {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// A sharded tenant's snapshot is a shard manifest, not a store snapshot;
+// warm starts sniff this prefix so the boot path follows the on-disk
+// format rather than the registry's current `shards` setting.
+bool LooksLikeShardManifest(util::io::Env* env, const std::string& path) {
+  auto contents = env->ReadFileToString(path);
+  if (!contents.ok()) return false;
+  constexpr std::string_view kMagic = "xsm-shard-manifest";
+  return contents.value().compare(0, kMagic.size(), kMagic) == 0;
+}
+
+shard::ShardedOptions ShardOptionsFor(size_t shards) {
+  shard::ShardedOptions shard_options;
+  shard_options.num_shards = shards;
+  return shard_options;
+}
+
+}  // namespace
 
 bool TenantRegistry::ValidTenantName(std::string_view name) {
   if (name.empty() || name.size() > 64 || name.front() == '.') return false;
@@ -70,7 +92,7 @@ util::io::Env* TenantRegistry::env() const {
 
 Result<Tenant*> TenantRegistry::Insert(
     const std::string& name,
-    std::unique_ptr<service::MatchService> service) {
+    std::unique_ptr<service::Matcher> service) {
   auto tenant = std::make_unique<Tenant>();
   tenant->name = name;
   tenant->service = std::move(service);
@@ -100,10 +122,19 @@ Result<Tenant*> TenantRegistry::Create(const std::string& name,
     return Status::FailedPrecondition("tenant '" + name +
                                       "' already exists");
   }
-  XSM_ASSIGN_OR_RETURN(
-      auto service,
-      service::MatchService::Create(std::move(forest),
-                                    ServiceOptionsFor(name)));
+  std::unique_ptr<service::Matcher> service;
+  if (options_.shards > 1) {
+    XSM_ASSIGN_OR_RETURN(
+        service,
+        shard::ShardedMatchService::Create(std::move(forest),
+                                           ServiceOptionsFor(name),
+                                           ShardOptionsFor(options_.shards)));
+  } else {
+    XSM_ASSIGN_OR_RETURN(
+        service,
+        service::MatchService::Create(std::move(forest),
+                                      ServiceOptionsFor(name)));
+  }
   if (!wal_path.empty()) {
     // Checkpoint-then-journal, in that order: Recover replays the journal
     // onto a base snapshot, so a journaled tenant without one would be
@@ -127,12 +158,26 @@ Result<Tenant*> TenantRegistry::WarmStart(const std::string& name,
         "tenant persistence disabled (no state directory)");
   }
   std::string wal_path = WalPathFor(name);
+  // The on-disk format, not the registry's current `shards` knob, decides
+  // the boot path: a registry reconfigured between runs still boots every
+  // tenant exactly as it was saved.
+  bool sharded = LooksLikeShardManifest(env(), path);
   if (!wal_path.empty()) {
     live::RecoveryReport local;
-    XSM_ASSIGN_OR_RETURN(
-        auto service,
-        service::MatchService::Recover(env(), path, wal_path,
-                                       ServiceOptionsFor(name), &local));
+    std::unique_ptr<service::Matcher> service;
+    if (sharded) {
+      XSM_ASSIGN_OR_RETURN(
+          service,
+          shard::ShardedMatchService::Recover(env(), path, wal_path,
+                                              ServiceOptionsFor(name),
+                                              shard::ShardedOptions(),
+                                              &local));
+    } else {
+      XSM_ASSIGN_OR_RETURN(
+          service,
+          service::MatchService::Recover(env(), path, wal_path,
+                                         ServiceOptionsFor(name), &local));
+    }
     wal_recoveries_->Increment();
     wal_records_replayed_->Increment(local.records_replayed);
     wal_records_skipped_->Increment(local.records_skipped);
@@ -140,9 +185,17 @@ Result<Tenant*> TenantRegistry::WarmStart(const std::string& name,
     if (report != nullptr) *report = local;
     return Insert(name, std::move(service));
   }
-  XSM_ASSIGN_OR_RETURN(
-      auto service,
-      service::MatchService::WarmStart(path, ServiceOptionsFor(name)));
+  std::unique_ptr<service::Matcher> service;
+  if (sharded) {
+    XSM_ASSIGN_OR_RETURN(
+        service,
+        shard::ShardedMatchService::WarmStart(path, ServiceOptionsFor(name),
+                                              shard::ShardedOptions(), env()));
+  } else {
+    XSM_ASSIGN_OR_RETURN(
+        service,
+        service::MatchService::WarmStart(path, ServiceOptionsFor(name)));
+  }
   return Insert(name, std::move(service));
 }
 

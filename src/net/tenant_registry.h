@@ -1,9 +1,11 @@
 // TenantRegistry: the multi-tenant heart of the xsm::net front end. Each
-// named tenant owns a full serving stack — its own MatchService (and with
-// it a live::RepositoryManager generation chain and cluster-cache
-// namespaces) plus a ServeSession exposing the NDJSON surface — so tenants
-// evolve, cache and persist independently: a delta ingested into one
-// tenant can never touch another's snapshots or warm caches.
+// named tenant owns a full serving stack — its own Matcher backend (a
+// single-snapshot MatchService, or a ShardedMatchService when
+// TenantRegistryOptions::shards > 1; either way a live generation chain
+// and cluster-cache namespaces) plus a ServeSession exposing the NDJSON
+// surface — so tenants evolve, cache and persist independently: a delta
+// ingested into one tenant can never touch another's snapshots or warm
+// caches.
 //
 // Persistence: when constructed with a state directory, each tenant maps
 // to `<state_dir>/<name>.snap` via xsm::store. SaveAll() persists every
@@ -45,8 +47,14 @@
 namespace xsm::net {
 
 struct TenantRegistryOptions {
-  /// Applied to every tenant's MatchService.
+  /// Applied to every tenant's Matcher backend.
   service::MatchServiceOptions service;
+  /// Shards per tenant. 1 (the default) serves each tenant from a plain
+  /// MatchService; > 1 serves it from a shard::ShardedMatchService with
+  /// this many node-balanced shards (results stay byte-identical — see
+  /// src/shard). Warm starts sniff the on-disk format, so a registry can
+  /// boot snapshots saved under either setting.
+  size_t shards = 1;
   /// Applied to every tenant's ServeSession. allow_filesystem is forced
   /// off regardless — remote clients must never name server paths; tenant
   /// persistence goes through Save*/WarmStart* and the state directory.
@@ -71,7 +79,7 @@ struct TenantRegistryOptions {
 /// One tenant's serving stack.
 struct Tenant {
   std::string name;
-  std::unique_ptr<service::MatchService> service;
+  std::unique_ptr<service::Matcher> service;
   std::unique_ptr<service::ServeSession> session;
 };
 
@@ -149,10 +157,10 @@ class TenantRegistry {
 
  private:
   Result<Tenant*> Insert(const std::string& name,
-                         std::unique_ptr<service::MatchService> service);
+                         std::unique_ptr<service::Matcher> service);
 
   /// A copy of options_.service stamped with the shared registry and the
-  /// tenant label — what every tenant's MatchService is constructed with.
+  /// tenant label — what every tenant's backend is constructed with.
   service::MatchServiceOptions ServiceOptionsFor(
       const std::string& name) const;
 

@@ -80,6 +80,15 @@ void AppendStateOptionsFingerprint(const core::ClusterStateOptions& options,
 
 }  // namespace
 
+std::string BuildClusterStateKey(const schema::SchemaTree& personal,
+                                 const core::ClusterStateOptions& options) {
+  std::string key;
+  key.reserve(256);
+  AppendTreeFingerprint(personal, &key);
+  AppendStateOptionsFingerprint(options, &key);
+  return key;
+}
+
 Result<std::unique_ptr<MatchService>> MatchService::Create(
     schema::SchemaForest repository, const MatchServiceOptions& options) {
   XSM_ASSIGN_OR_RETURN(std::shared_ptr<const RepositorySnapshot> snapshot,
@@ -220,13 +229,11 @@ core::MatchOptions MatchService::EffectiveOptions(
 
 core::MatchOptions MatchService::EffectiveOptionsFor(
     const MatchQuery& query, const RepositorySnapshot& snapshot) const {
-  core::MatchOptions effective = query.options;
-  const bool randomized =
-      effective.clustering == core::ClusteringMode::kKMeans &&
-      effective.kmeans.init != cluster::CentroidInit::kMinSet;
-  if (options_.derive_seeds && randomized) {
-    effective.kmeans.seed = SeedForQuery(options_.base_seed, query.id);
-  }
+  // The pure, backend-independent part (seed derivation + control strip)
+  // lives in EffectiveRequestOptions so every surface reporting effective
+  // options computes them the same way.
+  core::MatchOptions effective = EffectiveRequestOptions(
+      query, {options_.base_seed, options_.derive_seeds});
   // Element-matching execution plumbing. Results never depend on these (the
   // engine is bit-identical with or without them), so the cluster-state key
   // ignores them and cached states stay shareable across configurations.
@@ -236,27 +243,8 @@ core::MatchOptions MatchService::EffectiveOptionsFor(
   if (effective.element.pool == nullptr && matching_pool_ != nullptr) {
     effective.element.pool = matching_pool_.get();
   }
-  // A query-supplied element.control is dropped, not honored: cached
-  // cluster-state builds must always run to completion — a cancelled build
-  // would fail every concurrent query sharing it in-flight (the cache key
-  // excludes control on purpose). Cancellation and deadlines bound the
-  // generation phase through Match(query, control, observer) instead.
-  effective.element.control = nullptr;
   return effective;
 }
-
-namespace {
-
-std::string BuildClusterStateKey(const schema::SchemaTree& personal,
-                                 const core::ClusterStateOptions& options) {
-  std::string key;
-  key.reserve(256);
-  AppendTreeFingerprint(personal, &key);
-  AppendStateOptionsFingerprint(options, &key);
-  return key;
-}
-
-}  // namespace
 
 std::string MatchService::ClusterStateKey(const MatchQuery& query) const {
   return BuildClusterStateKey(
@@ -272,6 +260,52 @@ core::ExecutionControl MatchService::ResolveControl(
             std::chrono::duration<double>(options_.default_deadline_seconds));
   }
   return control;
+}
+
+namespace {
+
+/// Pins handed to this backend must be its own snapshots; a pin from a
+/// different backend (or a null one) is a caller bug surfaced as
+/// InvalidArgument instead of undefined behaviour.
+Result<std::shared_ptr<const RepositorySnapshot>> AsSnapshot(
+    const RepositoryPinPtr& pin) {
+  auto snapshot = std::dynamic_pointer_cast<const RepositorySnapshot>(pin);
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument(
+        "pin does not come from this backend's chain");
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+Result<core::MatchResult> MatchService::RunOn(
+    const RepositoryPinPtr& pin, const MatchRequest& request,
+    const core::ExecutionControl& control, core::MatchObserver* observer) {
+  XSM_ASSIGN_OR_RETURN(std::shared_ptr<const RepositorySnapshot> snapshot,
+                       AsSnapshot(pin));
+  return MatchOnSnapshot(snapshot, request, control, observer);
+}
+
+MatchHandle MatchService::Submit(RepositoryPinPtr pin, MatchRequest request,
+                                 core::ExecutionControl control,
+                                 core::MatchObserver* observer) {
+  Result<std::shared_ptr<const RepositorySnapshot>> snapshot =
+      AsSnapshot(pin);
+  if (!snapshot.ok()) {
+    std::promise<Result<core::MatchResult>> failed;
+    failed.set_value(snapshot.status());
+    return MatchHandle(core::CancelToken(), failed.get_future());
+  }
+  return SubmitMatchOn(std::move(snapshot.value()), std::move(request),
+                       std::move(control), observer);
+}
+
+Result<ClusterStatePtr> MatchService::ClusterStateFor(
+    const RepositoryPinPtr& pin, const MatchRequest& request) {
+  XSM_ASSIGN_OR_RETURN(std::shared_ptr<const RepositorySnapshot> snapshot,
+                       AsSnapshot(pin));
+  return ClusterStateOn(snapshot, request);
 }
 
 Result<core::MatchResult> MatchService::Match(const MatchQuery& query) {
@@ -398,13 +432,12 @@ MatchHandle MatchService::SubmitMatchOn(
     core::ExecutionControl control, core::MatchObserver* observer) {
   // Resolve the default deadline now: time spent queued counts against it.
   control = ResolveControl(std::move(control));
-  MatchHandle handle;
-  handle.token_ = control.cancel;
+  core::CancelToken token = control.cancel;
   // Pool queue wait is the admission-side span: it starts now and ends
   // when a worker picks the query up.
   const double submitted_ms =
       control.trace != nullptr ? control.trace->NowMs() : 0;
-  handle.future_ =
+  std::future<Result<core::MatchResult>> future =
       pool_.Submit([this, snapshot = std::move(snapshot),
                     query = std::move(query), control = std::move(control),
                     submitted_ms, observer]() {
@@ -414,10 +447,14 @@ MatchHandle MatchService::SubmitMatchOn(
         }
         return MatchOnSnapshot(snapshot, query, control, observer);
       });
-  return handle;
+  return MatchHandle(std::move(token), std::move(future));
 }
 
 BatchMatchResult MatchService::MatchBatch(std::vector<MatchQuery> queries) {
+  return RunBatch(std::move(queries));
+}
+
+BatchMatchResult MatchService::RunBatch(std::vector<MatchRequest> queries) {
   batches_->Increment();
   // One pin for the whole batch: all members run against the same
   // generation, so the result set is internally consistent even when

@@ -63,144 +63,20 @@
 #include "schema/schema_forest.h"
 #include "schema/schema_tree.h"
 #include "service/cluster_index_cache.h"
+#include "service/matcher.h"
 #include "service/repository_snapshot.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace xsm::service {
 
-/// One unit of service work: a personal schema plus the matching knobs.
-struct MatchQuery {
-  /// Stable identity of the query. Labels results and — for randomized
-  /// clustering initializations — seeds the per-query RNG, so re-running a
-  /// query with the same id reproduces its result exactly regardless of
-  /// concurrency (see MatchServiceOptions::derive_seeds).
-  std::string id;
-  schema::SchemaTree personal;
-  core::MatchOptions options;
-};
-
-struct MatchServiceOptions {
-  /// Worker threads executing SubmitMatch / MatchBatch work; 0 means
-  /// ThreadPool::DefaultThreadCount().
-  size_t num_threads = 0;
-  /// Worker threads for the element-matching stage of cluster-state builds
-  /// (dictionary shards; see match::ElementMatchingOptions::pool). A
-  /// dedicated pool, separate from `num_threads`: queries executing on the
-  /// main pool fan their matching out here, so they can never deadlock
-  /// waiting on their own workers. 0 scores serially on the query's thread
-  /// — the right default when the main pool already saturates the machine.
-  size_t matching_threads = 0;
-  /// Capacity of each cluster-state cache namespace in entries (distinct
-  /// (personal schema, clustering options) keys); 0 disables caching.
-  size_t cluster_cache_capacity = 64;
-  /// Cluster caches are namespaced by snapshot fingerprint (repository
-  /// content), so ApplyDelta can never let a stale cluster state serve a
-  /// changed repository. This many *non-current* fingerprints' caches are
-  /// retained alongside the current one: queries pinned to a recent
-  /// generation stay warm across small deltas, and a delta that restores
-  /// earlier content (equal fingerprint) gets its warm cache back.
-  size_t cache_retained_generations = 1;
-  /// Base seed mixed with query ids by SeedForQuery.
-  uint64_t base_seed = 42;
-  /// When a query's clustering consumes randomness (CentroidInit::kRandom /
-  /// kFarthestFirst), replace its k-means seed with
-  /// SeedForQuery(base_seed, query.id) so results are a pure function of
-  /// the query, not of thread interleaving. The default kMinSet
-  /// initialization is deterministic and ignores the seed, so those
-  /// queries share cache entries across ids.
-  bool derive_seeds = true;
-  /// Per-query wall-clock deadline in seconds, applied to every query whose
-  /// ExecutionControl carries no deadline of its own; 0 disables. The clock
-  /// starts when the query is submitted (SubmitMatch) or executed (Match /
-  /// MatchStreaming / MatchBatch members), so pool queue wait counts
-  /// against it. An expired query returns the mappings found so far with
-  /// MatchResult::execution == kDeadlineExceeded.
-  double default_deadline_seconds = 0;
-  /// Registry this service's metric series live in — shared across
-  /// components (the HTTP front-end passes one registry to every tenant's
-  /// service) so one `/metrics` scrape covers the process. nullptr: the
-  /// service creates a private registry (metrics() exposes it either way).
-  obs::MetricsRegistry* metrics = nullptr;
-  /// Value of the `tenant` label on this service's series; empty emits
-  /// unlabeled series (single-tenant processes).
-  std::string metrics_tenant;
-  /// false disables the per-query instrumentation added beyond the
-  /// historical counters — latency histogram, slow-query accounting —
-  /// giving benchmarks an uninstrumented baseline to measure overhead
-  /// against. Counters still work (they replaced equal-cost atomics).
-  bool enable_metrics = true;
-  /// Queries slower than this many wall-clock milliseconds count into
-  /// xsm_slow_queries_total, and serving layers log them (ServeSession
-  /// emits a "slow_query" NDJSON event). 0 disables.
-  double slow_query_ms = 0;
-};
-
-/// Result of one MatchBatch call: the per-query results in input order plus
-/// the provenance of the snapshot the whole batch was pinned to. Callers
-/// recording where results came from (integration provenance, scatter-gather
-/// merges) read the generation/fingerprint instead of racing
-/// CurrentGeneration() against concurrent deltas.
-struct BatchMatchResult {
-  /// Generation number of the snapshot that served every batch member.
-  uint64_t generation = 0;
-  /// Content fingerprint of that snapshot.
-  uint64_t fingerprint = 0;
-  /// Per-query results, in input order.
-  std::vector<Result<core::MatchResult>> results;
-};
-
-struct ServiceStats {
-  uint64_t queries = 0;  ///< Match() calls (batch members included)
-  uint64_t batches = 0;  ///< MatchBatch() calls
-  // Queries cut short by execution control (terminal status != kCompleted).
-  uint64_t cancelled = 0;
-  uint64_t deadline_exceeded = 0;
-  uint64_t early_stopped = 0;
-  // Evolving-repository state.
-  uint64_t generation = 0;       ///< current repository generation
-  uint64_t deltas_applied = 0;   ///< successful ApplyDelta calls
-  /// Queries whose wall-clock time exceeded MatchServiceOptions::
-  /// slow_query_ms (0 while that threshold is disabled).
-  uint64_t slow_queries = 0;
-  size_t cache_namespaces = 0;   ///< retained per-fingerprint caches
-  /// Cluster-cache counters aggregated over every namespace this service
-  /// ever held (dropped namespaces' counters are folded in, and their
-  /// resident entries at drop time count as evictions).
-  ClusterIndexCache::Stats cache;
-};
-
-/// Handle to one in-flight SubmitMatch query. Cancel() requests cooperative
-/// cancellation — the query still resolves normally (Status-OK) with the
-/// mappings found so far and execution == kCancelled. Move-only; Get() may
-/// be called once.
-class MatchHandle {
- public:
-  MatchHandle() = default;
-
-  /// Requests cancellation; safe from any thread, idempotent, and a no-op
-  /// once the query finished.
-  void Cancel() const { token_.Cancel(); }
-
-  /// Blocks until the query finishes and returns its result.
-  Result<core::MatchResult> Get() { return future_.get(); }
-
-  /// True until Get() consumes the result.
-  bool valid() const { return future_.valid(); }
-
-  /// The underlying future, for callers that need wait_for/wait_until.
-  std::future<Result<core::MatchResult>>& future() { return future_; }
-
-  const core::CancelToken& token() const { return token_; }
-
- private:
-  friend class MatchService;
-  core::CancelToken token_;
-  std::future<Result<core::MatchResult>> future_;
-};
+// MatchQuery, MatchServiceOptions, BatchMatchResult, ServiceStats and
+// MatchHandle live in service/matcher.h (shared by every backend); this
+// header keeps only the single-snapshot implementation.
 
 /// Thread-safe; one instance serves arbitrarily many concurrent callers.
-class MatchService {
+/// The single-snapshot Matcher backend.
+class MatchService : public Matcher {
  public:
   /// Convenience: snapshots `repository` (validating it, building the
   /// index once) and wraps it in a service.
@@ -239,70 +115,94 @@ class MatchService {
   MatchService(const MatchService&) = delete;
   MatchService& operator=(const MatchService&) = delete;
 
-  ~MatchService();
+  ~MatchService() override;
 
-  /// Executes one query on the calling thread (consults / fills the
-  /// cluster cache). Safe to call from any number of threads.
+  // --- Matcher surface. ---------------------------------------------------
+
+  /// The current snapshot is the pin: no translation layer, the snapshot
+  /// class implements RepositoryPin directly.
+  RepositoryPinPtr Pin() const override { return manager_->Current(); }
+
+  /// Executes one request against an explicit pin on the calling thread
+  /// (consults / fills the cluster cache). `pin` must come from this
+  /// service's chain (Pin() / CurrentSnapshot()).
+  Result<core::MatchResult> RunOn(
+      const RepositoryPinPtr& pin, const MatchRequest& request,
+      const core::ExecutionControl& control,
+      core::MatchObserver* observer = nullptr) override;
+
+  MatchHandle Submit(RepositoryPinPtr pin, MatchRequest request,
+                     core::ExecutionControl control = core::ExecutionControl(),
+                     core::MatchObserver* observer = nullptr) override;
+
+  BatchMatchResult RunBatch(std::vector<MatchRequest> requests) override;
+
+  Result<ClusterStatePtr> ClusterStateFor(const RepositoryPinPtr& pin,
+                                          const MatchRequest& request) override;
+
+  // --- Historical entry points (thin deprecated wrappers over the Matcher
+  // surface; prefer Run/RunOn/Submit/RunBatch in new code). ----------------
+
+  /// Deprecated: use Run / RunOn. Executes one query on the calling thread
+  /// (consults / fills the cluster cache). Safe to call from any number of
+  /// threads.
   Result<core::MatchResult> Match(const MatchQuery& query);
 
-  /// Anytime variant: runs under `control` (cancellation / deadline /
-  /// stop-after-N; the service default deadline fills in if `control` has
-  /// none) and streams progress to `observer` (may be null). A run no limit
-  /// interrupts is byte-identical to Match(query); an interrupted run
-  /// resolves Status-OK with the mappings found so far and the typed
-  /// terminal status in MatchResult::execution. Cancellation never poisons
-  /// the cluster cache: a cluster-state build that has started always
-  /// completes (and is cached fully built); control is re-checked before
-  /// and after it.
+  /// Deprecated: use RunOn with an explicit pin. Anytime variant: runs
+  /// under `control` (cancellation / deadline / stop-after-N; the service
+  /// default deadline fills in if `control` has none) and streams progress
+  /// to `observer` (may be null). A run no limit interrupts is
+  /// byte-identical to Match(query); an interrupted run resolves Status-OK
+  /// with the mappings found so far and the typed terminal status in
+  /// MatchResult::execution. Cancellation never poisons the cluster cache:
+  /// a cluster-state build that has started always completes (and is
+  /// cached fully built); control is re-checked before and after it.
   Result<core::MatchResult> Match(const MatchQuery& query,
                                   const core::ExecutionControl& control,
                                   core::MatchObserver* observer = nullptr);
 
-  /// Sugar for streaming consumers: Match(query, control, observer) with
-  /// the argument order of "subscribe this observer to that query".
+  /// Deprecated: use RunOn. Sugar for streaming consumers: Match(query,
+  /// control, observer) with the argument order of "subscribe this
+  /// observer to that query".
   Result<core::MatchResult> MatchStreaming(
       const MatchQuery& query, core::MatchObserver* observer,
       const core::ExecutionControl& control = core::ExecutionControl());
 
-  /// Enqueues one query on the pool and returns a cancellable handle; the
-  /// service default deadline starts now (queue wait counts). `observer`
-  /// (may be null) must outlive the query; its callbacks run on the pool
-  /// thread executing it.
+  /// Deprecated: use Submit. Enqueues one query on the pool against the
+  /// current snapshot and returns a cancellable handle; the service
+  /// default deadline starts now (queue wait counts). `observer` (may be
+  /// null) must outlive the query; its callbacks run on the pool thread
+  /// executing it.
   MatchHandle SubmitMatch(MatchQuery query,
                           core::ExecutionControl control =
                               core::ExecutionControl(),
                           core::MatchObserver* observer = nullptr);
 
-  /// SubmitMatch against an explicit snapshot pin instead of the current
-  /// one. Callers that format results against a snapshot they already hold
-  /// (ServeSession's NDJSON observers name mapped trees through the
-  /// forest) pass that snapshot here, so query and formatter provably see
-  /// the same generation even when deltas land between the caller's pin
-  /// and the submission. `pinned` must come from this service's chain.
+  /// Deprecated: use Submit(pin, ...). SubmitMatch against an explicit
+  /// snapshot pin instead of the current one. Callers that format results
+  /// against a snapshot they already hold (ServeSession's NDJSON observers
+  /// name mapped trees through the forest) pass that snapshot here, so
+  /// query and formatter provably see the same generation even when deltas
+  /// land between the caller's pin and the submission. `pinned` must come
+  /// from this service's chain.
   MatchHandle SubmitMatchOn(
       std::shared_ptr<const RepositorySnapshot> pinned, MatchQuery query,
       core::ExecutionControl control = core::ExecutionControl(),
       core::MatchObserver* observer = nullptr);
 
-  /// Executes all queries on the pool and returns their results in input
-  /// order. The whole batch is pinned to one snapshot — the generation
-  /// current at the call — so its results are mutually consistent even
-  /// when deltas land mid-batch, and the result names that snapshot
-  /// (generation + fingerprint) so callers can record which repository
-  /// content served them. Blocks until the batch is done. Call from
-  /// outside the pool (a batch inside a pool task would wait on its own
-  /// workers).
+  /// Deprecated: use RunBatch.
   BatchMatchResult MatchBatch(std::vector<MatchQuery> queries);
 
-  /// The cached cluster state (element matching + clustering) for `query`
-  /// against an explicit snapshot pin: consults the snapshot fingerprint's
-  /// cache namespace and computes-once on miss, exactly like the query
-  /// path. The build always runs to completion (query-supplied
-  /// element.control is stripped), so the cache can never hold a partial
-  /// state. This is the integration engine's bulk-preprocessing hook: N
-  /// schemas sliced into personal-schema queries share every state with
-  /// interactive traffic and with later integration runs on the same
-  /// content. `snapshot` must come from this service's chain.
+  /// Deprecated: use ClusterStateFor. The cached cluster state (element
+  /// matching + clustering) for `query` against an explicit snapshot pin:
+  /// consults the snapshot fingerprint's cache namespace and computes-once
+  /// on miss, exactly like the query path. The build always runs to
+  /// completion (query-supplied element.control is stripped), so the cache
+  /// can never hold a partial state. This is the integration engine's
+  /// bulk-preprocessing hook: N schemas sliced into personal-schema
+  /// queries share every state with interactive traffic and with later
+  /// integration runs on the same content. `snapshot` must come from this
+  /// service's chain.
   Result<ClusterStatePtr> ClusterStateOn(
       const std::shared_ptr<const RepositorySnapshot>& snapshot,
       const MatchQuery& query);
@@ -313,11 +213,14 @@ class MatchService {
   /// Serialized with concurrent ApplyDelta calls; on error nothing
   /// changes. `trace` (may be null) receives the per-stage spans
   /// (delta_validate / snapshot_build / wal_fsync / publish).
-  Result<live::ApplyReport> ApplyDelta(const live::RepositoryDelta& delta,
-                                       obs::TraceContext* trace = nullptr);
+  Result<live::ApplyReport> ApplyDelta(
+      const live::RepositoryDelta& delta,
+      obs::TraceContext* trace = nullptr) override;
 
   /// Generation number of the current snapshot (0 until the first delta).
-  uint64_t CurrentGeneration() const { return manager_->CurrentGeneration(); }
+  uint64_t CurrentGeneration() const override {
+    return manager_->CurrentGeneration();
+  }
 
   /// The current snapshot. Hold the returned shared_ptr while touching the
   /// forest/dictionary it exposes — a concurrent ApplyDelta retires the
@@ -326,15 +229,15 @@ class MatchService {
     return manager_->Current();
   }
 
-  const MatchServiceOptions& options() const { return options_; }
-  ThreadPool& pool() { return pool_; }
-  ServiceStats stats() const;
+  const MatchServiceOptions& options() const override { return options_; }
+  ThreadPool& pool() override { return pool_; }
+  ServiceStats stats() const override;
 
   /// The registry this service's series live in — the shared one from
   /// MatchServiceOptions::metrics or the private fallback. Every stats
   /// surface (`!stats`, `/v1/stats`, `/metrics`) reads values that
   /// originate here, so they can never disagree.
-  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  obs::MetricsRegistry& metrics() const override { return *metrics_; }
 
   /// Drops every cached cluster state in every retained namespace
   /// (measurement / repository tuning).
@@ -345,7 +248,8 @@ class MatchService {
   /// deltas: the snapshot pinned at entry is saved, whole and consistent.
   /// `trace` (may be null) receives store_save / wal_compact spans.
   Result<store::SnapshotFileInfo> SaveSnapshot(
-      const std::string& path, obs::TraceContext* trace = nullptr) const {
+      const std::string& path,
+      obs::TraceContext* trace = nullptr) const override {
     return manager_->SaveSnapshot(path, trace);
   }
 
@@ -354,12 +258,12 @@ class MatchService {
   /// before the new generation is published, so an acknowledged delta
   /// survives a crash. SaveSnapshot then compacts the journal. See
   /// live::RepositoryManager::AttachWal.
-  Status AttachWal(util::io::Env* env, const std::string& wal_path) {
+  Status AttachWal(util::io::Env* env, const std::string& wal_path) override {
     return manager_->AttachWal(env, wal_path);
   }
 
   /// Whether deltas are currently being journaled.
-  bool wal_attached() const { return manager_->wal_attached(); }
+  bool wal_attached() const override { return manager_->wal_attached(); }
 
   /// The options Match() actually runs for `query` against the *current*
   /// snapshot, after per-query seed derivation and element-matching
@@ -368,13 +272,13 @@ class MatchService {
   /// tests and tools. Lifetime: the injected dictionary points into the
   /// snapshot current at this call — hold CurrentSnapshot() across any use
   /// of the returned options, or a concurrent ApplyDelta may retire it.
-  core::MatchOptions EffectiveOptions(const MatchQuery& query) const;
+  core::MatchOptions EffectiveOptions(const MatchQuery& query) const override;
 
   /// The cluster-cache key for `query`: a canonical fingerprint of its
   /// personal schema and state-determining options. Stable across
   /// generations — cross-generation isolation comes from the namespace,
   /// not the key. Exposed for tests.
-  std::string ClusterStateKey(const MatchQuery& query) const;
+  std::string ClusterStateKey(const MatchQuery& query) const override;
 
  private:
   /// Per-fingerprint cluster-cache namespace, kept in LRU order.

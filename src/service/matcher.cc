@@ -1,0 +1,69 @@
+#include "service/matcher.h"
+
+#include <utility>
+
+#include "util/random.h"
+
+namespace xsm::service {
+
+Result<MatchRequest> MatchRequestBuilder::Build() const {
+  if (request_.personal.empty()) {
+    return Status::InvalidArgument("personal schema is empty");
+  }
+  XSM_RETURN_NOT_OK(request_.personal.Validate());
+  const core::MatchOptions& options = request_.options;
+  if (options.delta < 0.0 || options.delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0,1]");
+  }
+  if (options.element.threshold < 0.0 || options.element.threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in [0,1]");
+  }
+  XSM_RETURN_NOT_OK(options.objective.Validate());
+  if (options.clustering == core::ClusteringMode::kKMeans) {
+    XSM_RETURN_NOT_OK(options.kmeans.Validate());
+  }
+  return request_;
+}
+
+core::MatchOptions EffectiveRequestOptions(
+    const MatchRequest& request, const EffectiveOptionsPolicy& policy) {
+  core::MatchOptions effective = request.options;
+  const bool randomized =
+      effective.clustering == core::ClusteringMode::kKMeans &&
+      effective.kmeans.init != cluster::CentroidInit::kMinSet;
+  if (policy.derive_seeds && randomized) {
+    effective.kmeans.seed = SeedForQuery(policy.base_seed, request.id);
+  }
+  // A request-supplied element.control is dropped, not honored: cached
+  // cluster-state builds must always run to completion — a cancelled build
+  // would fail every concurrent request sharing it in-flight (the cache key
+  // excludes control on purpose). Cancellation and deadlines bound the
+  // generation phase through the RunOn control instead.
+  effective.element.control = nullptr;
+  return effective;
+}
+
+std::vector<ShardDescriptor> Matcher::Shards() const {
+  RepositoryPinPtr pin = Pin();
+  ShardDescriptor shard;
+  shard.shard = 0;
+  shard.generation = pin->generation();
+  shard.fingerprint = pin->fingerprint();
+  shard.trees = pin->num_trees();
+  shard.nodes = pin->total_nodes();
+  shard.first_tree = 0;
+  return {shard};
+}
+
+Result<MatchOutcome> Matcher::Run(const MatchRequest& request,
+                                  const core::ExecutionControl& control,
+                                  core::MatchObserver* observer) {
+  RepositoryPinPtr pin = Pin();
+  MatchOutcome outcome;
+  outcome.generation = pin->generation();
+  outcome.fingerprint = pin->fingerprint();
+  XSM_ASSIGN_OR_RETURN(outcome.result, RunOn(pin, request, control, observer));
+  return outcome;
+}
+
+}  // namespace xsm::service

@@ -1,0 +1,400 @@
+// Matcher: the one calling surface every matching backend implements.
+//
+// Historically callers bound to five overlapping MatchService entry points
+// (Match / Match+control / MatchStreaming / SubmitMatch / MatchBatch), which
+// made the service the only possible backend. This header is the redesigned
+// contract: a backend takes one MatchRequest in and produces one MatchOutcome
+// (streaming progress through the same MatchObserver as before), against an
+// explicit RepositoryPin so the caller and the engine provably see the same
+// repository generation. Both the single-snapshot MatchService and the
+// scatter-gather shard::ShardedMatchService implement it, so ServeSession,
+// the HTTP endpoints, the CLI and the IntegrationEngine are backend-agnostic.
+//
+//   Result<MatchOutcome> out = matcher->Run(request);            // terminal
+//   MatchHandle h = matcher->Submit(matcher->Pin(), request);    // async
+//   matcher->RunOn(pin, request, control, &observer);            // streaming
+//
+// The historical MatchService entry points still exist as thin deprecated
+// wrappers over this surface.
+#ifndef XSM_SERVICE_MATCHER_H_
+#define XSM_SERVICE_MATCHER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bellflower.h"
+#include "core/execution_control.h"
+#include "core/match_observer.h"
+#include "live/repository_delta.h"
+#include "live/repository_manager.h"
+#include "obs/metrics.h"
+#include "schema/schema_tree.h"
+#include "service/cluster_index_cache.h"
+#include "service/repository_pin.h"
+#include "store/snapshot_store.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace xsm::service {
+
+/// One unit of service work: a personal schema plus the matching knobs.
+struct MatchRequest {
+  /// Stable identity of the request. Labels results and — for randomized
+  /// clustering initializations — seeds the per-query RNG, so re-running a
+  /// request with the same id reproduces its result exactly regardless of
+  /// concurrency (see MatchServiceOptions::derive_seeds).
+  std::string id;
+  schema::SchemaTree personal;
+  core::MatchOptions options;
+};
+
+/// Historical name; MatchQuery and MatchRequest are the same type.
+/// Deprecated: new code should say MatchRequest.
+using MatchQuery = MatchRequest;
+
+/// Validated construction of a MatchRequest: setters collect the knobs that
+/// used to be poked loose into MatchQuery fields by every serving layer, and
+/// Build() runs the complete validation (previously scattered across
+/// ParseQuery, MatchService and Bellflower) once, up front. A request that
+/// Build() returns is accepted by every backend.
+class MatchRequestBuilder {
+ public:
+  MatchRequestBuilder& id(std::string id) {
+    request_.id = std::move(id);
+    return *this;
+  }
+  MatchRequestBuilder& personal(schema::SchemaTree personal) {
+    request_.personal = std::move(personal);
+    return *this;
+  }
+  /// Adopts a full options block (defaults for a serving layer), on top of
+  /// which the knob setters below apply.
+  MatchRequestBuilder& options(const core::MatchOptions& options) {
+    request_.options = options;
+    return *this;
+  }
+  MatchRequestBuilder& delta(double delta) {
+    request_.options.delta = delta;
+    return *this;
+  }
+  MatchRequestBuilder& top_n(size_t top_n) {
+    request_.options.top_n = top_n;
+    return *this;
+  }
+  MatchRequestBuilder& threshold(double threshold) {
+    request_.options.element.threshold = threshold;
+    return *this;
+  }
+  MatchRequestBuilder& alpha(double alpha) {
+    request_.options.objective.alpha = alpha;
+    return *this;
+  }
+  MatchRequestBuilder& clustering(core::ClusteringMode mode) {
+    request_.options.clustering = mode;
+    return *this;
+  }
+  MatchRequestBuilder& join_reclustering(bool enabled) {
+    request_.options.kmeans.join_reclustering = enabled;
+    return *this;
+  }
+  MatchRequestBuilder& include_partial_mappings(bool enabled) {
+    request_.options.include_partial_mappings = enabled;
+    return *this;
+  }
+
+  /// Access to the request under construction (for knobs without setters).
+  MatchRequest& request() { return request_; }
+
+  /// Validates every field a backend would otherwise reject mid-flight:
+  /// non-empty well-formed personal schema, δ and element threshold in
+  /// [0,1], objective and k-means parameters. Returns the finished request
+  /// by value; the builder may be reused afterwards.
+  Result<MatchRequest> Build() const;
+
+ private:
+  MatchRequest request_;
+};
+
+struct MatchServiceOptions {
+  /// Worker threads executing Submit / RunBatch work; 0 means
+  /// ThreadPool::DefaultThreadCount().
+  size_t num_threads = 0;
+  /// Worker threads for the element-matching stage of cluster-state builds
+  /// (dictionary shards; see match::ElementMatchingOptions::pool). A
+  /// dedicated pool, separate from `num_threads`: queries executing on the
+  /// main pool fan their matching out here, so they can never deadlock
+  /// waiting on their own workers. 0 scores serially on the query's thread
+  /// — the right default when the main pool already saturates the machine.
+  size_t matching_threads = 0;
+  /// Capacity of each cluster-state cache namespace in entries (distinct
+  /// (personal schema, clustering options) keys); 0 disables caching.
+  size_t cluster_cache_capacity = 64;
+  /// Cluster caches are namespaced by snapshot fingerprint (repository
+  /// content), so ApplyDelta can never let a stale cluster state serve a
+  /// changed repository. This many *non-current* fingerprints' caches are
+  /// retained alongside the current one: queries pinned to a recent
+  /// generation stay warm across small deltas, and a delta that restores
+  /// earlier content (equal fingerprint) gets its warm cache back.
+  size_t cache_retained_generations = 1;
+  /// Base seed mixed with request ids by SeedForQuery.
+  uint64_t base_seed = 42;
+  /// When a request's clustering consumes randomness (CentroidInit::kRandom
+  /// / kFarthestFirst), replace its k-means seed with
+  /// SeedForQuery(base_seed, request.id) so results are a pure function of
+  /// the request, not of thread interleaving. The default kMinSet
+  /// initialization is deterministic and ignores the seed, so those
+  /// requests share cache entries across ids.
+  bool derive_seeds = true;
+  /// Per-query wall-clock deadline in seconds, applied to every request
+  /// whose ExecutionControl carries no deadline of its own; 0 disables. The
+  /// clock starts when the request is submitted (Submit) or executed
+  /// (Run / RunBatch members), so pool queue wait counts against it. An
+  /// expired request returns the mappings found so far with
+  /// MatchResult::execution == kDeadlineExceeded.
+  double default_deadline_seconds = 0;
+  /// Registry this backend's metric series live in — shared across
+  /// components (the HTTP front-end passes one registry to every tenant's
+  /// backend) so one `/metrics` scrape covers the process. nullptr: the
+  /// backend creates a private registry (metrics() exposes it either way).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Value of the `tenant` label on this backend's series; empty emits
+  /// unlabeled series (single-tenant processes).
+  std::string metrics_tenant;
+  /// false disables the per-query instrumentation added beyond the
+  /// historical counters — latency histogram, slow-query accounting —
+  /// giving benchmarks an uninstrumented baseline to measure overhead
+  /// against. Counters still work (they replaced equal-cost atomics).
+  bool enable_metrics = true;
+  /// Queries slower than this many wall-clock milliseconds count into
+  /// xsm_slow_queries_total, and serving layers log them (ServeSession
+  /// emits a "slow_query" NDJSON event). 0 disables.
+  double slow_query_ms = 0;
+};
+
+/// The pure part of the "effective options" computation: what any backend
+/// runs for `request` given only the seeding policy — per-request k-means
+/// seed derivation for randomized initializations, and the removal of any
+/// caller-supplied element.control (cached cluster-state builds must always
+/// run to completion). Backends layer execution plumbing (the snapshot's
+/// name dictionary, the matching pool) on top of this; that plumbing never
+/// changes results, so `!stats`, HTTP and the CLI all report exactly the
+/// options this function returns.
+struct EffectiveOptionsPolicy {
+  uint64_t base_seed = 42;
+  bool derive_seeds = true;
+};
+core::MatchOptions EffectiveRequestOptions(const MatchRequest& request,
+                                           const EffectiveOptionsPolicy& policy);
+
+/// Result of one RunBatch call: the per-request results in input order plus
+/// the provenance of the pin the whole batch ran against. Callers recording
+/// where results came from (integration provenance, scatter-gather merges)
+/// read the generation/fingerprint instead of racing CurrentGeneration()
+/// against concurrent deltas.
+struct BatchMatchResult {
+  /// Generation number of the pin that served every batch member.
+  uint64_t generation = 0;
+  /// Content fingerprint of that pin.
+  uint64_t fingerprint = 0;
+  /// Per-request results, in input order.
+  std::vector<Result<core::MatchResult>> results;
+};
+
+/// Terminal result of one Run call: the engine result plus the provenance
+/// of the repository content that produced it.
+struct MatchOutcome {
+  core::MatchResult result;
+  uint64_t generation = 0;
+  uint64_t fingerprint = 0;
+};
+
+struct ServiceStats {
+  uint64_t queries = 0;  ///< executed requests (batch members included)
+  uint64_t batches = 0;  ///< RunBatch() calls
+  // Queries cut short by execution control (terminal status != kCompleted).
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t early_stopped = 0;
+  // Evolving-repository state.
+  uint64_t generation = 0;       ///< current repository generation
+  uint64_t deltas_applied = 0;   ///< successful ApplyDelta calls
+  /// Queries whose wall-clock time exceeded MatchServiceOptions::
+  /// slow_query_ms (0 while that threshold is disabled).
+  uint64_t slow_queries = 0;
+  size_t cache_namespaces = 0;   ///< retained per-fingerprint caches
+  /// Cluster-cache counters aggregated over every namespace this backend
+  /// ever held (dropped namespaces' counters are folded in, and their
+  /// resident entries at drop time count as evictions).
+  ClusterIndexCache::Stats cache;
+};
+
+/// One shard of a backend's repository, as reported by Matcher::Shards().
+/// The unsharded backend reports exactly one covering everything.
+struct ShardDescriptor {
+  size_t shard = 0;            ///< shard index in [0, K)
+  uint64_t generation = 0;     ///< the shard's own generation chain position
+  uint64_t fingerprint = 0;    ///< content fingerprint of the shard's forest
+  size_t trees = 0;            ///< trees owned by this shard
+  size_t nodes = 0;            ///< total nodes across those trees
+  schema::TreeId first_tree = 0;  ///< first global TreeId the shard owns
+};
+
+/// Handle to one in-flight Submit request. Cancel() requests cooperative
+/// cancellation — the request still resolves normally (Status-OK) with the
+/// mappings found so far and execution == kCancelled. Move-only; Get() may
+/// be called once.
+class MatchHandle {
+ public:
+  MatchHandle() = default;
+  MatchHandle(core::CancelToken token,
+              std::future<Result<core::MatchResult>> future)
+      : token_(std::move(token)), future_(std::move(future)) {}
+
+  /// Requests cancellation; safe from any thread, idempotent, and a no-op
+  /// once the request finished.
+  void Cancel() const { token_.Cancel(); }
+
+  /// Blocks until the request finishes and returns its result.
+  Result<core::MatchResult> Get() { return future_.get(); }
+
+  /// True until Get() consumes the result.
+  bool valid() const { return future_.valid(); }
+
+  /// The underlying future, for callers that need wait_for/wait_until.
+  std::future<Result<core::MatchResult>>& future() { return future_; }
+
+  const core::CancelToken& token() const { return token_; }
+
+ private:
+  core::CancelToken token_;
+  std::future<Result<core::MatchResult>> future_;
+};
+
+/// Abstract matching backend. Thread-safe: one instance serves arbitrarily
+/// many concurrent callers. Implementations: MatchService (one snapshot
+/// chain), shard::ShardedMatchService (K shard chains, scatter-gather).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  // --- Repository surface. -----------------------------------------------
+
+  /// Pins the current repository generation. Hold the returned pointer
+  /// while touching anything it exposes — a concurrent ApplyDelta retires
+  /// the generation once the last holder lets go.
+  virtual RepositoryPinPtr Pin() const = 0;
+
+  /// Generation number of the current pin (0 until the first delta).
+  virtual uint64_t CurrentGeneration() const = 0;
+
+  /// Applies a validated delta and atomically publishes the successor
+  /// generation. In-flight requests finish against their pins; requests
+  /// entering after this returns see the new generation. Serialized with
+  /// concurrent ApplyDelta calls; on error nothing changes. `trace` (may
+  /// be null) receives the per-stage spans.
+  virtual Result<live::ApplyReport> ApplyDelta(
+      const live::RepositoryDelta& delta,
+      obs::TraceContext* trace = nullptr) = 0;
+
+  /// Persists the current repository for a later warm start (atomic write).
+  /// Sharded backends fan this out into per-shard files plus a manifest
+  /// under `path`; the returned info aggregates over every file written.
+  virtual Result<store::SnapshotFileInfo> SaveSnapshot(
+      const std::string& path, obs::TraceContext* trace = nullptr) const = 0;
+
+  /// Write-ahead journals every subsequent ApplyDelta (sharded backends
+  /// journal per shard under the given path prefix): appended + fsync'd
+  /// before the new generation is published, so an acknowledged delta
+  /// survives a crash.
+  virtual Status AttachWal(util::io::Env* env,
+                           const std::string& wal_path) = 0;
+
+  /// Whether deltas are currently being journaled.
+  virtual bool wal_attached() const = 0;
+
+  /// The backend's shard layout: one descriptor per shard, in shard order.
+  /// The default (unsharded) implementation reports a single shard covering
+  /// the whole pinned repository.
+  virtual std::vector<ShardDescriptor> Shards() const;
+
+  // --- Query surface. ----------------------------------------------------
+
+  /// Executes one request against an explicit pin, on the calling thread,
+  /// streaming progress to `observer` (may be null) under `control`. The
+  /// pin must come from this backend's Pin(). A run no limit interrupts is
+  /// deterministic for a fixed (pin fingerprint, request); an interrupted
+  /// run resolves Status-OK with the mappings found so far and the typed
+  /// terminal status in MatchResult::execution.
+  virtual Result<core::MatchResult> RunOn(
+      const RepositoryPinPtr& pin, const MatchRequest& request,
+      const core::ExecutionControl& control,
+      core::MatchObserver* observer = nullptr) = 0;
+
+  /// Terminal convenience: pins the current generation, runs the request,
+  /// and wraps the result with the pin's provenance.
+  Result<MatchOutcome> Run(
+      const MatchRequest& request,
+      const core::ExecutionControl& control = core::ExecutionControl(),
+      core::MatchObserver* observer = nullptr);
+
+  /// Enqueues one request on the pool against an explicit pin and returns
+  /// a cancellable handle; the backend default deadline starts now (queue
+  /// wait counts). `observer` (may be null) must outlive the request; its
+  /// callbacks run on the pool thread executing it.
+  virtual MatchHandle Submit(
+      RepositoryPinPtr pin, MatchRequest request,
+      core::ExecutionControl control = core::ExecutionControl(),
+      core::MatchObserver* observer = nullptr) = 0;
+
+  /// Executes all requests on the pool and returns their results in input
+  /// order. The whole batch runs against one pin — the generation current
+  /// at the call — so its results are mutually consistent even when deltas
+  /// land mid-batch. Blocks until the batch is done; call from outside the
+  /// backend's pool.
+  virtual BatchMatchResult RunBatch(std::vector<MatchRequest> requests) = 0;
+
+  /// The cached cluster state (element matching + clustering) for
+  /// `request` against an explicit pin: consults the fingerprint-keyed
+  /// cache namespace and computes-once on miss, exactly like the query
+  /// path. The build always runs to completion, so the cache can never
+  /// hold a partial state.
+  virtual Result<ClusterStatePtr> ClusterStateFor(
+      const RepositoryPinPtr& pin, const MatchRequest& request) = 0;
+
+  // --- Introspection. ----------------------------------------------------
+
+  virtual const MatchServiceOptions& options() const = 0;
+  virtual ThreadPool& pool() = 0;
+  virtual ServiceStats stats() const = 0;
+
+  /// The registry this backend's series live in. Every stats surface
+  /// (`!stats`, `/v1/stats`, `/metrics`) reads values that originate here,
+  /// so they can never disagree.
+  virtual obs::MetricsRegistry& metrics() const = 0;
+
+  /// The options this backend actually runs for `request` against the
+  /// current pin: EffectiveRequestOptions plus backend execution plumbing
+  /// (which never changes results).
+  virtual core::MatchOptions EffectiveOptions(
+      const MatchRequest& request) const = 0;
+
+  /// The cluster-cache key for `request`: a canonical fingerprint of its
+  /// personal schema and state-determining options. Stable across
+  /// generations and identical across backends — cross-generation
+  /// isolation comes from the fingerprint namespace, not the key.
+  virtual std::string ClusterStateKey(const MatchRequest& request) const = 0;
+};
+
+/// The canonical cluster-cache key (exposed so every backend and test
+/// derives keys the same way): a canonical serialization of the personal
+/// schema plus the state-determining options.
+std::string BuildClusterStateKey(const schema::SchemaTree& personal,
+                                 const core::ClusterStateOptions& options);
+
+}  // namespace xsm::service
+
+#endif  // XSM_SERVICE_MATCHER_H_

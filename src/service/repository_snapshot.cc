@@ -13,6 +13,8 @@ inline uint64_t Mix(uint64_t h, uint64_t v) {
   return h;
 }
 
+}  // namespace
+
 /// Content hash of one tree: structure (parent links) plus every node
 /// property. Independent of the tree's position in the forest, so a
 /// successor snapshot can carry fingerprints of shared trees over even
@@ -31,14 +33,18 @@ uint64_t FingerprintTree(const schema::SchemaTree& tree) {
   return h;
 }
 
-}  // namespace
-
-void RepositorySnapshot::FinishFingerprint() {
-  uint64_t h = Mix(forest_.num_trees(), forest_.total_nodes());
-  for (uint64_t tree_fp : tree_fingerprints_) {
+uint64_t CombineForestFingerprint(size_t num_trees, size_t total_nodes,
+                                  const std::vector<uint64_t>& tree_fps) {
+  uint64_t h = Mix(num_trees, total_nodes);
+  for (uint64_t tree_fp : tree_fps) {
     h = Mix(h, tree_fp);
   }
-  fingerprint_ = h;
+  return h;
+}
+
+void RepositorySnapshot::FinishFingerprint() {
+  fingerprint_ = CombineForestFingerprint(
+      forest_.num_trees(), forest_.total_nodes(), tree_fingerprints_);
 }
 
 Result<std::shared_ptr<const RepositorySnapshot>> RepositorySnapshot::Create(

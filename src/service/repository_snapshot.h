@@ -22,13 +22,28 @@
 #include "label/tree_index.h"
 #include "match/name_dictionary.h"
 #include "schema/schema_forest.h"
+#include "service/repository_pin.h"
 #include "util/status.h"
 
 namespace xsm::service {
 
+/// Content hash of one tree: structure + node properties, independent of the
+/// tree's position in the forest (a tree keeps its fingerprint when removals
+/// renumber it). Exposed so other repository representations (the sharded
+/// backend's federated view) fingerprint content identically to snapshots.
+uint64_t FingerprintTree(const schema::SchemaTree& tree);
+
+/// Folds per-tree fingerprints (in TreeId order) into the forest-level
+/// fingerprint exactly the way RepositorySnapshot does, so equal content
+/// yields equal fingerprints across backends.
+uint64_t CombineForestFingerprint(size_t num_trees, size_t total_nodes,
+                                  const std::vector<uint64_t>& tree_fps);
+
 /// Immutable repository + index + matcher. Never mutated after creation, so
 /// a const reference may be used from any number of threads concurrently.
-class RepositorySnapshot {
+/// A snapshot is the single-backend RepositoryPin: MatchService::Pin()
+/// returns its current snapshot directly.
+class RepositorySnapshot : public RepositoryPin {
  public:
   /// How a snapshot came to be: what CreateSuccessor reused versus rebuilt
   /// (a from-scratch Create reports everything as rebuilt/computed).
@@ -76,7 +91,7 @@ class RepositorySnapshot {
   RepositorySnapshot(const RepositorySnapshot&) = delete;
   RepositorySnapshot& operator=(const RepositorySnapshot&) = delete;
 
-  const schema::SchemaForest& forest() const { return forest_; }
+  const schema::SchemaForest& forest() const override { return forest_; }
   const core::Bellflower& matcher() const { return *matcher_; }
   const label::ForestIndex& index() const { return matcher_->index(); }
   /// Deduplicated name table over the forest, built once here so every
@@ -89,17 +104,17 @@ class RepositorySnapshot {
   /// Position in the snapshot chain: 0 for Create, predecessor + 1 for
   /// CreateSuccessor. Identifies "which repository state" in logs and
   /// service stats; cache correctness keys on fingerprint(), not on this.
-  uint64_t generation() const { return generation_; }
+  uint64_t generation() const override { return generation_; }
 
   /// Content hash over every tree's structure and node properties;
   /// identifies the repository *content* (two snapshots with equal
   /// fingerprints hold equal forests, whatever their generations) and
   /// namespaces the service's cluster caches.
-  uint64_t fingerprint() const { return fingerprint_; }
+  uint64_t fingerprint() const override { return fingerprint_; }
 
   /// Content hash of one tree (independent of its TreeId, so a tree keeps
   /// its fingerprint when removals renumber it).
-  uint64_t tree_fingerprint(schema::TreeId id) const {
+  uint64_t tree_fingerprint(schema::TreeId id) const override {
     return tree_fingerprints_[static_cast<size_t>(id)];
   }
 

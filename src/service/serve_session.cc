@@ -66,11 +66,10 @@ Result<schema::SchemaForest> LoadForestFromPath(const std::string& path,
 
 NdjsonEventObserver::NdjsonEventObserver(
     const std::string& id, const schema::SchemaTree* personal,
-    std::shared_ptr<const RepositorySnapshot> snapshot, const EventSink& sink,
-    bool cluster_events)
+    RepositoryPinPtr pin, const EventSink& sink, bool cluster_events)
     : id_(JsonEscape(id)),
       personal_(personal),
-      snapshot_(std::move(snapshot)),
+      pin_(std::move(pin)),
       sink_(sink),
       cluster_events_(cluster_events) {}
 
@@ -85,7 +84,7 @@ void NdjsonEventObserver::OnMapping(const generate::SchemaMapping& mapping,
                 mapping.delta_path, ElapsedMs());
   std::string line = "{\"type\":\"mapping\",\"id\":\"" + id_ + nums;
   line += JsonEscape(
-      generate::MappingToString(mapping, *personal_, snapshot_->forest()));
+      generate::MappingToString(mapping, *personal_, pin_->forest()));
   line += "\"}";
   sink_(line);
 }
@@ -177,7 +176,7 @@ void NdjsonIntegrationObserver::OnFinish(
 
 // --- ServeSession ----------------------------------------------------------
 
-ServeSession::ServeSession(MatchService* service, ServeSessionOptions options)
+ServeSession::ServeSession(Matcher* service, ServeSessionOptions options)
     : service_(service), options_(std::move(options)) {}
 
 Result<MatchQuery> ServeSession::ParseQuery(const std::string& line,
@@ -189,10 +188,11 @@ Result<MatchQuery> ServeSession::ParseQuery(const std::string& line,
     return Status::InvalidArgument("empty query line");
   }
 
-  MatchQuery query;
-  query.id = "q" + std::to_string(index);
-  query.options = options_.defaults;
-  XSM_ASSIGN_OR_RETURN(query.personal, schema::ParseTreeSpec(spec));
+  MatchRequestBuilder builder;
+  builder.id("q" + std::to_string(index)).options(options_.defaults);
+  XSM_ASSIGN_OR_RETURN(schema::SchemaTree personal,
+                       schema::ParseTreeSpec(spec));
+  builder.personal(std::move(personal));
 
   std::string token;
   while (stream >> token) {
@@ -203,23 +203,23 @@ Result<MatchQuery> ServeSession::ParseQuery(const std::string& line,
     std::string key = token.substr(0, eq);
     std::string value = token.substr(eq + 1);
     if (key == "id") {
-      query.id = value;
+      builder.id(value);
     } else if (key == "delta") {
-      query.options.delta = std::atof(value.c_str());
+      builder.delta(std::atof(value.c_str()));
     } else if (key == "top") {
-      query.options.top_n = static_cast<size_t>(std::atol(value.c_str()));
+      builder.top_n(static_cast<size_t>(std::atol(value.c_str())));
     } else if (key == "join") {
-      query.options.kmeans.join_distance =
+      builder.request().options.kmeans.join_distance =
           static_cast<int>(std::atol(value.c_str()));
     } else if (key == "threshold") {
-      query.options.element.threshold = std::atof(value.c_str());
+      builder.threshold(std::atof(value.c_str()));
     } else if (key == "alpha") {
-      query.options.objective.alpha = std::atof(value.c_str());
+      builder.alpha(std::atof(value.c_str()));
     } else if (key == "cluster") {
       if (value == "tree") {
-        query.options.clustering = core::ClusteringMode::kTreeClusters;
+        builder.clustering(core::ClusteringMode::kTreeClusters);
       } else if (value == "kmeans") {
-        query.options.clustering = core::ClusteringMode::kKMeans;
+        builder.clustering(core::ClusteringMode::kKMeans);
       } else {
         return Status::InvalidArgument("cluster must be tree or kmeans");
       }
@@ -227,7 +227,10 @@ Result<MatchQuery> ServeSession::ParseQuery(const std::string& line,
       return Status::InvalidArgument("unknown query key: " + key);
     }
   }
-  return query;
+  // Build() validates the whole request up front (spec well-formedness,
+  // ranges, objective/k-means parameters), so a line the session accepts is
+  // a request every backend accepts.
+  return builder.Build();
 }
 
 Result<core::MatchResult> ServeSession::RunQuery(
@@ -245,13 +248,12 @@ Result<core::MatchResult> ServeSession::RunQuery(
   // One pin shared by the query and its observer: the observer formats
   // mapping text against the exact forest the query ran on, even when a
   // delta publishes between this call and the pool picking the task up.
-  std::shared_ptr<const RepositorySnapshot> snapshot =
-      service_->CurrentSnapshot();
-  NdjsonEventObserver observer(query.id, &query.personal, snapshot, sink,
+  RepositoryPinPtr pin = service_->Pin();
+  NdjsonEventObserver observer(query.id, &query.personal, pin, sink,
                                options_.cluster_events);
   const bool traced = control.trace == &trace;
-  MatchHandle handle = service_->SubmitMatchOn(std::move(snapshot), query,
-                                               std::move(control), &observer);
+  MatchHandle handle = service_->Submit(std::move(pin), query,
+                                        std::move(control), &observer);
   Result<core::MatchResult> result = handle.Get();
   if (traced) EmitTraceEvent(query.id, trace, sink);
   const double done_ms = observer.DoneMs();
@@ -282,13 +284,12 @@ size_t ServeSession::RunBatch(const std::vector<MatchQuery>& queries,
     if (options_.first_n > 0 && query_control.stop_after_n_mappings == 0) {
       query_control.stop_after_n_mappings = options_.first_n;
     }
-    std::shared_ptr<const RepositorySnapshot> snapshot =
-        service_->CurrentSnapshot();
+    RepositoryPinPtr pin = service_->Pin();
     observers.push_back(std::make_unique<NdjsonEventObserver>(
-        query.id, &query.personal, snapshot, sink, options_.cluster_events));
-    handles.push_back(service_->SubmitMatchOn(std::move(snapshot), query,
-                                              std::move(query_control),
-                                              observers.back().get()));
+        query.id, &query.personal, pin, sink, options_.cluster_events));
+    handles.push_back(service_->Submit(std::move(pin), query,
+                                       std::move(query_control),
+                                       observers.back().get()));
   }
 
   size_t failed = 0;
@@ -410,11 +411,10 @@ Status ServeSession::RunCommand(const std::string& line,
     // Whole-repository swap as one delta: retire every current tree, add
     // every loaded one (payloads shared from the loaded forest, not
     // copied). Published atomically like any other delta.
-    std::shared_ptr<const RepositorySnapshot> snapshot =
-        service_->CurrentSnapshot();
+    RepositoryPinPtr pin = service_->Pin();
     live::DeltaBuilder builder;
     for (schema::TreeId t = 0;
-         t < static_cast<schema::TreeId>(snapshot->num_trees()); ++t) {
+         t < static_cast<schema::TreeId>(pin->num_trees()); ++t) {
       builder.RemoveTree(t);
     }
     for (schema::TreeId t = 0;
@@ -457,15 +457,14 @@ Status ServeSession::RunCommand(const std::string& line,
     return Status::OK();
   }
   if (command == "!generation") {
-    std::shared_ptr<const RepositorySnapshot> snapshot =
-        service_->CurrentSnapshot();
+    RepositoryPinPtr pin = service_->Pin();
     char nums[160];
     std::snprintf(nums, sizeof(nums),
                   "{\"type\":\"generation\",\"generation\":%llu,"
                   "\"fingerprint\":\"%016llx\",\"trees\":%zu}",
-                  static_cast<unsigned long long>(snapshot->generation()),
-                  static_cast<unsigned long long>(snapshot->fingerprint()),
-                  snapshot->num_trees());
+                  static_cast<unsigned long long>(pin->generation()),
+                  static_cast<unsigned long long>(pin->fingerprint()),
+                  pin->num_trees());
     sink(nums);
     return Status::OK();
   }

@@ -1,6 +1,7 @@
 // ServeSession: the transport-independent serving core shared by the CLI's
 // stdin serve mode and the xsm::net HTTP front end. One session wraps one
-// MatchService and exposes exactly the serve-mode surface — query lines
+// Matcher backend (single-snapshot or sharded) and exposes exactly the
+// serve-mode surface — query lines
 // ("SPEC [key=value ...]"), repository commands ("!ingest SPEC", "!remove
 // ID", ...) and the NDJSON event vocabulary (mapping / cluster / done /
 // error / generation / saved / stats / metrics / trace / slow_query /
@@ -29,7 +30,7 @@
 #include "integrate/integration_engine.h"
 #include "obs/trace.h"
 #include "repo/loader.h"
-#include "service/match_service.h"
+#include "service/matcher.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -76,12 +77,11 @@ struct ServeSessionOptions {
 /// fields. Callbacks fire on the thread executing the query.
 class NdjsonEventObserver : public core::MatchObserver {
  public:
-  /// `personal` and `snapshot` must outlive the observer; `snapshot` is the
+  /// `personal` and `pin` must outlive the observer; `pin` is the
   /// generation the query is pinned to (its forest names the mapped trees).
   NdjsonEventObserver(
       const std::string& id, const schema::SchemaTree* personal,
-      std::shared_ptr<const RepositorySnapshot> snapshot,
-      const EventSink& sink, bool cluster_events);
+      RepositoryPinPtr pin, const EventSink& sink, bool cluster_events);
 
   void OnMapping(const generate::SchemaMapping& mapping,
                  size_t running_rank) override;
@@ -100,7 +100,7 @@ class NdjsonEventObserver : public core::MatchObserver {
  private:
   std::string id_;  // pre-escaped
   const schema::SchemaTree* personal_;
-  std::shared_ptr<const RepositorySnapshot> snapshot_;
+  RepositoryPinPtr pin_;
   const EventSink& sink_;
   bool cluster_events_;
   Timer timer_;
@@ -135,10 +135,11 @@ class NdjsonIntegrationObserver : public integrate::IntegrationObserver {
 
 class ServeSession {
  public:
-  /// `service` must outlive the session.
-  ServeSession(MatchService* service, ServeSessionOptions options);
+  /// `service` must outlive the session. Any Matcher backend works — the
+  /// session never looks behind the interface.
+  ServeSession(Matcher* service, ServeSessionOptions options);
 
-  MatchService* service() const { return service_; }
+  Matcher* service() const { return service_; }
   const ServeSessionOptions& options() const { return options_; }
 
   /// Parses one query line of the serve/batch grammar:
@@ -235,7 +236,7 @@ class ServeSession {
                              const EventSink& sink);
 
  private:
-  MatchService* service_;
+  Matcher* service_;
   ServeSessionOptions options_;
   std::atomic<size_t> next_query_index_{0};
 };

@@ -1,0 +1,85 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+
+namespace xsm::shard {
+
+ShardPlan ShardPlan::Balanced(const std::vector<size_t>& tree_nodes,
+                              size_t k) {
+  ShardPlan plan;
+  if (k == 0) return plan;
+  const size_t n = tree_nodes.size();
+  plan.starts_.reserve(k + 1);
+  plan.starts_.push_back(0);
+
+  size_t remaining_nodes = 0;
+  for (size_t nodes : tree_nodes) remaining_nodes += nodes;
+
+  size_t t = 0;
+  for (size_t s = 0; s < k; ++s) {
+    const size_t remaining_shards = k - s;
+    if (remaining_shards == 1) {
+      // Last shard takes everything left.
+      t = n;
+      plan.starts_.push_back(t);
+      break;
+    }
+    const double target = static_cast<double>(remaining_nodes) /
+                          static_cast<double>(remaining_shards);
+    size_t acc = 0;
+    while (t < n) {
+      // Leave at least one tree for each shard still to come.
+      if (n - t <= remaining_shards - 1 && acc > 0) break;
+      if (acc > 0) {
+        // Take the next tree only if that lands closer to the target than
+        // stopping here (deterministic nearest-cut greedy).
+        const double with = static_cast<double>(acc + tree_nodes[t]);
+        if (with - target > target - static_cast<double>(acc)) break;
+      }
+      acc += tree_nodes[t];
+      ++t;
+    }
+    remaining_nodes -= acc;
+    plan.starts_.push_back(t);
+  }
+  return plan;
+}
+
+ShardPlan ShardPlan::FromShardTreeCounts(const std::vector<size_t>& counts) {
+  ShardPlan plan;
+  plan.starts_.reserve(counts.size() + 1);
+  plan.starts_.push_back(0);
+  for (size_t count : counts) {
+    plan.starts_.push_back(plan.starts_.back() + count);
+  }
+  return plan;
+}
+
+size_t ShardPlan::shard_of(schema::TreeId global) const {
+  // First cut point strictly greater than `global` bounds the owning
+  // shard's range; empty shards (equal consecutive cut points) are skipped
+  // by upper_bound naturally.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(),
+                             static_cast<size_t>(global));
+  return static_cast<size_t>(it - starts_.begin()) - 1;
+}
+
+double ShardPlan::Imbalance(const std::vector<size_t>& tree_nodes) const {
+  const size_t k = num_shards();
+  if (k == 0) return 1.0;
+  size_t total = 0;
+  size_t max_shard = 0;
+  for (size_t s = 0; s < k; ++s) {
+    size_t acc = 0;
+    for (size_t t = starts_[s]; t < starts_[s + 1]; ++t) {
+      acc += tree_nodes[t];
+    }
+    total += acc;
+    max_shard = std::max(max_shard, acc);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(k);
+  return static_cast<double>(max_shard) / mean;
+}
+
+}  // namespace xsm::shard

@@ -1,0 +1,79 @@
+// ShardPlan: the contiguous partition of a repository forest's TreeId space
+// into K shards. Contiguity is what makes sharded matching exact and cheap
+// to reason about: shard s owns global trees [starts[s], starts[s+1]), so
+// concatenating per-shard results in shard order reproduces global TreeId
+// order without any permutation bookkeeping — a NodeRef-sorted list per
+// shard concatenates into a NodeRef-sorted global list.
+#ifndef XSM_SHARD_SHARD_PLAN_H_
+#define XSM_SHARD_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "schema/schema_forest.h"
+
+namespace xsm::shard {
+
+class ShardPlan {
+ public:
+  /// Empty plan: zero shards, zero trees.
+  ShardPlan() = default;
+
+  /// Node-balanced contiguous partition: greedily cuts the tree sequence so
+  /// each shard's node total approaches the remaining mean, while leaving
+  /// at least one tree for every shard still to come (so shards are only
+  /// empty when there are more shards than trees — those empty shards sit
+  /// at the tail). Deterministic: a pure function of (tree_nodes, k).
+  static ShardPlan Balanced(const std::vector<size_t>& tree_nodes, size_t k);
+
+  /// Reassembles the plan implied by per-shard tree counts in shard order
+  /// (the warm-start path: shard snapshot sizes are the plan).
+  static ShardPlan FromShardTreeCounts(const std::vector<size_t>& counts);
+
+  size_t num_shards() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  size_t num_trees() const { return starts_.empty() ? 0 : starts_.back(); }
+
+  /// The shard owning global tree `global` (which must be in range). With
+  /// empty shards, ownership goes to the shard whose half-open range
+  /// actually contains the tree.
+  size_t shard_of(schema::TreeId global) const;
+
+  /// Global tree id → the owning shard's local id.
+  schema::TreeId to_local(schema::TreeId global) const {
+    return global - first_tree(shard_of(global));
+  }
+  /// Shard-local tree id → global id.
+  schema::TreeId to_global(size_t shard, schema::TreeId local) const {
+    return first_tree(shard) + local;
+  }
+
+  schema::TreeId first_tree(size_t shard) const {
+    return static_cast<schema::TreeId>(starts_[shard]);
+  }
+  size_t shard_trees(size_t shard) const {
+    return starts_[shard + 1] - starts_[shard];
+  }
+
+  /// Max shard node total over the mean (total / num_shards) under this
+  /// plan; 1.0 is perfect balance. Returns 1.0 for empty inputs. This is
+  /// the rebalance trigger metric.
+  double Imbalance(const std::vector<size_t>& tree_nodes) const;
+
+  friend bool operator==(const ShardPlan& a, const ShardPlan& b) {
+    return a.starts_ == b.starts_;
+  }
+  friend bool operator!=(const ShardPlan& a, const ShardPlan& b) {
+    return !(a == b);
+  }
+
+ private:
+  /// K+1 cut points: shard s owns [starts_[s], starts_[s+1]). Monotone
+  /// non-decreasing; starts_[0] == 0; starts_[K] == num_trees.
+  std::vector<size_t> starts_;
+};
+
+}  // namespace xsm::shard
+
+#endif  // XSM_SHARD_SHARD_PLAN_H_

@@ -217,12 +217,20 @@ TEST_F(HttpServerTest, HealthTenantsStatsEndpoints) {
   auto running = StartServer(MakeRegistry());
   uint16_t port = running.server->port();
 
-  auto health = FetchOnce(kHost, port, "GET", "/healthz");
+  auto health = FetchOnce(kHost, port, "GET", "/v1/healthz");
   ASSERT_TRUE(health.ok()) << health.status().ToString();
   EXPECT_EQ(health->status_code, 200);
   EXPECT_NE(health->body.find("\"type\":\"health\""), std::string::npos);
   EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_NE(health->body.find("\"tenants\":1"), std::string::npos);
+
+  // The retired pre-/v1 alias answers a typed 410 naming the new path.
+  auto gone = FetchOnce(kHost, port, "GET", "/healthz");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(gone->status_code, 410);
+  EXPECT_NE(gone->body.find("\"code\":\"gone\""), std::string::npos);
+  EXPECT_NE(gone->body.find("\"migrate_to\":\"/v1/healthz\""),
+            std::string::npos);
 
   auto tenants = FetchOnce(kHost, port, "GET", "/v1/tenants");
   ASSERT_TRUE(tenants.ok());
@@ -247,7 +255,7 @@ TEST_F(HttpServerTest, HealthTenantsStatsEndpoints) {
   EXPECT_NE(missing->body.find("\"type\":\"error\""), std::string::npos);
   EXPECT_NE(missing->body.find("\"code\":\"not_found\""), std::string::npos);
 
-  auto bad_method = FetchOnce(kHost, port, "POST", "/healthz");
+  auto bad_method = FetchOnce(kHost, port, "POST", "/v1/healthz");
   ASSERT_TRUE(bad_method.ok());
   EXPECT_EQ(bad_method->status_code, 405);
 
@@ -384,7 +392,7 @@ TEST_F(HttpServerTest, DrainSavesTenantsAndWarmRestartResumesGenerations) {
 TEST_F(HttpServerTest, MidStreamDisconnectCancelsTheQuery) {
   auto running = StartServer(MakeRegistry());
 
-  service::MatchService* service = running.registry->Find("t1")->service.get();
+  service::Matcher* service = running.registry->Find("t1")->service.get();
   const uint64_t cancelled_before = service->stats().cancelled;
 
   // A wide-open query that streams thousands of mappings: read the first
@@ -520,7 +528,7 @@ TEST_F(HttpServerTest, PipelinedRequestsAnswerInOrder) {
 
   HttpClient client;
   ASSERT_TRUE(client.Connect(kHost, running.server->port()).ok());
-  std::string two = BuildRequest("GET", "/healthz", "") +
+  std::string two = BuildRequest("GET", "/v1/healthz", "") +
                     BuildRequest("GET", "/v1/tenants", "");
   ASSERT_TRUE(client.SendRaw(two).ok());
   auto first = client.ReadResponse();

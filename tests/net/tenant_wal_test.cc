@@ -103,7 +103,7 @@ TEST(TenantWalTest, KilledRegistryWarmRestartsWithZeroAcknowledgedLoss) {
   auto tenant = restarted.WarmStart("t1", &report);
   ASSERT_TRUE(tenant.ok()) << tenant.status().ToString();
   EXPECT_EQ((*tenant)->service->CurrentGeneration(), acked_generation);
-  EXPECT_EQ((*tenant)->service->CurrentSnapshot()->fingerprint(),
+  EXPECT_EQ((*tenant)->service->Pin()->fingerprint(),
             acked_fingerprint);
   EXPECT_EQ(report.snapshot_generation, 0u) << "checkpoint was at creation";
   EXPECT_EQ(report.records_replayed, 3u);
@@ -146,7 +146,7 @@ TEST(TenantWalTest, WarmStartAllRecoversEveryTenant) {
     ASSERT_NE(tenant, nullptr) << "t" << t;
     EXPECT_EQ(tenant->service->CurrentGeneration(),
               static_cast<uint64_t>(t + 1));
-    EXPECT_EQ(tenant->service->CurrentSnapshot()->fingerprint(),
+    EXPECT_EQ(tenant->service->Pin()->fingerprint(),
               fingerprints[t]);
   }
 }

@@ -12,6 +12,7 @@
 
 #include "core/execution_control.h"
 #include "repo/synthetic.h"
+#include "service/match_service.h"
 #include "schema/schema_tree.h"
 
 namespace xsm::service {

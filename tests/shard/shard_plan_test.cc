@@ -1,0 +1,107 @@
+#include "shard/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace xsm::shard {
+namespace {
+
+TEST(ShardPlanTest, BalancedCoversEveryTreeContiguously) {
+  std::vector<size_t> nodes = {40, 10, 25, 5, 60, 30, 15, 20};
+  for (size_t k = 1; k <= nodes.size(); ++k) {
+    ShardPlan plan = ShardPlan::Balanced(nodes, k);
+    ASSERT_EQ(plan.num_shards(), k) << "k=" << k;
+    ASSERT_EQ(plan.num_trees(), nodes.size()) << "k=" << k;
+    // Shard ranges are contiguous, in order, and cover [0, trees).
+    size_t covered = 0;
+    for (size_t s = 0; s < k; ++s) {
+      EXPECT_EQ(static_cast<size_t>(plan.first_tree(s)), covered)
+          << "k=" << k << " shard " << s;
+      covered += plan.shard_trees(s);
+    }
+    EXPECT_EQ(covered, nodes.size()) << "k=" << k;
+    // Every shard owns at least one tree while trees remain.
+    for (size_t s = 0; s < k; ++s) {
+      EXPECT_GE(plan.shard_trees(s), 1u) << "k=" << k << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardPlanTest, BalancedIsDeterministic) {
+  std::vector<size_t> nodes(100);
+  for (size_t i = 0; i < nodes.size(); ++i) nodes[i] = (i * 37) % 90 + 1;
+  EXPECT_EQ(ShardPlan::Balanced(nodes, 7), ShardPlan::Balanced(nodes, 7));
+  EXPECT_NE(ShardPlan::Balanced(nodes, 7), ShardPlan::Balanced(nodes, 6));
+}
+
+TEST(ShardPlanTest, MoreShardsThanTreesLeavesEmptyTailShards) {
+  std::vector<size_t> nodes = {10, 20};
+  ShardPlan plan = ShardPlan::Balanced(nodes, 5);
+  ASSERT_EQ(plan.num_shards(), 5u);
+  EXPECT_EQ(plan.num_trees(), 2u);
+  EXPECT_GE(plan.shard_trees(0), 1u);
+  size_t total = 0, empty = 0;
+  for (size_t s = 0; s < 5; ++s) {
+    total += plan.shard_trees(s);
+    if (plan.shard_trees(s) == 0) ++empty;
+  }
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(empty, 3u);
+  // Empty shards sit at the tail.
+  EXPECT_EQ(plan.shard_trees(3), 0u);
+  EXPECT_EQ(plan.shard_trees(4), 0u);
+}
+
+TEST(ShardPlanTest, ShardOfAndLocalGlobalRoundTrip) {
+  std::vector<size_t> nodes = {5, 5, 5, 5, 5, 5, 5, 5, 5};
+  ShardPlan plan = ShardPlan::Balanced(nodes, 3);
+  for (schema::TreeId t = 0; t < static_cast<schema::TreeId>(nodes.size());
+       ++t) {
+    size_t s = plan.shard_of(t);
+    ASSERT_LT(s, plan.num_shards());
+    EXPECT_GE(t, plan.first_tree(s));
+    EXPECT_LT(static_cast<size_t>(t),
+              static_cast<size_t>(plan.first_tree(s)) + plan.shard_trees(s));
+    EXPECT_EQ(plan.to_global(s, plan.to_local(t)), t);
+  }
+}
+
+TEST(ShardPlanTest, FromShardTreeCountsRoundTrips) {
+  std::vector<size_t> nodes = {8, 3, 9, 1, 7, 2, 6};
+  ShardPlan plan = ShardPlan::Balanced(nodes, 4);
+  std::vector<size_t> counts;
+  for (size_t s = 0; s < plan.num_shards(); ++s) {
+    counts.push_back(plan.shard_trees(s));
+  }
+  EXPECT_EQ(ShardPlan::FromShardTreeCounts(counts), plan);
+}
+
+TEST(ShardPlanTest, ImbalanceMeasuresNodeSkew) {
+  // Perfect balance: every shard the same node total.
+  std::vector<size_t> even = {10, 10, 10, 10};
+  ShardPlan balanced = ShardPlan::Balanced(even, 2);
+  EXPECT_DOUBLE_EQ(balanced.Imbalance(even), 1.0);
+
+  // Skewed ownership: one shard holds nearly everything.
+  std::vector<size_t> skewed = {100, 1, 1, 1};
+  ShardPlan lopsided = ShardPlan::FromShardTreeCounts({1, 3});
+  EXPECT_GT(lopsided.Imbalance(skewed), 1.5);
+
+  // Empty plan / empty input.
+  EXPECT_DOUBLE_EQ(ShardPlan().Imbalance({}), 1.0);
+}
+
+TEST(ShardPlanTest, BalancedBeatsNaiveSplitOnSkewedInput) {
+  // A heavy head: a naive equal-tree-count split would put ~half the
+  // nodes in shard 0; the node-balanced plan cuts earlier.
+  std::vector<size_t> nodes = {90, 80, 10, 10, 10, 10, 10, 10};
+  ShardPlan plan = ShardPlan::Balanced(nodes, 2);
+  ShardPlan naive = ShardPlan::FromShardTreeCounts({4, 4});
+  EXPECT_LE(plan.Imbalance(nodes), naive.Imbalance(nodes));
+}
+
+}  // namespace
+}  // namespace xsm::shard

@@ -120,6 +120,7 @@ const BenchProfile kProfiles[] = {
      "instrumented_qps_ratio",
      {"overhead_ok", "exposition_valid", "counters_consistent",
       "results_identical"}},
+    {"sharding", "query_scaling_ratio", {"sharded_identical"}},
 };
 
 }  // namespace

@@ -131,6 +131,7 @@
 #include "net/tenant_registry.h"
 #include "schema/serialization.h"
 #include "service/serve_session.h"
+#include "shard/sharded_match_service.h"
 
 namespace {
 
@@ -191,7 +192,8 @@ int Usage() {
       "           [--cluster tree|kmeans] [--join J] [--top N]\n"
       "           [--partial] [--structural] [--query XPATH]\n"
       "  batch    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
-      "           --queries FILE [--threads N] [--delta D] [--top N]\n"
+      "           --queries FILE [--threads N] [--shards K] [--delta D]\n"
+      "           [--top N]\n"
       "           [--cluster tree|kmeans] [--join J] [--threshold T]\n"
       "           [--alpha A] [--deadline-ms MS] [--first-n N]\n"
       "           [--cluster-events]\n"
@@ -202,15 +204,16 @@ int Usage() {
       "           [--cache-capacity N] [--deadline-ms MS]\n"
       "           [--out FILE.intg] [--diff FILE.intg]\n"
       "  serve    (--forest FILE | --repo-dir DIR | --synthetic N[:seed])\n"
-      "           [--threads N] [--delta D] [--top N] [--cluster ...]\n"
+      "           [--threads N] [--shards K] [--delta D] [--top N]\n"
+      "           [--cluster ...]\n"
       "           [--deadline-ms MS] [--first-n N] [--cluster-events]\n"
       "           [--trace] [--slow-query-ms MS]\n"
       "           [--save-on-shutdown FILE.snap]\n"
       "  http     [--forest FILE | --repo-dir DIR | --synthetic N[:seed]\n"
       "           | --warm-start FILE.snap] [--port P] [--bind ADDR]\n"
       "           [--state-dir DIR] [--no-wal] [--tenant NAME] [--workers N]\n"
-      "           [--threads N] [--deadline-ms MS] [--first-n N]\n"
-      "           [--max-inflight N] [--soft-inflight N]\n"
+      "           [--threads N] [--shards K] [--deadline-ms MS]\n"
+      "           [--first-n N] [--max-inflight N] [--soft-inflight N]\n"
       "           [--min-deadline-fraction F] [--cluster-events]\n"
       "           [--trace] [--slow-query-ms MS]\n"
       "batch/serve stream NDJSON events (mapping / cluster / done / error)\n"
@@ -222,6 +225,9 @@ int Usage() {
       "--trace adds one \"trace\" event per query/mutation with per-stage\n"
       "spans; --slow-query-ms logs a \"slow_query\" event for queries at or\n"
       "over the threshold. http also serves GET /metrics (Prometheus text).\n"
+      "--shards K (batch/serve/http) serves from K node-balanced\n"
+      "repository shards with exact scatter-gather matching — results are\n"
+      "byte-identical to the unsharded engine.\n"
       "stats/match/batch/serve also accept --warm-start FILE.snap (a file\n"
       "written by `save` or `!save`) as the repository source: the\n"
       "snapshot loads whole, nothing is re-parsed or re-indexed, and the\n"
@@ -586,15 +592,19 @@ Result<service::MatchQuery> ParseQueryLine(
   return query;
 }
 
-Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
+Result<std::unique_ptr<service::Matcher>> MakeService(const Args& args) {
   long threads = args.GetInt("threads", 0);
   if (threads < 0) {
     return Status::InvalidArgument("--threads must be >= 0");
   }
+  long shards = args.GetInt("shards", 1);
+  if (shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
   service::MatchServiceOptions options;
   options.num_threads = static_cast<size_t>(threads);
   // --deadline-ms becomes the service's default per-query deadline; the
-  // clock starts at SubmitMatch, so pool queue wait counts against it.
+  // clock starts at Submit, so pool queue wait counts against it.
   options.default_deadline_seconds = args.GetDouble("deadline-ms", 0) / 1e3;
   options.slow_query_ms = args.GetDouble("slow-query-ms", 0);
   // Warm start included: LoadSnapshot dispatches on --warm-start, and the
@@ -602,8 +612,19 @@ Result<std::unique_ptr<service::MatchService>> MakeService(const Args& args) {
   XSM_ASSIGN_OR_RETURN(
       std::shared_ptr<const service::RepositorySnapshot> snapshot,
       LoadSnapshot(args));
-  return std::make_unique<service::MatchService>(std::move(snapshot),
-                                                 options);
+  if (shards > 1) {
+    // Sharded backend: repartition the loaded forest (results stay
+    // byte-identical to the unsharded backend — see src/shard).
+    shard::ShardedOptions shard_options;
+    shard_options.num_shards = static_cast<size_t>(shards);
+    XSM_ASSIGN_OR_RETURN(
+        std::unique_ptr<shard::ShardedMatchService> sharded,
+        shard::ShardedMatchService::Create(snapshot->forest(), options,
+                                           shard_options));
+    return std::unique_ptr<service::Matcher>(std::move(sharded));
+  }
+  return std::unique_ptr<service::Matcher>(
+      std::make_unique<service::MatchService>(std::move(snapshot), options));
 }
 
 // --- NDJSON event streaming (batch / serve / http) -------------------------
@@ -673,13 +694,13 @@ int RunBatch(const Args& args) {
   }
 
   {
-    std::shared_ptr<const service::RepositorySnapshot> snapshot =
-        (*service)->CurrentSnapshot();
+    service::RepositoryPinPtr pin = (*service)->Pin();
     std::fprintf(stderr,
                  "serving %zu queries over %zu elements / %zu trees on %zu "
-                 "threads\n",
-                 queries.size(), snapshot->total_nodes(),
-                 snapshot->num_trees(), (*service)->pool().num_threads());
+                 "threads (%zu shards)\n",
+                 queries.size(), pin->total_nodes(), pin->num_trees(),
+                 (*service)->pool().num_threads(),
+                 (*service)->Shards().size());
   }
 
   Timer timer;
@@ -740,8 +761,7 @@ int RunServe(const Args& args) {
   service::ServeSession session(service->get(), session_options);
   InstallServeSignalHandlers();
   {
-    std::shared_ptr<const service::RepositorySnapshot> snapshot =
-        (*service)->CurrentSnapshot();
+    service::RepositoryPinPtr snapshot = (*service)->Pin();
     std::fprintf(stderr,
                  "ready: %zu elements / %zu trees (generation %llu); enter "
                  "queries (SPEC [key=value ...]) or !commands (!ingest, "
@@ -935,6 +955,12 @@ int RunHttp(const Args& args) {
       args.GetDouble("deadline-ms", 0) / 1e3;
   registry_options.service.slow_query_ms =
       args.GetDouble("slow-query-ms", 0);
+  long shards = args.GetInt("shards", 1);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  registry_options.shards = static_cast<size_t>(shards);
   registry_options.state_dir = args.Get("state-dir");
   // With a state dir, every tenant write-ahead journals its deltas
   // (checkpoint at creation, fsync'd append per delta, replay on boot) so
@@ -976,7 +1002,7 @@ int RunHttp(const Args& args) {
                    "forest; generation restarts at 0 unless --state-dir "
                    "holds a drain snapshot\n",
                    tenant_name.c_str());
-      schema::SchemaForest forest = (*service)->CurrentSnapshot()->forest();
+      schema::SchemaForest forest = (*service)->Pin()->forest();
       auto tenant = registry.Create(tenant_name, std::move(forest));
       if (!tenant.ok()) {
         std::fprintf(stderr, "%s\n", tenant.status().ToString().c_str());
